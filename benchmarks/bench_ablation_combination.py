@@ -1,0 +1,68 @@
+"""Ablation: combining techniques across taxonomy branches (Sec. IV-F).
+
+The paper's Future Work conjectures that "a conjunctive application of
+multiple time series augmentation methods could lead to further
+improvements", by analogy with vision pipelines.  This bench tests that
+conjecture at CPU scale: a RandomChoice mixture over three branches
+(noise, SMOTE, time-warping) against each ingredient alone, on three
+datasets.  The asserted shape is conservative — the mixture should be
+competitive with the best single ingredient (within a small margin),
+showing that combination is at least not harmful; on some datasets it wins.
+"""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    NoiseInjection,
+    RandomChoice,
+    SMOTE,
+    TimeWarping,
+    augment_to_balance,
+)
+from repro.classifiers import RocketClassifier
+from repro.data import load_dataset
+
+from _shared import publish
+
+DATASETS = ("Epilepsy", "RacketSports", "Handwriting")
+
+
+def _score(train, test_ready, augmenter, seeds=(0, 1)) -> float:
+    values = []
+    for seed in seeds:
+        augmented = augment_to_balance(train, augmenter, rng=seed)
+        ready = augmented.znormalize().impute()
+        model = RocketClassifier(num_kernels=300, seed=seed)
+        model.fit(ready.X, ready.y)
+        values.append(model.score(test_ready.X, test_ready.y))
+    return float(np.mean(values))
+
+
+def test_combination_pipeline(benchmark):
+    def run():
+        rows = {}
+        for name in DATASETS:
+            train, test = load_dataset(name, scale="small")
+            test_ready = test.znormalize().impute()
+            ingredients = {
+                "noise1": NoiseInjection(1.0),
+                "smote": SMOTE(),
+                "time_warping": TimeWarping(),
+            }
+            mixture = RandomChoice(list(ingredients.values()))
+            scores = {key: _score(train, test_ready, augmenter)
+                      for key, augmenter in ingredients.items()}
+            scores["mixture"] = _score(train, test_ready, mixture)
+            rows[name] = scores
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'dataset':14s} " + "  ".join(f"{k:>12s}" for k in next(iter(rows.values())))]
+    for name, scores in rows.items():
+        lines.append(f"{name:14s} " + "  ".join(f"{v:12.3f}" for v in scores.values()))
+    publish("ablation_combination", "\n".join(lines))
+
+    for name, scores in rows.items():
+        best_single = max(v for k, v in scores.items() if k != "mixture")
+        assert scores["mixture"] >= best_single - 0.12, name

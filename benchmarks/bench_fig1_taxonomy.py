@@ -1,0 +1,48 @@
+"""Figure 1: the taxonomy of augmentation techniques.
+
+Regenerates the tree, checks its structure against the published figure
+(three top branches; time/frequency/oversampling/decomposition under basic;
+statistical/neural/probabilistic under generative; label/structure under
+preserving) and reports implementation coverage.
+"""
+
+import networkx as nx
+
+from repro.taxonomy import (
+    ROOT,
+    build_taxonomy,
+    implementation_coverage,
+    render_taxonomy,
+    taxonomy_leaves,
+)
+
+from _shared import publish
+
+
+def test_fig1_taxonomy(benchmark):
+    graph = benchmark(build_taxonomy)
+
+    assert nx.is_tree(graph.to_undirected())
+    top = {graph.nodes[n]["label"] for n in graph.successors(ROOT)}
+    assert top == {"Basic Techniques", "Generative Techniques", "Preserving Techniques"}
+
+    mid = {
+        graph.nodes[n]["label"]
+        for branch in graph.successors(ROOT)
+        for n in graph.successors(branch)
+    }
+    for expected in (
+        "Time Domain", "Frequency Domain", "Oversampling Techniques",
+        "Decomposition Techniques", "Statistical Models", "Neural Networks",
+        "Probabilistic Models", "Label Preserving", "Structure Preserving",
+    ):
+        assert expected in mid
+
+    coverage = implementation_coverage(graph)
+    text = render_taxonomy(graph) + "\n\nImplementation coverage per branch:\n" + "\n".join(
+        f"  {branch}: {fraction:.0%}" for branch, fraction in sorted(coverage.items())
+    )
+    publish("fig1_taxonomy", text)
+
+    assert len(taxonomy_leaves(graph)) >= 30
+    assert min(coverage.values()) >= 0.8

@@ -1,0 +1,72 @@
+"""Figures 2-6: illustrations of the five taxonomy branches.
+
+Each test regenerates the data behind one published figure and asserts the
+property the figure illustrates:
+
+* Fig. 2 — plain noise spreads synthetic points beyond the class cloud;
+* Fig. 3 — SMOTE stays inside the class's convex hull;
+* Fig. 4 — TimeGAN samples approximate the class distribution;
+* Fig. 5 — the range technique keeps samples on the right boundary side;
+* Fig. 6 — OHIT respects cluster structure.
+
+ASCII scatter renderings are written to benchmarks/results/.
+"""
+
+import numpy as np
+
+from repro.experiments import (
+    ascii_scatter,
+    figure2_noise,
+    figure3_smote,
+    figure4_timegan,
+    figure5_range,
+    figure6_ohit,
+)
+
+from _shared import publish
+
+
+def _spread(points: np.ndarray) -> float:
+    center = points.mean(axis=0)
+    return float(np.linalg.norm(points - center, axis=1).mean())
+
+
+def test_fig2_noise(benchmark):
+    fig = benchmark.pedantic(figure2_noise, rounds=1, iterations=1)
+    publish("fig2_noise", ascii_scatter(fig))
+    # Unconstrained noise inflates the class spread.
+    assert _spread(fig.synthetic) > 1.05 * _spread(fig.class_a)
+
+
+def test_fig3_smote(benchmark):
+    fig = benchmark.pedantic(figure3_smote, rounds=1, iterations=1)
+    publish("fig3_smote", ascii_scatter(fig))
+    # Convex combinations cannot exceed the class spread (projection-wise).
+    assert fig.synthetic[:, 0].max() <= fig.class_a[:, 0].max() + 1e-6
+    assert fig.synthetic[:, 0].min() >= fig.class_a[:, 0].min() - 1e-6
+
+
+def test_fig4_timegan(benchmark):
+    fig = benchmark.pedantic(figure4_timegan, rounds=1, iterations=1)
+    publish("fig4_timegan", ascii_scatter(fig))
+    # Generated cloud lives at the scale of the data (not collapsed/exploded).
+    assert np.isfinite(fig.synthetic).all()
+    assert _spread(fig.synthetic) < 5 * _spread(np.vstack([fig.class_a, fig.class_b]))
+
+
+def test_fig5_range(benchmark):
+    fig = benchmark.pedantic(figure5_range, rounds=1, iterations=1)
+    publish("fig5_range", ascii_scatter(fig))
+    # Synthetic points sit nearer the minority centroid than the majority's.
+    center_a = fig.class_a.mean(axis=0)
+    center_b = fig.class_b.mean(axis=0)
+    to_a = np.linalg.norm(fig.synthetic - center_a, axis=1)
+    to_b = np.linalg.norm(fig.synthetic - center_b, axis=1)
+    assert (to_a < to_b).mean() > 0.9
+
+
+def test_fig6_ohit(benchmark):
+    fig = benchmark.pedantic(figure6_ohit, rounds=1, iterations=1)
+    publish("fig6_ohit", ascii_scatter(fig))
+    assert len(fig.annotations["clusters"]) >= 1
+    assert np.isfinite(fig.synthetic).all()

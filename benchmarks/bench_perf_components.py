@@ -1,0 +1,59 @@
+"""Component micro-benchmarks: transform throughput and classifier speed.
+
+Not tied to a specific published table — these document the cost profile of
+the substrate (ROCKET transform, ridge LOO-CV, key augmenters) so that the
+CPU-scale parameter choices in _shared.py are auditable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    NoiseInjection,
+    SMOTE,
+    STLRecombination,
+    TimeWarping,
+    make_augmenter,
+)
+from repro.classifiers import RidgeClassifierCV, RocketTransform
+from repro.data import make_classification_panel
+
+
+@pytest.fixture(scope="module")
+def panel():
+    X, y = make_classification_panel(
+        n_series=64, n_channels=4, length=64, n_classes=2, seed=0
+    )
+    return X, y
+
+
+@pytest.mark.parametrize("name", ["noise1", "smote", "time_warping", "stl", "fourier"])
+def test_augmenter_throughput(benchmark, panel, name):
+    X, y = panel
+    augmenter = make_augmenter(name)
+    rng = np.random.default_rng(0)
+    out = benchmark(lambda: augmenter.generate(X[y == 0], 16, rng=rng))
+    assert out.shape[0] == 16
+
+
+def test_rocket_transform_speed(benchmark, panel):
+    X, _ = panel
+    transform = RocketTransform(num_kernels=500, seed=0).fit(X)
+    features = benchmark(lambda: transform.transform(X))
+    assert features.shape == (64, 1000)
+
+
+def test_ridge_loocv_speed(benchmark, panel):
+    X, y = panel
+    rng = np.random.default_rng(0)
+    features = rng.standard_normal((64, 1000))
+    model = RidgeClassifierCV()
+    benchmark(lambda: model.fit(features, y))
+    assert model.alpha_ > 0
+
+
+def test_archive_generation_speed(benchmark):
+    from repro.data import load_dataset
+
+    train, test = benchmark(lambda: load_dataset("LSST", scale="small"))
+    assert train.n_series > 0

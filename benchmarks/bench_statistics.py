@@ -1,0 +1,50 @@
+"""Statistical analysis of the Table IV grid (Sec. IV-F's claims, tested).
+
+Uses the shared ROCKET grid to compute Demšar-style average ranks, the
+Friedman test and the gain-vs-characteristics Spearman correlations the
+paper alludes to.  The paper's "no clear pattern ... to assert superiority
+of any specific augmentation technique" corresponds to (a) no technique
+taking average rank 1 across the board and (b) mostly weak correlations.
+"""
+
+from repro.experiments import (
+    average_ranks,
+    friedman_test,
+    gain_characteristic_correlations,
+    render_cd_diagram,
+)
+
+from _shared import publish, rocket_grid
+
+
+def test_rank_analysis(benchmark):
+    grid = rocket_grid()
+
+    def compute():
+        return average_ranks(grid), friedman_test(grid)
+
+    ranks, (statistic, p_value) = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = ["configuration  average rank (1 = best)"]
+    for name, rank in sorted(ranks.items(), key=lambda kv: kv[1]):
+        lines.append(f"{name:13s}  {rank:.2f}")
+    lines.append(f"\nFriedman chi2 = {statistic:.2f}, p = {p_value:.3f}")
+    lines.append("\n" + render_cd_diagram(grid))
+    publish("statistics_ranks", "\n".join(lines))
+
+    # No technique is uniformly best: the winner's average rank is well
+    # above 1 (it loses on some datasets).
+    best_rank = min(rank for name, rank in ranks.items() if name != "baseline")
+    assert best_rank > 1.0
+
+
+def test_gain_characteristic_correlations(benchmark):
+    grid = rocket_grid()
+    correlations = benchmark.pedantic(
+        lambda: gain_characteristic_correlations(grid), rounds=1, iterations=1
+    )
+    lines = ["characteristic  spearman rho  p-value"]
+    for row in correlations:
+        lines.append(f"{row.characteristic:14s}  {row.rho:+12.2f}  {row.p_value:7.3f}")
+    publish("statistics_gain_correlations", "\n".join(lines))
+    assert len(correlations) == 8
+    assert all(-1.0 <= row.rho <= 1.0 for row in correlations)

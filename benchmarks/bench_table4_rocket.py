@@ -1,0 +1,33 @@
+"""Table IV: ROCKET accuracy under the five augmentation configurations.
+
+Runs the full 13-dataset x (baseline + 5 techniques) grid at CPU scale and
+checks the paper's *shape*:
+
+* the best augmentation beats the baseline on most datasets (paper: 10/13);
+* the average best-technique relative improvement is positive (paper: +1.55 %);
+* no single technique dominates every dataset.
+
+Absolute accuracies differ (synthetic archive, reduced kernel budget); the
+published value is printed beside every measured improvement.
+"""
+
+from repro.experiments import render_accuracy_table, summarize_findings
+from repro.experiments import paper_reference as ref
+
+from _shared import publish, rocket_grid
+
+
+def test_table4_rocket_grid(benchmark):
+    grid = benchmark.pedantic(rocket_grid, rounds=1, iterations=1)
+    publish("table4_rocket", render_accuracy_table(grid, ref.ROCKET_TABLE4))
+
+    summary = summarize_findings(grid)
+    assert summary.n_datasets == 13
+    # Paper shape (i): most datasets improve under their best technique.
+    assert summary.improved_datasets >= 8, (
+        f"only {summary.improved_datasets}/13 datasets improved"
+    )
+    # Paper shape (ii): positive average improvement.
+    assert summary.average_improvement_percent > 0
+    # Paper shape (iii): no one-size-fits-all technique.
+    assert summary.no_single_dominator

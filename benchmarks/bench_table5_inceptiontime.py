@@ -1,0 +1,27 @@
+"""Table V: InceptionTime accuracy under the five augmentation configurations.
+
+Same grid as Table IV with the deep model.  The paper's shape for
+InceptionTime: 10/13 datasets improve, average improvement +0.56 % — smaller
+than ROCKET's +1.55 % — and again no dominating technique.  The assertion
+thresholds are looser than Table IV's because the reduced-size network has
+higher run-to-run variance.
+"""
+
+from repro.experiments import render_accuracy_table, summarize_findings
+from repro.experiments import paper_reference as ref
+
+from _shared import inceptiontime_grid, publish
+
+
+def test_table5_inceptiontime_grid(benchmark):
+    grid = benchmark.pedantic(inceptiontime_grid, rounds=1, iterations=1)
+    publish("table5_inceptiontime", render_accuracy_table(grid, ref.INCEPTIONTIME_TABLE5))
+
+    summary = summarize_findings(grid)
+    assert summary.n_datasets == 13
+    # Paper shape (i): a majority of datasets improve under the best technique.
+    assert summary.improved_datasets >= 7, (
+        f"only {summary.improved_datasets}/13 datasets improved"
+    )
+    # Paper shape (iii): no one-size-fits-all technique.
+    assert summary.no_single_dominator

@@ -1,0 +1,25 @@
+"""Tables I & II: baseline-algorithm roles and methodology families.
+
+Static methodology tables; the benchmark times the renderers and the bench
+asserts the published structure (ROCKET = kernel-based feature extractor +
+ridge, InceptionTime = DL ensemble doing both roles).
+"""
+
+from repro.experiments import render_table1_roles, render_table2_families
+
+from _shared import publish
+
+
+def test_table1_roles(benchmark):
+    text = benchmark(render_table1_roles)
+    assert "Feature-Extractor" in text
+    publish("table1_roles", text)
+
+
+def test_table2_families(benchmark):
+    text = benchmark(render_table2_families)
+    rows = text.splitlines()
+    rocket_row = next(r for r in rows if r.startswith("ROCKET"))
+    inception_row = next(r for r in rows if r.startswith("InceptionTime"))
+    assert "x" in rocket_row and "x" in inception_row
+    publish("table2_families", text)

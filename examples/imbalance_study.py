@@ -1,0 +1,59 @@
+"""Imbalance study: what plain accuracy hides on skewed datasets.
+
+Sweeps the imbalance of a synthetic problem, balances each variant with
+SMOTE, and reports plain accuracy *and* balanced accuracy / macro-F1 for a
+ROCKET classifier.  The gap between the two metrics grows with imbalance —
+the reason the paper's protocol balances to equality — and augmentation
+recovers most of the minority-class recall.
+
+Run:  python examples/imbalance_study.py
+"""
+
+import numpy as np
+
+from repro.augmentation import SMOTE, augment_to_balance
+from repro.classifiers import RocketClassifier
+from repro.data import MTSGenerator, TimeSeriesDataset, imbalance_degree
+from repro.experiments import classification_report
+
+
+def build(minority_count: int, seed: int = 21):
+    generator = MTSGenerator(
+        n_channels=2, length=40, n_classes=2, difficulty=0.5, seed=seed
+    )
+    X_train, y_train = generator.sample(np.array([40, minority_count]), rng=seed)
+    # The test set mirrors the training imbalance, as in the UEA archive.
+    test_minority = max(4, 30 * minority_count // 40)
+    X_test, y_test = generator.sample(np.array([30, test_minority]), rng=seed + 1)
+    return TimeSeriesDataset(X_train, y_train, name="sweep"), X_test, y_test
+
+
+def evaluate(train: TimeSeriesDataset, X_test, y_test):
+    ready = train.znormalize().impute()
+    model = RocketClassifier(num_kernels=400, seed=0).fit(ready.X, ready.y)
+    test = TimeSeriesDataset(X_test, y_test).znormalize().impute()
+    return classification_report(y_test, model.predict(test.X))
+
+
+def main() -> None:
+    print(f"{'minority':>8s} {'ID':>5s} | {'acc':>6s} {'bal-acc':>8s} {'F1':>6s} "
+          f"| {'acc+SMOTE':>9s} {'bal+SMOTE':>9s}")
+    for minority in (40, 20, 10, 5, 3):
+        train, X_test, y_test = build(minority)
+        degree = imbalance_degree(train.class_counts())
+
+        plain = evaluate(train, X_test, y_test)
+        balanced = evaluate(
+            augment_to_balance(train, SMOTE(), rng=0), X_test, y_test
+        )
+        print(f"{minority:8d} {degree:5.2f} | {plain.accuracy:6.3f} "
+              f"{plain.balanced_accuracy:8.3f} {plain.macro_f1:6.3f} "
+              f"| {balanced.accuracy:9.3f} {balanced.balanced_accuracy:9.3f}")
+
+    print("\nAs the minority shrinks, plain accuracy stays deceptively high "
+          "while balanced accuracy collapses; SMOTE balancing closes much of "
+          "the gap — the mechanism behind the paper's Table IV gains.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Quickstart: augment an imbalanced multivariate dataset and classify it.
+
+Walks the paper's core loop end to end on one archive dataset:
+
+1. load an imbalanced dataset from the (simulated) UEA archive;
+2. inspect its Table III characteristics;
+3. balance it with SMOTE using the paper's protocol;
+4. train ROCKET + ridge on original vs augmented data;
+5. report the relative gain (Eq. 3).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.augmentation import augment_to_balance, make_augmenter
+from repro.classifiers import RocketClassifier
+from repro.data import characterize, load_dataset
+from repro.experiments import relative_gain
+
+
+def main() -> None:
+    train, test = load_dataset("Handwriting", scale="small")
+    print(f"Loaded {train.name}: {train.n_series} train series, "
+          f"{train.n_channels} channels, length {train.length}")
+
+    row = characterize(train, test)
+    print(f"Characteristics: {row.n_classes} classes, "
+          f"imbalance degree {row.im_ratio:.2f}, variance {row.var_train:.3f}")
+    print(f"Class counts before augmentation: {train.class_counts().tolist()}")
+
+    smote = make_augmenter("smote")
+    balanced = augment_to_balance(train, smote, rng=0)
+    print(f"Class counts after SMOTE balancing: {balanced.class_counts().tolist()}")
+
+    # Classification pipeline: per-series z-normalisation, then imputation.
+    test_ready = test.znormalize().impute()
+
+    baseline_ready = train.znormalize().impute()
+    baseline = RocketClassifier(num_kernels=500, seed=0)
+    baseline.fit(baseline_ready.X, baseline_ready.y)
+    baseline_accuracy = baseline.score(test_ready.X, test_ready.y)
+
+    augmented_ready = balanced.znormalize().impute()
+    augmented = RocketClassifier(num_kernels=500, seed=0)
+    augmented.fit(augmented_ready.X, augmented_ready.y)
+    augmented_accuracy = augmented.score(test_ready.X, test_ready.y)
+
+    gain = relative_gain(baseline_accuracy, augmented_accuracy)
+    print(f"\nROCKET baseline accuracy : {baseline_accuracy:.3f}")
+    print(f"ROCKET + SMOTE accuracy  : {augmented_accuracy:.3f}")
+    print(f"Relative gain (Eq. 3)    : {100 * gain:+.2f}%")
+
+
+if __name__ == "__main__":
+    main()

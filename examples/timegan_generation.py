@@ -1,0 +1,67 @@
+"""TimeGAN deep dive: train a per-class TimeGAN and inspect its output.
+
+The paper highlights TimeGAN as "the only generative model to take into
+account the temporal aspect of time series".  This example trains one on a
+single class (the paper's per-class protocol), then compares real vs
+generated series on three temporal statistics: marginal moments, lag-1
+autocorrelation and cross-channel correlation.
+
+Run:  python examples/timegan_generation.py
+"""
+
+import numpy as np
+
+from repro.augmentation import TimeGAN, TimeGANConfig
+from repro.data import make_classification_panel
+
+
+def lag1_autocorrelation(panel: np.ndarray) -> float:
+    values = []
+    for series in panel:
+        for channel in series:
+            if channel.std() > 1e-12:
+                values.append(np.corrcoef(channel[:-1], channel[1:])[0, 1])
+    return float(np.nanmean(values))
+
+
+def cross_channel_correlation(panel: np.ndarray) -> float:
+    values = []
+    for series in panel:
+        if series.shape[0] < 2:
+            continue
+        corr = np.corrcoef(series)
+        values.append(corr[np.triu_indices_from(corr, k=1)].mean())
+    return float(np.nanmean(values))
+
+
+def main() -> None:
+    X, y = make_classification_panel(
+        n_series=40, n_channels=3, length=32, n_classes=2, difficulty=0.3, seed=9
+    )
+    real = X[y == 0]
+    print(f"Training TimeGAN on {len(real)} series of one class "
+          f"({real.shape[1]} channels x {real.shape[2]} steps)")
+
+    # Paper hyper-parameters (latent 10, gamma 1, lr 5e-4, batch 32) with a
+    # CPU-scale iteration budget; the paper used (2500, 2500, 1000).
+    config = TimeGANConfig(iterations=(150, 150, 80))
+    generated = TimeGAN(config).generate(real, 20, rng=0)
+
+    print(f"\n{'statistic':28s} {'real':>8s} {'generated':>10s}")
+    for label, fn in [
+        ("mean", lambda p: float(p.mean())),
+        ("std", lambda p: float(p.std())),
+        ("lag-1 autocorrelation", lag1_autocorrelation),
+        ("cross-channel correlation", cross_channel_correlation),
+    ]:
+        print(f"{label:28s} {fn(real):8.3f} {fn(generated):10.3f}")
+
+    print("\nGenerated series stay inside the real value range "
+          f"[{real.min():.2f}, {real.max():.2f}]: "
+          f"[{generated.min():.2f}, {generated.max():.2f}]")
+    print("The supervisor loss is what keeps lag-1 structure close; a plain "
+          "GAN on flattened windows loses it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Input-validation helpers shared across the library.
+
+The public API accepts multivariate time-series panels as numpy arrays of
+shape ``(n_series, n_channels, length)``.  These helpers normalise and check
+that contract in one place so every module raises consistent errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["check_panel", "check_panel_labels", "check_labels", "check_positive", "check_probability"]
+
+
+def check_panel(X, *, name: str = "X", allow_empty: bool = False) -> np.ndarray:
+    """Validate a panel of multivariate series of shape ``(N, M, T)``.
+
+    Accepts 2-D input ``(N, T)`` (univariate) and promotes it to a single
+    channel.  Returns a float64 C-contiguous array; raises ``ValueError`` on
+    wrong dimensionality or non-finite checks are left to callers that care.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 2:
+        X = X[:, None, :]
+    if X.ndim != 3:
+        raise ValueError(
+            f"{name} must have shape (n_series, n_channels, length); got ndim={X.ndim}"
+        )
+    if not allow_empty and X.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one series")
+    if X.shape[1] == 0 or X.shape[2] == 0:
+        raise ValueError(f"{name} has a zero-sized channel/length axis: {X.shape}")
+    return np.ascontiguousarray(X)
+
+
+def check_labels(y, *, n: int | None = None, name: str = "y") -> np.ndarray:
+    """Validate a 1-D label vector, optionally of known length *n*."""
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"{name} must be 1-D; got ndim={y.ndim}")
+    if n is not None and y.shape[0] != n:
+        raise ValueError(f"{name} has {y.shape[0]} entries but {n} series were given")
+    return y
+
+
+def check_panel_labels(X, y, *, allow_empty: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a panel and its label vector together."""
+    X = check_panel(X, allow_empty=allow_empty)
+    y = check_labels(y, n=X.shape[0])
+    return X, y
+
+
+def check_positive(value, *, name: str, strict: bool = True) -> None:
+    """Raise ``ValueError`` unless *value* is positive (or non-negative)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0; got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0; got {value}")
+
+
+def check_probability(value, *, name: str) -> None:
+    """Raise ``ValueError`` unless *value* lies in the closed unit interval."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1]; got {value}")

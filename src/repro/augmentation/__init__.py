@@ -1,0 +1,116 @@
+"""Time-series data-augmentation techniques, organised as in Figure 1.
+
+Importing this package registers every technique; use
+:func:`make_augmenter` / :func:`available_augmenters` for data-driven
+configuration, or the classes directly.  The paper's five experimental
+configurations are ``noise1``, ``noise3``, ``noise5``, ``smote`` and
+``timegan``; :func:`augment_to_balance` applies the paper's protocol.
+"""
+
+from . import generative  # noqa: F401  (registers generative techniques)
+from .balancing import augment_by_factor, augment_to_balance, balance_deficits
+from .base import (
+    Augmenter,
+    TransformAugmenter,
+    available_augmenters,
+    make_augmenter,
+    register_augmenter,
+)
+from .decomposition import (
+    EMDRecombination,
+    ICAMixing,
+    STLRecombination,
+    emd,
+    fast_ica,
+    stl_decompose,
+)
+from .frequency_domain import (
+    FourierPerturbation,
+    FrequencyMasking,
+    FrequencyWarping,
+    SpectralMixing,
+)
+from .generative import (
+    ARSampler,
+    AutoencoderInterpolation,
+    DiffusionSampler,
+    GaussianPosteriorSampling,
+    GMMSampler,
+    GRATISMixtureAR,
+    LGT,
+    LSTMAutoencoder,
+    MarkovChainSampler,
+    MaximumEntropyBootstrap,
+    NormalizingFlowSampler,
+    TimeGAN,
+    TimeGANConfig,
+    VAESampler,
+    WGAN,
+)
+from .warping_guided import DBAAugmenter, GuidedWarping, dba_average, dtw_path
+from .oversampling import (
+    ADASYN,
+    BorderlineSMOTE,
+    Interpolation,
+    RandomOversampling,
+    SMOTE,
+    SMOTEFUNA,
+    SWIM,
+)
+from .pipeline import Compose, RandomChoice, make_specaugment
+from .preserving import INOS, MDO, OHIT, SPO, RangeTechnique, shrinkage_covariance, snn_clusters
+from .time_domain import (
+    Cropping,
+    Drift,
+    MagnitudeWarping,
+    Masking,
+    NoiseInjection,
+    Permutation,
+    Pooling,
+    Rotation,
+    Scaling,
+    Slicing,
+    TimeWarping,
+    WindowWarping,
+)
+
+#: the paper's five experimental configurations (Sec. IV-C)
+PAPER_TECHNIQUES = ("noise1", "noise3", "noise5", "smote", "timegan")
+
+__all__ = [
+    "Augmenter",
+    "TransformAugmenter",
+    "register_augmenter",
+    "make_augmenter",
+    "available_augmenters",
+    "PAPER_TECHNIQUES",
+    "augment_to_balance",
+    "augment_by_factor",
+    "balance_deficits",
+    "Compose",
+    "RandomChoice",
+    "make_specaugment",
+    # time domain
+    "NoiseInjection", "Scaling", "Rotation", "Slicing", "Cropping",
+    "Permutation", "Masking", "WindowWarping", "TimeWarping",
+    "MagnitudeWarping", "Drift", "Pooling",
+    # frequency domain
+    "FourierPerturbation", "FrequencyMasking", "FrequencyWarping", "SpectralMixing",
+    # oversampling
+    "SMOTE", "BorderlineSMOTE", "ADASYN", "SMOTEFUNA", "SWIM",
+    "RandomOversampling", "Interpolation",
+    # decomposition
+    "STLRecombination", "EMDRecombination", "ICAMixing",
+    "stl_decompose", "emd", "fast_ica",
+    # preserving
+    "RangeTechnique", "SPO", "INOS", "MDO", "OHIT",
+    "shrinkage_covariance", "snn_clusters",
+    # generative
+    "GaussianPosteriorSampling", "GMMSampler", "LGT", "GRATISMixtureAR",
+    "MaximumEntropyBootstrap", "ARSampler", "MarkovChainSampler",
+    "AutoencoderInterpolation", "VAESampler", "DiffusionSampler",
+    "NormalizingFlowSampler", "LSTMAutoencoder", "WGAN",
+    "TimeGAN", "TimeGANConfig",
+    # DTW-guided warping
+    "GuidedWarping", "DBAAugmenter", "dtw_path", "dba_average",
+]

@@ -1,0 +1,124 @@
+"""Augmenter interfaces and the technique registry.
+
+The paper's protocol (Sec. IV-C) needs one operation from every technique:
+*given the training series of one class, produce n new series of that
+class*.  :class:`Augmenter.generate` is that operation.  Transform-style
+techniques (noise, warping, ...) derive from :class:`TransformAugmenter`
+which resamples source series and perturbs them; oversamplers and generative
+models implement :meth:`generate` directly (fitting per class, exactly as
+the paper trains TimeGAN per class).
+
+Every concrete augmenter registers itself under a short name so experiment
+configuration is data-driven (``make_augmenter("noise3")``); the registry is
+also what links the Figure-1 taxonomy to implementations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel, check_positive
+
+__all__ = [
+    "Augmenter",
+    "TransformAugmenter",
+    "register_augmenter",
+    "make_augmenter",
+    "available_augmenters",
+]
+
+_REGISTRY: dict[str, Callable[[], "Augmenter"]] = {}
+
+
+def register_augmenter(name: str, factory: Callable[[], "Augmenter"]) -> None:
+    """Register *factory* under *name* (lower-case, unique)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"augmenter name already registered: {name!r}")
+    _REGISTRY[key] = factory
+
+
+def make_augmenter(name: str) -> "Augmenter":
+    """Instantiate a registered augmenter by name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise KeyError(
+            f"unknown augmenter {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key]()
+
+
+def available_augmenters() -> list[str]:
+    """Sorted names of every registered augmentation technique."""
+    return sorted(_REGISTRY)
+
+
+class Augmenter(ABC):
+    """Base class: produce synthetic series for one class of a dataset."""
+
+    #: short identifier used in experiment configs and result tables
+    name: str = "augmenter"
+    #: taxonomy path, e.g. ("basic", "time_domain") — links to Figure 1
+    taxonomy: tuple[str, ...] = ()
+
+    @abstractmethod
+    def generate(
+        self,
+        X_class: np.ndarray,
+        n: int,
+        *,
+        rng: int | np.random.Generator | None = None,
+        X_other: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Return *n* new series shaped like ``X_class[0]``.
+
+        Parameters
+        ----------
+        X_class:
+            Panel ``(k, M, T)`` of the target class's training series.
+        n:
+            Number of synthetic series to produce.
+        rng:
+            Seed or generator for reproducibility.
+        X_other:
+            Optional panel of the remaining classes; used by techniques that
+            need boundary information (ADASYN, Borderline-SMOTE, the range
+            technique of Fig. 5).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TransformAugmenter(Augmenter):
+    """Augmenter that perturbs randomly-resampled source series.
+
+    Subclasses implement :meth:`transform`, mapping a batch of source series
+    to an equally-shaped batch of perturbed series.  :meth:`generate` draws
+    source series with replacement — the paper's protocol ("for each class,
+    we extract a time series randomly and add noise until the dataset is
+    perfectly balanced").
+    """
+
+    def generate(self, X_class, n, *, rng=None, X_other=None) -> np.ndarray:
+        X_class = check_panel(X_class)
+        check_positive(n, name="n", strict=False)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        sources = X_class[rng.integers(0, len(X_class), size=n)]
+        out = self.transform(sources, rng=rng)
+        if out.shape != sources.shape:
+            raise RuntimeError(
+                f"{type(self).__name__}.transform changed the panel shape: "
+                f"{sources.shape} -> {out.shape}"
+            )
+        return out
+
+    @abstractmethod
+    def transform(self, X: np.ndarray, *, rng: np.random.Generator) -> np.ndarray:
+        """Perturb a batch ``(n, M, T)`` and return the same shape."""

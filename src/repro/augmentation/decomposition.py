@@ -1,0 +1,280 @@
+"""Decomposition-based augmentation (basic branch of the taxonomy).
+
+Covers the Figure-1 leaves *STL*, *EMD*, *RobustTAD-style* residual
+bootstrap and *ICA*:
+
+* :func:`stl_decompose` — trend (centred moving average), seasonal
+  (periodic means) and residual components;
+* :class:`STLRecombination` — bootstrap the residual across same-class
+  series, keeping trend and seasonality;
+* :func:`emd` — empirical mode decomposition via cubic-spline-envelope
+  sifting, from scratch;
+* :class:`EMDRecombination` — rescale/recombine intrinsic mode functions;
+* :class:`ICAMixing` — FastICA (from scratch) on the channel space, with
+  new samples synthesised by perturbing independent-component activations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.interpolate import CubicSpline
+
+from .._validation import check_positive
+from .base import TransformAugmenter, register_augmenter
+
+__all__ = [
+    "stl_decompose",
+    "STLRecombination",
+    "emd",
+    "EMDRecombination",
+    "fast_ica",
+    "ICAMixing",
+]
+
+
+# --------------------------------------------------------------------------- #
+# STL
+# --------------------------------------------------------------------------- #
+
+
+def stl_decompose(x: np.ndarray, period: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Additive decomposition of a 1-D series into (trend, seasonal, residual).
+
+    Trend is a centred moving average of window *period* (edges extended);
+    seasonality is the periodic mean of the detrended series, centred to sum
+    to zero; the residual is the remainder.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"stl_decompose expects a 1-D series; got ndim={x.ndim}")
+    check_positive(period, name="period")
+    t = x.size
+    period = max(2, min(period, t))
+    kernel = np.ones(period) / period
+    padded = np.concatenate([np.full(period // 2, x[0]), x, np.full(period - 1 - period // 2, x[-1])])
+    trend = np.convolve(padded, kernel, mode="valid")[:t]
+    detrended = x - trend
+    seasonal_means = np.array([
+        detrended[phase::period].mean() for phase in range(period)
+    ])
+    seasonal_means -= seasonal_means.mean()
+    seasonal = np.resize(seasonal_means, t)
+    residual = detrended - seasonal
+    return trend, seasonal, residual
+
+
+class STLRecombination(TransformAugmenter):
+    """Keep trend + seasonality, bootstrap the residual (RobustTAD-style).
+
+    Residuals are resampled in blocks (moving-block bootstrap) so short-range
+    autocorrelation survives; this is the classic decomposition augmentation
+    for anomaly-detection training sets.
+    """
+
+    taxonomy = ("basic", "decomposition", "stl")
+    name = "stl"
+
+    def __init__(self, period: int | None = None, block: int = 5):
+        if period is not None:
+            check_positive(period, name="period")
+        check_positive(block, name="block")
+        self.period = period
+        self.block = int(block)
+
+    def transform(self, X, *, rng):
+        n, m, t = X.shape
+        period = self.period or max(2, t // 8)
+        out = np.empty_like(X)
+        for i in range(n):
+            for channel in range(m):
+                series = np.nan_to_num(X[i, channel], nan=0.0)
+                trend, seasonal, residual = stl_decompose(series, period)
+                out[i, channel] = trend + seasonal + _block_bootstrap(residual, self.block, rng)
+        out[np.isnan(X)] = np.nan
+        return out
+
+
+def _block_bootstrap(residual: np.ndarray, block: int, rng: np.random.Generator) -> np.ndarray:
+    t = residual.size
+    block = max(1, min(block, t))
+    n_blocks = int(np.ceil(t / block))
+    starts = rng.integers(0, t - block + 1, size=n_blocks)
+    pieces = [residual[s : s + block] for s in starts]
+    return np.concatenate(pieces)[:t]
+
+
+# --------------------------------------------------------------------------- #
+# EMD
+# --------------------------------------------------------------------------- #
+
+
+def _envelope(x: np.ndarray, extrema: np.ndarray) -> np.ndarray:
+    t = np.arange(x.size)
+    if extrema.size < 2:
+        return np.full_like(x, x[extrema[0]] if extrema.size else 0.0)
+    # Anchor the ends so the spline doesn't diverge.
+    knots = np.concatenate([[0], extrema, [x.size - 1]]) if extrema[0] != 0 or extrema[-1] != x.size - 1 else extrema
+    knots = np.unique(knots)
+    return CubicSpline(knots, x[knots])(t)
+
+
+def emd(x: np.ndarray, *, max_imfs: int = 6, max_siftings: int = 30,
+        tolerance: float = 0.05) -> list[np.ndarray]:
+    """Empirical mode decomposition (Huang et al., 1998) by envelope sifting.
+
+    Returns a list of intrinsic mode functions followed by the final
+    residual trend; their sum reconstructs *x* exactly.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError(f"emd expects a 1-D series; got ndim={x.ndim}")
+    components: list[np.ndarray] = []
+    residue = x.copy()
+    for _ in range(max_imfs):
+        candidate = residue.copy()
+        for _ in range(max_siftings):
+            maxima = _local_extrema(candidate, kind="max")
+            minima = _local_extrema(candidate, kind="min")
+            if maxima.size + minima.size < 4:
+                break
+            mean_env = (_envelope(candidate, maxima) + _envelope(candidate, minima)) / 2.0
+            next_candidate = candidate - mean_env
+            denom = float((candidate**2).sum()) or 1.0
+            if float(((candidate - next_candidate) ** 2).sum()) / denom < tolerance:
+                candidate = next_candidate
+                break
+            candidate = next_candidate
+        maxima = _local_extrema(candidate, kind="max")
+        minima = _local_extrema(candidate, kind="min")
+        if maxima.size + minima.size < 4:
+            break
+        components.append(candidate)
+        residue = residue - candidate
+    components.append(residue)
+    return components
+
+
+def _local_extrema(x: np.ndarray, *, kind: str) -> np.ndarray:
+    interior = np.arange(1, x.size - 1)
+    if kind == "max":
+        hits = (x[interior] > x[interior - 1]) & (x[interior] >= x[interior + 1])
+    else:
+        hits = (x[interior] < x[interior - 1]) & (x[interior] <= x[interior + 1])
+    return interior[hits]
+
+
+class EMDRecombination(TransformAugmenter):
+    """Randomly rescale intrinsic mode functions and resum (Nam et al., 2020).
+
+    Each IMF is multiplied by an independent factor ``N(1, sigma^2)``; the
+    final residue (trend) is kept intact so the global shape survives.
+    """
+
+    taxonomy = ("basic", "decomposition", "emd")
+    name = "emd"
+
+    def __init__(self, sigma: float = 0.2, max_imfs: int = 5):
+        check_positive(sigma, name="sigma")
+        check_positive(max_imfs, name="max_imfs")
+        self.sigma = float(sigma)
+        self.max_imfs = int(max_imfs)
+
+    def transform(self, X, *, rng):
+        n, m, _ = X.shape
+        out = np.empty_like(X)
+        for i in range(n):
+            for channel in range(m):
+                series = np.nan_to_num(X[i, channel], nan=0.0)
+                components = emd(series, max_imfs=self.max_imfs)
+                rebuilt = components[-1].copy()  # keep trend
+                for imf in components[:-1]:
+                    rebuilt += imf * rng.normal(1.0, self.sigma)
+                out[i, channel] = rebuilt
+        out[np.isnan(X)] = np.nan
+        return out
+
+
+# --------------------------------------------------------------------------- #
+# ICA
+# --------------------------------------------------------------------------- #
+
+
+def fast_ica(X: np.ndarray, *, n_components: int | None = None, max_iter: int = 200,
+             tol: float = 1e-5, rng: np.random.Generator | None = None
+             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """FastICA with the tanh non-linearity and symmetric decorrelation.
+
+    *X* is ``(n_signals, n_observations)``.  Returns ``(S, W, mean)`` with
+    sources ``S = W @ (X - mean)``; ``n_components`` defaults to full rank.
+    """
+    rng = rng or np.random.default_rng()
+    X = np.asarray(X, dtype=float)
+    n_signals, n_obs = X.shape
+    n_components = n_components or n_signals
+    mean = X.mean(axis=1, keepdims=True)
+    centered = X - mean
+    cov = centered @ centered.T / n_obs
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1][:n_components]
+    eigvals = np.maximum(eigvals[order], 1e-12)
+    whitening = (eigvecs[:, order] / np.sqrt(eigvals)).T  # (k, n_signals)
+    Z = whitening @ centered
+
+    W = rng.standard_normal((n_components, n_components))
+    W = _sym_decorrelate(W)
+    for _ in range(max_iter):
+        WZ = W @ Z
+        g = np.tanh(WZ)
+        g_prime = 1.0 - g**2
+        W_new = (g @ Z.T) / n_obs - np.diag(g_prime.mean(axis=1)) @ W
+        W_new = _sym_decorrelate(W_new)
+        if np.max(np.abs(np.abs(np.diag(W_new @ W.T)) - 1.0)) < tol:
+            W = W_new
+            break
+        W = W_new
+    unmixing = W @ whitening
+    return unmixing @ centered, unmixing, mean
+
+
+def _sym_decorrelate(W: np.ndarray) -> np.ndarray:
+    eigvals, eigvecs = np.linalg.eigh(W @ W.T)
+    eigvals = np.maximum(eigvals, 1e-12)
+    return eigvecs @ np.diag(1.0 / np.sqrt(eigvals)) @ eigvecs.T @ W
+
+
+class ICAMixing(TransformAugmenter):
+    """Perturb independent-component activations (Eltoft, 2002).
+
+    Channels of each series are unmixed with FastICA; component activations
+    are rescaled by ``N(1, sigma^2)`` factors and remixed.  Univariate input
+    falls back to mild amplitude scaling (a 1-channel ICA is degenerate).
+    """
+
+    taxonomy = ("basic", "decomposition", "ica")
+    name = "ica"
+
+    def __init__(self, sigma: float = 0.2):
+        check_positive(sigma, name="sigma")
+        self.sigma = float(sigma)
+
+    def transform(self, X, *, rng):
+        n, m, _ = X.shape
+        if m == 1:
+            return X * rng.normal(1.0, self.sigma, size=(n, 1, 1))
+        out = np.empty_like(X)
+        for i in range(n):
+            signals = np.nan_to_num(X[i], nan=0.0)
+            try:
+                sources, unmixing, mean = fast_ica(signals, rng=rng)
+                mixing = np.linalg.pinv(unmixing)
+                factors = rng.normal(1.0, self.sigma, size=(sources.shape[0], 1))
+                out[i] = mixing @ (sources * factors) + mean
+            except np.linalg.LinAlgError:
+                out[i] = signals * rng.normal(1.0, self.sigma)
+        out[np.isnan(X)] = np.nan
+        return out
+
+
+register_augmenter("stl", STLRecombination)
+register_augmenter("emd", EMDRecombination)
+register_augmenter("ica", ICAMixing)

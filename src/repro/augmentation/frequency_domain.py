@@ -1,0 +1,158 @@
+"""Frequency-domain augmentation techniques (basic branch of the taxonomy).
+
+Covers the Figure-1 leaves *Fourier Transform* (amplitude & phase
+perturbation, APP of RobustTAD), *Frequency Warping* (a VTLP-style
+piecewise-linear frequency-axis remap), *Frequency Masking* (SpecAugment's
+frequency mask applied to the rFFT) and *Mixing* (EMDA-style weighted
+spectral averaging of same-class examples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel, check_positive, check_probability
+from .base import Augmenter, TransformAugmenter, register_augmenter
+
+__all__ = [
+    "FourierPerturbation",
+    "FrequencyMasking",
+    "FrequencyWarping",
+    "SpectralMixing",
+]
+
+
+def _rfft_nan_safe(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """rFFT of a panel after zero-filling NaNs; returns (spectrum, nan mask)."""
+    mask = np.isnan(X)
+    filled = np.where(mask, 0.0, X)
+    return np.fft.rfft(filled, axis=2), mask
+
+
+def _irfft_restore(spectrum: np.ndarray, mask: np.ndarray, length: int) -> np.ndarray:
+    out = np.fft.irfft(spectrum, n=length, axis=2)
+    out[mask] = np.nan
+    return out
+
+
+class FourierPerturbation(TransformAugmenter):
+    """Perturb rFFT amplitude and phase (APP, Gao et al. RobustTAD).
+
+    Amplitudes are multiplied by ``N(1, amplitude_sigma^2)`` and phases
+    shifted by ``N(0, phase_sigma^2)`` on a random subset of frequency bins.
+    """
+
+    taxonomy = ("basic", "frequency_domain", "fourier_transform")
+    name = "fourier"
+
+    def __init__(self, amplitude_sigma: float = 0.1, phase_sigma: float = 0.2,
+                 perturb_fraction: float = 0.5):
+        check_positive(amplitude_sigma, name="amplitude_sigma")
+        check_positive(phase_sigma, name="phase_sigma")
+        check_probability(perturb_fraction, name="perturb_fraction")
+        self.amplitude_sigma = float(amplitude_sigma)
+        self.phase_sigma = float(phase_sigma)
+        self.perturb_fraction = float(perturb_fraction)
+
+    def transform(self, X, *, rng):
+        spectrum, mask = _rfft_nan_safe(X)
+        amplitude = np.abs(spectrum)
+        phase = np.angle(spectrum)
+        chosen = rng.random(spectrum.shape) < self.perturb_fraction
+        amplitude = np.where(
+            chosen, amplitude * rng.normal(1.0, self.amplitude_sigma, spectrum.shape), amplitude
+        )
+        phase = np.where(chosen, phase + rng.normal(0.0, self.phase_sigma, spectrum.shape), phase)
+        return _irfft_restore(amplitude * np.exp(1j * phase), mask, X.shape[2])
+
+
+class FrequencyMasking(TransformAugmenter):
+    """Zero a random contiguous band of frequency bins (SpecAugment)."""
+
+    taxonomy = ("basic", "frequency_domain", "frequency_masking")
+    name = "frequency_masking"
+
+    def __init__(self, mask_fraction: float = 0.15):
+        check_probability(mask_fraction, name="mask_fraction")
+        self.mask_fraction = float(mask_fraction)
+
+    def transform(self, X, *, rng):
+        spectrum, mask = _rfft_nan_safe(X)
+        n_bins = spectrum.shape[2]
+        width = max(1, int(round(n_bins * self.mask_fraction)))
+        for i in range(X.shape[0]):
+            start = rng.integers(0, max(1, n_bins - width + 1))
+            spectrum[i, :, start : start + width] = 0.0
+        return _irfft_restore(spectrum, mask, X.shape[2])
+
+
+class FrequencyWarping(TransformAugmenter):
+    """VTLP-style piecewise-linear warp of the frequency axis.
+
+    A random warp factor ``alpha ~ U(1-range, 1+range)`` remaps bin k to
+    ``alpha * k`` below a cutoff and linearly back above it, then spectra
+    are re-sampled onto the original bins.
+    """
+
+    taxonomy = ("basic", "frequency_domain", "frequency_warping")
+    name = "frequency_warping"
+
+    def __init__(self, warp_range: float = 0.2, cutoff: float = 0.8):
+        check_probability(warp_range, name="warp_range")
+        check_probability(cutoff, name="cutoff")
+        self.warp_range = float(warp_range)
+        self.cutoff = float(cutoff)
+
+    def transform(self, X, *, rng):
+        spectrum, mask = _rfft_nan_safe(X)
+        n, m, n_bins = spectrum.shape
+        bins = np.arange(n_bins, dtype=float)
+        boundary = self.cutoff * (n_bins - 1)
+        out = np.empty_like(spectrum)
+        for i in range(n):
+            alpha = 1.0 + rng.uniform(-self.warp_range, self.warp_range)
+            warped = np.where(
+                bins <= boundary,
+                bins * alpha,
+                boundary * alpha
+                + (bins - boundary) * (n_bins - 1 - boundary * alpha) / max(n_bins - 1 - boundary, 1e-9),
+            )
+            warped = np.clip(warped, 0, n_bins - 1)
+            for channel in range(m):
+                out[i, channel] = np.interp(bins, warped, spectrum[i, channel].real) + 1j * np.interp(
+                    bins, warped, spectrum[i, channel].imag
+                )
+        return _irfft_restore(out, mask, X.shape[2])
+
+
+class SpectralMixing(Augmenter):
+    """EMDA-style mixing: average the spectra of two same-class examples.
+
+    New sample = irFFT of ``w * F(x_a) + (1 - w) * F(x_b)`` with a random
+    weight, which mixes frequency characteristics while staying inside the
+    class (Takahashi et al., 2016).
+    """
+
+    taxonomy = ("basic", "frequency_domain", "mixing")
+    name = "spectral_mixing"
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k = len(X_class)
+        first = X_class[rng.integers(0, k, size=n)]
+        second = X_class[rng.integers(0, k, size=n)]
+        spec_a, mask_a = _rfft_nan_safe(first)
+        spec_b, _ = _rfft_nan_safe(second)
+        weights = rng.uniform(0.3, 0.7, size=(n, 1, 1))
+        mixed = weights * spec_a + (1.0 - weights) * spec_b
+        return _irfft_restore(mixed, mask_a, X_class.shape[2])
+
+
+register_augmenter("fourier", FourierPerturbation)
+register_augmenter("frequency_masking", FrequencyMasking)
+register_augmenter("frequency_warping", FrequencyWarping)
+register_augmenter("spectral_mixing", SpectralMixing)

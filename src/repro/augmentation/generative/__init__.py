@@ -1,0 +1,37 @@
+"""Generative augmentation techniques: statistical, neural and probabilistic."""
+
+from .autoencoder import AutoencoderInterpolation, VAESampler
+from .diffusion import DiffusionSampler
+from .flows import AffineCoupling, NormalizingFlowSampler
+from .lstm_autoencoder import LSTMAutoencoder
+from .wgan import WGAN
+from .probabilistic import ARSampler, MarkovChainSampler
+from .statistical import (
+    GMMSampler,
+    GRATISMixtureAR,
+    GaussianPosteriorSampling,
+    LGT,
+    MaximumEntropyBootstrap,
+    fit_gmm,
+)
+from .timegan import TimeGAN, TimeGANConfig
+
+__all__ = [
+    "GaussianPosteriorSampling",
+    "GMMSampler",
+    "fit_gmm",
+    "LGT",
+    "GRATISMixtureAR",
+    "MaximumEntropyBootstrap",
+    "ARSampler",
+    "MarkovChainSampler",
+    "AutoencoderInterpolation",
+    "VAESampler",
+    "DiffusionSampler",
+    "NormalizingFlowSampler",
+    "AffineCoupling",
+    "LSTMAutoencoder",
+    "WGAN",
+    "TimeGAN",
+    "TimeGANConfig",
+]

@@ -1,0 +1,99 @@
+"""LSTM autoencoder augmentation (the taxonomy's LSTM-AE leaf).
+
+Tu et al. (2018) augment spatial-temporal data by perturbing the bottleneck
+of an LSTM autoencoder.  This implementation encodes each ``(T, F)``
+sequence with an LSTM whose final hidden state is the code, decodes by
+unrolling a second LSTM from the code, trains on reconstruction, and
+generates by Gaussian-jittering codes of real sequences before decoding —
+a sequence-aware sibling of
+:class:`~repro.augmentation.generative.autoencoder.AutoencoderInterpolation`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ..._rng import ensure_rng
+from ..._validation import check_panel, check_positive
+from ...nn.lstm import LSTM
+from ..base import Augmenter, register_augmenter
+
+__all__ = ["LSTMAutoencoder"]
+
+
+class LSTMAutoencoder(Augmenter):
+    """Per-class LSTM autoencoder with latent-jitter generation."""
+
+    taxonomy = ("generative", "neural_networks", "autoencoders")
+    name = "lstm_ae"
+
+    def __init__(self, hidden_size: int = 12, epochs: int = 60, lr: float = 2e-3,
+                 batch_size: int = 16, jitter: float = 0.2,
+                 max_sequence_length: int = 48):
+        check_positive(hidden_size, name="hidden_size")
+        check_positive(epochs, name="epochs")
+        check_positive(jitter, name="jitter")
+        self.hidden_size = int(hidden_size)
+        self.epochs = int(epochs)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.jitter = float(jitter)
+        self.max_sequence_length = int(max_sequence_length)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+
+        stride = max(1, int(np.ceil(t / self.max_sequence_length)))
+        sequences = np.nan_to_num(X_class, nan=0.0)[:, :, ::stride]
+        t_red = sequences.shape[2]
+        data = np.transpose(sequences, (0, 2, 1))  # (N, T, F)
+        mean = data.mean(axis=(0, 1))
+        std = data.std(axis=(0, 1))
+        std[std == 0] = 1.0
+        data = (data - mean) / std
+
+        encoder = LSTM(m, self.hidden_size, rng=rng)
+        decoder = LSTM(self.hidden_size, self.hidden_size, rng=rng)
+        head = nn.Linear(self.hidden_size, m, rng=rng)
+        params = encoder.parameters() + decoder.parameters() + head.parameters()
+        optimizer = nn.Adam(params, lr=self.lr)
+
+        def decode(codes: nn.Tensor) -> nn.Tensor:
+            # Repeat the code along time and unroll the decoder LSTM.
+            repeated = nn.Tensor.stack([codes] * t_red, axis=1)
+            return head(decoder(repeated))
+
+        for _ in range(self.epochs):
+            for batch in nn.iterate_minibatches(len(data), self.batch_size, rng):
+                optimizer.zero_grad()
+                x = nn.Tensor(data[batch])
+                codes = encoder(x)[:, -1, :]
+                loss = nn.mse_loss(decode(codes), x)
+                loss.backward()
+                optimizer.step()
+
+        with nn.no_grad():
+            codes = encoder(nn.Tensor(data)).data[:, -1, :]
+            seeds = codes[rng.integers(0, k, size=n)]
+            scale = codes.std(axis=0, keepdims=True)
+            jittered = seeds + rng.standard_normal(seeds.shape) * (self.jitter * scale)
+            decoded = decode(nn.Tensor(jittered)).data  # (n, T_red, F)
+
+        decoded = decoded * std + mean
+        synthetic = np.transpose(decoded, (0, 2, 1))
+        if stride > 1:
+            grid = np.linspace(0, t_red - 1, t)
+            upsampled = np.empty((n, m, t))
+            for i in range(n):
+                for channel in range(m):
+                    upsampled[i, channel] = np.interp(grid, np.arange(t_red), synthetic[i, channel])
+            synthetic = upsampled
+        return synthetic
+
+
+register_augmenter("lstm_ae", LSTMAutoencoder)

@@ -1,0 +1,145 @@
+"""Probabilistic generative models (generative branch of the taxonomy).
+
+The paper's taxonomy introduces probabilistic models that "describe time
+series as transformations of underlying Markov processes":
+
+* :class:`ARSampler` — autoregressive factorisation of Eq. (1)
+  (WaveNet/DeepAR's premise) realised with a vector-autoregressive model
+  fitted per class and simulated forward with bootstrapped innovations;
+* :class:`MarkovChainSampler` — a discretised Markov chain over value bins,
+  sampled forward and smoothed back to the continuous domain.
+
+The denoising-diffusion model of Eq. (2) lives in
+:mod:`repro.augmentation.generative.diffusion` (it needs the NN substrate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._rng import ensure_rng
+from ..._validation import check_panel, check_positive
+from ..base import Augmenter, register_augmenter
+
+__all__ = ["ARSampler", "MarkovChainSampler"]
+
+
+class ARSampler(Augmenter):
+    """Vector-autoregressive class model: P(x) = prod_t P(x_t | x_{<t}).
+
+    Fits VAR(p) on the class's series (pooled ridge-regularised least
+    squares over all M channels jointly, capturing cross-channel
+    dependencies) and simulates new series from bootstrapped innovation
+    vectors — a direct, trainable instantiation of the autoregressive
+    factorisation in Eq. (1) of the paper.
+    """
+
+    taxonomy = ("generative", "probabilistic", "autoregressive")
+    name = "ar"
+
+    def __init__(self, order: int = 2, ridge: float = 1e-3):
+        check_positive(order, name="order")
+        check_positive(ridge, name="ridge")
+        self.order = int(order)
+        self.ridge = float(ridge)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        p = max(1, min(self.order, t - 2))
+        filled = np.nan_to_num(X_class, nan=0.0)
+
+        # Build the pooled VAR regression: predict x_t from the p last steps.
+        rows, targets = [], []
+        for series in filled:
+            for step in range(p, t):
+                rows.append(series[:, step - p : step][:, ::-1].ravel())
+                targets.append(series[:, step])
+        design = np.column_stack([np.ones(len(rows)), np.asarray(rows)])
+        Y = np.asarray(targets)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        solution = np.linalg.solve(gram, design.T @ Y)  # (1 + m*p, m)
+        residuals = Y - design @ solution
+
+        out = np.empty((n, m, t))
+        seed_idx = rng.integers(0, k, size=n)
+        for i in range(n):
+            series = np.empty((m, t))
+            series[:, :p] = filled[seed_idx[i], :, :p]
+            innovation_rows = rng.integers(0, len(residuals), size=t)
+            for step in range(p, t):
+                lag_vector = np.concatenate([[1.0], series[:, step - p : step][:, ::-1].ravel()])
+                series[:, step] = lag_vector @ solution + residuals[innovation_rows[step]]
+            out[i] = series
+        # Guard against explosive fits on pathological classes.
+        np.clip(out, -1e6, 1e6, out=out)
+        return out
+
+
+class MarkovChainSampler(Augmenter):
+    """First-order Markov chain over discretised values, per channel.
+
+    Values are quantile-binned into *n_bins* states; a transition matrix
+    with Laplace smoothing is estimated per channel, sampled forward from
+    an empirical initial state, and decoded by sampling uniformly inside
+    the bin (then lightly smoothed to remove quantisation steps).
+    """
+
+    taxonomy = ("generative", "probabilistic", "autoregressive")
+    name = "markov"
+
+    def __init__(self, n_bins: int = 12, smoothing_window: int = 3):
+        check_positive(n_bins, name="n_bins")
+        check_positive(smoothing_window, name="smoothing_window")
+        self.n_bins = int(n_bins)
+        self.smoothing_window = int(smoothing_window)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        filled = np.nan_to_num(X_class, nan=0.0)
+        out = np.empty((n, m, t))
+        for channel in range(m):
+            values = filled[:, channel, :]
+            edges = np.quantile(values, np.linspace(0, 1, self.n_bins + 1))
+            edges = np.unique(edges)
+            bins = max(1, edges.size - 1)
+            states = np.clip(np.searchsorted(edges, values, side="right") - 1, 0, bins - 1)
+            transition = np.ones((bins, bins))  # Laplace smoothing
+            for row in states:
+                np.add.at(transition, (row[:-1], row[1:]), 1.0)
+            transition /= transition.sum(axis=1, keepdims=True)
+            initial = np.bincount(states[:, 0], minlength=bins).astype(float)
+            initial /= initial.sum()
+            cumulative = np.cumsum(transition, axis=1)
+            for i in range(n):
+                chain = np.empty(t, dtype=int)
+                chain[0] = rng.choice(bins, p=initial)
+                draws = rng.random(t)
+                for step in range(1, t):
+                    chain[step] = np.searchsorted(cumulative[chain[step - 1]], draws[step])
+                lo = edges[chain]
+                hi = edges[np.minimum(chain + 1, edges.size - 1)]
+                decoded = lo + rng.random(t) * np.maximum(hi - lo, 0.0)
+                out[i, channel] = self._smooth(decoded)
+        return out
+
+    def _smooth(self, series: np.ndarray) -> np.ndarray:
+        window = min(self.smoothing_window, series.size)
+        if window <= 1:
+            return series
+        kernel = np.ones(window) / window
+        padded = np.concatenate([
+            np.full(window // 2, series[0]), series, np.full(window - 1 - window // 2, series[-1])
+        ])
+        return np.convolve(padded, kernel, mode="valid")[: series.size]
+
+
+register_augmenter("ar", ARSampler)
+register_augmenter("markov", MarkovChainSampler)

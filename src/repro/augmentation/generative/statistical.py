@@ -1,0 +1,285 @@
+"""Statistical generative models (generative branch of the taxonomy).
+
+Implements the Figure-1 leaves that model the class distribution with
+classical statistics rather than neural networks:
+
+* :class:`GaussianPosteriorSampling` — fit a Gaussian to the class and
+  sample it (Tanner & Wong's posterior-sampling idea in its simplest form);
+* :class:`GMMSampler` — mixture of Gaussians fitted with EM from scratch
+  (the "Gaussian trees" leaf's workhorse for multimodal minority classes);
+* :class:`LGT` — local-and-global-trend resampling (Smyl & Kuber, 2016):
+  refit level/trend and bootstrap the de-trended remainder;
+* :class:`GRATISMixtureAR` — GRATIS-style mixture-autoregressive generator
+  whose AR coefficients are fitted per class (Kang et al., 2020);
+* :class:`MaximumEntropyBootstrap` — meboot (Vinod, 2009): rank-preserving
+  resampling inside empirical value intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..._rng import ensure_rng
+from ..._validation import check_panel, check_positive
+from ..base import Augmenter, register_augmenter
+from ..preserving import shrinkage_covariance, _sample_gaussian
+
+__all__ = [
+    "GaussianPosteriorSampling",
+    "GMMSampler",
+    "fit_gmm",
+    "LGT",
+    "GRATISMixtureAR",
+    "MaximumEntropyBootstrap",
+]
+
+
+def _flatten(X: np.ndarray) -> np.ndarray:
+    return np.nan_to_num(X, nan=0.0).reshape(len(X), -1)
+
+
+class GaussianPosteriorSampling(Augmenter):
+    """Fit N(mean, shrunk covariance) to the class and sample from it."""
+
+    taxonomy = ("generative", "statistical", "posterior_sampling")
+    name = "gaussian"
+
+    def __init__(self, shrinkage: float | None = None):
+        self.shrinkage = shrinkage
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        mean, cov = shrinkage_covariance(_flatten(X_class), shrinkage=self.shrinkage)
+        return _sample_gaussian(mean, cov, n, rng).reshape((n,) + X_class.shape[1:])
+
+
+def fit_gmm(flat: np.ndarray, n_components: int, *, rng: np.random.Generator,
+            max_iter: int = 50, tol: float = 1e-4
+            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fit a diagonal-covariance Gaussian mixture with EM.
+
+    Returns ``(weights, means, variances)`` with shapes ``(K,)``, ``(K, d)``
+    and ``(K, d)``.  Diagonal covariances keep EM stable in the
+    high-dimension / few-samples regime of minority time-series classes.
+    """
+    n, d = flat.shape
+    k = min(n_components, n)
+    means = flat[rng.choice(n, size=k, replace=False)].copy()
+    variances = np.tile(flat.var(axis=0) + 1e-6, (k, 1))
+    weights = np.full(k, 1.0 / k)
+    previous = -np.inf
+    for _ in range(max_iter):
+        # E step: responsibilities via stable log-space computation.
+        log_prob = -0.5 * (
+            ((flat[:, None, :] - means[None]) ** 2 / variances[None]).sum(axis=2)
+            + np.log(variances).sum(axis=1)[None]
+            + d * np.log(2 * np.pi)
+        ) + np.log(weights)[None]
+        log_norm = np.logaddexp.reduce(log_prob, axis=1, keepdims=True)
+        resp = np.exp(log_prob - log_norm)
+        likelihood = float(log_norm.sum())
+        # M step.
+        counts = resp.sum(axis=0) + 1e-12
+        weights = counts / n
+        means = (resp.T @ flat) / counts[:, None]
+        variances = (resp.T @ flat**2) / counts[:, None] - means**2
+        variances = np.maximum(variances, 1e-8)
+        if abs(likelihood - previous) < tol * max(abs(previous), 1.0):
+            break
+        previous = likelihood
+    return weights, means, variances
+
+
+class GMMSampler(Augmenter):
+    """Sample a per-class EM-fitted Gaussian mixture."""
+
+    taxonomy = ("generative", "statistical", "gaussian_trees")
+    name = "gmm"
+
+    def __init__(self, n_components: int = 3):
+        check_positive(n_components, name="n_components")
+        self.n_components = int(n_components)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = _flatten(X_class)
+        weights, means, variances = fit_gmm(flat, self.n_components, rng=rng)
+        components = rng.choice(weights.size, size=n, p=weights)
+        samples = means[components] + rng.standard_normal((n, flat.shape[1])) * np.sqrt(variances[components])
+        return samples.reshape((n,) + X_class.shape[1:])
+
+
+class LGT(Augmenter):
+    """Local-and-global-trend resampling (Smyl & Kuber, 2016).
+
+    Each channel is decomposed into a global linear trend plus local
+    deviations; new series combine a randomly drawn trend with a block
+    bootstrap of another series' deviations, mixing long-term and
+    short-term behaviour within the class.
+    """
+
+    taxonomy = ("generative", "statistical", "lgt")
+    name = "lgt"
+
+    def __init__(self, block: int = 8):
+        check_positive(block, name="block")
+        self.block = int(block)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        steps = np.arange(t)
+        design = np.stack([np.ones(t), steps], axis=1)  # (t, 2)
+        pinv = np.linalg.pinv(design)
+        filled = np.nan_to_num(X_class, nan=0.0)
+        coeffs = np.einsum("pt,kmt->kmp", pinv, filled)  # level & slope
+        trends = np.einsum("tp,kmp->kmt", design, coeffs)
+        deviations = filled - trends
+
+        out = np.empty((n, m, t))
+        trend_sources = rng.integers(0, k, size=n)
+        deviation_sources = rng.integers(0, k, size=n)
+        block = max(1, min(self.block, t))
+        for i in range(n):
+            local = deviations[deviation_sources[i]]
+            n_blocks = int(np.ceil(t / block))
+            starts = rng.integers(0, t - block + 1, size=n_blocks)
+            shuffled = np.concatenate([local[:, s : s + block] for s in starts], axis=1)[:, :t]
+            out[i] = trends[trend_sources[i]] + shuffled
+        return out
+
+
+class GRATISMixtureAR(Augmenter):
+    """GRATIS-style mixture-autoregressive generation (Kang et al., 2020).
+
+    Fits an AR(p) model per class channel (pooled least squares across the
+    class's series), then simulates new series driven by bootstrapped
+    innovations, optionally mixing coefficients of two fitted channels to
+    diversify the generated dynamics.
+    """
+
+    taxonomy = ("generative", "statistical", "gratis")
+    name = "gratis"
+
+    def __init__(self, order: int = 3, coefficient_jitter: float = 0.05):
+        check_positive(order, name="order")
+        self.order = int(order)
+        self.coefficient_jitter = float(coefficient_jitter)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        p = max(1, min(self.order, t - 2))
+        filled = np.nan_to_num(X_class, nan=0.0)
+        out = np.empty((n, m, t))
+        for channel in range(m):
+            coeffs, intercept, residuals = self._fit_ar(filled[:, channel, :], p)
+            for i in range(n):
+                jittered = coeffs * (1.0 + rng.normal(0.0, self.coefficient_jitter, size=p))
+                jittered = self._stabilize(jittered)
+                seed = filled[rng.integers(0, k), channel, :p]
+                series = np.empty(t)
+                series[:p] = seed
+                shocks = rng.choice(residuals, size=t)
+                for step in range(p, t):
+                    series[step] = intercept + jittered @ series[step - p : step][::-1] + shocks[step]
+                out[i, channel] = series
+        return out
+
+    @staticmethod
+    def _fit_ar(rows: np.ndarray, p: int) -> tuple[np.ndarray, float, np.ndarray]:
+        """Pooled least-squares AR(p) over all rows; returns coeffs, c, residuals."""
+        targets, lags = [], []
+        for row in rows:
+            for step in range(p, row.size):
+                targets.append(row[step])
+                lags.append(row[step - p : step][::-1])
+        design = np.column_stack([np.ones(len(targets)), np.asarray(lags)])
+        solution, *_ = np.linalg.lstsq(design, np.asarray(targets), rcond=None)
+        intercept, coeffs = solution[0], solution[1:]
+        residuals = np.asarray(targets) - design @ solution
+        if residuals.size == 0:
+            residuals = np.zeros(1)
+        return coeffs, float(intercept), residuals
+
+    @staticmethod
+    def _stabilize(coeffs: np.ndarray) -> np.ndarray:
+        """Scale coefficients until the AR polynomial's roots are stable."""
+        for _ in range(20):
+            poly = np.concatenate([[1.0], -coeffs])
+            roots = np.roots(poly)
+            if roots.size == 0 or np.all(np.abs(roots) < 0.98):
+                return coeffs
+            coeffs = coeffs * 0.9
+        return coeffs
+
+
+class MaximumEntropyBootstrap(Augmenter):
+    """meboot (Vinod, 2009): rank-preserving resampling of each series.
+
+    Sorted values define empirical intervals; uniform draws are mapped
+    through the interval structure and re-ordered with the original ranks,
+    producing replicates that keep the series' shape but perturb its values
+    with maximum entropy.
+    """
+
+    taxonomy = ("generative", "statistical", "posterior_sampling")
+    name = "meboot"
+
+    def __init__(self, trim: float = 0.1):
+        self.trim = float(trim)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        out = np.empty((n, m, t))
+        sources = rng.integers(0, k, size=n)
+        for i, source in enumerate(sources):
+            for channel in range(m):
+                out[i, channel] = self._replicate(
+                    np.nan_to_num(X_class[source, channel], nan=0.0), rng
+                )
+        return out
+
+    def _replicate(self, series: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        t = series.size
+        order = np.argsort(series, kind="stable")
+        sorted_values = series[order]
+        # Interval midpoints between consecutive order statistics, with
+        # trimmed-mean-extended end intervals (Vinod's construction).
+        mids = (sorted_values[1:] + sorted_values[:-1]) / 2.0
+        spread = np.abs(np.diff(sorted_values)).mean() if t > 1 else 1.0
+        lower = sorted_values[0] - self.trim * spread
+        upper = sorted_values[-1] + self.trim * spread
+        edges = np.concatenate([[lower], mids, [upper]])
+        draws = np.sort(rng.uniform(0, 1, size=t))
+        quantiles = np.interp(draws, np.linspace(0, 1, t + 1)[1:-1], mids) if t > 2 else draws
+        if t > 2:
+            quantiles = np.interp(draws, np.linspace(0, 1, edges.size), edges)
+        else:
+            quantiles = lower + draws * (upper - lower)
+        replicate = np.empty(t)
+        replicate[order] = quantiles  # restore the original rank structure
+        return replicate
+
+
+register_augmenter("gaussian", GaussianPosteriorSampling)
+register_augmenter("gmm", GMMSampler)
+register_augmenter("lgt", LGT)
+register_augmenter("gratis", GRATISMixtureAR)
+register_augmenter("meboot", MaximumEntropyBootstrap)

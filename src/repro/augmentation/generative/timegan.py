@@ -1,0 +1,267 @@
+"""TimeGAN (Yoon, Jarrett & van der Schaar, 2019) on the numpy NN substrate.
+
+The paper calls TimeGAN "the only generative model to take into account the
+temporal aspect of time series" and trains one per class (Sec. IV-C) with
+latent dimension 10, gamma 1, learning rate 5e-4 and batch size 32.  This
+implementation follows the original three-phase recipe:
+
+1. **embedding phase** — train embedder + recovery GRUs on reconstruction;
+2. **supervised phase** — train generator + supervisor on next-step
+   prediction in latent space (the "supervised loss" that distinguishes
+   TimeGAN from a plain GAN);
+3. **joint phase** — alternate discriminator updates with generator updates
+   (adversarial + supervised + moment-matching losses) and embedder
+   refinement.
+
+Iteration counts are scaled down from the paper's 2500/2500/1000 for CPU;
+pass ``iterations=(2500, 2500, 1000)`` to reproduce the full budget.
+Sequences are min-max scaled to [0, 1] per feature (the reference
+implementation's convention) and arranged ``(batch, time, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ..._rng import ensure_rng
+from ..._validation import check_panel, check_positive
+from ..base import Augmenter, register_augmenter
+
+__all__ = ["TimeGAN", "TimeGANConfig"]
+
+
+class _MinMaxScaler:
+    """Per-feature min-max scaling to [0, 1] over a (N, T, F) tensor."""
+
+    def fit(self, sequences: np.ndarray) -> "_MinMaxScaler":
+        self.minimum = sequences.min(axis=(0, 1))
+        self.maximum = sequences.max(axis=(0, 1))
+        span = self.maximum - self.minimum
+        span[span == 0] = 1.0
+        self.span = span
+        return self
+
+    def forward(self, sequences: np.ndarray) -> np.ndarray:
+        return (sequences - self.minimum) / self.span
+
+    def inverse(self, sequences: np.ndarray) -> np.ndarray:
+        return sequences * self.span + self.minimum
+
+
+class TimeGANConfig:
+    """Hyper-parameters; defaults follow Sec. IV-C where the paper fixes them."""
+
+    def __init__(self, *, latent_dim: int = 10, num_layers: int = 2,
+                 gamma: float = 1.0, lr: float = 5e-4, batch_size: int = 32,
+                 iterations: tuple[int, int, int] = (150, 150, 80),
+                 max_sequence_length: int = 64, eta: float = 10.0):
+        check_positive(latent_dim, name="latent_dim")
+        check_positive(gamma, name="gamma")
+        check_positive(lr, name="lr")
+        self.latent_dim = int(latent_dim)
+        self.num_layers = int(num_layers)
+        self.gamma = float(gamma)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.iterations = tuple(int(i) for i in iterations)
+        self.max_sequence_length = int(max_sequence_length)
+        self.eta = float(eta)
+
+
+class _Nets:
+    """The five TimeGAN networks, built for one class's feature count."""
+
+    def __init__(self, n_features: int, config: TimeGANConfig, rng: np.random.Generator):
+        h = config.latent_dim
+        self.embedder = nn.GRU(n_features, h, num_layers=config.num_layers, rng=rng)
+        self.embedder_head = nn.Linear(h, h, rng=rng)
+        self.recovery = nn.GRU(h, h, num_layers=config.num_layers, rng=rng)
+        self.recovery_head = nn.Linear(h, n_features, rng=rng)
+        self.generator = nn.GRU(n_features, h, num_layers=config.num_layers, rng=rng)
+        self.generator_head = nn.Linear(h, h, rng=rng)
+        self.supervisor = nn.GRU(h, h, num_layers=max(1, config.num_layers - 1), rng=rng)
+        self.supervisor_head = nn.Linear(h, h, rng=rng)
+        self.discriminator = nn.GRU(h, h, num_layers=config.num_layers, rng=rng)
+        self.discriminator_head = nn.Linear(h, 1, rng=rng)
+
+    # -- forward helpers ------------------------------------------------ #
+
+    def embed(self, x: nn.Tensor) -> nn.Tensor:
+        return self.embedder_head(self.embedder(x)).sigmoid()
+
+    def recover(self, h: nn.Tensor) -> nn.Tensor:
+        return self.recovery_head(self.recovery(h)).sigmoid()
+
+    def generate_latent(self, z: nn.Tensor) -> nn.Tensor:
+        return self.generator_head(self.generator(z)).sigmoid()
+
+    def supervise(self, h: nn.Tensor) -> nn.Tensor:
+        return self.supervisor_head(self.supervisor(h)).sigmoid()
+
+    def discriminate(self, h: nn.Tensor) -> nn.Tensor:
+        return self.discriminator_head(self.discriminator(h))
+
+    # -- parameter groups ------------------------------------------------ #
+
+    def autoencoder_params(self):
+        return (self.embedder.parameters() + self.embedder_head.parameters()
+                + self.recovery.parameters() + self.recovery_head.parameters())
+
+    def generator_params(self):
+        return (self.generator.parameters() + self.generator_head.parameters()
+                + self.supervisor.parameters() + self.supervisor_head.parameters())
+
+    def discriminator_params(self):
+        return self.discriminator.parameters() + self.discriminator_head.parameters()
+
+
+def _supervised_loss(h: nn.Tensor, h_hat: nn.Tensor) -> nn.Tensor:
+    """MSE between next-step truth and supervisor prediction."""
+    return nn.mse_loss(h_hat[:, :-1, :], h[:, 1:, :].detach())
+
+
+class TimeGAN(Augmenter):
+    """Per-class TimeGAN augmenter (one model trained per call, as in the paper)."""
+
+    taxonomy = ("generative", "neural_networks", "gans")
+    name = "timegan"
+
+    def __init__(self, config: TimeGANConfig | None = None):
+        self.config = config or TimeGANConfig()
+
+    # ------------------------------------------------------------------ #
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+
+        # Long series are trained at reduced resolution and upsampled back:
+        # GRU backprop through thousands of steps is not CPU-feasible.
+        stride = max(1, int(np.ceil(t / self.config.max_sequence_length)))
+        sequences = np.nan_to_num(X_class, nan=0.0)[:, :, ::stride]
+        t_red = sequences.shape[2]
+        sequences = np.transpose(sequences, (0, 2, 1))  # (N, T, F)
+        scaler = _MinMaxScaler().fit(sequences)
+        data = scaler.forward(sequences)
+
+        nets = _Nets(m, self.config, rng)
+        self._train(nets, data, rng)
+
+        synthetic = self._sample(nets, n, t_red, m, rng)
+        synthetic = scaler.inverse(synthetic)
+        synthetic = np.transpose(synthetic, (0, 2, 1))  # (n, F, T_red)
+        if stride > 1:
+            grid = np.linspace(0, t_red - 1, t)
+            upsampled = np.empty((n, m, t))
+            for i in range(n):
+                for channel in range(m):
+                    upsampled[i, channel] = np.interp(grid, np.arange(t_red), synthetic[i, channel])
+            synthetic = upsampled
+        return synthetic
+
+    # ------------------------------------------------------------------ #
+
+    def _batches(self, data: np.ndarray, rng: np.random.Generator, iterations: int):
+        n = len(data)
+        size = min(self.config.batch_size, n)
+        for _ in range(iterations):
+            yield data[rng.integers(0, n, size=size)]
+
+    def _train(self, nets: _Nets, data: np.ndarray, rng: np.random.Generator) -> None:
+        cfg = self.config
+        it_embed, it_supervised, it_joint = cfg.iterations
+
+        # Phase 1: embedding network (reconstruction).
+        opt_ae = nn.Adam(nets.autoencoder_params(), lr=cfg.lr)
+        for batch in self._batches(data, rng, it_embed):
+            opt_ae.zero_grad()
+            x = nn.Tensor(batch)
+            h = nets.embed(x)
+            x_tilde = nets.recover(h)
+            loss = nn.mse_loss(x_tilde, x) * cfg.eta
+            loss.backward()
+            opt_ae.step()
+
+        # Phase 2: supervised loss only (teach temporal dynamics).
+        opt_s = nn.Adam(nets.generator_params(), lr=cfg.lr)
+        for batch in self._batches(data, rng, it_supervised):
+            opt_s.zero_grad()
+            with nn.no_grad():
+                h = nets.embed(nn.Tensor(batch))
+            h = nn.Tensor(h.data)
+            h_hat = nets.supervise(h)
+            loss = _supervised_loss(h, h_hat)
+            loss.backward()
+            opt_s.step()
+
+        # Phase 3: joint adversarial training.
+        opt_g = nn.Adam(nets.generator_params(), lr=cfg.lr)
+        opt_d = nn.Adam(nets.discriminator_params(), lr=cfg.lr)
+        opt_ae2 = nn.Adam(nets.autoencoder_params(), lr=cfg.lr)
+        t_steps, m = data.shape[1], data.shape[2]
+        for batch in self._batches(data, rng, it_joint):
+            size = len(batch)
+            # -- generator update (twice per discriminator update, as in
+            #    the reference implementation) --
+            for _ in range(2):
+                opt_g.zero_grad()
+                z = nn.Tensor(rng.random((size, t_steps, m)))
+                e_hat = nets.generate_latent(z)
+                h_hat = nets.supervise(e_hat)
+                x_real = nn.Tensor(batch)
+                h_real = nets.embed(x_real)
+                y_fake = nets.discriminate(h_hat)
+                adversarial = nn.bce_with_logits(y_fake, np.ones_like(y_fake.data))
+                supervised = _supervised_loss(h_real.detach(), nets.supervise(h_real.detach()))
+                x_hat = nets.recover(h_hat)
+                moment_mean = (x_hat.mean(axis=(0, 1)) - nn.Tensor(batch.mean(axis=(0, 1)))).abs().mean()
+                real_std = nn.Tensor(batch.std(axis=(0, 1)))
+                fake_var = ((x_hat - x_hat.mean(axis=(0, 1))) ** 2).mean(axis=(0, 1))
+                moment_std = ((fake_var + 1e-6) ** 0.5 - real_std).abs().mean()
+                loss_g = adversarial + cfg.gamma * supervised + 100.0 * (moment_mean + moment_std)
+                loss_g.backward()
+                opt_g.step()
+
+            # -- embedder refinement: reconstruction + light supervision --
+            opt_ae2.zero_grad()
+            x_real = nn.Tensor(batch)
+            h_real = nets.embed(x_real)
+            x_tilde = nets.recover(h_real)
+            supervised = _supervised_loss(h_real, nets.supervise(h_real))
+            loss_e = nn.mse_loss(x_tilde, x_real) * cfg.eta + 0.1 * supervised
+            loss_e.backward()
+            opt_ae2.step()
+
+            # -- discriminator update --
+            opt_d.zero_grad()
+            with nn.no_grad():
+                h_real_d = nets.embed(nn.Tensor(batch)).data
+                z = rng.random((size, t_steps, m))
+                e_hat_d = nets.generate_latent(nn.Tensor(z)).data
+                h_hat_d = nets.supervise(nn.Tensor(e_hat_d)).data
+            y_real = nets.discriminate(nn.Tensor(h_real_d))
+            y_fake = nets.discriminate(nn.Tensor(h_hat_d))
+            y_fake_e = nets.discriminate(nn.Tensor(e_hat_d))
+            loss_d = (
+                nn.bce_with_logits(y_real, np.ones_like(y_real.data))
+                + nn.bce_with_logits(y_fake, np.zeros_like(y_fake.data))
+                + cfg.gamma * nn.bce_with_logits(y_fake_e, np.zeros_like(y_fake_e.data))
+            )
+            loss_d.backward()
+            opt_d.step()
+
+    def _sample(self, nets: _Nets, n: int, t_steps: int, m: int,
+                rng: np.random.Generator) -> np.ndarray:
+        with nn.no_grad():
+            z = nn.Tensor(rng.random((n, t_steps, m)))
+            e_hat = nets.generate_latent(z)
+            h_hat = nets.supervise(e_hat)
+            x_hat = nets.recover(h_hat)
+        return x_hat.data
+
+
+register_augmenter("timegan", TimeGAN)

@@ -1,0 +1,92 @@
+"""Wasserstein GAN augmentation (the taxonomy's GANs leaf beyond TimeGAN).
+
+The survey section cites WGAN variants (Arjovsky et al., 2017; the sWGAN /
+cWGAN comparison of Luo et al., 2018).  This is a compact WGAN with weight
+clipping on flattened standardised series: an MLP generator against an MLP
+critic trained with the Wasserstein objective, *n_critic* critic steps per
+generator step.  It ignores temporal ordering — exactly the weakness that
+motivates TimeGAN — which makes it a useful contrast in the ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ... import nn
+from ..._rng import ensure_rng
+from ..._validation import check_panel, check_positive
+from ..base import Augmenter, register_augmenter
+from .autoencoder import _Standardizer
+
+__all__ = ["WGAN"]
+
+
+class WGAN(Augmenter):
+    """Per-class Wasserstein GAN with weight clipping."""
+
+    taxonomy = ("generative", "neural_networks", "gans")
+    name = "wgan"
+
+    def __init__(self, latent_dim: int = 10, hidden_dim: int = 64,
+                 iterations: int = 200, lr: float = 5e-4, batch_size: int = 32,
+                 n_critic: int = 3, clip: float = 0.03):
+        check_positive(latent_dim, name="latent_dim")
+        check_positive(iterations, name="iterations")
+        check_positive(clip, name="clip")
+        self.latent_dim = int(latent_dim)
+        self.hidden_dim = int(hidden_dim)
+        self.iterations = int(iterations)
+        self.lr = float(lr)
+        self.batch_size = int(batch_size)
+        self.n_critic = int(n_critic)
+        self.clip = float(clip)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = np.nan_to_num(X_class, nan=0.0).reshape(len(X_class), -1)
+        scaler = _Standardizer().fit(flat)
+        Z = scaler.forward(flat)
+        d = Z.shape[1]
+        batch = min(self.batch_size, len(Z))
+
+        generator = nn.Sequential(
+            nn.Linear(self.latent_dim, self.hidden_dim, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden_dim, self.hidden_dim, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden_dim, d, rng=rng),
+        )
+        critic = nn.Sequential(
+            nn.Linear(d, self.hidden_dim, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden_dim, self.hidden_dim, rng=rng), nn.ReLU(),
+            nn.Linear(self.hidden_dim, 1, rng=rng),
+        )
+        opt_g = nn.Adam(generator.parameters(), lr=self.lr, betas=(0.5, 0.9))
+        opt_c = nn.Adam(critic.parameters(), lr=self.lr, betas=(0.5, 0.9))
+
+        for _ in range(self.iterations):
+            for _ in range(self.n_critic):
+                opt_c.zero_grad()
+                real = Z[rng.integers(0, len(Z), size=batch)]
+                with nn.no_grad():
+                    fake = generator(nn.Tensor(rng.standard_normal((batch, self.latent_dim)))).data
+                # Maximise E[critic(real)] - E[critic(fake)].
+                loss_c = critic(nn.Tensor(fake)).mean() - critic(nn.Tensor(real)).mean()
+                loss_c.backward()
+                opt_c.step()
+                for p in critic.parameters():
+                    np.clip(p.data, -self.clip, self.clip, out=p.data)
+
+            opt_g.zero_grad()
+            noise = nn.Tensor(rng.standard_normal((batch, self.latent_dim)))
+            loss_g = -critic(generator(noise)).mean()
+            loss_g.backward()
+            opt_g.step()
+
+        with nn.no_grad():
+            samples = generator(nn.Tensor(rng.standard_normal((n, self.latent_dim)))).data
+        return scaler.inverse(samples).reshape((n,) + X_class.shape[1:])
+
+
+register_augmenter("wgan", WGAN)

@@ -1,0 +1,288 @@
+"""Oversampling techniques (basic branch of the taxonomy).
+
+SMOTE is one of the paper's five experimental configurations; its
+neighbour count follows Sec. IV-C: ``k = min(5, n_class - 1)``.
+Borderline-SMOTE, ADASYN, SMOTEFUNA, SWIM, random oversampling and plain
+pairwise interpolation complete the Figure-1 oversampling leaves (Sec.
+III-A3 names "SMOTE and its variants—ANSMOT and SMOTEFUNA—along with
+ADASYN and SWIM" explicitly).
+
+Series are treated as points in ``R^(M*T)`` ("oversampling treats time
+series as spatial points"); NaN observations propagate through the convex
+combinations so variable-length series stay variable-length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel
+from .base import Augmenter, register_augmenter
+
+__all__ = ["SMOTE", "BorderlineSMOTE", "ADASYN", "SMOTEFUNA", "SWIM",
+           "RandomOversampling", "Interpolation"]
+
+
+def _flatten(X: np.ndarray) -> np.ndarray:
+    """Zero-fill NaNs and flatten to (n, M*T) for distance computations."""
+    return np.nan_to_num(X, nan=0.0).reshape(len(X), -1)
+
+
+def _nearest_neighbors(points: np.ndarray, queries: np.ndarray, k: int,
+                       *, exclude_self: bool) -> np.ndarray:
+    """Indices of the k nearest *points* for each query (brute force)."""
+    d2 = ((queries[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    if exclude_self:
+        np.fill_diagonal(d2, np.inf)
+    order = np.argsort(d2, axis=1)
+    return order[:, :k]
+
+
+class SMOTE(Augmenter):
+    """Synthetic Minority Over-sampling Technique (Chawla et al., 2002).
+
+    Each synthetic series is ``x + u * (neighbor - x)`` with ``u ~ U(0, 1)``
+    and the neighbour drawn among the k nearest same-class series.
+    """
+
+    taxonomy = ("basic", "oversampling", "interpolation")
+    name = "smote"
+
+    def __init__(self, k_neighbors: int = 5):
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1; got {k_neighbors}")
+        self.k_neighbors = int(k_neighbors)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if len(X_class) == 1:
+            # Degenerate class: duplicate the single series.
+            return np.repeat(X_class, n, axis=0)
+        k = min(self.k_neighbors, len(X_class) - 1)  # paper's min(5, n-1)
+        flat = _flatten(X_class)
+        neighbors = _nearest_neighbors(flat, flat, k, exclude_self=True)
+        base_idx = rng.integers(0, len(X_class), size=n)
+        neighbor_choice = neighbors[base_idx, rng.integers(0, k, size=n)]
+        gaps = rng.random((n, 1, 1))
+        return X_class[base_idx] + gaps * (X_class[neighbor_choice] - X_class[base_idx])
+
+
+class BorderlineSMOTE(Augmenter):
+    """Borderline-SMOTE (Han et al., 2005): interpolate only "danger" points.
+
+    A minority series is in danger if more than half (but not all) of its k
+    nearest neighbours over the whole dataset belong to other classes; only
+    those seeds are interpolated, concentrating synthesis near the boundary.
+    Falls back to plain SMOTE when no danger points exist or no majority
+    panel is supplied.
+    """
+
+    taxonomy = ("basic", "oversampling", "interpolation")
+    name = "borderline_smote"
+
+    def __init__(self, k_neighbors: int = 5):
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1; got {k_neighbors}")
+        self.k_neighbors = int(k_neighbors)
+        self._fallback = SMOTE(k_neighbors)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if X_other is None or len(X_other) == 0 or len(X_class) < 2:
+            return self._fallback.generate(X_class, n, rng=rng)
+        X_other = check_panel(X_other)
+        flat_min = _flatten(X_class)
+        flat_all = np.concatenate([flat_min, _flatten(X_other)], axis=0)
+        k = min(self.k_neighbors, len(flat_all) - 1)
+        neighbors = _nearest_neighbors(flat_all, flat_min, k + 1, exclude_self=False)
+        danger = []
+        for i, row in enumerate(neighbors):
+            row = row[row != i][:k]  # drop self-match
+            majority = (row >= len(flat_min)).sum()
+            if k / 2 <= majority < k:
+                danger.append(i)
+        if not danger:
+            return self._fallback.generate(X_class, n, rng=rng)
+        seeds = np.asarray(danger)
+        k_min = min(self.k_neighbors, len(X_class) - 1)
+        same_class_nn = _nearest_neighbors(flat_min, flat_min, k_min, exclude_self=True)
+        base_idx = seeds[rng.integers(0, len(seeds), size=n)]
+        neighbor_choice = same_class_nn[base_idx, rng.integers(0, k_min, size=n)]
+        gaps = rng.random((n, 1, 1))
+        return X_class[base_idx] + gaps * (X_class[neighbor_choice] - X_class[base_idx])
+
+
+class ADASYN(Augmenter):
+    """ADASYN (He et al., 2008): density-adaptive synthetic sampling.
+
+    Seeds are drawn proportionally to the fraction of majority samples among
+    each minority point's k nearest neighbours, so harder regions receive
+    more synthetic data.  Falls back to SMOTE without majority context.
+    """
+
+    taxonomy = ("basic", "oversampling", "density")
+    name = "adasyn"
+
+    def __init__(self, k_neighbors: int = 5):
+        if k_neighbors < 1:
+            raise ValueError(f"k_neighbors must be >= 1; got {k_neighbors}")
+        self.k_neighbors = int(k_neighbors)
+        self._fallback = SMOTE(k_neighbors)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if X_other is None or len(X_other) == 0 or len(X_class) < 2:
+            return self._fallback.generate(X_class, n, rng=rng)
+        X_other = check_panel(X_other)
+        flat_min = _flatten(X_class)
+        flat_all = np.concatenate([flat_min, _flatten(X_other)], axis=0)
+        k = min(self.k_neighbors, len(flat_all) - 1)
+        neighbors = _nearest_neighbors(flat_all, flat_min, k + 1, exclude_self=False)
+        hardness = np.empty(len(flat_min))
+        for i, row in enumerate(neighbors):
+            row = row[row != i][:k]
+            hardness[i] = (row >= len(flat_min)).sum() / k
+        if hardness.sum() == 0:
+            return self._fallback.generate(X_class, n, rng=rng)
+        weights = hardness / hardness.sum()
+        k_min = min(self.k_neighbors, len(X_class) - 1)
+        same_class_nn = _nearest_neighbors(flat_min, flat_min, k_min, exclude_self=True)
+        base_idx = rng.choice(len(X_class), size=n, p=weights)
+        neighbor_choice = same_class_nn[base_idx, rng.integers(0, k_min, size=n)]
+        gaps = rng.random((n, 1, 1))
+        return X_class[base_idx] + gaps * (X_class[neighbor_choice] - X_class[base_idx])
+
+
+class SMOTEFUNA(Augmenter):
+    """SMOTE based on the furthest-neighbour algorithm (Tarawneh et al., 2020).
+
+    Each synthetic sample is drawn uniformly inside the hyper-rectangle
+    spanned by a random seed and its *furthest* same-class neighbour —
+    covering the class region more broadly than nearest-neighbour SMOTE,
+    which concentrates around dense areas.
+    """
+
+    taxonomy = ("basic", "oversampling", "interpolation")
+    name = "smotefuna"
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if len(X_class) == 1:
+            return np.repeat(X_class, n, axis=0)
+        flat = _flatten(X_class)
+        d2 = ((flat[:, None, :] - flat[None, :, :]) ** 2).sum(axis=2)
+        furthest = d2.argmax(axis=1)
+        seeds = rng.integers(0, len(X_class), size=n)
+        partners = furthest[seeds]
+        lo = np.minimum(X_class[seeds], X_class[partners])
+        hi = np.maximum(X_class[seeds], X_class[partners])
+        return lo + rng.random(lo.shape) * (hi - lo)
+
+
+class SWIM(Augmenter):
+    """Sampling WIth the Majority class (Bellinger et al., 2019).
+
+    Uses the *majority* distribution's geometry: each synthetic minority
+    sample keeps its seed's Mahalanobis depth with respect to the majority
+    class, so extreme imbalance (where the minority alone carries almost no
+    density information) still yields well-placed samples.  Falls back to
+    SMOTE without majority context.
+    """
+
+    taxonomy = ("basic", "oversampling", "density")
+    name = "swim"
+
+    def __init__(self, spread: float = 0.25, shrinkage: float | None = None):
+        if spread <= 0:
+            raise ValueError(f"spread must be > 0; got {spread}")
+        self.spread = float(spread)
+        self.shrinkage = shrinkage
+        self._fallback = SMOTE()
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        from .preserving import shrinkage_covariance  # local: avoid cycle
+
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if X_other is None or len(X_other) < 2:
+            return self._fallback.generate(X_class, n, rng=rng)
+        X_other = check_panel(X_other)
+        flat_minority = _flatten(X_class)
+        flat_majority = _flatten(X_other)
+        mean, cov = shrinkage_covariance(flat_majority, shrinkage=self.shrinkage)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        eigvals = np.maximum(eigvals, 1e-12)
+
+        # Whiten w.r.t. the majority, jitter direction on the radius shell.
+        seeds = flat_minority[rng.integers(0, len(flat_minority), size=n)]
+        whitened = (seeds - mean) @ eigvecs / np.sqrt(eigvals)
+        radii = np.linalg.norm(whitened, axis=1, keepdims=True)
+        radii[radii == 0] = 1e-12
+        jittered = whitened + rng.standard_normal(whitened.shape) * self.spread
+        norms = np.linalg.norm(jittered, axis=1, keepdims=True)
+        norms[norms == 0] = 1e-12
+        jittered *= radii / norms  # restore the majority-Mahalanobis depth
+        samples = mean + (jittered * np.sqrt(eigvals)) @ eigvecs.T
+        return samples.reshape((n,) + X_class.shape[1:])
+
+
+class RandomOversampling(Augmenter):
+    """Duplicate randomly-chosen minority series (the trivial baseline)."""
+
+    taxonomy = ("basic", "oversampling", "interpolation")
+    name = "random_oversampling"
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        return X_class[rng.integers(0, len(X_class), size=n)].copy()
+
+
+class Interpolation(Augmenter):
+    """Midpoint-free pairwise interpolation between random same-class pairs.
+
+    Unlike SMOTE it ignores neighbourhood structure: any same-class pair can
+    be mixed, which explores the class convex hull more aggressively.
+    """
+
+    taxonomy = ("basic", "oversampling", "interpolation")
+    name = "interpolation"
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        if len(X_class) == 1:
+            return np.repeat(X_class, n, axis=0)
+        first = rng.integers(0, len(X_class), size=n)
+        shift = rng.integers(1, len(X_class), size=n)
+        second = (first + shift) % len(X_class)
+        gaps = rng.random((n, 1, 1))
+        return X_class[first] + gaps * (X_class[second] - X_class[first])
+
+
+register_augmenter("smote", SMOTE)
+register_augmenter("borderline_smote", BorderlineSMOTE)
+register_augmenter("adasyn", ADASYN)
+register_augmenter("smotefuna", SMOTEFUNA)
+register_augmenter("swim", SWIM)
+register_augmenter("random_oversampling", RandomOversampling)
+register_augmenter("interpolation", Interpolation)

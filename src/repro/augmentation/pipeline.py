@@ -1,0 +1,101 @@
+"""Composition of augmentation techniques.
+
+The paper's Future Work section argues for "a conjunctive application of
+multiple time series augmentation methods", analogous to computer-vision
+pipelines.  :class:`Compose` chains transform augmenters sequentially;
+:class:`RandomChoice` picks one technique per synthetic sample — the two
+standard composition patterns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel
+from .base import Augmenter, TransformAugmenter
+
+__all__ = ["Compose", "RandomChoice", "make_specaugment"]
+
+
+class Compose(TransformAugmenter):
+    """Apply several transform augmenters in sequence.
+
+    Only transform-style augmenters can be chained (a generative model has
+    no meaningful "apply after"); passing anything else raises at
+    construction time.
+    """
+
+    taxonomy = ("composition",)
+
+    def __init__(self, augmenters: list[TransformAugmenter]):
+        if not augmenters:
+            raise ValueError("Compose requires at least one augmenter")
+        for augmenter in augmenters:
+            if not isinstance(augmenter, TransformAugmenter):
+                raise TypeError(
+                    f"Compose chains TransformAugmenters only; got {type(augmenter).__name__}"
+                )
+        self.augmenters = list(augmenters)
+        self.name = "compose(" + "+".join(a.name for a in augmenters) + ")"
+
+    def transform(self, X, *, rng):
+        for augmenter in self.augmenters:
+            X = augmenter.transform(X, rng=rng)
+        return X
+
+
+def make_specaugment(*, warp_sigma: float = 0.15, freq_mask: float = 0.15,
+                     time_mask: float = 0.1) -> Compose:
+    """SpecAugment (Park et al., 2019) as a Compose pipeline.
+
+    The paper's Sec. III-A4 singles out SpecAugment's three operations —
+    time warping, frequency masking and time masking — as a canonical
+    combined policy; this builds exactly that chain from this library's
+    primitives.
+    """
+    from .frequency_domain import FrequencyMasking
+    from .time_domain import Masking, TimeWarping
+
+    return Compose([
+        TimeWarping(sigma=warp_sigma),
+        FrequencyMasking(mask_fraction=freq_mask),
+        Masking(mask_fraction=time_mask),
+    ])
+
+
+class RandomChoice(Augmenter):
+    """Per-sample random selection among several augmenters.
+
+    Each requested synthetic sample is produced by one technique drawn
+    according to *weights* — the simplest "combination of methods" the
+    paper's conclusion recommends exploring.
+    """
+
+    taxonomy = ("composition",)
+
+    def __init__(self, augmenters: list[Augmenter], weights: list[float] | None = None):
+        if not augmenters:
+            raise ValueError("RandomChoice requires at least one augmenter")
+        self.augmenters = list(augmenters)
+        if weights is None:
+            self.weights = np.full(len(augmenters), 1.0 / len(augmenters))
+        else:
+            weights = np.asarray(weights, dtype=float)
+            if weights.shape != (len(augmenters),) or (weights < 0).any() or weights.sum() == 0:
+                raise ValueError("weights must be non-negative, one per augmenter")
+            self.weights = weights / weights.sum()
+        self.name = "choice(" + "|".join(a.name for a in self.augmenters) + ")"
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        assignment = rng.choice(len(self.augmenters), size=n, p=self.weights)
+        pieces = []
+        for index, augmenter in enumerate(self.augmenters):
+            budget = int((assignment == index).sum())
+            if budget:
+                pieces.append(augmenter.generate(X_class, budget, rng=rng, X_other=X_other))
+        return np.concatenate(pieces, axis=0)

@@ -1,0 +1,300 @@
+"""Label- and structure-preserving techniques (preserving branch, Figs. 5-6).
+
+The preserving branch is what distinguishes the paper's taxonomy from prior
+surveys.  Implemented here:
+
+* :class:`RangeTechnique` (label-preserving, Fig. 5) — noise whose amplitude
+  is modulated so samples stay on the right side of the decision boundary,
+  estimated from the nearest other-class distance (Kim & Jeong, 2021);
+* :class:`SPO` — structure-preserving oversampling from a regularised class
+  covariance (Cao et al., 2011);
+* :class:`INOS` — interpolation + protective covariance samples
+  (Cao et al., 2013);
+* :class:`MDO` — Mahalanobis-distance-preserving oversampling
+  (Abdi & Hashemi, 2016);
+* :class:`OHIT` (Fig. 6) — SNN density clustering to capture minority-class
+  modality, then per-cluster shrinkage-covariance sampling
+  (Zhu, Lin & Liu, 2020).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel, check_positive, check_probability
+from .base import Augmenter, register_augmenter
+from .oversampling import SMOTE
+
+__all__ = ["RangeTechnique", "SPO", "INOS", "MDO", "OHIT",
+           "shrinkage_covariance", "snn_clusters"]
+
+
+def _flatten(X: np.ndarray) -> np.ndarray:
+    return np.nan_to_num(X, nan=0.0).reshape(len(X), -1)
+
+
+def shrinkage_covariance(flat: np.ndarray, *, shrinkage: float | None = None
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Ledoit-Wolf-style shrunk covariance of row vectors.
+
+    Returns ``(mean, covariance)`` with the covariance shrunk toward the
+    scaled identity ``mu * I``; when *shrinkage* is ``None`` a simple
+    dimension/sample-count heuristic picks the intensity (high-dimensional
+    imbalanced classes — OHIT's setting — get strong shrinkage).
+    """
+    n, d = flat.shape
+    mean = flat.mean(axis=0)
+    centered = flat - mean
+    cov = centered.T @ centered / max(n - 1, 1)
+    mu = np.trace(cov) / d
+    if shrinkage is None:
+        shrinkage = min(0.9, d / (d + max(n, 1) * 2.0))
+    cov = (1.0 - shrinkage) * cov + shrinkage * mu * np.eye(d)
+    return mean, cov
+
+
+def _sample_gaussian(mean: np.ndarray, cov: np.ndarray, n: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Draw from N(mean, cov) via eigendecomposition (PSD-safe)."""
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    eigvals = np.maximum(eigvals, 0.0)
+    z = rng.standard_normal((n, eigvals.size))
+    return mean + (z * np.sqrt(eigvals)) @ eigvecs.T
+
+
+def snn_clusters(flat: np.ndarray, *, k: int | None = None,
+                 min_shared: int | None = None) -> list[np.ndarray]:
+    """Shared-nearest-neighbour density clustering (Jarvis & Patrick, 1973).
+
+    Two points are linked when each lists the other among its k nearest
+    neighbours and they share at least *min_shared* of those neighbours;
+    connected components of the link graph are the clusters.  This is the
+    clustering OHIT uses to capture minority-class modality.
+    """
+    n = len(flat)
+    if n == 1:
+        return [np.array([0])]
+    k = k or max(2, min(int(np.sqrt(n)) + 1, n - 1))
+    min_shared = min_shared if min_shared is not None else max(1, k // 2)
+    d2 = ((flat[:, None, :] - flat[None, :, :]) ** 2).sum(axis=2)
+    np.fill_diagonal(d2, np.inf)
+    neighbor_sets = [set(np.argsort(row)[:k].tolist()) for row in d2]
+
+    parent = list(range(n))
+
+    def find(a: int) -> int:
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    for i in range(n):
+        for j in neighbor_sets[i]:
+            if i < j and i in neighbor_sets[j]:
+                if len(neighbor_sets[i] & neighbor_sets[j]) >= min_shared:
+                    parent[find(i)] = find(j)
+
+    groups: dict[int, list[int]] = {}
+    for i in range(n):
+        groups.setdefault(find(i), []).append(i)
+    clusters = [np.asarray(members) for members in groups.values()]
+
+    # Merge singleton clusters into the nearest non-singleton cluster (by
+    # centroid distance) — OHIT treats isolated points as members of the
+    # closest mode rather than degenerate one-point Gaussians.
+    large = [c for c in clusters if len(c) > 1]
+    singletons = [c for c in clusters if len(c) == 1]
+    if large and singletons:
+        centroids = np.stack([flat[c].mean(axis=0) for c in large])
+        merged = [list(c) for c in large]
+        for singleton in singletons:
+            gaps = ((centroids - flat[singleton[0]]) ** 2).sum(axis=1)
+            merged[int(np.argmin(gaps))].append(int(singleton[0]))
+        clusters = [np.asarray(sorted(members)) for members in merged]
+    return clusters
+
+
+class RangeTechnique(Augmenter):
+    """Label-preserving noise: amplitude capped by the decision boundary.
+
+    For each seed series, the safe radius is *safety* times half the
+    distance to the nearest other-class series (the 1-NN margin).  Gaussian
+    noise is scaled so its expected norm stays inside that radius, ensuring
+    generated points do not cross the boundary the way unconstrained noise
+    in Fig. 2 can.  Without majority context the amplitude falls back to
+    half the nearest same-class distance (stay in the neighbourhood).
+    """
+
+    taxonomy = ("preserving", "label_preserving", "range")
+    name = "range"
+
+    def __init__(self, safety: float = 0.9):
+        check_probability(safety, name="safety")
+        self.safety = float(safety)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = _flatten(X_class)
+        if X_other is not None and len(X_other):
+            other = _flatten(check_panel(X_other))
+            d2 = ((flat[:, None, :] - other[None, :, :]) ** 2).sum(axis=2)
+            margins = np.sqrt(d2.min(axis=1)) / 2.0
+        elif len(X_class) > 1:
+            d2 = ((flat[:, None, :] - flat[None, :, :]) ** 2).sum(axis=2)
+            np.fill_diagonal(d2, np.inf)
+            margins = np.sqrt(d2.min(axis=1)) / 2.0
+        else:
+            margins = np.full(len(X_class), np.nanstd(X_class))
+        seeds = rng.integers(0, len(X_class), size=n)
+        dim = flat.shape[1]
+        noise = rng.standard_normal((n,) + X_class.shape[1:])
+        # E||noise|| ~ sqrt(dim); scale so the expected norm is safety*margin.
+        scales = self.safety * margins[seeds] / np.sqrt(dim)
+        return X_class[seeds] + noise * scales[:, None, None]
+
+
+class SPO(Augmenter):
+    """Structure-preserving oversampling from the regularised covariance.
+
+    Fits a shrinkage Gaussian to the class and samples it; the shrinkage
+    regularisation plays the role of SPO's eigen-spectrum cleaning, keeping
+    synthetic samples inside the class's principal subspace.
+    """
+
+    taxonomy = ("preserving", "structure_preserving", "spo")
+    name = "spo"
+
+    def __init__(self, shrinkage: float | None = None):
+        self.shrinkage = shrinkage
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = _flatten(X_class)
+        mean, cov = shrinkage_covariance(flat, shrinkage=self.shrinkage)
+        samples = _sample_gaussian(mean, cov, n, rng)
+        return samples.reshape((n,) + X_class.shape[1:])
+
+
+class INOS(Augmenter):
+    """Integrated oversampling: interpolation + protective SPO samples.
+
+    A fraction *interpolation_fraction* of the requested budget comes from
+    SMOTE-style interpolation; the remainder are "protective" covariance
+    samples a la SPO (Cao et al., 2013).
+    """
+
+    taxonomy = ("preserving", "structure_preserving", "inos")
+    name = "inos"
+
+    def __init__(self, interpolation_fraction: float = 0.7,
+                 shrinkage: float | None = None, k_neighbors: int = 5):
+        check_probability(interpolation_fraction, name="interpolation_fraction")
+        self.interpolation_fraction = float(interpolation_fraction)
+        self._smote = SMOTE(k_neighbors)
+        self._spo = SPO(shrinkage)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        n_interp = int(round(n * self.interpolation_fraction))
+        parts = []
+        if n_interp:
+            parts.append(self._smote.generate(X_class, n_interp, rng=rng))
+        if n - n_interp:
+            parts.append(self._spo.generate(X_class, n - n_interp, rng=rng))
+        return np.concatenate(parts, axis=0)
+
+
+class MDO(Augmenter):
+    """Mahalanobis-distance-preserving oversampling (Abdi & Hashemi, 2016).
+
+    Each synthetic sample keeps the Mahalanobis distance of a random seed:
+    the seed's coordinates in the class eigenbasis are re-randomised on the
+    ellipsoid shell of the same squared distance.
+    """
+
+    taxonomy = ("preserving", "structure_preserving", "mdo")
+    name = "mdo"
+
+    def __init__(self, shrinkage: float | None = None):
+        self.shrinkage = shrinkage
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = _flatten(X_class)
+        if len(flat) == 1:
+            return np.repeat(X_class, n, axis=0)
+        mean, cov = shrinkage_covariance(flat, shrinkage=self.shrinkage)
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        eigvals = np.maximum(eigvals, 1e-12)
+        seeds = flat[rng.integers(0, len(flat), size=n)]
+        coords = (seeds - mean) @ eigvecs / np.sqrt(eigvals)  # whitened coords
+        radii2 = (coords**2).sum(axis=1)
+        # Random direction on the unit sphere, scaled to the seed's radius.
+        direction = rng.standard_normal(coords.shape)
+        direction /= np.linalg.norm(direction, axis=1, keepdims=True)
+        new_coords = direction * np.sqrt(radii2)[:, None]
+        samples = mean + (new_coords * np.sqrt(eigvals)) @ eigvecs.T
+        return samples.reshape((n,) + X_class.shape[1:])
+
+
+class OHIT(Augmenter):
+    """Oversampling for high-dimensional imbalanced time series (Fig. 6).
+
+    1. cluster the class with shared-nearest-neighbour density clustering
+       (captures multi-modality);
+    2. fit a shrinkage covariance per cluster (reliable in high dimension);
+    3. allocate the budget across clusters proportionally to their size and
+       sample each cluster's Gaussian.
+    """
+
+    taxonomy = ("preserving", "structure_preserving", "ohit")
+    name = "ohit"
+
+    def __init__(self, k: int | None = None, shrinkage: float | None = None):
+        if k is not None:
+            check_positive(k, name="k")
+        self.k = k
+        self.shrinkage = shrinkage
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        flat = _flatten(X_class)
+        clusters = snn_clusters(flat, k=self.k)
+        sizes = np.array([len(c) for c in clusters], dtype=float)
+        allocation = np.floor(n * sizes / sizes.sum()).astype(int)
+        allocation[: n - allocation.sum()] += 1  # distribute the remainder
+        pieces = []
+        for members, budget in zip(clusters, allocation):
+            if budget == 0:
+                continue
+            member_rows = flat[members]
+            if len(member_rows) == 1:
+                pieces.append(np.repeat(member_rows, budget, axis=0))
+                continue
+            mean, cov = shrinkage_covariance(member_rows, shrinkage=self.shrinkage)
+            pieces.append(_sample_gaussian(mean, cov, budget, rng))
+        samples = np.concatenate(pieces, axis=0)
+        return samples.reshape((n,) + X_class.shape[1:])
+
+
+register_augmenter("range", RangeTechnique)
+register_augmenter("spo", SPO)
+register_augmenter("inos", INOS)
+register_augmenter("mdo", MDO)
+register_augmenter("ohit", OHIT)

@@ -1,0 +1,152 @@
+"""Guided warping via dynamic time warping (the taxonomy's DTW leaf).
+
+Guided warping (Iwana & Uchida, 2020) warps a sample's time axis onto the
+alignment path of a randomly-chosen same-class *teacher*, transplanting the
+teacher's temporal dynamics while keeping the sample's feature values.
+Also includes DTW barycenter averaging (Petitjean et al., 2011), used both
+as an augmenter (jittered barycenters are class-faithful prototypes) and by
+downstream analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel, check_positive
+from .base import Augmenter, register_augmenter
+
+__all__ = ["GuidedWarping", "DBAAugmenter", "dtw_path", "dba_average"]
+
+
+def dtw_path(a: np.ndarray, b: np.ndarray, *, window: int | None = None
+             ) -> list[tuple[int, int]]:
+    """Optimal DTW alignment path between two ``(M, T)`` series.
+
+    Squared-Euclidean local cost over channels, optional Sakoe-Chiba band.
+    Returns index pairs from (0, 0) to (Ta-1, Tb-1).
+    """
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.atleast_2d(np.asarray(b, dtype=float))
+    ta, tb = a.shape[1], b.shape[1]
+    if window is None:
+        window = max(ta, tb)
+    window = max(window, abs(ta - tb))
+    cost = np.full((ta + 1, tb + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, ta + 1):
+        lo = max(1, i - window)
+        hi = min(tb, i + window)
+        local = ((b[:, lo - 1 : hi] - a[:, i - 1 : i]) ** 2).sum(axis=0)
+        for offset, j in enumerate(range(lo, hi + 1)):
+            cost[i, j] = local[offset] + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+
+    path = [(ta - 1, tb - 1)]
+    i, j = ta, tb
+    while (i, j) != (1, 1):
+        moves = [(i - 1, j - 1), (i - 1, j), (i, j - 1)]
+        i, j = min(moves, key=lambda m: cost[m])
+        path.append((i - 1, j - 1))
+    return path[::-1]
+
+
+def dba_average(panel: np.ndarray, *, iterations: int = 5,
+                window: int | None = None) -> np.ndarray:
+    """DTW barycenter average of a ``(k, M, T)`` panel.
+
+    Starts from the medoid-ish first series and iteratively re-averages the
+    values aligned to each barycenter position.
+    """
+    panel = check_panel(panel)
+    barycenter = np.nan_to_num(panel[0], nan=0.0).copy()
+    filled = np.nan_to_num(panel, nan=0.0)
+    for _ in range(iterations):
+        sums = np.zeros_like(barycenter)
+        counts = np.zeros(barycenter.shape[1])
+        for series in filled:
+            for i, j in dtw_path(barycenter, series, window=window):
+                sums[:, i] += series[:, j]
+                counts[i] += 1
+        counts[counts == 0] = 1
+        updated = sums / counts[None, :]
+        if np.allclose(updated, barycenter, atol=1e-10):
+            break
+        barycenter = updated
+    return barycenter
+
+
+class GuidedWarping(Augmenter):
+    """Discriminative guided warping with a random same-class teacher."""
+
+    taxonomy = ("basic", "time_domain", "warping")
+    name = "guided_warping"
+
+    def __init__(self, window_fraction: float = 0.25):
+        if not 0.0 < window_fraction <= 1.0:
+            raise ValueError(f"window_fraction must be in (0, 1]; got {window_fraction}")
+        self.window_fraction = float(window_fraction)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k, m, t = X_class.shape
+        filled = np.nan_to_num(X_class, nan=0.0)
+        window = max(1, int(round(t * self.window_fraction)))
+        out = np.empty((n, m, t))
+        for index in range(n):
+            student = filled[rng.integers(0, k)]
+            teacher = filled[rng.integers(0, k)]
+            path = dtw_path(teacher, student, window=window)
+            # For each teacher position, average the aligned student values:
+            # the student's content re-paced to the teacher's timing.
+            sums = np.zeros((m, t))
+            counts = np.zeros(t)
+            for i, j in path:
+                sums[:, i] += student[:, j]
+                counts[i] += 1
+            counts[counts == 0] = 1
+            out[index] = sums / counts[None, :]
+        return out
+
+
+class DBAAugmenter(Augmenter):
+    """Sample around the class's DTW barycenter.
+
+    Computes the barycenter of a random subset and adds noise scaled by the
+    subset's aligned residual spread — synthetic prototypes that respect the
+    class's time-warped average shape.
+    """
+
+    taxonomy = ("basic", "time_domain", "warping")
+    name = "dba"
+
+    def __init__(self, subset_size: int = 5, iterations: int = 3,
+                 noise_scale: float = 0.3):
+        check_positive(subset_size, name="subset_size")
+        check_positive(iterations, name="iterations")
+        self.subset_size = int(subset_size)
+        self.iterations = int(iterations)
+        self.noise_scale = float(noise_scale)
+
+    def generate(self, X_class, n, *, rng=None, X_other=None):
+        X_class = check_panel(X_class)
+        rng = ensure_rng(rng)
+        if n == 0:
+            return np.empty((0,) + X_class.shape[1:])
+        k = len(X_class)
+        out = np.empty((n,) + X_class.shape[1:])
+        spread = np.nanstd(X_class, axis=0)
+        for index in range(n):
+            size = min(self.subset_size, k)
+            subset = X_class[rng.choice(k, size=size, replace=False)]
+            barycenter = dba_average(subset, iterations=self.iterations)
+            out[index] = barycenter + rng.standard_normal(barycenter.shape) * (
+                self.noise_scale * spread
+            )
+        return out
+
+
+register_augmenter("guided_warping", GuidedWarping)
+register_augmenter("dba", DBAAugmenter)

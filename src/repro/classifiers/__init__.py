@@ -1,0 +1,42 @@
+"""Classifiers: ROCKET + ridge (the paper's kernel baseline), InceptionTime
+(the deep baseline), MiniRocket (extension) and nearest-neighbour utilities."""
+
+from .base import Classifier, accuracy_score
+from .dictionary import SAXDictionaryClassifier, paa, sax_words
+from .inception_time import InceptionModule, InceptionNetwork, InceptionTimeClassifier
+from .interval import IntervalFeatureClassifier, interval_features
+from .minirocket import MiniRocketClassifier, MiniRocketTransform
+from .neighbors import KNeighborsTimeSeriesClassifier, dtw_distance
+from .resnet import FCNClassifier, FCNNetwork, ResNetClassifier, ResNetNetwork
+from .ridge import RidgeClassifierCV
+from .rocket import RocketClassifier, RocketTransform
+from .serialization import load_model, save_model
+from .shapelet import ShapeletTransformClassifier, min_shapelet_distance
+
+__all__ = [
+    "Classifier",
+    "accuracy_score",
+    "RocketTransform",
+    "RocketClassifier",
+    "MiniRocketTransform",
+    "MiniRocketClassifier",
+    "RidgeClassifierCV",
+    "InceptionModule",
+    "InceptionNetwork",
+    "InceptionTimeClassifier",
+    "FCNNetwork",
+    "FCNClassifier",
+    "ResNetNetwork",
+    "ResNetClassifier",
+    "KNeighborsTimeSeriesClassifier",
+    "dtw_distance",
+    "SAXDictionaryClassifier",
+    "paa",
+    "sax_words",
+    "IntervalFeatureClassifier",
+    "interval_features",
+    "ShapeletTransformClassifier",
+    "min_shapelet_distance",
+    "save_model",
+    "load_model",
+]

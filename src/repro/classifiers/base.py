@@ -1,0 +1,47 @@
+"""Classifier protocol shared by ROCKET, InceptionTime and the baselines."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._validation import check_panel, check_panel_labels
+
+__all__ = ["Classifier", "accuracy_score"]
+
+
+def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("cannot score empty label arrays")
+    return float((y_true == y_pred).mean())
+
+
+class Classifier(ABC):
+    """fit/predict interface over ``(N, M, T)`` panels with integer labels."""
+
+    @abstractmethod
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "Classifier":
+        """Train on a labelled panel; returns self."""
+
+    @abstractmethod
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict integer labels for a panel."""
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled panel."""
+        X, y = check_panel_labels(X, y)
+        return accuracy_score(y, self.predict(X))
+
+    @staticmethod
+    def _clean(X: np.ndarray) -> np.ndarray:
+        """Validate and zero-fill NaNs (classifiers need dense input)."""
+        X = check_panel(X)
+        if np.isnan(X).any():
+            X = np.nan_to_num(X, nan=0.0)
+        return X

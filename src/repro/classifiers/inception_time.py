@@ -1,0 +1,228 @@
+"""InceptionTime (Ismail Fawaz et al., 2020) on the numpy NN substrate.
+
+The paper's deep baseline.  Architecture per the original: a stack of
+Inception modules — bottleneck 1x1 convolution, three parallel convolutions
+with geometrically-spaced kernel sizes, a maxpool+1x1 branch, concatenation,
+batch norm, ReLU — with residual shortcuts every ``residual_every`` modules,
+global average pooling and a linear head; the published model ensembles
+five networks with different initialisations and averages their softmax
+outputs.
+
+Training follows Sec. IV-D: stratified 2:1 train/validation split where the
+validation part contains only original samples, up to *max_epochs* epochs
+with early stopping (*patience*), best-validation-accuracy model restore,
+and a cyclical learning-rate range test (Smith, 2017) whose valley point
+sets the learning rate.  Augmented samples are added to the training part
+only, via ``fit(..., X_extra=, y_extra=)``.
+
+Paper-scale defaults (depth 6, 32 filters, kernels 39/19/9, ensemble 5,
+200 epochs) are CPU-expensive; experiments pass reduced sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .._rng import ensure_rng
+from .._validation import check_panel_labels
+from ..data.splits import train_val_split
+from .base import Classifier
+
+__all__ = ["InceptionModule", "InceptionNetwork", "InceptionTimeClassifier"]
+
+
+class InceptionModule(nn.Module):
+    """One Inception module: bottleneck, multi-scale convs, maxpool branch."""
+
+    def __init__(self, in_channels: int, n_filters: int,
+                 kernel_sizes: tuple[int, ...], bottleneck: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.use_bottleneck = in_channels > 1 and bottleneck > 0
+        conv_in = bottleneck if self.use_bottleneck else in_channels
+        if self.use_bottleneck:
+            self.bottleneck = nn.Conv1d(in_channels, bottleneck, 1, bias=False, rng=rng)
+        self.convs = [
+            nn.Conv1d(conv_in, n_filters, k, padding=k // 2, bias=False, rng=rng)
+            for k in kernel_sizes
+        ]
+        self.pool = nn.MaxPool1d(3, stride=1, padding=1)
+        self.pool_conv = nn.Conv1d(in_channels, n_filters, 1, bias=False, rng=rng)
+        out_channels = n_filters * (len(kernel_sizes) + 1)
+        self.bn = nn.BatchNorm1d(out_channels)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        trunk = self.bottleneck(x) if self.use_bottleneck else x
+        branches = [conv(trunk) for conv in self.convs]
+        branches.append(self.pool_conv(self.pool(x)))
+        length = min(branch.shape[2] for branch in branches)
+        branches = [b if b.shape[2] == length else b[:, :, :length] for b in branches]
+        return self.bn(nn.Tensor.concatenate(branches, axis=1)).relu()
+
+
+class _Shortcut(nn.Module):
+    """Residual projection (1x1 conv + BN) between inception blocks."""
+
+    def __init__(self, in_channels: int, out_channels: int, rng: np.random.Generator):
+        super().__init__()
+        self.conv = nn.Conv1d(in_channels, out_channels, 1, bias=False, rng=rng)
+        self.bn = nn.BatchNorm1d(out_channels)
+
+    def forward(self, residual: nn.Tensor, x: nn.Tensor) -> nn.Tensor:
+        projected = self.bn(self.conv(residual))
+        length = min(projected.shape[2], x.shape[2])
+        return (projected[:, :, :length] + x[:, :, :length]).relu()
+
+
+class InceptionNetwork(nn.Module):
+    """A single InceptionTime network (one ensemble member)."""
+
+    def __init__(self, in_channels: int, n_classes: int, *,
+                 n_filters: int = 32, depth: int = 6,
+                 kernel_sizes: tuple[int, ...] = (39, 19, 9),
+                 bottleneck: int = 32, residual_every: int = 3,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1; got {depth}")
+        rng = rng or np.random.default_rng()
+        self.residual_every = residual_every
+        width = n_filters * (len(kernel_sizes) + 1)
+        self.modules_list = []
+        self.shortcuts = []
+        channels = in_channels
+        shortcut_in = in_channels
+        for index in range(depth):
+            self.modules_list.append(
+                InceptionModule(channels, n_filters, kernel_sizes, bottleneck, rng)
+            )
+            channels = width
+            if residual_every and (index + 1) % residual_every == 0:
+                self.shortcuts.append(_Shortcut(shortcut_in, width, rng))
+                shortcut_in = width
+        self.head = nn.Linear(width, n_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        residual = x
+        shortcut_index = 0
+        for index, module in enumerate(self.modules_list):
+            x = module(x)
+            if self.residual_every and (index + 1) % self.residual_every == 0:
+                x = self.shortcuts[shortcut_index](residual, x)
+                residual = x
+                shortcut_index += 1
+        pooled = nn.functional.global_avg_pool1d(x)
+        return self.head(pooled)
+
+
+class InceptionTimeClassifier(Classifier):
+    """Ensemble of InceptionNetworks trained with the paper's protocol."""
+
+    def __init__(self, *, n_filters: int = 32, depth: int = 6,
+                 kernel_sizes: tuple[int, ...] = (39, 19, 9),
+                 bottleneck: int = 32, ensemble_size: int = 5,
+                 max_epochs: int = 200, patience: int = 30,
+                 batch_size: int = 64, lr: float | None = None,
+                 use_lr_finder: bool = True,
+                 seed: int | np.random.Generator | None = None):
+        self.n_filters = n_filters
+        self.depth = depth
+        self.kernel_sizes = tuple(kernel_sizes)
+        self.bottleneck = bottleneck
+        self.ensemble_size = ensemble_size
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.lr = lr
+        self.use_lr_finder = use_lr_finder and lr is None
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, X, y, *, X_extra=None, y_extra=None):
+        """Train the ensemble.
+
+        *X_extra*/*y_extra* are augmented samples, injected into the
+        training part only — the validation set stays original and
+        stratified, per Sec. IV-D.
+        """
+        X, y = check_panel_labels(self._clean(X), y)
+        rng = ensure_rng(self.seed)
+        n_classes = int(y.max()) + 1
+
+        X_tr, y_tr, X_val, y_val = train_val_split(X, y, val_fraction=1.0 / 3.0, seed=rng)
+        if X_extra is not None and len(X_extra):
+            X_extra = self._clean(X_extra)
+            X_tr = np.concatenate([X_tr, X_extra], axis=0)
+            y_tr = np.concatenate([y_tr, np.asarray(y_extra, dtype=np.int64)])
+        if len(X_val) == 0:  # tiny datasets: validate on train
+            X_val, y_val = X_tr, y_tr
+
+        lr = self.lr or 1e-3
+        if self.use_lr_finder:
+            lr = self._find_lr(X_tr, y_tr, n_classes, rng)
+
+        self.networks_ = []
+        self.histories_ = []
+        for _ in range(self.ensemble_size):
+            network = self._build(X.shape[1], n_classes, rng)
+            trainer = nn.Trainer(
+                network, lr=lr, max_epochs=self.max_epochs, patience=self.patience,
+                batch_size=self.batch_size, seed=rng,
+            )
+            history = trainer.fit(X_tr, y_tr, X_val, y_val)
+            self.networks_.append(network)
+            self.histories_.append(history)
+        return self
+
+    def _build(self, in_channels: int, n_classes: int,
+               rng: np.random.Generator) -> InceptionNetwork:
+        return InceptionNetwork(
+            in_channels, n_classes, n_filters=self.n_filters, depth=self.depth,
+            kernel_sizes=self.kernel_sizes, bottleneck=self.bottleneck, rng=rng,
+        )
+
+    def _find_lr(self, X: np.ndarray, y: np.ndarray, n_classes: int,
+                 rng: np.random.Generator) -> float:
+        """Cyclical LR range test on a throwaway network (Sec. IV-D)."""
+        probe = self._build(X.shape[1], n_classes, rng)
+        optimizer = nn.Adam(probe.parameters(), lr=1e-5)
+
+        def loss_at_lr(lr: float) -> float:
+            optimizer.lr = lr
+            batch = rng.integers(0, len(X), size=min(self.batch_size, len(X)))
+            optimizer.zero_grad()
+            loss = nn.cross_entropy(probe(nn.Tensor(X[batch])), y[batch])
+            loss.backward()
+            nn.clip_grad_norm(optimizer.params, 10.0)
+            optimizer.step()
+            return loss.item()
+
+        lrs, losses = nn.lr_range_test(loss_at_lr, min_lr=1e-4, max_lr=0.3, num_steps=15)
+        try:
+            return float(np.clip(nn.suggest_valley_lr(lrs, losses), 1e-4, 0.05))
+        except ValueError:
+            return 1e-3
+
+    # ------------------------------------------------------------------ #
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Ensemble-averaged softmax probabilities."""
+        if not hasattr(self, "networks_"):
+            raise RuntimeError("predict called before fit")
+        X = self._clean(X)
+        total = None
+        with nn.no_grad():
+            for network in self.networks_:
+                network.eval()
+                logits_parts = []
+                for start in range(0, len(X), self.batch_size):
+                    batch = nn.Tensor(X[start : start + self.batch_size])
+                    logits_parts.append(nn.functional.softmax(network(batch), axis=1).data)
+                probs = np.concatenate(logits_parts, axis=0)
+                total = probs if total is None else total + probs
+        return total / len(self.networks_)
+
+    def predict(self, X) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,187 @@
+"""ResNet and FCN baselines (Wang, Yan & Oates, 2017).
+
+Section IV-A cites Wang et al.'s residual networks as the best deep models
+of the pre-InceptionTime era ("models with residual connections ... Resnet
+became a basis for InceptionTime").  Both reference architectures are
+provided as additional baselines for the ablation benchmarks:
+
+* **FCN** — three Conv-BN-ReLU blocks (kernel sizes 8/5/3, filters
+  128/256/128 at paper scale) followed by global average pooling;
+* **ResNet** — three FCN-style residual blocks with identity/projection
+  shortcuts, the direct ancestor of InceptionTime's residual structure.
+
+Training uses the same protocol object as InceptionTime (early stopping on
+a stratified validation split).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from .._rng import ensure_rng
+from .._validation import check_panel_labels
+from ..data.splits import train_val_split
+from .base import Classifier
+
+__all__ = ["FCNNetwork", "ResNetNetwork", "ConvBlock", "ResNetClassifier", "FCNClassifier"]
+
+
+class ConvBlock(nn.Module):
+    """Conv1d -> BatchNorm -> ReLU, the FCN building block."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int,
+                 rng: np.random.Generator, *, activate: bool = True):
+        super().__init__()
+        self.conv = nn.Conv1d(in_channels, out_channels, kernel_size,
+                              padding=kernel_size // 2, bias=False, rng=rng)
+        self.bn = nn.BatchNorm1d(out_channels)
+        self.activate = activate
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.bn(self.conv(x))
+        return out.relu() if self.activate else out
+
+
+class FCNNetwork(nn.Module):
+    """Fully convolutional network: three blocks + GAP + linear head."""
+
+    def __init__(self, in_channels: int, n_classes: int, *,
+                 filters: tuple[int, int, int] = (128, 256, 128),
+                 kernel_sizes: tuple[int, int, int] = (8, 5, 3),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels = (in_channels,) + tuple(filters)
+        self.blocks = [
+            ConvBlock(channels[i], channels[i + 1], kernel_sizes[i], rng)
+            for i in range(3)
+        ]
+        self.head = nn.Linear(filters[-1], n_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return self.head(nn.functional.global_avg_pool1d(x))
+
+
+class _ResidualBlock(nn.Module):
+    """Three conv blocks with a shortcut connection."""
+
+    def __init__(self, in_channels: int, filters: int,
+                 kernel_sizes: tuple[int, int, int], rng: np.random.Generator):
+        super().__init__()
+        self.block1 = ConvBlock(in_channels, filters, kernel_sizes[0], rng)
+        self.block2 = ConvBlock(filters, filters, kernel_sizes[1], rng)
+        self.block3 = ConvBlock(filters, filters, kernel_sizes[2], rng, activate=False)
+        self.project = in_channels != filters
+        if self.project:
+            self.shortcut = ConvBlock(in_channels, filters, 1, rng, activate=False)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        out = self.block3(self.block2(self.block1(x)))
+        residual = self.shortcut(x) if self.project else x
+        length = min(out.shape[2], residual.shape[2])
+        return (out[:, :, :length] + residual[:, :, :length]).relu()
+
+
+class ResNetNetwork(nn.Module):
+    """Wang et al.'s 3-residual-block time-series ResNet."""
+
+    def __init__(self, in_channels: int, n_classes: int, *,
+                 filters: tuple[int, int, int] = (64, 128, 128),
+                 kernel_sizes: tuple[int, int, int] = (8, 5, 3),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        channels = (in_channels,) + tuple(filters)
+        self.blocks = [
+            _ResidualBlock(channels[i], channels[i + 1], kernel_sizes, rng)
+            for i in range(3)
+        ]
+        self.head = nn.Linear(filters[-1], n_classes, rng=rng)
+
+    def forward(self, x: nn.Tensor) -> nn.Tensor:
+        for block in self.blocks:
+            x = block(x)
+        return self.head(nn.functional.global_avg_pool1d(x))
+
+
+class _ProtocolClassifier(Classifier):
+    """Shared fit/predict for the deep baselines (Sec. IV-D protocol)."""
+
+    def __init__(self, *, max_epochs: int, patience: int, batch_size: int,
+                 lr: float, seed):
+        self.max_epochs = max_epochs
+        self.patience = patience
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+
+    def _build(self, in_channels: int, n_classes: int,
+               rng: np.random.Generator) -> nn.Module:
+        raise NotImplementedError
+
+    def fit(self, X, y, *, X_extra=None, y_extra=None):
+        X, y = check_panel_labels(self._clean(X), y)
+        rng = ensure_rng(self.seed)
+        n_classes = int(y.max()) + 1
+        X_tr, y_tr, X_val, y_val = train_val_split(X, y, seed=rng)
+        if X_extra is not None and len(X_extra):
+            X_tr = np.concatenate([X_tr, self._clean(X_extra)], axis=0)
+            y_tr = np.concatenate([y_tr, np.asarray(y_extra, dtype=np.int64)])
+        if len(X_val) == 0:
+            X_val, y_val = X_tr, y_tr
+        self.network_ = self._build(X.shape[1], n_classes, rng)
+        trainer = nn.Trainer(
+            self.network_, lr=self.lr, max_epochs=self.max_epochs,
+            patience=self.patience, batch_size=self.batch_size, seed=rng,
+        )
+        self.history_ = trainer.fit(X_tr, y_tr, X_val, y_val)
+        return self
+
+    def predict(self, X):
+        if not hasattr(self, "network_"):
+            raise RuntimeError("predict called before fit")
+        X = self._clean(X)
+        self.network_.eval()
+        predictions = []
+        with nn.no_grad():
+            for start in range(0, len(X), self.batch_size):
+                logits = self.network_(nn.Tensor(X[start : start + self.batch_size]))
+                predictions.append(logits.data.argmax(axis=1))
+        return np.concatenate(predictions)
+
+
+class FCNClassifier(_ProtocolClassifier):
+    """FCN baseline with CPU-scale defaults (paper scale: 128/256/128)."""
+
+    def __init__(self, *, filters: tuple[int, int, int] = (16, 32, 16),
+                 kernel_sizes: tuple[int, int, int] = (8, 5, 3),
+                 max_epochs: int = 60, patience: int = 20, batch_size: int = 16,
+                 lr: float = 1e-3, seed: int | np.random.Generator | None = None):
+        super().__init__(max_epochs=max_epochs, patience=patience,
+                         batch_size=batch_size, lr=lr, seed=seed)
+        self.filters = tuple(filters)
+        self.kernel_sizes = tuple(kernel_sizes)
+
+    def _build(self, in_channels, n_classes, rng):
+        return FCNNetwork(in_channels, n_classes, filters=self.filters,
+                          kernel_sizes=self.kernel_sizes, rng=rng)
+
+
+class ResNetClassifier(_ProtocolClassifier):
+    """ResNet baseline with CPU-scale defaults (paper scale: 64/128/128)."""
+
+    def __init__(self, *, filters: tuple[int, int, int] = (16, 32, 32),
+                 kernel_sizes: tuple[int, int, int] = (8, 5, 3),
+                 max_epochs: int = 60, patience: int = 20, batch_size: int = 16,
+                 lr: float = 1e-3, seed: int | np.random.Generator | None = None):
+        super().__init__(max_epochs=max_epochs, patience=patience,
+                         batch_size=batch_size, lr=lr, seed=seed)
+        self.filters = tuple(filters)
+        self.kernel_sizes = tuple(kernel_sizes)
+
+    def _build(self, in_channels, n_classes, rng):
+        return ResNetNetwork(in_channels, n_classes, filters=self.filters,
+                             kernel_sizes=self.kernel_sizes, rng=rng)

@@ -1,0 +1,100 @@
+"""Ridge classification with efficient leave-one-out cross-validation.
+
+Replaces sklearn's ``RidgeClassifierCV``, which the paper couples with
+ROCKET ("motivated by its robustness to high-dimensional data and its
+regularization capabilities").  One-vs-rest ridge regression on +/-1
+targets; the regularisation strength is selected by generalised (leave-one-
+out) cross-validation computed in closed form from one SVD, so trying ten
+alphas costs barely more than one fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["RidgeClassifierCV"]
+
+
+class RidgeClassifierCV:
+    """One-vs-rest ridge classifier with LOO-CV alpha selection.
+
+    Parameters
+    ----------
+    alphas:
+        Candidate regularisation strengths; the sklearn/ROCKET convention
+        ``np.logspace(-3, 3, 10)`` is the default.
+    normalize:
+        Standardise features before fitting (ROCKET feature vectors are on
+        heterogeneous scales, so this is on by default).
+    """
+
+    def __init__(self, alphas: np.ndarray | None = None, *, normalize: bool = True):
+        self.alphas = np.asarray(alphas if alphas is not None else np.logspace(-3, 3, 10), dtype=float)
+        if self.alphas.ndim != 1 or (self.alphas <= 0).any():
+            raise ValueError("alphas must be a 1-D array of positive values")
+        self.normalize = normalize
+
+    # ------------------------------------------------------------------ #
+
+    def fit(self, features: np.ndarray, y: np.ndarray) -> "RidgeClassifierCV":
+        """Fit on a feature matrix ``(n_samples, n_features)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D; got ndim={features.ndim}")
+        y = np.asarray(y)
+        if len(y) != len(features):
+            raise ValueError("features and labels disagree in length")
+        self.classes_ = np.unique(y)
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+
+        if self.normalize:
+            self._mean = features.mean(axis=0)
+            self._std = features.std(axis=0)
+            self._std[self._std == 0] = 1.0
+            features = (features - self._mean) / self._std
+        else:
+            self._mean = np.zeros(features.shape[1])
+            self._std = np.ones(features.shape[1])
+
+        targets = np.where(y[:, None] == self.classes_[None, :], 1.0, -1.0)
+        self._target_mean = targets.mean(axis=0)
+        centered_targets = targets - self._target_mean
+
+        # SVD once; every alpha's coefficients and LOO errors follow cheaply.
+        U, s, Vt = np.linalg.svd(features, full_matrices=False)
+        UtY = U.T @ centered_targets  # (r, n_classes)
+
+        best_alpha, best_error = None, np.inf
+        n = features.shape[0]
+        for alpha in self.alphas:
+            # Hat-matrix diagonal: h_ii = sum_j U_ij^2 * s_j^2/(s_j^2+alpha).
+            weights = s**2 / (s**2 + alpha)
+            hat_diag = (U**2 * weights[None, :]).sum(axis=1)
+            predictions = U @ (weights[:, None] * UtY)
+            residuals = centered_targets - predictions
+            loo = residuals / np.maximum(1.0 - hat_diag[:, None], 1e-10)
+            error = float((loo**2).sum() / n)
+            if error < best_error:
+                best_error, best_alpha = error, float(alpha)
+        self.alpha_ = best_alpha
+        self.best_loo_error_ = best_error
+
+        shrink = s / (s**2 + self.alpha_)
+        self.coef_ = (Vt.T * shrink[None, :]) @ UtY  # (n_features, n_classes)
+        return self
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Per-class scores ``(n_samples, n_classes)``."""
+        features = np.asarray(features, dtype=np.float64)
+        features = (features - self._mean) / self._std
+        return features @ self.coef_ + self._target_mean
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most-confident class per sample."""
+        scores = self.decision_function(features)
+        return self.classes_[scores.argmax(axis=1)]
+
+    def score(self, features: np.ndarray, y: np.ndarray) -> float:
+        """Accuracy on a labelled feature matrix."""
+        return float((self.predict(features) == np.asarray(y)).mean())

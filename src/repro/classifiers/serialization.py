@@ -1,0 +1,171 @@
+"""Model persistence: save and load trained classifiers as ``.npz`` files.
+
+Only numpy containers are used (no pickle of arbitrary code), so archives
+are portable and safe to load.  Supported models: ROCKET (kernel groups +
+ridge solution), the ridge classifier alone, and InceptionTime (ensemble
+state dicts + architecture hyper-parameters).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .inception_time import InceptionTimeClassifier
+from .ridge import RidgeClassifierCV
+from .rocket import RocketClassifier, _KernelGroup
+
+__all__ = ["save_model", "load_model"]
+
+_KIND_KEY = "__repro_kind__"
+
+
+def save_model(model, path) -> None:
+    """Serialise a supported classifier to *path* (``.npz``)."""
+    if isinstance(model, RocketClassifier):
+        payload = _rocket_payload(model)
+        payload[_KIND_KEY] = np.array("rocket")
+    elif isinstance(model, RidgeClassifierCV):
+        payload = _ridge_payload(model, prefix="")
+        payload[_KIND_KEY] = np.array("ridge")
+    elif isinstance(model, InceptionTimeClassifier):
+        payload = _inception_payload(model)
+        payload[_KIND_KEY] = np.array("inceptiontime")
+    else:
+        raise TypeError(f"unsupported model type: {type(model).__name__}")
+    np.savez_compressed(Path(path), **payload)
+
+
+def load_model(path):
+    """Load a classifier previously stored with :func:`save_model`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    kind = str(data.pop(_KIND_KEY))
+    if kind == "rocket":
+        return _rocket_restore(data)
+    if kind == "ridge":
+        return _ridge_restore(data, prefix="")
+    if kind == "inceptiontime":
+        return _inception_restore(data)
+    raise ValueError(f"unknown model kind in archive: {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# ridge
+# --------------------------------------------------------------------------- #
+
+
+def _ridge_payload(ridge: RidgeClassifierCV, *, prefix: str) -> dict[str, np.ndarray]:
+    if not hasattr(ridge, "coef_"):
+        raise ValueError("cannot save an unfitted ridge classifier")
+    return {
+        f"{prefix}alphas": ridge.alphas,
+        f"{prefix}normalize": np.array(ridge.normalize),
+        f"{prefix}classes": ridge.classes_,
+        f"{prefix}mean": ridge._mean,
+        f"{prefix}std": ridge._std,
+        f"{prefix}target_mean": ridge._target_mean,
+        f"{prefix}coef": ridge.coef_,
+        f"{prefix}alpha": np.array(ridge.alpha_),
+    }
+
+
+def _ridge_restore(data: dict[str, np.ndarray], *, prefix: str) -> RidgeClassifierCV:
+    ridge = RidgeClassifierCV(alphas=data[f"{prefix}alphas"],
+                              normalize=bool(data[f"{prefix}normalize"]))
+    ridge.classes_ = data[f"{prefix}classes"]
+    ridge._mean = data[f"{prefix}mean"]
+    ridge._std = data[f"{prefix}std"]
+    ridge._target_mean = data[f"{prefix}target_mean"]
+    ridge.coef_ = data[f"{prefix}coef"]
+    ridge.alpha_ = float(data[f"{prefix}alpha"])
+    ridge.best_loo_error_ = float("nan")
+    return ridge
+
+
+# --------------------------------------------------------------------------- #
+# rocket
+# --------------------------------------------------------------------------- #
+
+
+def _rocket_payload(model: RocketClassifier) -> dict[str, np.ndarray]:
+    transform = model.transformer
+    if transform._groups is None:
+        raise ValueError("cannot save an unfitted ROCKET model")
+    payload = _ridge_payload(model.ridge, prefix="ridge_")
+    payload["num_kernels"] = np.array(transform.num_kernels)
+    payload["fit_shape"] = np.array(transform._fit_shape)
+    payload["n_groups"] = np.array(len(transform._groups))
+    for index, group in enumerate(transform._groups):
+        payload[f"group{index}_meta"] = np.array([group.length, group.dilation, group.padding])
+        payload[f"group{index}_weights"] = group.weights
+        payload[f"group{index}_biases"] = group.biases
+    return payload
+
+
+def _rocket_restore(data: dict[str, np.ndarray]) -> RocketClassifier:
+    model = RocketClassifier(num_kernels=int(data["num_kernels"]))
+    transform = model.transformer
+    groups = []
+    for index in range(int(data["n_groups"])):
+        length, dilation, padding = (int(v) for v in data[f"group{index}_meta"])
+        groups.append(_KernelGroup(
+            length, dilation, padding,
+            data[f"group{index}_weights"], data[f"group{index}_biases"],
+        ))
+    transform._groups = groups
+    transform._fit_shape = tuple(int(v) for v in data["fit_shape"])
+    model.ridge = _ridge_restore(data, prefix="ridge_")
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# inceptiontime
+# --------------------------------------------------------------------------- #
+
+
+def _inception_payload(model: InceptionTimeClassifier) -> dict[str, np.ndarray]:
+    if not hasattr(model, "networks_"):
+        raise ValueError("cannot save an unfitted InceptionTime model")
+    config = {
+        "n_filters": model.n_filters,
+        "depth": model.depth,
+        "kernel_sizes": list(model.kernel_sizes),
+        "bottleneck": model.bottleneck,
+        "ensemble_size": len(model.networks_),
+        "batch_size": model.batch_size,
+        "in_channels": model.networks_[0].modules_list[0].pool_conv.weight.shape[1],
+        "n_classes": model.networks_[0].head.out_features,
+    }
+    payload: dict[str, np.ndarray] = {
+        "config_json": np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)
+    }
+    for index, network in enumerate(model.networks_):
+        for key, value in network.state_dict().items():
+            payload[f"net{index}::{key}"] = value
+    return payload
+
+
+def _inception_restore(data: dict[str, np.ndarray]) -> InceptionTimeClassifier:
+    config = json.loads(bytes(data["config_json"]).decode())
+    model = InceptionTimeClassifier(
+        n_filters=config["n_filters"], depth=config["depth"],
+        kernel_sizes=tuple(config["kernel_sizes"]), bottleneck=config["bottleneck"],
+        ensemble_size=config["ensemble_size"], batch_size=config["batch_size"],
+        seed=0,
+    )
+    model.networks_ = []
+    for index in range(config["ensemble_size"]):
+        network = model._build(config["in_channels"], config["n_classes"],
+                               np.random.default_rng(0))
+        state = {
+            key.split("::", 1)[1]: value
+            for key, value in data.items()
+            if key.startswith(f"net{index}::")
+        }
+        network.load_state_dict(state)
+        network.eval()
+        model.networks_.append(network)
+    return model

@@ -1,0 +1,100 @@
+"""Shapelet-based classification (the bake-off's third family).
+
+Completes the "intervals, shapelets, or word dictionaries" triad of
+Sec. IV-A's bake-off reference: a random shapelet transform (Ye & Keogh,
+2009; randomised as in Karlsson et al.) — *n_shapelets* subsequences are
+sampled from the training series, each series is described by its minimal
+z-normalised Euclidean distance to every shapelet, and a ridge classifier
+separates the distance profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_panel
+from .base import Classifier
+from .ridge import RidgeClassifierCV
+
+__all__ = ["ShapeletTransformClassifier", "min_shapelet_distance"]
+
+
+def _znorm(segment: np.ndarray) -> np.ndarray:
+    std = segment.std()
+    if std < 1e-12:
+        return np.zeros_like(segment)
+    return (segment - segment.mean()) / std
+
+
+def min_shapelet_distance(series: np.ndarray, shapelet: np.ndarray) -> float:
+    """Minimal z-normalised Euclidean distance over all alignments.
+
+    *series* is 1-D; *shapelet* is 1-D and no longer than the series.
+    Distances are length-normalised so shapelets of different lengths are
+    comparable features.
+    """
+    series = np.asarray(series, dtype=float)
+    shapelet = np.asarray(shapelet, dtype=float)
+    window = shapelet.size
+    if window > series.size:
+        raise ValueError(f"shapelet ({window}) longer than series ({series.size})")
+    target = _znorm(shapelet)
+    best = np.inf
+    for start in range(series.size - window + 1):
+        segment = _znorm(series[start : start + window])
+        distance = float(((segment - target) ** 2).sum())
+        if distance < best:
+            best = distance
+    return np.sqrt(best / window)
+
+
+class ShapeletTransformClassifier(Classifier):
+    """Random shapelet transform + ridge."""
+
+    def __init__(self, n_shapelets: int = 60, *,
+                 length_range: tuple[float, float] = (0.1, 0.4),
+                 seed: int | np.random.Generator | None = None):
+        if n_shapelets < 1:
+            raise ValueError(f"n_shapelets must be >= 1; got {n_shapelets}")
+        lo, hi = length_range
+        if not 0.0 < lo <= hi <= 1.0:
+            raise ValueError(f"length_range must satisfy 0 < lo <= hi <= 1; got {length_range}")
+        self.n_shapelets = int(n_shapelets)
+        self.length_range = (float(lo), float(hi))
+        self.seed = seed
+        self.ridge = RidgeClassifierCV()
+
+    def _sample_shapelets(self, X: np.ndarray, rng: np.random.Generator) -> None:
+        n, m, t = X.shape
+        lo = max(2, int(round(self.length_range[0] * t)))
+        hi = max(lo, int(round(self.length_range[1] * t)))
+        self._shapelets: list[tuple[int, np.ndarray]] = []
+        for _ in range(self.n_shapelets):
+            series_index = int(rng.integers(0, n))
+            channel = int(rng.integers(0, m))
+            length = int(rng.integers(lo, hi + 1))
+            start = int(rng.integers(0, t - length + 1))
+            self._shapelets.append(
+                (channel, X[series_index, channel, start : start + length].copy())
+            )
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        features = np.empty((len(X), len(self._shapelets)))
+        for j, (channel, shapelet) in enumerate(self._shapelets):
+            for i in range(len(X)):
+                features[i, j] = min_shapelet_distance(X[i, channel], shapelet)
+        return features
+
+    def fit(self, X, y):
+        X = self._clean(check_panel(X))
+        rng = ensure_rng(self.seed)
+        self._sample_shapelets(X, rng)
+        self.ridge.fit(self._transform(X), np.asarray(y))
+        return self
+
+    def predict(self, X):
+        if not hasattr(self, "_shapelets"):
+            raise RuntimeError("predict called before fit")
+        X = self._clean(check_panel(X))
+        return self.ridge.predict(self._transform(X))

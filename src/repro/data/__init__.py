@@ -1,0 +1,42 @@
+"""Data substrate: dataset container, synthetic UEA archive, characteristics.
+
+Replaces the UCR/UEA multivariate archive used in the paper with a
+deterministic synthetic equivalent whose Table III metadata matches the
+published values (see DESIGN.md for the substitution argument).
+"""
+
+from .archive import DatasetSpec, UEA_IMBALANCED_SPECS, list_datasets, load_dataset, solve_class_counts
+from .characteristics import (
+    DatasetCharacteristics,
+    characterize,
+    dataset_variance,
+    hellinger_distance,
+    imbalance_degree,
+    train_test_distance,
+)
+from .dataset import TimeSeriesDataset
+from .generators import ClassPrototype, MTSGenerator, make_classification_panel
+from .splits import stratified_split, train_val_split
+from .ts_io import read_ts, write_ts
+
+__all__ = [
+    "TimeSeriesDataset",
+    "MTSGenerator",
+    "ClassPrototype",
+    "make_classification_panel",
+    "DatasetSpec",
+    "UEA_IMBALANCED_SPECS",
+    "list_datasets",
+    "load_dataset",
+    "solve_class_counts",
+    "DatasetCharacteristics",
+    "characterize",
+    "dataset_variance",
+    "hellinger_distance",
+    "imbalance_degree",
+    "train_test_distance",
+    "stratified_split",
+    "train_val_split",
+    "read_ts",
+    "write_ts",
+]

@@ -1,0 +1,55 @@
+"""Train/validation splitting utilities.
+
+Section IV-D: InceptionTime partitions the training data into training and
+validation segments with a 2:1 ratio, stratified so the validation set
+contains only original samples with the original class mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_labels
+
+__all__ = ["stratified_split", "train_val_split"]
+
+
+def stratified_split(
+    y: np.ndarray,
+    *,
+    val_fraction: float = 1.0 / 3.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return (train_idx, val_idx) with per-class proportional allocation.
+
+    Every class keeps at least one sample in the training part; classes with
+    a single sample contribute nothing to validation.
+    """
+    y = check_labels(y)
+    if not 0.0 < val_fraction < 1.0:
+        raise ValueError(f"val_fraction must be in (0, 1); got {val_fraction}")
+    rng = ensure_rng(seed)
+    train_parts, val_parts = [], []
+    for label in np.unique(y):
+        members = np.flatnonzero(y == label)
+        members = rng.permutation(members)
+        n_val = int(round(len(members) * val_fraction))
+        n_val = min(n_val, len(members) - 1)  # keep >= 1 training sample
+        val_parts.append(members[:n_val])
+        train_parts.append(members[n_val:])
+    train_idx = rng.permutation(np.concatenate(train_parts))
+    val_idx = rng.permutation(np.concatenate(val_parts)) if any(len(v) for v in val_parts) else np.array([], dtype=int)
+    return train_idx, val_idx
+
+
+def train_val_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    *,
+    val_fraction: float = 1.0 / 3.0,
+    seed: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Stratified 2:1 split returning ``(X_train, y_train, X_val, y_val)``."""
+    train_idx, val_idx = stratified_split(y, val_fraction=val_fraction, seed=seed)
+    return X[train_idx], y[train_idx], X[val_idx], y[val_idx]

@@ -1,0 +1,108 @@
+""".ts file I/O (the sktime/UEA text format).
+
+The simulated archive stands in for the real UEA data, but users who *do*
+have the archive can load it with :func:`read_ts` and everything downstream
+works unchanged.  :func:`write_ts` round-trips datasets for caching.
+
+Supported subset of the format: ``@problemName``, ``@timeStamps false``,
+``@univariate``/``@dimensions``, ``@equalLength``, ``@seriesLength``,
+``@classLabel`` headers and equal-length numeric data lines where dimensions
+are separated by ``:`` and values by ``,``; ``?`` marks a missing value.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import TimeSeriesDataset
+
+__all__ = ["read_ts", "write_ts"]
+
+
+def read_ts(path_or_buffer, *, name: str | None = None) -> TimeSeriesDataset:
+    """Parse a ``.ts`` file into a :class:`TimeSeriesDataset`.
+
+    Class labels are mapped to contiguous integers in sorted label order,
+    matching the usual sktime behaviour.
+    """
+    if isinstance(path_or_buffer, (str, Path)):
+        text = Path(path_or_buffer).read_text()
+        inferred = Path(path_or_buffer).stem
+    else:
+        text = path_or_buffer.read()
+        inferred = "from_buffer"
+    header: dict[str, str] = {}
+    rows: list[list[list[float]]] = []
+    labels: list[str] = []
+    in_data = False
+
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.lower() == "@data":
+            in_data = True
+            continue
+        if line.startswith("@"):
+            key, _, value = line[1:].partition(" ")
+            header[key.lower()] = value.strip()
+            continue
+        if not in_data:
+            raise ValueError(f"data line before @data: {line[:50]!r}")
+        *dim_parts, label = line.split(":")
+        if not dim_parts:
+            raise ValueError(f"malformed data line (no ':' separator): {line[:50]!r}")
+        dims = [
+            [np.nan if token.strip() == "?" else float(token) for token in part.split(",")]
+            for part in dim_parts
+        ]
+        rows.append(dims)
+        labels.append(label.strip())
+
+    if not rows:
+        raise ValueError("no data lines found in .ts input")
+    n_dims = len(rows[0])
+    max_len = max(len(channel) for dims in rows for channel in dims)
+    X = np.full((len(rows), n_dims, max_len), np.nan)
+    for i, dims in enumerate(rows):
+        if len(dims) != n_dims:
+            raise ValueError(f"series {i} has {len(dims)} dimensions, expected {n_dims}")
+        for d, channel in enumerate(dims):
+            X[i, d, : len(channel)] = channel
+
+    unique = sorted(set(labels))
+    label_to_int = {label: i for i, label in enumerate(unique)}
+    y = np.array([label_to_int[label] for label in labels], dtype=np.int64)
+    dataset_name = name or header.get("problemname", inferred)
+    return TimeSeriesDataset(X, y, name=dataset_name, metadata={"ts_header": header, "class_labels": unique})
+
+
+def write_ts(dataset: TimeSeriesDataset, path_or_buffer) -> None:
+    """Serialise a dataset to the ``.ts`` format (NaN written as ``?``)."""
+    buffer = io.StringIO()
+    buffer.write(f"@problemName {dataset.name}\n")
+    buffer.write("@timeStamps false\n")
+    buffer.write(f"@univariate {'true' if dataset.n_channels == 1 else 'false'}\n")
+    if dataset.n_channels > 1:
+        buffer.write(f"@dimensions {dataset.n_channels}\n")
+    buffer.write("@equalLength true\n")
+    buffer.write(f"@seriesLength {dataset.length}\n")
+    class_labels = dataset.metadata.get("class_labels") or [str(c) for c in range(dataset.n_classes)]
+    buffer.write("@classLabel true " + " ".join(class_labels) + "\n")
+    buffer.write("@data\n")
+    for i in range(dataset.n_series):
+        dims = []
+        for d in range(dataset.n_channels):
+            values = [
+                "?" if np.isnan(v) else format(v, ".6g") for v in dataset.X[i, d]
+            ]
+            dims.append(",".join(values))
+        buffer.write(":".join(dims) + f":{class_labels[dataset.y[i]]}\n")
+    content = buffer.getvalue()
+    if isinstance(path_or_buffer, (str, Path)):
+        Path(path_or_buffer).write_text(content)
+    else:
+        path_or_buffer.write(content)

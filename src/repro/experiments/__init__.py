@@ -1,0 +1,92 @@
+"""Experiment harness: the paper's protocol, grid runner and table renderers."""
+
+from . import paper_reference
+from .analysis import FindingsSummary, ImprovementCounts, count_improvements, summarize_findings
+from .classification_metrics import (
+    ClassificationReport,
+    balanced_accuracy,
+    classification_report,
+    cohen_kappa,
+    confusion_matrix,
+    precision_recall_f1,
+)
+from .generative_quality import (
+    FidelityReport,
+    discriminative_score,
+    fidelity_report,
+    predictive_score,
+)
+from .statistics import (
+    GainCorrelation,
+    average_ranks,
+    friedman_test,
+    gain_characteristic_correlations,
+    nemenyi_critical_difference,
+    render_cd_diagram,
+    wilcoxon_matrix,
+)
+from .figures import (
+    FigureData,
+    ascii_scatter,
+    figure2_noise,
+    figure3_smote,
+    figure4_timegan,
+    figure5_range,
+    figure6_ohit,
+)
+from .metrics import best_relative_gain_percent, relative_gain
+from .protocol import EvaluationResult, ModelSpec, evaluate, inceptiontime_spec, rocket_spec
+from .runner import GridResult, run_grid
+from .tables import (
+    render_accuracy_table,
+    render_table1_roles,
+    render_table2_families,
+    render_table3_characteristics,
+    render_table6_counts,
+)
+
+__all__ = [
+    "paper_reference",
+    "relative_gain",
+    "best_relative_gain_percent",
+    "ModelSpec",
+    "EvaluationResult",
+    "evaluate",
+    "rocket_spec",
+    "inceptiontime_spec",
+    "GridResult",
+    "run_grid",
+    "ImprovementCounts",
+    "count_improvements",
+    "FindingsSummary",
+    "summarize_findings",
+    "render_table1_roles",
+    "render_table2_families",
+    "render_table3_characteristics",
+    "render_accuracy_table",
+    "render_table6_counts",
+    "FigureData",
+    "figure2_noise",
+    "figure3_smote",
+    "figure4_timegan",
+    "figure5_range",
+    "figure6_ohit",
+    "ascii_scatter",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "balanced_accuracy",
+    "cohen_kappa",
+    "ClassificationReport",
+    "classification_report",
+    "average_ranks",
+    "friedman_test",
+    "wilcoxon_matrix",
+    "nemenyi_critical_difference",
+    "render_cd_diagram",
+    "GainCorrelation",
+    "gain_characteristic_correlations",
+    "discriminative_score",
+    "predictive_score",
+    "FidelityReport",
+    "fidelity_report",
+]

@@ -1,0 +1,76 @@
+"""Cross-table analysis: Table VI and the paper's qualitative findings.
+
+Table VI counts, for each technique family, the number of datasets whose
+augmented accuracy beats the baseline.  The noise family counts a dataset
+when *any* of the three noise levels improves it (the paper reports a
+single "Noise" row for the three levels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .runner import GridResult
+
+__all__ = ["ImprovementCounts", "count_improvements", "FindingsSummary", "summarize_findings"]
+
+_NOISE_LEVELS = ("noise1", "noise3", "noise5")
+
+
+@dataclass(frozen=True)
+class ImprovementCounts:
+    """One model's column of Table VI."""
+
+    model: str
+    smote: int
+    timegan: int
+    noise: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {"smote": self.smote, "timegan": self.timegan, "noise": self.noise}
+
+
+def count_improvements(grid: GridResult) -> ImprovementCounts:
+    """Count improvement occurrences over baseline, per technique family."""
+    smote = timegan = noise = 0
+    for dataset in grid.datasets():
+        baseline = grid.baseline_accuracy(dataset)
+        if "smote" in grid.techniques and grid.accuracy(dataset, "smote") > baseline:
+            smote += 1
+        if "timegan" in grid.techniques and grid.accuracy(dataset, "timegan") > baseline:
+            timegan += 1
+        levels = [t for t in _NOISE_LEVELS if t in grid.techniques]
+        if levels and any(grid.accuracy(dataset, t) > baseline for t in levels):
+            noise += 1
+    return ImprovementCounts(grid.model, smote=smote, timegan=timegan, noise=noise)
+
+
+@dataclass(frozen=True)
+class FindingsSummary:
+    """The headline claims of Section IV-E for one model grid."""
+
+    model: str
+    n_datasets: int
+    improved_datasets: int
+    average_improvement_percent: float
+    best_technique_by_dataset: dict[str, str]
+
+    @property
+    def no_single_dominator(self) -> bool:
+        """The paper's 'no one-size-fits-all' claim: the best technique varies."""
+        return len(set(self.best_technique_by_dataset.values())) > 1
+
+
+def summarize_findings(grid: GridResult) -> FindingsSummary:
+    """Extract the paper's headline findings from a grid."""
+    best = {}
+    for dataset in grid.datasets():
+        augmented = grid.augmented_accuracies(dataset)
+        best[dataset] = max(augmented, key=augmented.get)
+    return FindingsSummary(
+        model=grid.model,
+        n_datasets=len(grid.datasets()),
+        improved_datasets=grid.improved_dataset_count(),
+        average_improvement_percent=grid.average_improvement(),
+        best_technique_by_dataset=best,
+    )

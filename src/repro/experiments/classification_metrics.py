@@ -1,0 +1,118 @@
+"""Imbalance-aware classification metrics.
+
+The paper reports plain accuracy; for an imbalanced-classification study a
+downstream user also needs per-class views, so the library provides the
+standard complement: confusion matrix, precision/recall/F1 (macro and per
+class), balanced accuracy, and Cohen's kappa.  The extended ablation
+benches use balanced accuracy to check that augmentation's minority-class
+benefit is not hidden by majority-dominated plain accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "precision_recall_f1",
+    "balanced_accuracy",
+    "cohen_kappa",
+    "ClassificationReport",
+    "classification_report",
+]
+
+
+def confusion_matrix(y_true, y_pred, *, n_classes: int | None = None) -> np.ndarray:
+    """Counts ``C[i, j]`` = samples of true class i predicted as class j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty label arrays")
+    k = n_classes or int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((k, k), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, *, n_classes: int | None = None
+                        ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall and F1 (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    true_positive = np.diag(matrix).astype(float)
+    predicted = matrix.sum(axis=0).astype(float)
+    actual = matrix.sum(axis=1).astype(float)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        precision = np.where(predicted > 0, true_positive / predicted, 0.0)
+        recall = np.where(actual > 0, true_positive / actual, 0.0)
+        denominator = precision + recall
+        f1 = np.where(denominator > 0, 2 * precision * recall / denominator, 0.0)
+    return precision, recall, f1
+
+
+def balanced_accuracy(y_true, y_pred) -> float:
+    """Mean per-class recall — the imbalance-robust accuracy."""
+    matrix = confusion_matrix(y_true, y_pred)
+    actual = matrix.sum(axis=1)
+    present = actual > 0
+    recalls = np.diag(matrix)[present] / actual[present]
+    return float(recalls.mean())
+
+
+def cohen_kappa(y_true, y_pred) -> float:
+    """Cohen's kappa: agreement corrected for chance."""
+    matrix = confusion_matrix(y_true, y_pred).astype(float)
+    total = matrix.sum()
+    observed = np.diag(matrix).sum() / total
+    expected = (matrix.sum(axis=0) * matrix.sum(axis=1)).sum() / total**2
+    if np.isclose(expected, 1.0):
+        return 0.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """All metrics for one prediction set."""
+
+    accuracy: float
+    balanced_accuracy: float
+    kappa: float
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+    confusion: np.ndarray
+
+    @property
+    def macro_f1(self) -> float:
+        return float(self.f1.mean())
+
+    def render(self) -> str:
+        lines = [
+            f"accuracy          {self.accuracy:.4f}",
+            f"balanced accuracy {self.balanced_accuracy:.4f}",
+            f"macro F1          {self.macro_f1:.4f}",
+            f"Cohen's kappa     {self.kappa:.4f}",
+            "class  precision  recall  f1",
+        ]
+        for c, (p, r, f) in enumerate(zip(self.precision, self.recall, self.f1)):
+            lines.append(f"{c:5d}  {p:9.3f}  {r:6.3f}  {f:5.3f}")
+        return "\n".join(lines)
+
+
+def classification_report(y_true, y_pred) -> ClassificationReport:
+    """Compute every metric at once."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+    return ClassificationReport(
+        accuracy=float((y_true == y_pred).mean()),
+        balanced_accuracy=balanced_accuracy(y_true, y_pred),
+        kappa=cohen_kappa(y_true, y_pred),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        confusion=confusion_matrix(y_true, y_pred),
+    )

@@ -1,0 +1,166 @@
+"""Data generators for Figures 2-6 (the taxonomy-branch illustrations).
+
+Each function builds the 2-D scatter data behind one of the paper's
+illustrative figures: original two-class points, the synthetic points one
+technique produces, and (for Figs. 5-6) the geometric structure the
+technique respects.  The figures operate on a 2-D projection of a small
+two-class time-series problem so they can be rendered as ASCII scatter
+plots by the benchmark harness (:func:`ascii_scatter`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..augmentation import (
+    NoiseInjection,
+    OHIT,
+    RangeTechnique,
+    SMOTE,
+    TimeGAN,
+    TimeGANConfig,
+)
+from ..augmentation.preserving import snn_clusters
+from ..data.generators import make_classification_panel
+
+__all__ = [
+    "FigureData",
+    "figure2_noise",
+    "figure3_smote",
+    "figure4_timegan",
+    "figure5_range",
+    "figure6_ohit",
+    "ascii_scatter",
+]
+
+
+@dataclass
+class FigureData:
+    """2-D scatter data for one illustration figure."""
+
+    title: str
+    class_a: np.ndarray  # (n, 2) original minority points
+    class_b: np.ndarray  # (n, 2) original majority points
+    synthetic: np.ndarray  # (k, 2) technique output, projected
+    annotations: dict = field(default_factory=dict)
+
+
+def _projection_basis(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """PCA basis (top 2 components) of a flattened panel."""
+    flat = np.nan_to_num(X, nan=0.0).reshape(len(X), -1)
+    mean = flat.mean(axis=0)
+    centered = flat - mean
+    _, _, vt = np.linalg.svd(centered, full_matrices=False)
+    return mean, vt[:2]
+
+
+def _project(X: np.ndarray, mean: np.ndarray, basis: np.ndarray) -> np.ndarray:
+    flat = np.nan_to_num(X, nan=0.0).reshape(len(X), -1)
+    return (flat - mean) @ basis.T
+
+
+def _two_class_panel(seed: int = 7, n: int = 40):
+    X, y = make_classification_panel(
+        n_series=n, n_channels=2, length=24, n_classes=2, difficulty=0.35, seed=seed,
+    )
+    return X[y == 0], X[y == 1]
+
+
+def _make_figure(title: str, augmenter, *, seed: int = 7,
+                 n_synthetic: int = 25, **annotations) -> FigureData:
+    class_a, class_b = _two_class_panel(seed)
+    synthetic = augmenter.generate(class_a, n_synthetic, rng=seed + 1, X_other=class_b)
+    mean, basis = _projection_basis(np.concatenate([class_a, class_b]))
+    return FigureData(
+        title=title,
+        class_a=_project(class_a, mean, basis),
+        class_b=_project(class_b, mean, basis),
+        synthetic=_project(synthetic, mean, basis),
+        annotations=annotations,
+    )
+
+
+def figure2_noise(seed: int = 7) -> FigureData:
+    """Fig. 2: basic noise injection — unconstrained spread around the class."""
+    return _make_figure("Basic Techniques, like noise injection", NoiseInjection(1.0), seed=seed)
+
+
+def figure3_smote(seed: int = 7) -> FigureData:
+    """Fig. 3: SMOTE — synthetic points on segments between neighbours."""
+    return _make_figure("Oversampling Techniques, like SMOTE", SMOTE(), seed=seed)
+
+
+def figure4_timegan(seed: int = 7) -> FigureData:
+    """Fig. 4: TimeGAN — samples drawn from a learned class distribution."""
+    config = TimeGANConfig(iterations=(60, 60, 30))
+    return _make_figure("Generative Techniques, like timeGANs", TimeGAN(config), seed=seed)
+
+
+def figure5_range(seed: int = 7) -> FigureData:
+    """Fig. 5: range technique — noise bounded away from the boundary.
+
+    Annotates each original minority point's safe radius (half the distance
+    to the nearest majority point) so a renderer can draw the constraint.
+    """
+    class_a, class_b = _two_class_panel(seed)
+    augmenter = RangeTechnique(safety=0.9)
+    synthetic = augmenter.generate(class_a, 25, rng=seed + 1, X_other=class_b)
+    mean, basis = _projection_basis(np.concatenate([class_a, class_b]))
+    flat_a = np.nan_to_num(class_a).reshape(len(class_a), -1)
+    flat_b = np.nan_to_num(class_b).reshape(len(class_b), -1)
+    d2 = ((flat_a[:, None, :] - flat_b[None, :, :]) ** 2).sum(axis=2)
+    margins = np.sqrt(d2.min(axis=1)) / 2.0
+    return FigureData(
+        title="Label-Preserving Techniques, like range techniques",
+        class_a=_project(class_a, mean, basis),
+        class_b=_project(class_b, mean, basis),
+        synthetic=_project(synthetic, mean, basis),
+        annotations={"safe_radii": margins},
+    )
+
+
+def figure6_ohit(seed: int = 7) -> FigureData:
+    """Fig. 6: OHIT — cluster structure and covariance-faithful samples."""
+    class_a, class_b = _two_class_panel(seed)
+    augmenter = OHIT()
+    synthetic = augmenter.generate(class_a, 25, rng=seed + 1)
+    mean, basis = _projection_basis(np.concatenate([class_a, class_b]))
+    flat_a = np.nan_to_num(class_a).reshape(len(class_a), -1)
+    clusters = snn_clusters(flat_a)
+    return FigureData(
+        title="Structure-Preserving Techniques, like OHIT",
+        class_a=_project(class_a, mean, basis),
+        class_b=_project(class_b, mean, basis),
+        synthetic=_project(synthetic, mean, basis),
+        annotations={"clusters": clusters},
+    )
+
+
+def ascii_scatter(figure: FigureData, *, width: int = 64, height: int = 20) -> str:
+    """Render a FigureData as an ASCII scatter plot.
+
+    ``o`` = minority class, ``x`` = majority class, ``+`` = synthetic.
+    """
+    points = np.concatenate([figure.class_a, figure.class_b, figure.synthetic])
+    finite = points[np.isfinite(points).all(axis=1)]
+    lo = finite.min(axis=0)
+    hi = finite.max(axis=0)
+    span = np.where(hi - lo == 0, 1.0, hi - lo)
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(cloud: np.ndarray, marker: str) -> None:
+        for x, y in cloud:
+            if not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            col = int((x - lo[0]) / span[0] * (width - 1))
+            row = int((1.0 - (y - lo[1]) / span[1]) * (height - 1))
+            grid[row][col] = marker
+
+    place(figure.class_b, "x")
+    place(figure.class_a, "o")
+    place(figure.synthetic, "+")
+    body = "\n".join("".join(row) for row in grid)
+    return f"{figure.title}\n{'=' * len(figure.title)}\n{body}\n(o: minority, x: majority, +: synthetic)"

@@ -1,0 +1,27 @@
+"""Evaluation metrics from Section IV of the paper."""
+
+from __future__ import annotations
+
+__all__ = ["relative_gain", "best_relative_gain_percent"]
+
+
+def relative_gain(accuracy_baseline: float, accuracy_augmented: float) -> float:
+    """Eq. (3): ``G_r = (acc(model_aug) - acc(model)) / acc(model)``.
+
+    Both accuracies are averages over runs (five in the paper).
+    """
+    if accuracy_baseline <= 0:
+        raise ValueError(f"baseline accuracy must be > 0; got {accuracy_baseline}")
+    return (accuracy_augmented - accuracy_baseline) / accuracy_baseline
+
+
+def best_relative_gain_percent(accuracy_baseline: float,
+                               augmented_accuracies: dict[str, float]) -> float:
+    """The per-dataset "Improvement (%)" column of Tables IV-V.
+
+    Relative gain of the best-performing augmentation technique, in percent.
+    """
+    if not augmented_accuracies:
+        raise ValueError("no augmented accuracies supplied")
+    best = max(augmented_accuracies.values())
+    return 100.0 * relative_gain(accuracy_baseline, best)

@@ -1,0 +1,175 @@
+"""Statistical comparison of techniques across datasets.
+
+Time-series-classification studies follow Demšar's methodology: average
+ranks across datasets, a Friedman test for any overall difference, and
+pairwise Wilcoxon signed-rank tests.  The paper's Section IV-F observation
+("no clear pattern ... to assert superiority of any specific augmentation
+technique") is exactly a non-significant Friedman outcome; these tools make
+that claim testable on a :class:`~repro.experiments.runner.GridResult`.
+
+Also provides the gain-vs-characteristics correlation the paper alludes to
+in Sec. IV-C ("trying to capture some correlations between G and the
+aforementioned properties").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from ..data.archive import UEA_IMBALANCED_SPECS, load_dataset
+from ..data.characteristics import characterize
+from .runner import GridResult
+
+__all__ = [
+    "average_ranks",
+    "friedman_test",
+    "wilcoxon_matrix",
+    "nemenyi_critical_difference",
+    "render_cd_diagram",
+    "GainCorrelation",
+    "gain_characteristic_correlations",
+]
+
+# Upper 5 % critical values of the Studentized range statistic q_alpha
+# divided by sqrt(2), indexed by the number of compared configurations
+# (Demsar 2006, Table 5).
+_NEMENYI_Q05 = {
+    2: 1.960, 3: 2.343, 4: 2.569, 5: 2.728, 6: 2.850,
+    7: 2.949, 8: 3.031, 9: 3.102, 10: 3.164,
+}
+
+
+def _accuracy_matrix(grid: GridResult, *, include_baseline: bool = True
+                     ) -> tuple[np.ndarray, list[str]]:
+    columns = (["baseline"] if include_baseline else []) + list(grid.techniques)
+    matrix = np.array([
+        [grid.accuracy(dataset, column) for column in columns]
+        for dataset in grid.datasets()
+    ])
+    return matrix, columns
+
+
+def average_ranks(grid: GridResult, *, include_baseline: bool = True) -> dict[str, float]:
+    """Average rank of each configuration across datasets (1 = best)."""
+    matrix, columns = _accuracy_matrix(grid, include_baseline=include_baseline)
+    # rank with ties averaged; higher accuracy -> better (lower) rank
+    ranks = np.apply_along_axis(lambda row: stats.rankdata(-row), 1, matrix)
+    return dict(zip(columns, ranks.mean(axis=0)))
+
+
+def friedman_test(grid: GridResult, *, include_baseline: bool = True
+                  ) -> tuple[float, float]:
+    """Friedman chi-square statistic and p-value over the accuracy grid.
+
+    A large p-value supports the paper's "no one-size-fits-all" claim.
+    """
+    matrix, _ = _accuracy_matrix(grid, include_baseline=include_baseline)
+    statistic, p_value = stats.friedmanchisquare(*matrix.T)
+    return float(statistic), float(p_value)
+
+
+def wilcoxon_matrix(grid: GridResult) -> dict[tuple[str, str], float]:
+    """Pairwise Wilcoxon signed-rank p-values between techniques.
+
+    Ties (identical accuracy vectors) yield p = 1.0.
+    """
+    matrix, columns = _accuracy_matrix(grid)
+    results: dict[tuple[str, str], float] = {}
+    for i, first in enumerate(columns):
+        for j in range(i + 1, len(columns)):
+            second = columns[j]
+            difference = matrix[:, i] - matrix[:, j]
+            if np.allclose(difference, 0.0):
+                p_value = 1.0
+            else:
+                _, p_value = stats.wilcoxon(matrix[:, i], matrix[:, j])
+            results[(first, second)] = float(p_value)
+    return results
+
+
+def nemenyi_critical_difference(n_configurations: int, n_datasets: int) -> float:
+    """Nemenyi critical difference at alpha = 0.05.
+
+    Two configurations are significantly different when their average ranks
+    differ by at least this value (Demsar, 2006).
+    """
+    if n_configurations < 2:
+        raise ValueError("need at least two configurations")
+    if n_configurations > max(_NEMENYI_Q05):
+        raise ValueError(f"critical values tabulated up to {max(_NEMENYI_Q05)} configurations")
+    if n_datasets < 2:
+        raise ValueError("need at least two datasets")
+    q = _NEMENYI_Q05[n_configurations]
+    return float(q * np.sqrt(n_configurations * (n_configurations + 1) / (6.0 * n_datasets)))
+
+
+def render_cd_diagram(grid: GridResult, *, width: int = 60) -> str:
+    """ASCII critical-difference diagram over the grid's configurations.
+
+    Configurations are placed on a rank axis; a bar under the axis marks
+    the Nemenyi critical difference, so configurations within one bar-length
+    are statistically indistinguishable — the visual form of the paper's
+    "no one-size-fits-all" conclusion.
+    """
+    ranks = average_ranks(grid)
+    k = len(ranks)
+    cd = nemenyi_critical_difference(k, len(grid.datasets()))
+    lo, hi = 1.0, float(k)
+
+    def column(rank: float) -> int:
+        return int((rank - lo) / (hi - lo + 1e-12) * (width - 1))
+
+    axis = ["-"] * width
+    lines = []
+    for name, rank in sorted(ranks.items(), key=lambda kv: kv[1]):
+        col = column(rank)
+        axis[col] = "+"
+        lines.append(f"{' ' * col}|{name} ({rank:.2f})")
+    bar_len = max(1, column(lo + cd))
+    header = f"average rank 1 {'-' * (width - 18)} {k}"
+    cd_bar = "=" * bar_len + f"  CD(0.05) = {cd:.2f}"
+    return "\n".join([header, "".join(axis)] + lines + [cd_bar])
+
+
+@dataclass(frozen=True)
+class GainCorrelation:
+    """Spearman correlation of best-technique gain with one characteristic."""
+
+    characteristic: str
+    rho: float
+    p_value: float
+
+
+def gain_characteristic_correlations(grid: GridResult, *, scale: str = "small"
+                                     ) -> list[GainCorrelation]:
+    """Correlate per-dataset relative gain with Table III characteristics.
+
+    Returns Spearman rho and p-value for each numeric characteristic the
+    paper defines (train size, dimension, length, variance, imbalance
+    degree, train/test distance, missing proportion, number of classes).
+    """
+    gains, rows = [], []
+    spec_by_name = {spec.name: spec for spec in UEA_IMBALANCED_SPECS}
+    for dataset in grid.datasets():
+        if dataset not in spec_by_name:
+            continue
+        train, test = load_dataset(dataset, scale=scale)
+        rows.append(characterize(train, test))
+        gains.append(grid.improvement_percent(dataset))
+    if len(gains) < 3:
+        raise ValueError("need at least 3 archive datasets for correlations")
+    gains = np.asarray(gains)
+
+    correlations = []
+    for attribute in ("n_classes", "train_size", "dim", "length", "var_train",
+                      "im_ratio", "d_train_test", "prop_miss"):
+        values = np.array([getattr(row, attribute) for row in rows], dtype=float)
+        if np.allclose(values, values[0]):
+            correlations.append(GainCorrelation(attribute, 0.0, 1.0))
+            continue
+        rho, p_value = stats.spearmanr(values, gains)
+        correlations.append(GainCorrelation(attribute, float(rho), float(p_value)))
+    return correlations

@@ -1,0 +1,68 @@
+"""A minimal numpy deep-learning framework.
+
+This subpackage is the substrate replacing TensorFlow/fastai in the paper's
+stack: reverse-mode autodiff (:mod:`~repro.nn.tensor`), layers
+(:mod:`~repro.nn.layers`, :mod:`~repro.nn.recurrent`), optimisers
+(:mod:`~repro.nn.optim`), losses, LR schedules including the cyclical LR
+range test the paper uses, and an early-stopping :class:`~repro.nn.training.Trainer`.
+"""
+
+from . import functional
+from .layers import (
+    BatchNorm1d,
+    Conv1d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool1d,
+    Linear,
+    MaxPool1d,
+    Module,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from .losses import bce_with_logits, cross_entropy, mae_loss, mse_loss
+from .lstm import LSTM, LSTMCell
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .recurrent import GRU, GRUCell
+from .schedulers import CosineAnnealing, StepDecay, lr_range_test, suggest_valley_lr
+from .tensor import Tensor, no_grad
+from .training import Trainer, TrainingHistory, iterate_minibatches
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "Conv1d",
+    "BatchNorm1d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "MaxPool1d",
+    "GlobalAvgPool1d",
+    "Flatten",
+    "Sequential",
+    "GRU",
+    "GRUCell",
+    "LSTM",
+    "LSTMCell",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "clip_grad_norm",
+    "cross_entropy",
+    "mse_loss",
+    "mae_loss",
+    "bce_with_logits",
+    "StepDecay",
+    "CosineAnnealing",
+    "lr_range_test",
+    "suggest_valley_lr",
+    "Trainer",
+    "TrainingHistory",
+    "iterate_minibatches",
+]

@@ -1,0 +1,239 @@
+"""Hand-written neural-network kernels with custom backward passes.
+
+The autodiff engine in :mod:`repro.nn.tensor` composes elementwise primitives;
+the kernels here (1-D convolution via im2col, pooling, batch normalisation,
+softmax) are written with explicit gradients both for speed and numerical
+stability.  All of them operate on panels shaped ``(batch, channels, length)``
+— the same convention used throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv1d",
+    "max_pool1d",
+    "global_avg_pool1d",
+    "batch_norm",
+    "softmax",
+    "log_softmax",
+    "dropout",
+    "pad1d",
+]
+
+
+def _im2col(x: np.ndarray, kernel: int, stride: int, dilation: int) -> np.ndarray:
+    """Unfold ``(N, C, T)`` into ``(N, C * kernel, out_len)`` patches."""
+    n, c, t = x.shape
+    span = (kernel - 1) * dilation + 1
+    out_len = (t - span) // stride + 1
+    s_n, s_c, s_t = x.strides
+    patches = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, out_len),
+        strides=(s_n, s_c, s_t * dilation, s_t * stride),
+        writeable=False,
+    )
+    return patches.reshape(n, c * kernel, out_len), out_len
+
+
+def pad1d(x: Tensor, padding: int) -> Tensor:
+    """Zero-pad the time axis of a ``(N, C, T)`` tensor on both sides."""
+    if padding == 0:
+        return x
+    out_data = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)))
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad)[:, :, padding:-padding])
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def conv1d(
+    x: Tensor,
+    weight: Tensor,
+    bias: Tensor | None = None,
+    *,
+    stride: int = 1,
+    padding: int = 0,
+    dilation: int = 1,
+) -> Tensor:
+    """1-D cross-correlation of ``(N, C_in, T)`` with ``(C_out, C_in, K)``.
+
+    Implemented as im2col + one matmul; the backward pass re-uses the cached
+    patch matrix for the weight gradient and scatters columns back for the
+    input gradient.
+    """
+    if padding:
+        x = pad1d(x, padding)
+    xd, wd = x.data, weight.data
+    c_out, c_in, kernel = wd.shape
+    if xd.shape[1] != c_in:
+        raise ValueError(f"input has {xd.shape[1]} channels, weight expects {c_in}")
+    cols, out_len = _im2col(xd, kernel, stride, dilation)
+    w_flat = wd.reshape(c_out, c_in * kernel)
+    out_data = np.einsum("ok,nkl->nol", w_flat, cols, optimize=True)
+    if bias is not None:
+        out_data = out_data + bias.data[None, :, None]
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad = np.asarray(grad)  # (N, C_out, out_len)
+        if bias is not None and bias.requires_grad:
+            bias._accumulate(grad.sum(axis=(0, 2)))
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", grad, cols, optimize=True)
+            weight._accumulate(gw.reshape(c_out, c_in, kernel))
+        if x.requires_grad:
+            gcols = np.einsum("ok,nol->nkl", w_flat, grad, optimize=True)
+            gcols = gcols.reshape(xd.shape[0], c_in, kernel, out_len)
+            gx = np.zeros_like(xd)
+            for k in range(kernel):
+                t0 = k * dilation
+                gx[:, :, t0 : t0 + out_len * stride : stride] += gcols[:, :, k, :]
+            x._accumulate(gx)
+
+    return Tensor.from_op(out_data, parents, backward)
+
+
+def max_pool1d(x: Tensor, kernel: int, stride: int | None = None, padding: int = 0) -> Tensor:
+    """Max pooling over the time axis of a ``(N, C, T)`` tensor."""
+    stride = stride or kernel
+    if padding:
+        out_pad = np.pad(x.data, ((0, 0), (0, 0), (padding, padding)), constant_values=-np.inf)
+    else:
+        out_pad = x.data
+    n, c, t = out_pad.shape
+    out_len = (t - kernel) // stride + 1
+    s_n, s_c, s_t = out_pad.strides
+    windows = np.lib.stride_tricks.as_strided(
+        out_pad, shape=(n, c, out_len, kernel), strides=(s_n, s_c, s_t * stride, s_t), writeable=False
+    )
+    argmaxes = windows.argmax(axis=3)
+    out_data = np.take_along_axis(windows, argmaxes[..., None], axis=3)[..., 0]
+
+    def backward(grad):
+        if not x.requires_grad:
+            return
+        grad = np.asarray(grad)
+        gx = np.zeros((n, c, t))
+        starts = np.arange(out_len) * stride
+        flat_t = starts[None, None, :] + argmaxes
+        ni, ci = np.meshgrid(np.arange(n), np.arange(c), indexing="ij")
+        np.add.at(gx, (ni[..., None], ci[..., None], flat_t), grad)
+        if padding:
+            gx = gx[:, :, padding:-padding]
+        x._accumulate(gx)
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def global_avg_pool1d(x: Tensor) -> Tensor:
+    """Average a ``(N, C, T)`` tensor over its time axis, yielding ``(N, C)``."""
+    return x.mean(axis=2)
+
+
+def batch_norm(
+    x: Tensor,
+    gamma: Tensor,
+    beta: Tensor,
+    running_mean: np.ndarray,
+    running_var: np.ndarray,
+    *,
+    training: bool,
+    momentum: float = 0.1,
+    eps: float = 1e-5,
+) -> Tensor:
+    """Batch normalisation over the channel axis of ``(N, C, T)`` or ``(N, C)``.
+
+    Updates *running_mean*/*running_var* in place when *training* is true.
+    """
+    xd = x.data
+    axes = (0,) if xd.ndim == 2 else (0, 2)
+    view = (1, -1) if xd.ndim == 2 else (1, -1, 1)
+
+    if training:
+        mean = xd.mean(axis=axes)
+        var = xd.var(axis=axes)
+        count = xd.shape[0] if xd.ndim == 2 else xd.shape[0] * xd.shape[2]
+        unbiased = var * count / max(count - 1, 1)
+        running_mean *= 1.0 - momentum
+        running_mean += momentum * mean
+        running_var *= 1.0 - momentum
+        running_var += momentum * unbiased
+    else:
+        mean, var = running_mean, running_var
+
+    inv_std = 1.0 / np.sqrt(var + eps)
+    x_hat = (xd - mean.reshape(view)) * inv_std.reshape(view)
+    out_data = gamma.data.reshape(view) * x_hat + beta.data.reshape(view)
+
+    def backward(grad):
+        grad = np.asarray(grad)
+        if gamma.requires_grad:
+            gamma._accumulate((grad * x_hat).sum(axis=axes))
+        if beta.requires_grad:
+            beta._accumulate(grad.sum(axis=axes))
+        if x.requires_grad:
+            g = gamma.data.reshape(view)
+            if training:
+                count = xd.shape[0] if xd.ndim == 2 else xd.shape[0] * xd.shape[2]
+                dxhat = grad * g
+                term1 = dxhat
+                term2 = dxhat.mean(axis=axes).reshape(view)
+                term3 = x_hat * (dxhat * x_hat).mean(axis=axes).reshape(view)
+                x._accumulate(inv_std.reshape(view) * (term1 - term2 - term3))
+            else:
+                x._accumulate(grad * g * inv_std.reshape(view))
+
+    return Tensor.from_op(out_data, (x, gamma, beta), backward)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along *axis*."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+    def backward(grad):
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            x._accumulate(out_data * (grad - dot))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along *axis*."""
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_norm
+    probs = np.exp(out_data)
+
+    def backward(grad):
+        if x.requires_grad:
+            grad = np.asarray(grad)
+            x._accumulate(grad - probs * grad.sum(axis=axis, keepdims=True))
+
+    return Tensor.from_op(out_data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, *, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout: zero activations with probability *p* during training."""
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError(f"dropout probability must be < 1; got {p}")
+    mask = (rng.random(x.data.shape) >= p) / (1.0 - p)
+
+    def backward(grad):
+        if x.requires_grad:
+            x._accumulate(np.asarray(grad) * mask)
+
+    return Tensor.from_op(x.data * mask, (x,), backward)

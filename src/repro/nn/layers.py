@@ -1,0 +1,272 @@
+"""Neural-network layers built on the :mod:`repro.nn` autodiff engine.
+
+Layers follow a torch-like protocol: a :class:`Module` owns named
+:class:`~repro.nn.tensor.Tensor` parameters, exposes ``forward`` /
+``__call__``, ``parameters()``, ``train()`` / ``eval()``, and
+``state_dict()`` / ``load_state_dict()`` for checkpointing (used by the
+Trainer's best-model restore).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = [
+    "Module",
+    "Linear",
+    "Conv1d",
+    "BatchNorm1d",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Dropout",
+    "MaxPool1d",
+    "GlobalAvgPool1d",
+    "Sequential",
+    "Flatten",
+]
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self):
+        self.training = True
+
+    # -- forward ------------------------------------------------------- #
+
+    def forward(self, *args, **kwargs) -> Tensor:
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs) -> Tensor:
+        return self.forward(*args, **kwargs)
+
+    # -- parameter / submodule discovery -------------------------------- #
+
+    def parameters(self) -> list[Tensor]:
+        """Return all trainable tensors in this module tree."""
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            for p in _collect_parameters(value):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def modules(self) -> "list[Module]":
+        """Return this module and every descendant module."""
+        found: list[Module] = [self]
+        for value in self.__dict__.values():
+            for m in _collect_modules(value):
+                found.extend(m.modules())
+        return found
+
+    # -- mode switching -------------------------------------------------- #
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # -- checkpointing ----------------------------------------------------- #
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy all parameters and buffers into a flat dict."""
+        state: dict[str, np.ndarray] = {}
+        self._fill_state("", state)
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters and buffers from :meth:`state_dict` output."""
+        self._load_state("", state)
+
+    def _fill_state(self, prefix: str, state: dict[str, np.ndarray]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor):
+                state[key] = value.data.copy()
+            elif isinstance(value, np.ndarray):
+                state[key] = value.copy()
+            elif isinstance(value, Module):
+                value._fill_state(f"{key}.", state)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._fill_state(f"{key}.{i}.", state)
+                    elif isinstance(item, Tensor):
+                        state[f"{key}.{i}"] = item.data.copy()
+
+    def _load_state(self, prefix: str, state: dict[str, np.ndarray]) -> None:
+        for name, value in self.__dict__.items():
+            key = f"{prefix}{name}"
+            if isinstance(value, Tensor) and key in state:
+                value.data[...] = state[key]
+            elif isinstance(value, np.ndarray) and key in state:
+                value[...] = state[key]
+            elif isinstance(value, Module):
+                value._load_state(f"{key}.", state)
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Module):
+                        item._load_state(f"{key}.{i}.", state)
+                    elif isinstance(item, Tensor) and f"{key}.{i}" in state:
+                        item.data[...] = state[f"{key}.{i}"]
+
+
+def _collect_parameters(value) -> list[Tensor]:
+    if isinstance(value, Tensor) and value.requires_grad:
+        return [value]
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        out: list[Tensor] = []
+        for item in value:
+            out.extend(_collect_parameters(item))
+        return out
+    return []
+
+
+def _collect_modules(value) -> "list[Module]":
+    if isinstance(value, Module):
+        return [value]
+    if isinstance(value, (list, tuple)):
+        out: list[Module] = []
+        for item in value:
+            out.extend(_collect_modules(item))
+        return out
+    return []
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over the last axis."""
+
+    def __init__(self, in_features: int, out_features: int, *, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Tensor(init.glorot_uniform((out_features, in_features), rng), requires_grad=True)
+        self.bias = Tensor(np.zeros(out_features), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight.transpose()
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(N, C, T)`` panels."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size: int, *,
+                 stride: int = 1, padding: int = 0, dilation: int = 1, bias: bool = True,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.stride, self.padding, self.dilation = stride, padding, dilation
+        self.weight = Tensor(
+            init.he_uniform((out_channels, in_channels, kernel_size), rng), requires_grad=True
+        )
+        self.bias = Tensor(np.zeros(out_channels), requires_grad=True) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.conv1d(x, self.weight, self.bias, stride=self.stride,
+                        padding=self.padding, dilation=self.dilation)
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation for ``(N, C)`` or ``(N, C, T)`` inputs."""
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.momentum, self.eps = momentum, eps
+        self.gamma = Tensor(np.ones(num_features), requires_grad=True)
+        self.beta = Tensor(np.zeros(num_features), requires_grad=True)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.batch_norm(x, self.gamma, self.beta, self.running_mean, self.running_var,
+                            training=self.training, momentum=self.momentum, eps=self.eps)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()
+
+
+class Dropout(Module):
+    """Inverted dropout with its own generator for reproducibility."""
+
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1); got {p}")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+
+class MaxPool1d(Module):
+    def __init__(self, kernel_size: int, *, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.max_pool1d(x, self.kernel_size, self.stride, self.padding)
+
+
+class GlobalAvgPool1d(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return F.global_avg_pool1d(x)
+
+
+class Flatten(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x.reshape(x.shape[0], -1)
+
+
+class Sequential(Module):
+    """Run submodules in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers = list(layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)

@@ -1,0 +1,47 @@
+"""Loss functions for :mod:`repro.nn` models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["cross_entropy", "mse_loss", "bce_with_logits", "mae_loss"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean cross-entropy between ``(N, C)`` logits and integer targets."""
+    targets = np.asarray(targets)
+    if targets.ndim != 1:
+        raise ValueError(f"targets must be 1-D integer class indices; got ndim={targets.ndim}")
+    n = logits.shape[0]
+    log_probs = F.log_softmax(logits, axis=1)
+    picked = log_probs[np.arange(n), targets]
+    return -picked.mean()
+
+
+def mse_loss(pred: Tensor, target) -> Tensor:
+    """Mean squared error; *target* may be a tensor or array."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def mae_loss(pred: Tensor, target) -> Tensor:
+    """Mean absolute error; *target* may be a tensor or array."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (pred - target).abs().mean()
+
+
+def bce_with_logits(logits: Tensor, targets) -> Tensor:
+    """Numerically-stable binary cross-entropy on raw logits.
+
+    Uses the identity ``BCE = max(x, 0) - x*y + log(1 + exp(-|x|))`` which
+    avoids overflow for large-magnitude logits.
+    """
+    targets = targets if isinstance(targets, Tensor) else Tensor(targets)
+    zeros = Tensor(np.zeros_like(logits.data))
+    positive_part = Tensor.stack([logits, zeros], axis=0).max(axis=0)
+    softplus = (Tensor(np.ones_like(logits.data)) + (-logits.abs()).exp()).log()
+    return (positive_part - logits * targets + softplus).mean()

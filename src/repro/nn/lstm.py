@@ -1,0 +1,91 @@
+"""LSTM layers, completing the recurrent substrate.
+
+Used by the LSTM autoencoder augmenter (the taxonomy's LSTM-AE leaf, Tu et
+al. 2018) and available for custom sequence models.  Gate layout follows
+the standard formulation with forget-gate bias initialised to 1 (Greff et
+al., 2017 — the paper's reference [28] — found this the single most
+important LSTM detail).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["LSTMCell", "LSTM"]
+
+
+class LSTMCell(Module):
+    """A single LSTM cell.
+
+    ::
+
+        i = sigmoid(x W_i + h U_i + b_i)    (input gate)
+        f = sigmoid(x W_f + h U_f + b_f)    (forget gate)
+        g = tanh   (x W_g + h U_g + b_g)    (candidate)
+        o = sigmoid(x W_o + h U_o + b_o)    (output gate)
+        c' = f * c + i * g
+        h' = o * tanh(c')
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Tensor(init.glorot_uniform((input_size, 4 * hidden_size), rng), requires_grad=True)
+        self.w_hh = Tensor(
+            np.concatenate([init.orthogonal((hidden_size, hidden_size), rng) for _ in range(4)], axis=1),
+            requires_grad=True,
+        )
+        bias = np.zeros(4 * hidden_size)
+        bias[hidden_size : 2 * hidden_size] = 1.0  # forget-gate bias
+        self.bias = Tensor(bias, requires_grad=True)
+
+    def forward(self, x: Tensor, state: tuple[Tensor, Tensor]) -> tuple[Tensor, Tensor]:
+        h, c = state
+        hs = self.hidden_size
+        gates = x @ self.w_ih + h @ self.w_hh + self.bias
+        i = gates[:, 0:hs].sigmoid()
+        f = gates[:, hs : 2 * hs].sigmoid()
+        g = gates[:, 2 * hs : 3 * hs].tanh()
+        o = gates[:, 3 * hs : 4 * hs].sigmoid()
+        c_next = f * c + i * g
+        h_next = o * c_next.tanh()
+        return h_next, c_next
+
+
+class LSTM(Module):
+    """A (possibly stacked) LSTM over ``(N, T, F)`` sequences.
+
+    Returns the top layer's full hidden sequence ``(N, T, H)``.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, num_layers: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1; got {num_layers}")
+        self.hidden_size = hidden_size
+        self.cells = [
+            LSTMCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        layer_input = [x[:, step, :] for step in range(t)]
+        for cell in self.cells:
+            h = Tensor(np.zeros((n, cell.hidden_size)))
+            c = Tensor(np.zeros((n, cell.hidden_size)))
+            outputs = []
+            for step_input in layer_input:
+                h, c = cell(step_input, (h, c))
+                outputs.append(h)
+            layer_input = outputs
+        return Tensor.stack(layer_input, axis=1)

@@ -1,0 +1,84 @@
+"""Recurrent layers (GRU) for sequence models such as TimeGAN.
+
+TimeGAN's embedder, recovery, generator, supervisor and discriminator are all
+stacked GRUs (Yoon et al., 2019).  The cells here compose autodiff primitives
+from :mod:`repro.nn.tensor`; sequences are short in this library's workloads
+(tens of steps) so the per-step Python loop is acceptable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from . import init
+from .layers import Module
+from .tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single gated-recurrent-unit cell.
+
+    Gate layout follows the standard formulation::
+
+        z = sigmoid(x W_z + h U_z + b_z)      (update gate)
+        r = sigmoid(x W_r + h U_r + b_r)      (reset gate)
+        n = tanh(x W_n + (r * h) U_n + b_n)   (candidate state)
+        h' = (1 - z) * n + z * h
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        self.w_ih = Tensor(init.glorot_uniform((input_size, 3 * hidden_size), rng), requires_grad=True)
+        self.w_hh = Tensor(
+            np.concatenate([init.orthogonal((hidden_size, hidden_size), rng) for _ in range(3)], axis=1),
+            requires_grad=True,
+        )
+        self.bias = Tensor(np.zeros(3 * hidden_size), requires_grad=True)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        hs = self.hidden_size
+        gates_x = x @ self.w_ih + self.bias
+        gates_h = h @ self.w_hh
+        z = (gates_x[:, 0:hs] + gates_h[:, 0:hs]).sigmoid()
+        r = (gates_x[:, hs : 2 * hs] + gates_h[:, hs : 2 * hs]).sigmoid()
+        n = (gates_x[:, 2 * hs : 3 * hs] + r * gates_h[:, 2 * hs : 3 * hs]).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * n + z * h
+
+
+class GRU(Module):
+    """A (possibly stacked) GRU over ``(N, T, F)`` sequences.
+
+    Returns the full hidden sequence ``(N, T, H)`` of the top layer; the last
+    step can be sliced off by the caller when only a summary is needed.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int, *, num_layers: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        if num_layers < 1:
+            raise ValueError(f"num_layers must be >= 1; got {num_layers}")
+        self.hidden_size = hidden_size
+        self.cells = [
+            GRUCell(input_size if i == 0 else hidden_size, hidden_size, rng=rng)
+            for i in range(num_layers)
+        ]
+
+    def forward(self, x: Tensor) -> Tensor:
+        n, t, _ = x.shape
+        layer_input = [x[:, step, :] for step in range(t)]
+        for cell in self.cells:
+            h = Tensor(np.zeros((n, cell.hidden_size)))
+            outputs = []
+            for step_input in layer_input:
+                h = cell(step_input, h)
+                outputs.append(h)
+            layer_input = outputs
+        return Tensor.stack(layer_input, axis=1)

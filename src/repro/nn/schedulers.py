@@ -1,0 +1,114 @@
+"""Learning-rate schedules and the cyclical LR range test.
+
+The paper (Sec. IV-D) runs a cyclical learning-rate analysis (Smith, 2017)
+per dataset before training InceptionTime and picks the "valley" point.
+:func:`lr_range_test` reproduces that procedure: it sweeps the learning rate
+geometrically over mini-batches, records the loss, and
+:func:`suggest_valley_lr` picks the steepest-descent point of the smoothed
+curve.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from .optim import Optimizer
+
+__all__ = ["StepDecay", "CosineAnnealing", "lr_range_test", "suggest_valley_lr"]
+
+
+class StepDecay:
+    """Multiply the optimiser's learning rate by *gamma* every *step_size* epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, step_size: int, gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError(f"step_size must be >= 1; got {step_size}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch += 1
+        self.optimizer.lr = self._base_lr * self.gamma ** (self._epoch // self.step_size)
+
+
+class CosineAnnealing:
+    """Cosine-anneal the learning rate from its initial value to *eta_min*."""
+
+    def __init__(self, optimizer: Optimizer, *, t_max: int, eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError(f"t_max must be >= 1; got {t_max}")
+        self.optimizer = optimizer
+        self.t_max = t_max
+        self.eta_min = eta_min
+        self._epoch = 0
+        self._base_lr = optimizer.lr
+
+    def step(self) -> None:
+        self._epoch = min(self._epoch + 1, self.t_max)
+        cos = (1 + np.cos(np.pi * self._epoch / self.t_max)) / 2
+        self.optimizer.lr = self.eta_min + (self._base_lr - self.eta_min) * cos
+
+
+def lr_range_test(
+    loss_at_lr: Callable[[float], float],
+    *,
+    min_lr: float = 1e-5,
+    max_lr: float = 1.0,
+    num_steps: int = 30,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep learning rates geometrically and record the training loss.
+
+    *loss_at_lr* performs one optimisation step at the given learning rate
+    and returns the batch loss.  Returns ``(lrs, losses)``; the sweep stops
+    early if the loss diverges (> 10x the best seen), matching the usual
+    LR-finder behaviour.
+    """
+    if min_lr <= 0 or max_lr <= min_lr:
+        raise ValueError(f"need 0 < min_lr < max_lr; got {min_lr}, {max_lr}")
+    lrs = np.geomspace(min_lr, max_lr, num_steps)
+    losses: list[float] = []
+    best = np.inf
+    used: list[float] = []
+    for lr in lrs:
+        loss = float(loss_at_lr(float(lr)))
+        used.append(float(lr))
+        losses.append(loss)
+        if np.isfinite(loss):
+            best = min(best, loss)
+        if not np.isfinite(loss) or loss > 10 * best:
+            break
+    return np.asarray(used), np.asarray(losses)
+
+
+def suggest_valley_lr(lrs: np.ndarray, losses: np.ndarray, *, smooth: int = 3) -> float:
+    """Pick the valley learning rate from an LR-range-test curve.
+
+    Smooths the curve with a moving average and returns the learning rate
+    with the steepest negative slope (the point Smith's method recommends,
+    slightly before the minimum).  Falls back to the minimum-loss point for
+    degenerate curves.
+    """
+    lrs = np.asarray(lrs, dtype=float)
+    losses = np.asarray(losses, dtype=float)
+    if lrs.shape != losses.shape or lrs.size == 0:
+        raise ValueError("lrs and losses must be equal-length non-empty arrays")
+    finite = np.isfinite(losses)
+    lrs, losses = lrs[finite], losses[finite]
+    if lrs.size == 0:
+        raise ValueError("no finite losses recorded in LR range test")
+    if lrs.size < 3:
+        return float(lrs[np.argmin(losses)])
+    if smooth > 1:
+        width = min(smooth, losses.size)
+        kernel = np.ones(width) / width
+        padded = np.concatenate([
+            np.full(width // 2, losses[0]), losses, np.full(width - 1 - width // 2, losses[-1])
+        ])
+        losses = np.convolve(padded, kernel, mode="valid")[: losses.size]
+    slopes = np.gradient(losses, np.log(lrs))
+    return float(lrs[np.argmin(slopes)])

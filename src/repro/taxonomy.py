@@ -1,0 +1,116 @@
+"""The Figure-1 taxonomy of time-series augmentation techniques.
+
+The taxonomy is represented as a :class:`networkx.DiGraph` (a tree rooted
+at ``"Time Series Data Augmentation Techniques"``) whose leaves carry the
+registry names of the implementations in :mod:`repro.augmentation`.  It
+powers the Figure-1 benchmark, coverage tests and the taxonomy-tour
+example.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from .augmentation import available_augmenters
+
+__all__ = ["build_taxonomy", "taxonomy_leaves", "implementation_coverage", "render_taxonomy"]
+
+ROOT = "Time Series Data Augmentation Techniques"
+
+# (path under the root, implementations at that leaf)
+_LEAVES: list[tuple[tuple[str, ...], tuple[str, ...]]] = [
+    (("Basic Techniques", "Time Domain", "Slicing"), ("slicing",)),
+    (("Basic Techniques", "Time Domain", "Permutation"), ("permutation",)),
+    (("Basic Techniques", "Time Domain", "Warping"),
+     ("window_warping", "time_warping", "magnitude_warping", "guided_warping", "dba")),
+    (("Basic Techniques", "Time Domain", "Masking"), ("masking", "cropping", "pooling")),
+    (("Basic Techniques", "Time Domain", "Injecting Noise"), ("noise1", "noise3", "noise5", "drift")),
+    (("Basic Techniques", "Time Domain", "Rotation"), ("rotation",)),
+    (("Basic Techniques", "Time Domain", "Scaling"), ("scaling",)),
+    (("Basic Techniques", "Frequency Domain", "Fourier Transform"), ("fourier",)),
+    (("Basic Techniques", "Frequency Domain", "Frequency Warping"), ("frequency_warping",)),
+    (("Basic Techniques", "Frequency Domain", "Frequency Masking"), ("frequency_masking",)),
+    (("Basic Techniques", "Frequency Domain", "Mixing"), ("spectral_mixing",)),
+    (("Basic Techniques", "Oversampling Techniques", "Interpolation"),
+     ("smote", "borderline_smote", "smotefuna", "interpolation", "random_oversampling")),
+    (("Basic Techniques", "Oversampling Techniques", "Density"), ("adasyn", "swim")),
+    (("Basic Techniques", "Decomposition Techniques", "STL"), ("stl",)),
+    (("Basic Techniques", "Decomposition Techniques", "EMD"), ("emd",)),
+    (("Basic Techniques", "Decomposition Techniques", "RobustTAD"), ("fourier", "stl")),
+    (("Basic Techniques", "Decomposition Techniques", "ICA"), ("ica",)),
+    (("Generative Techniques", "Statistical Models", "Posterior Sampling"),
+     ("gaussian", "meboot")),
+    (("Generative Techniques", "Statistical Models", "Gaussian Trees"), ("gmm",)),
+    (("Generative Techniques", "Statistical Models", "LGT"), ("lgt",)),
+    (("Generative Techniques", "Statistical Models", "GRATIS"), ("gratis",)),
+    (("Generative Techniques", "Neural Networks", "Autoencoders"),
+     ("autoencoder", "vae", "lstm_ae")),
+    (("Generative Techniques", "Neural Networks", "GANs"), ("timegan", "wgan")),
+    (("Generative Techniques", "Probabilistic Models", "Autoregressive Models"),
+     ("ar", "markov")),
+    (("Generative Techniques", "Probabilistic Models", "Diffusion Models"), ("diffusion",)),
+    (("Generative Techniques", "Probabilistic Models", "Normalizing Flows"), ("flow",)),
+    (("Preserving Techniques", "Label Preserving", "Range Techniques"), ("range",)),
+    (("Preserving Techniques", "Structure Preserving", "SPO"), ("spo",)),
+    (("Preserving Techniques", "Structure Preserving", "INOS"), ("inos",)),
+    (("Preserving Techniques", "Structure Preserving", "MDO"), ("mdo",)),
+    (("Preserving Techniques", "Structure Preserving", "OHIT"), ("ohit",)),
+]
+
+
+def build_taxonomy() -> nx.DiGraph:
+    """Build the Figure-1 tree; leaf nodes carry ``implementations`` lists."""
+    graph = nx.DiGraph()
+    graph.add_node(ROOT, kind="root")
+    for path, implementations in _LEAVES:
+        parent = ROOT
+        for depth, part in enumerate(path):
+            node = " / ".join(path[: depth + 1])
+            if node not in graph:
+                kind = "leaf" if depth == len(path) - 1 else "branch"
+                graph.add_node(node, kind=kind, label=part)
+            graph.add_edge(parent, node)
+            parent = node
+        graph.nodes[parent]["kind"] = "leaf"
+        graph.nodes[parent]["implementations"] = list(implementations)
+    return graph
+
+
+def taxonomy_leaves(graph: nx.DiGraph | None = None) -> list[str]:
+    """Leaf node identifiers, in Figure-1 order."""
+    graph = graph or build_taxonomy()
+    return [n for n, data in graph.nodes(data=True) if data.get("kind") == "leaf"]
+
+
+def implementation_coverage(graph: nx.DiGraph | None = None) -> dict[str, float]:
+    """Fraction of leaves with >= 1 implementation, per top-level branch."""
+    graph = graph or build_taxonomy()
+    registered = set(available_augmenters())
+    coverage: dict[str, list[int]] = {}
+    for leaf in taxonomy_leaves(graph):
+        branch = leaf.split(" / ")[0]
+        implementations = graph.nodes[leaf].get("implementations", [])
+        implemented = any(name in registered for name in implementations)
+        coverage.setdefault(branch, []).append(int(implemented))
+    return {branch: sum(flags) / len(flags) for branch, flags in coverage.items()}
+
+
+def render_taxonomy(graph: nx.DiGraph | None = None) -> str:
+    """ASCII rendering of the Figure-1 tree with implementation markers."""
+    graph = graph or build_taxonomy()
+    registered = set(available_augmenters())
+    lines = [ROOT]
+
+    def visit(node: str, depth: int) -> None:
+        for child in sorted(graph.successors(node)):
+            data = graph.nodes[child]
+            label = data.get("label", child)
+            marker = ""
+            if data.get("kind") == "leaf":
+                implementations = [i for i in data.get("implementations", []) if i in registered]
+                marker = f"  [{', '.join(implementations)}]" if implementations else "  [--]"
+            lines.append("  " * depth + f"- {label}{marker}")
+            visit(child, depth + 1)
+
+    visit(ROOT, 1)
+    return "\n".join(lines)

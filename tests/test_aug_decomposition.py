@@ -1,0 +1,119 @@
+"""Decomposition techniques: STL, EMD, FastICA."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    EMDRecombination,
+    ICAMixing,
+    STLRecombination,
+    emd,
+    fast_ica,
+    stl_decompose,
+)
+
+
+class TestSTL:
+    def test_components_sum_to_series(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(60) + np.sin(np.arange(60) / 3)
+        trend, seasonal, residual = stl_decompose(x, period=12)
+        assert np.allclose(trend + seasonal + residual, x)
+
+    def test_seasonal_is_periodic_and_centered(self):
+        x = np.sin(2 * np.pi * np.arange(48) / 12)
+        _, seasonal, _ = stl_decompose(x, period=12)
+        assert np.allclose(seasonal[:12], seasonal[12:24], atol=1e-9)
+        assert abs(seasonal.mean()) < 1e-9
+
+    def test_trend_captures_slope(self):
+        x = np.linspace(0, 10, 100)
+        trend, _, _ = stl_decompose(x, period=10)
+        # trend should be close to the line except near the edges
+        assert np.abs(trend[20:80] - x[20:80]).max() < 0.5
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            stl_decompose(np.zeros((3, 4)), period=2)
+
+    def test_recombination_keeps_trend(self, rng):
+        t = np.linspace(0, 1, 64)
+        X = (5 * t + np.sin(2 * np.pi * 8 * t)).reshape(1, 1, 64).repeat(4, axis=0)
+        out = STLRecombination(period=8).transform(X, rng=rng)
+        assert out.shape == X.shape
+        # trend survives: start low, end high
+        assert (out[:, :, -8:].mean(axis=2) > out[:, :, :8].mean(axis=2)).all()
+
+
+class TestEMD:
+    def test_reconstruction_exact(self):
+        rng = np.random.default_rng(1)
+        t = np.linspace(0, 1, 128)
+        x = np.sin(2 * np.pi * 3 * t) + 0.5 * np.sin(2 * np.pi * 17 * t) + rng.normal(0, 0.1, 128)
+        components = emd(x)
+        assert np.allclose(np.sum(components, axis=0), x, atol=1e-9)
+
+    def test_multiple_imfs_for_multiscale_signal(self):
+        t = np.linspace(0, 1, 256)
+        x = np.sin(2 * np.pi * 2 * t) + np.sin(2 * np.pi * 40 * t)
+        components = emd(x)
+        assert len(components) >= 2
+
+    def test_first_imf_is_fastest(self):
+        t = np.linspace(0, 1, 256)
+        x = np.sin(2 * np.pi * 2 * t) + np.sin(2 * np.pi * 40 * t)
+        components = emd(x)
+        zero_crossings = [
+            int(np.sum(np.abs(np.diff(np.sign(c))) > 0) ) for c in components[:-1]
+        ]
+        assert zero_crossings == sorted(zero_crossings, reverse=True)
+
+    def test_monotone_signal_no_imfs(self):
+        components = emd(np.linspace(0, 1, 50))
+        assert len(components) == 1  # just the residue
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            emd(np.zeros((3, 4)))
+
+    def test_recombination_shape(self, rng):
+        X = rng.standard_normal((3, 2, 64))
+        out = EMDRecombination(sigma=0.2).transform(X, rng=rng)
+        assert out.shape == X.shape
+        assert np.isfinite(out).all()
+
+
+class TestFastICA:
+    def test_unmixes_independent_sources(self):
+        rng = np.random.default_rng(2)
+        t = np.linspace(0, 1, 2000)
+        s1 = np.sign(np.sin(2 * np.pi * 5 * t))  # square wave
+        s2 = np.sin(2 * np.pi * 3 * t)
+        S = np.stack([s1, s2])
+        A = np.array([[1.0, 0.6], [0.4, 1.0]])
+        X = A @ S
+        recovered, _, _ = fast_ica(X, rng=rng)
+        # Each recovered component should correlate strongly with one source.
+        corr = np.abs(np.corrcoef(np.vstack([recovered, S]))[:2, 2:])
+        assert corr.max(axis=1).min() > 0.9
+
+    def test_output_shapes(self):
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((4, 100))
+        S, W, mean = fast_ica(X, n_components=3, rng=rng)
+        assert S.shape == (3, 100)
+        assert W.shape == (3, 4)
+        assert mean.shape == (4, 1)
+
+    def test_mixing_shape(self, rng):
+        X = rng.standard_normal((4, 3, 50))
+        out = ICAMixing(sigma=0.2).transform(X, rng=rng)
+        assert out.shape == X.shape
+        assert np.isfinite(out).all()
+
+    def test_univariate_fallback(self, rng):
+        X = rng.standard_normal((4, 1, 20))
+        out = ICAMixing(sigma=0.2).transform(X, rng=rng)
+        # fallback is pure scaling
+        ratios = out / X
+        assert np.allclose(ratios.std(axis=2), 0.0, atol=1e-9)

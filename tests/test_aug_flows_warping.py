@@ -1,0 +1,130 @@
+"""Normalizing flows and DTW-guided warping augmenters."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    DBAAugmenter,
+    GuidedWarping,
+    NormalizingFlowSampler,
+    dba_average,
+    dtw_path,
+)
+from repro.augmentation.generative.flows import AffineCoupling
+from repro import nn
+
+
+class TestAffineCoupling:
+    def test_invertibility(self, rng):
+        mask = np.array([1.0, 0.0, 1.0, 0.0])
+        coupling = AffineCoupling(4, 16, mask, rng)
+        x = nn.Tensor(rng.standard_normal((6, 4)))
+        z, _ = coupling(x)
+        recovered = coupling.inverse(z)
+        assert np.allclose(recovered.data, x.data, atol=1e-10)
+
+    def test_log_det_matches_jacobian(self, rng):
+        """log|det J| from the layer equals numerical determinant (d=2)."""
+        mask = np.array([1.0, 0.0])
+        coupling = AffineCoupling(2, 8, mask, rng)
+        x0 = rng.standard_normal(2)
+
+        def forward(v):
+            z, _ = coupling(nn.Tensor(v[None, :]))
+            return z.data[0]
+
+        eps = 1e-6
+        jacobian = np.stack([
+            (forward(x0 + eps * np.eye(2)[i]) - forward(x0 - eps * np.eye(2)[i])) / (2 * eps)
+            for i in range(2)
+        ]).T
+        _, log_det = coupling(nn.Tensor(x0[None, :]))
+        assert np.isclose(log_det.data[0], np.log(abs(np.linalg.det(jacobian))), atol=1e-5)
+
+    def test_masked_coordinates_unchanged(self, rng):
+        mask = np.array([1.0, 0.0, 0.0])
+        coupling = AffineCoupling(3, 8, mask, rng)
+        x = nn.Tensor(rng.standard_normal((4, 3)))
+        z, _ = coupling(x)
+        assert np.allclose(z.data[:, 0], x.data[:, 0])
+
+
+class TestNormalizingFlow:
+    def test_generate_shape(self, rng):
+        X = rng.standard_normal((20, 2, 8))
+        out = NormalizingFlowSampler(epochs=10, hidden_dim=16).generate(X, 5, rng=rng)
+        assert out.shape == (5, 2, 8)
+        assert np.isfinite(out).all()
+
+    def test_learns_shifted_gaussian(self, rng):
+        X = (rng.standard_normal((40, 1, 6)) * 0.5 + 4.0)
+        out = NormalizingFlowSampler(epochs=60, hidden_dim=24).generate(X, 100, rng=rng)
+        assert abs(out.mean() - 4.0) < 1.0
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            NormalizingFlowSampler(n_couplings=0)
+
+
+class TestDTWPath:
+    def test_identity_path_for_identical(self):
+        x = np.random.default_rng(0).standard_normal((1, 6))
+        path = dtw_path(x, x)
+        assert path == [(i, i) for i in range(6)]
+
+    def test_endpoints(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((2, 8))
+        b = rng.standard_normal((2, 5))
+        path = dtw_path(a, b)
+        assert path[0] == (0, 0)
+        assert path[-1] == (7, 4)
+
+    def test_monotone_path(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((1, 7))
+        b = rng.standard_normal((1, 7))
+        path = dtw_path(a, b)
+        for (i1, j1), (i2, j2) in zip(path, path[1:]):
+            assert i2 >= i1 and j2 >= j1
+            assert (i2 - i1) + (j2 - j1) >= 1
+
+
+class TestDBA:
+    def test_average_of_identical_is_identity(self):
+        series = np.random.default_rng(0).standard_normal((1, 2, 10))
+        panel = np.repeat(series, 4, axis=0)
+        barycenter = dba_average(panel)
+        assert np.allclose(barycenter, series[0], atol=1e-9)
+
+    def test_average_of_shifted_sines_is_sine_like(self):
+        t = np.linspace(0, 2 * np.pi, 40)
+        panel = np.stack([
+            np.sin(t + phase)[None, :] for phase in (-0.3, 0.0, 0.3)
+        ])
+        barycenter = dba_average(panel, iterations=5)
+        # Amplitude should be preserved, unlike a plain mean of shifted sines.
+        assert barycenter.max() > 0.9 * np.sin(t).max()
+
+    def test_augmenter_shapes(self, rng):
+        X = rng.standard_normal((8, 2, 12))
+        out = DBAAugmenter(subset_size=3, iterations=2).generate(X, 4, rng=rng)
+        assert out.shape == (4, 2, 12)
+
+
+class TestGuidedWarping:
+    def test_shape(self, rng):
+        X = rng.standard_normal((6, 2, 16))
+        out = GuidedWarping().generate(X, 5, rng=rng)
+        assert out.shape == (5, 2, 16)
+        assert np.isfinite(out).all()
+
+    def test_value_range_bounded_by_class(self, rng):
+        X = rng.uniform(1.0, 2.0, (6, 1, 14))
+        out = GuidedWarping().generate(X, 8, rng=rng)
+        # Averaging aligned values cannot leave the observed value range.
+        assert out.min() >= 1.0 - 1e-9 and out.max() <= 2.0 + 1e-9
+
+    def test_validates_window(self):
+        with pytest.raises(ValueError):
+            GuidedWarping(window_fraction=0.0)

@@ -1,0 +1,88 @@
+"""Frequency-domain augmenters."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    FourierPerturbation,
+    FrequencyMasking,
+    FrequencyWarping,
+    SpectralMixing,
+)
+
+
+@pytest.fixture
+def sinusoid_panel():
+    t = np.linspace(0, 1, 64)
+    X = np.stack([
+        np.stack([np.sin(2 * np.pi * 4 * t), np.cos(2 * np.pi * 7 * t)])
+        for _ in range(6)
+    ])
+    return X
+
+
+def test_fourier_preserves_shape(sinusoid_panel, rng):
+    out = FourierPerturbation().transform(sinusoid_panel, rng=rng)
+    assert out.shape == sinusoid_panel.shape
+    assert np.isfinite(out).all()
+
+
+def test_fourier_small_sigma_small_change(sinusoid_panel, rng):
+    out = FourierPerturbation(0.01, 0.01, 0.2).transform(sinusoid_panel, rng=rng)
+    assert np.abs(out - sinusoid_panel).max() < 0.5
+
+
+def test_fourier_preserves_dominant_frequency(sinusoid_panel, rng):
+    out = FourierPerturbation(0.1, 0.1).transform(sinusoid_panel, rng=rng)
+    original_peak = np.abs(np.fft.rfft(sinusoid_panel[0, 0])).argmax()
+    new_peak = np.abs(np.fft.rfft(out[0, 0])).argmax()
+    assert original_peak == new_peak == 4
+
+
+def test_frequency_masking_removes_band(rng):
+    t = np.linspace(0, 1, 128)
+    X = (np.sin(2 * np.pi * 5 * t) + np.sin(2 * np.pi * 30 * t)).reshape(1, 1, 128)
+    out = FrequencyMasking(mask_fraction=0.15).transform(np.repeat(X, 20, axis=0), rng=rng)
+    # Some series must have lost energy (a band was zeroed).
+    energies = (out**2).sum(axis=2)
+    assert energies.min() < (X**2).sum() - 1e-6
+
+
+def test_frequency_masking_nan_passthrough(rng):
+    X = np.random.default_rng(0).standard_normal((2, 1, 32))
+    X[0, 0, -4:] = np.nan
+    out = FrequencyMasking().transform(X, rng=rng)
+    assert np.isnan(out[0, 0, -4:]).all()
+
+
+def test_frequency_warping_shape(sinusoid_panel, rng):
+    out = FrequencyWarping(warp_range=0.1).transform(sinusoid_panel, rng=rng)
+    assert out.shape == sinusoid_panel.shape
+    assert np.isfinite(out).all()
+
+
+def test_frequency_warping_shifts_peak(rng):
+    t = np.linspace(0, 1, 256)
+    X = np.sin(2 * np.pi * 20 * t).reshape(1, 1, 256).repeat(30, axis=0)
+    out = FrequencyWarping(warp_range=0.3).transform(X, rng=rng)
+    peaks = [np.abs(np.fft.rfft(series[0])).argmax() for series in out]
+    assert len(set(peaks)) > 1  # warp factors moved the dominant bin
+
+
+def test_spectral_mixing_generate(sinusoid_panel, rng):
+    out = SpectralMixing().generate(sinusoid_panel, 9, rng=rng)
+    assert out.shape == (9, 2, 64)
+
+
+def test_spectral_mixing_between_sources(rng):
+    """Mix of two constant-amplitude sources lies between them."""
+    a = np.full((1, 1, 32), 1.0)
+    b = np.full((1, 1, 32), 3.0)
+    X = np.concatenate([a, b])
+    out = SpectralMixing().generate(X, 20, rng=rng)
+    means = out.mean(axis=(1, 2))
+    assert ((means >= 1.0 - 1e-6) & (means <= 3.0 + 1e-6)).all()
+
+
+def test_spectral_mixing_zero(sinusoid_panel, rng):
+    assert SpectralMixing().generate(sinusoid_panel, 0, rng=rng).shape == (0, 2, 64)

@@ -1,0 +1,191 @@
+"""Statistical, probabilistic and neural generative augmenters."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    ARSampler,
+    AutoencoderInterpolation,
+    DiffusionSampler,
+    GaussianPosteriorSampling,
+    GMMSampler,
+    GRATISMixtureAR,
+    LGT,
+    MarkovChainSampler,
+    MaximumEntropyBootstrap,
+    TimeGAN,
+    TimeGANConfig,
+    VAESampler,
+)
+from repro.augmentation.generative.statistical import fit_gmm
+
+
+@pytest.fixture
+def class_panel(rng):
+    t = np.linspace(0, 1, 30)
+    base = np.sin(2 * np.pi * 3 * t)
+    return base[None, None, :] + rng.standard_normal((12, 2, 30)) * 0.3
+
+
+class TestGaussian:
+    def test_matches_moments(self, rng):
+        X = rng.standard_normal((50, 1, 8)) * 2 + 5
+        out = GaussianPosteriorSampling().generate(X, 400, rng=rng)
+        assert abs(out.mean() - 5) < 0.5
+        assert 1.0 < out.std() < 3.0
+
+    def test_shape(self, class_panel, rng):
+        out = GaussianPosteriorSampling().generate(class_panel, 7, rng=rng)
+        assert out.shape == (7, 2, 30)
+
+
+class TestGMM:
+    def test_em_recovers_two_modes(self, rng):
+        a = rng.normal(-4, 0.5, (60, 2))
+        b = rng.normal(4, 0.5, (40, 2))
+        weights, means, variances = fit_gmm(np.vstack([a, b]), 2, rng=rng)
+        centers = sorted(means[:, 0])
+        assert abs(centers[0] + 4) < 1.0 and abs(centers[1] - 4) < 1.0
+        assert abs(sorted(weights)[0] - 0.4) < 0.15
+
+    def test_component_cap(self, rng):
+        X = rng.standard_normal((3, 1, 4))
+        out = GMMSampler(n_components=10).generate(X, 5, rng=rng)
+        assert out.shape == (5, 1, 4)
+
+    def test_sampler_bimodal_output(self, rng):
+        a = np.full((20, 1, 2), -5.0) + rng.normal(0, 0.2, (20, 1, 2))
+        b = np.full((20, 1, 2), 5.0) + rng.normal(0, 0.2, (20, 1, 2))
+        out = GMMSampler(n_components=2).generate(np.concatenate([a, b]), 100, rng=rng)
+        means = out.mean(axis=(1, 2))
+        assert (means < -3).sum() > 15 and (means > 3).sum() > 15
+
+
+class TestLGT:
+    def test_trend_preserved(self, rng):
+        t = np.arange(40, dtype=float)
+        X = (0.5 * t)[None, None, :] + rng.standard_normal((10, 1, 40)) * 0.5
+        out = LGT().generate(X, 20, rng=rng)
+        slopes = [np.polyfit(t, series[0], 1)[0] for series in out]
+        assert np.abs(np.mean(slopes) - 0.5) < 0.1
+
+    def test_shape(self, class_panel, rng):
+        assert LGT().generate(class_panel, 5, rng=rng).shape == (5, 2, 30)
+
+
+class TestGRATIS:
+    def test_stationary_output(self, rng):
+        X = rng.standard_normal((8, 1, 60))
+        out = GRATISMixtureAR(order=2).generate(X, 10, rng=rng)
+        assert np.isfinite(out).all()
+        assert out.std() < 20 * X.std()  # stabilised, no explosion
+
+    def test_preserves_autocorrelation_sign(self, rng):
+        # Strongly positively autocorrelated input.
+        shocks = rng.standard_normal((10, 80))
+        series = np.empty_like(shocks)
+        series[:, 0] = shocks[:, 0]
+        for step in range(1, 80):
+            series[:, step] = 0.9 * series[:, step - 1] + 0.3 * shocks[:, step]
+        X = series[:, None, :]
+        out = GRATISMixtureAR(order=1).generate(X, 10, rng=rng)
+        lag1 = np.mean([np.corrcoef(s[0, :-1], s[0, 1:])[0, 1] for s in out])
+        assert lag1 > 0.5
+
+
+class TestMeboot:
+    def test_rank_structure_preserved(self, rng):
+        X = rng.standard_normal((5, 1, 30))
+        out = MaximumEntropyBootstrap().generate(X, 5, rng=rng)
+        assert out.shape == (5, 1, 30)
+        assert np.isfinite(out).all()
+
+    def test_replicate_correlates_with_source(self, rng):
+        x = np.cumsum(rng.standard_normal(100))
+        X = x[None, None, :]
+        out = MaximumEntropyBootstrap().generate(X, 10, rng=rng)
+        correlations = [np.corrcoef(x, series[0])[0, 1] for series in out]
+        assert np.mean(correlations) > 0.9  # rank-preserving => high corr
+
+
+class TestAR:
+    def test_shape_and_finite(self, class_panel, rng):
+        out = ARSampler(order=2).generate(class_panel, 6, rng=rng)
+        assert out.shape == (6, 2, 30)
+        assert np.isfinite(out).all()
+
+    def test_cross_channel_dependence_captured(self, rng):
+        """Channel 1 = lagged copy of channel 0 should survive generation."""
+        driver = np.cumsum(rng.standard_normal((20, 50)), axis=1) * 0.2
+        X = np.stack([driver, np.roll(driver, 1, axis=1)], axis=1)
+        out = ARSampler(order=2).generate(X, 15, rng=rng)
+        correlations = [np.corrcoef(s[0, 1:], s[1, 1:])[0, 1] for s in out]
+        assert np.nanmean(correlations) > 0.5
+
+
+class TestMarkov:
+    def test_values_within_observed_range(self, rng):
+        X = rng.uniform(-2, 2, (10, 1, 40))
+        out = MarkovChainSampler(n_bins=8).generate(X, 10, rng=rng)
+        assert out.min() >= -2.1 and out.max() <= 2.1
+
+    def test_shape(self, class_panel, rng):
+        assert MarkovChainSampler().generate(class_panel, 4, rng=rng).shape == (4, 2, 30)
+
+
+class TestNeuralGenerative:
+    def test_autoencoder_interpolation(self, class_panel, rng):
+        augmenter = AutoencoderInterpolation(epochs=20, hidden_dim=16, latent_dim=4)
+        out = augmenter.generate(class_panel, 6, rng=rng)
+        assert out.shape == (6, 2, 30)
+        assert np.isfinite(out).all()
+        # decoded samples live near the class (standardised reconstruction)
+        assert abs(out.mean() - class_panel.mean()) < 2.0
+
+    def test_vae(self, class_panel, rng):
+        augmenter = VAESampler(epochs=20, hidden_dim=16, latent_dim=3)
+        out = augmenter.generate(class_panel, 6, rng=rng)
+        assert out.shape == (6, 2, 30)
+        assert np.isfinite(out).all()
+
+    def test_vae_tiny_class_uses_posterior(self, rng):
+        X = rng.standard_normal((2, 1, 10))
+        out = VAESampler(epochs=5).generate(X, 3, rng=rng)
+        assert out.shape == (3, 1, 10)
+
+    def test_diffusion(self, rng):
+        X = rng.standard_normal((16, 1, 12)) + 3.0
+        augmenter = DiffusionSampler(epochs=60, n_steps=25, hidden_dim=32)
+        out = augmenter.generate(X, 8, rng=rng)
+        assert out.shape == (8, 1, 12)
+        assert np.isfinite(out).all()
+        # Diffusion should place samples near the data distribution.
+        assert abs(out.mean() - 3.0) < 2.0
+
+
+class TestTimeGAN:
+    def test_generate_shape_and_range(self, class_panel, rng):
+        config = TimeGANConfig(iterations=(20, 20, 10))
+        out = TimeGAN(config).generate(class_panel, 5, rng=rng)
+        assert out.shape == (5, 2, 30)
+        assert np.isfinite(out).all()
+        # min-max scaling bounds generation to the observed range (sigmoid).
+        assert out.min() >= class_panel.min() - 1e-6
+        assert out.max() <= class_panel.max() + 1e-6
+
+    def test_long_series_downsampled_and_restored(self, rng):
+        X = rng.standard_normal((6, 1, 300))
+        config = TimeGANConfig(iterations=(5, 5, 3), max_sequence_length=32)
+        out = TimeGAN(config).generate(X, 3, rng=rng)
+        assert out.shape == (3, 1, 300)
+
+    def test_config_defaults_follow_paper(self):
+        config = TimeGANConfig()
+        assert config.latent_dim == 10
+        assert config.gamma == 1.0
+        assert config.lr == 5e-4
+        assert config.batch_size == 32
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TimeGANConfig(latent_dim=0)

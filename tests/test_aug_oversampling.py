@@ -1,0 +1,128 @@
+"""Oversamplers: SMOTE family invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augmentation import (
+    ADASYN,
+    BorderlineSMOTE,
+    Interpolation,
+    RandomOversampling,
+    SMOTE,
+)
+
+
+@pytest.fixture
+def cluster(rng):
+    return rng.standard_normal((15, 2, 10)) + 5.0
+
+
+@pytest.fixture
+def far_cluster(rng):
+    return rng.standard_normal((15, 2, 10)) - 5.0
+
+
+class TestSMOTE:
+    def test_inside_convex_hull_coordinatewise(self, cluster, rng):
+        out = SMOTE().generate(cluster, 30, rng=rng)
+        lo = cluster.min(axis=0)
+        hi = cluster.max(axis=0)
+        # Convex combos of two members stay inside the coordinate-wise bounds.
+        assert (out >= lo - 1e-9).all() and (out <= hi + 1e-9).all()
+
+    def test_singleton_class_duplicates(self, rng):
+        X = rng.standard_normal((1, 2, 8))
+        out = SMOTE().generate(X, 4, rng=rng)
+        assert np.allclose(out, X[0])
+
+    def test_k_capped_at_class_size(self, rng):
+        X = rng.standard_normal((3, 1, 6))
+        out = SMOTE(k_neighbors=50).generate(X, 5, rng=rng)
+        assert out.shape == (5, 1, 6)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SMOTE(k_neighbors=0)
+
+    def test_nan_propagates(self, rng):
+        X = np.ones((4, 1, 6))
+        X[:, 0, -1] = np.nan
+        out = SMOTE().generate(X, 3, rng=rng)
+        assert np.isnan(out[:, 0, -1]).all()
+
+    def test_new_points_differ_from_sources(self, cluster, rng):
+        out = SMOTE().generate(cluster, 20, rng=rng)
+        flat_src = cluster.reshape(len(cluster), -1)
+        flat_new = out.reshape(len(out), -1)
+        d = np.linalg.norm(flat_new[:, None] - flat_src[None], axis=2).min(axis=1)
+        assert (d > 0).sum() > 10  # most are genuinely new points
+
+
+class TestBorderlineSMOTE:
+    def test_fallback_without_majority(self, cluster, rng):
+        out = BorderlineSMOTE().generate(cluster, 6, rng=rng)
+        assert out.shape == (6, 2, 10)
+
+    def test_with_majority_context(self, cluster, far_cluster, rng):
+        out = BorderlineSMOTE().generate(cluster, 6, rng=rng, X_other=far_cluster)
+        assert out.shape == (6, 2, 10)
+        assert np.isfinite(out).all()
+
+    def test_danger_seeds_near_boundary(self, rng):
+        """With an overlapping majority, synthesis concentrates near it."""
+        minority = rng.standard_normal((20, 1, 4))
+        majority = rng.standard_normal((40, 1, 4)) + 1.5
+        out = BorderlineSMOTE(k_neighbors=5).generate(minority, 40, rng=rng, X_other=majority)
+        # Seeds are the boundary points, so synthetic mean shifts toward majority.
+        assert out.mean() > minority.mean() - 0.1
+
+
+class TestADASYN:
+    def test_fallback_without_majority(self, cluster, rng):
+        out = ADASYN().generate(cluster, 6, rng=rng)
+        assert out.shape == (6, 2, 10)
+
+    def test_with_majority(self, cluster, far_cluster, rng):
+        out = ADASYN().generate(cluster, 8, rng=rng, X_other=far_cluster)
+        assert out.shape == (8, 2, 10)
+
+    def test_far_majority_uniform_fallback(self, cluster, far_cluster, rng):
+        """When no minority point has majority neighbours, hardness is zero."""
+        out = ADASYN(k_neighbors=3).generate(cluster, 8, rng=rng, X_other=far_cluster + 100)
+        assert np.isfinite(out).all()
+
+
+class TestSimple:
+    def test_random_oversampling_copies(self, cluster, rng):
+        out = RandomOversampling().generate(cluster, 10, rng=rng)
+        flat_src = cluster.reshape(len(cluster), -1)
+        for row in out.reshape(10, -1):
+            assert (np.abs(flat_src - row).sum(axis=1) < 1e-12).any()
+
+    def test_interpolation_bounds(self, cluster, rng):
+        out = Interpolation().generate(cluster, 25, rng=rng)
+        assert (out >= cluster.min(axis=0) - 1e-9).all()
+        assert (out <= cluster.max(axis=0) + 1e-9).all()
+
+    def test_interpolation_distinct_pair(self, rng):
+        """second index is never equal to first (shift >= 1)."""
+        X = np.stack([np.zeros((1, 4)), np.ones((1, 4))])
+        out = Interpolation().generate(X, 50, rng=rng)
+        # every sample mixes the two distinct sources: values strictly inside
+        assert ((out > -1e-12) & (out < 1 + 1e-12)).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_source=st.integers(2, 12),
+    n_new=st.integers(1, 10),
+    seed=st.integers(0, 500),
+)
+def test_smote_always_valid(n_source, n_new, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_source, 2, 6))
+    out = SMOTE().generate(X, n_new, rng=rng)
+    assert out.shape == (n_new, 2, 6)
+    assert np.isfinite(out).all()

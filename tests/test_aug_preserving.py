@@ -1,0 +1,163 @@
+"""Label- and structure-preserving techniques (Figs. 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    INOS,
+    MDO,
+    OHIT,
+    SPO,
+    RangeTechnique,
+    shrinkage_covariance,
+    snn_clusters,
+)
+from repro.classifiers import KNeighborsTimeSeriesClassifier
+
+
+@pytest.fixture
+def two_clusters(rng):
+    near = rng.standard_normal((12, 1, 6)) * 0.5
+    far = rng.standard_normal((12, 1, 6)) * 0.5 + 8.0
+    return near, far
+
+
+class TestShrinkageCovariance:
+    def test_psd(self, rng):
+        flat = rng.standard_normal((5, 40))  # n << d
+        _, cov = shrinkage_covariance(flat)
+        eigvals = np.linalg.eigvalsh(cov)
+        assert eigvals.min() > 0
+
+    def test_trace_preserved_by_full_shrinkage(self, rng):
+        flat = rng.standard_normal((10, 8))
+        _, cov_raw = shrinkage_covariance(flat, shrinkage=0.0)
+        _, cov_full = shrinkage_covariance(flat, shrinkage=1.0)
+        assert np.isclose(np.trace(cov_raw), np.trace(cov_full))
+        assert np.allclose(cov_full, np.diag(np.diag(cov_full)))
+
+    def test_mean_correct(self, rng):
+        flat = rng.standard_normal((20, 4)) + 3.0
+        mean, _ = shrinkage_covariance(flat)
+        assert np.allclose(mean, flat.mean(axis=0))
+
+
+class TestSNNClusters:
+    def test_two_well_separated_clusters(self, rng):
+        a = rng.standard_normal((10, 3)) * 0.3
+        b = rng.standard_normal((10, 3)) * 0.3 + 20.0
+        clusters = snn_clusters(np.vstack([a, b]))
+        assert len(clusters) == 2
+        sizes = sorted(len(c) for c in clusters)
+        assert sizes == [10, 10]
+
+    def test_partition_complete(self, rng):
+        flat = rng.standard_normal((17, 4))
+        clusters = snn_clusters(flat)
+        members = np.sort(np.concatenate(clusters))
+        assert np.array_equal(members, np.arange(17))
+
+    def test_singleton(self):
+        clusters = snn_clusters(np.zeros((1, 3)))
+        assert len(clusters) == 1
+
+
+class TestRangeTechnique:
+    def test_label_preservation_vs_noise(self, two_clusters, rng):
+        """Range-generated points stay on the right side of the 1-NN boundary."""
+        minority, majority = two_clusters
+        out = RangeTechnique(safety=0.9).generate(minority, 50, rng=rng, X_other=majority)
+        model = KNeighborsTimeSeriesClassifier().fit(
+            np.concatenate([minority, majority]),
+            np.array([0] * len(minority) + [1] * len(majority)),
+        )
+        predictions = model.predict(out)
+        assert (predictions == 0).mean() > 0.95
+
+    def test_without_majority_uses_same_class_margin(self, two_clusters, rng):
+        minority, _ = two_clusters
+        out = RangeTechnique().generate(minority, 5, rng=rng)
+        assert out.shape == (5, 1, 6)
+
+    def test_singleton_class(self, rng):
+        X = rng.standard_normal((1, 2, 5))
+        out = RangeTechnique().generate(X, 3, rng=rng)
+        assert out.shape == (3, 2, 5)
+
+    def test_safety_validated(self):
+        with pytest.raises(ValueError):
+            RangeTechnique(safety=1.5)
+
+
+class TestSPO:
+    def test_preserves_mean_and_spread(self, rng):
+        X = rng.standard_normal((30, 2, 8)) * 2.0 + 1.0
+        out = SPO().generate(X, 500, rng=rng)
+        assert np.abs(out.mean() - X.mean()) < 0.3
+        assert 0.5 < out.std() / X.std() < 1.5
+
+    def test_covariance_structure_preserved(self, rng):
+        """Samples reproduce the dominant principal direction."""
+        direction = rng.standard_normal(12)
+        direction /= np.linalg.norm(direction)
+        flat = rng.standard_normal((40, 1)) * 5 * direction[None] + rng.standard_normal((40, 12)) * 0.3
+        X = flat.reshape(40, 2, 6)
+        out = SPO(shrinkage=0.1).generate(X, 200, rng=rng)
+        out_flat = out.reshape(200, -1) - out.reshape(200, -1).mean(axis=0)
+        _, _, vt = np.linalg.svd(out_flat, full_matrices=False)
+        assert abs(vt[0] @ direction) > 0.9
+
+
+class TestINOS:
+    def test_budget_split(self, rng):
+        X = rng.standard_normal((10, 1, 8))
+        out = INOS(interpolation_fraction=0.7).generate(X, 10, rng=rng)
+        assert out.shape == (10, 1, 8)
+
+    def test_fraction_validated(self):
+        with pytest.raises(ValueError):
+            INOS(interpolation_fraction=1.2)
+
+    def test_all_interpolation(self, rng):
+        X = rng.standard_normal((8, 1, 6)) + 4
+        out = INOS(interpolation_fraction=1.0).generate(X, 6, rng=rng)
+        # pure interpolation stays in coordinate-wise hull
+        assert (out <= X.max(axis=0) + 1e-9).all()
+
+
+class TestMDO:
+    def test_mahalanobis_distance_preserved(self, rng):
+        X = rng.standard_normal((40, 1, 6))
+        out = MDO(shrinkage=0.2).generate(X, 100, rng=rng)
+        assert out.shape == (100, 1, 6)
+        # Samples should not collapse to the mean nor explode.
+        assert 0.3 < out.std() / X.std() < 2.0
+
+    def test_singleton(self, rng):
+        X = rng.standard_normal((1, 1, 4))
+        out = MDO().generate(X, 3, rng=rng)
+        assert np.allclose(out, X[0])
+
+
+class TestOHIT:
+    def test_respects_multimodality(self, rng):
+        """Samples should appear near both modes, not between them."""
+        mode_a = rng.standard_normal((15, 1, 4)) * 0.4
+        mode_b = rng.standard_normal((15, 1, 4)) * 0.4 + 10.0
+        X = np.concatenate([mode_a, mode_b])
+        out = OHIT().generate(X, 200, rng=rng)
+        means = out.mean(axis=(1, 2))
+        near_a = (np.abs(means) < 3).sum()
+        near_b = (np.abs(means - 10) < 3).sum()
+        between = ((means > 3.5) & (means < 6.5)).sum()
+        assert near_a > 20 and near_b > 20
+        assert between < 0.2 * len(out)
+
+    def test_budget_exact(self, rng):
+        X = rng.standard_normal((9, 2, 5))
+        out = OHIT().generate(X, 13, rng=rng)
+        assert out.shape == (13, 2, 5)
+
+    def test_zero(self, rng):
+        X = rng.standard_normal((5, 1, 4))
+        assert OHIT().generate(X, 0, rng=rng).shape == (0, 1, 4)

@@ -1,0 +1,99 @@
+"""SMOTEFUNA, SWIM and the SpecAugment composite pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import SMOTEFUNA, SWIM, make_specaugment
+
+
+@pytest.fixture
+def minority(rng):
+    return rng.standard_normal((12, 2, 8)) + 3.0
+
+
+@pytest.fixture
+def majority(rng):
+    return rng.standard_normal((30, 2, 8)) * 2.0
+
+
+class TestSMOTEFUNA:
+    def test_inside_bounding_box(self, minority, rng):
+        out = SMOTEFUNA().generate(minority, 40, rng=rng)
+        assert (out >= minority.min(axis=0) - 1e-9).all()
+        assert (out <= minority.max(axis=0) + 1e-9).all()
+
+    def test_broader_coverage_than_smote(self, rng):
+        """Furthest-neighbour boxes cover more volume than 1-NN segments."""
+        from repro.augmentation import SMOTE
+
+        cluster = np.concatenate([
+            rng.standard_normal((10, 1, 4)) * 0.2,
+            rng.standard_normal((10, 1, 4)) * 0.2 + 6.0,
+        ])
+        funa = SMOTEFUNA().generate(cluster, 200, rng=np.random.default_rng(0))
+        smote = SMOTE(k_neighbors=3).generate(cluster, 200, rng=np.random.default_rng(0))
+        # SMOTEFUNA fills the gap between the modes; nearest-neighbour SMOTE
+        # mostly stays inside each mode.
+        between_funa = ((funa.mean(axis=(1, 2)) > 1.5) & (funa.mean(axis=(1, 2)) < 4.5)).mean()
+        between_smote = ((smote.mean(axis=(1, 2)) > 1.5) & (smote.mean(axis=(1, 2)) < 4.5)).mean()
+        assert between_funa > between_smote
+
+    def test_singleton(self, rng):
+        X = rng.standard_normal((1, 1, 5))
+        assert np.allclose(SMOTEFUNA().generate(X, 3, rng=rng), X[0])
+
+    def test_zero(self, minority, rng):
+        assert SMOTEFUNA().generate(minority, 0, rng=rng).shape == (0, 2, 8)
+
+
+class TestSWIM:
+    def test_shape(self, minority, majority, rng):
+        out = SWIM().generate(minority, 15, rng=rng, X_other=majority)
+        assert out.shape == (15, 2, 8)
+        assert np.isfinite(out).all()
+
+    def test_fallback_without_majority(self, minority, rng):
+        out = SWIM().generate(minority, 5, rng=rng)
+        assert out.shape == (5, 2, 8)
+
+    def test_majority_depth_preserved(self, rng):
+        """Synthetic samples keep their seeds' Mahalanobis depth w.r.t. the
+        majority (up to the direction jitter)."""
+        majority = rng.standard_normal((200, 1, 4))
+        minority = rng.standard_normal((15, 1, 4)) * 0.3 + 2.5
+        out = SWIM(spread=0.1, shrinkage=0.05).generate(
+            minority, 100, rng=rng, X_other=majority
+        )
+        flat_majority = majority.reshape(200, -1)
+        mean = flat_majority.mean(axis=0)
+        cov = np.cov(flat_majority.T) + 0.05 * np.eye(4)
+        inv = np.linalg.inv(cov)
+
+        def depth(panel):
+            flat = panel.reshape(len(panel), -1) - mean
+            return np.sqrt(np.einsum("nd,de,ne->n", flat, inv, flat))
+
+        assert abs(np.median(depth(out)) - np.median(depth(minority))) < 1.5
+
+    def test_validates_spread(self):
+        with pytest.raises(ValueError):
+            SWIM(spread=0.0)
+
+
+class TestSpecAugment:
+    def test_pipeline_composition(self):
+        pipeline = make_specaugment()
+        assert len(pipeline.augmenters) == 3
+        assert "time_warping" in pipeline.name
+        assert "frequency_masking" in pipeline.name
+        assert "masking" in pipeline.name
+
+    def test_generates(self, minority, rng):
+        out = make_specaugment().generate(minority, 6, rng=rng)
+        assert out.shape == (6, 2, 8)
+        assert np.isfinite(out).all()
+
+    def test_masks_applied(self, rng):
+        X = np.ones((4, 1, 40)) + rng.standard_normal((4, 1, 40)) * 0.01
+        out = make_specaugment(time_mask=0.2).generate(X, 10, rng=rng)
+        assert (out == 0).any()  # the time mask zeroes a window

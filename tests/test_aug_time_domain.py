@@ -1,0 +1,194 @@
+"""Time-domain transforms: Eq. 6 noise, warps, masks, permutation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augmentation import (
+    Cropping,
+    Drift,
+    MagnitudeWarping,
+    Masking,
+    NoiseInjection,
+    Permutation,
+    Pooling,
+    Rotation,
+    Scaling,
+    Slicing,
+    TimeWarping,
+    WindowWarping,
+)
+
+
+@pytest.fixture
+def panel(rng):
+    return rng.standard_normal((8, 3, 40))
+
+
+class TestNoiseInjection:
+    def test_eq6_noise_scales_with_channel_std(self, rng):
+        X = np.zeros((200, 2, 100))
+        X[:, 0, :] = rng.standard_normal((200, 100)) * 1.0
+        X[:, 1, :] = rng.standard_normal((200, 100)) * 4.0
+        out = NoiseInjection(1.0).transform(X, rng=rng)
+        noise = out - X
+        ratio = noise[:, 1, :].std() / noise[:, 0, :].std()
+        assert 3.0 < ratio < 5.0  # noise std proportional to channel std
+
+    def test_level_multiplies_noise(self, rng):
+        X = rng.standard_normal((50, 1, 80))
+        noise1 = NoiseInjection(1.0).transform(X, rng=np.random.default_rng(0)) - X
+        noise5 = NoiseInjection(5.0).transform(X, rng=np.random.default_rng(0)) - X
+        assert 4.0 < noise5.std() / noise1.std() < 6.0
+
+    def test_level_names(self):
+        assert NoiseInjection(3.0).name == "noise3"
+
+    def test_rejects_nonpositive_level(self):
+        with pytest.raises(ValueError):
+            NoiseInjection(0.0)
+
+    def test_nan_passthrough(self, rng):
+        X = rng.standard_normal((3, 1, 10))
+        X[0, 0, 5:] = np.nan
+        out = NoiseInjection(1.0).transform(X, rng=rng)
+        assert np.isnan(out[0, 0, 5:]).all()
+        assert np.isfinite(out[1]).all()
+
+
+class TestScaling:
+    def test_per_channel_factor(self, rng):
+        X = np.ones((4, 2, 10))
+        out = Scaling(0.2).transform(X, rng=rng)
+        # each channel multiplied by a constant: zero variance along time
+        assert np.allclose(out.std(axis=2), 0.0)
+
+    def test_mean_factor_near_one(self, rng):
+        X = np.ones((500, 1, 4))
+        out = Scaling(0.1).transform(X, rng=rng)
+        assert abs(out.mean() - 1.0) < 0.02
+
+
+class TestRotation:
+    def test_preserves_norm_multivariate(self, rng):
+        X = rng.standard_normal((5, 3, 20))
+        out = Rotation().transform(X, rng=rng)
+        # orthogonal channel mixing preserves the per-timestep L2 norm
+        assert np.allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(X, axis=1), atol=1e-10
+        )
+
+    def test_univariate_sign_flip(self, rng):
+        X = rng.standard_normal((20, 1, 10))
+        out = Rotation().transform(X, rng=rng)
+        ratios = out / X
+        assert np.allclose(np.abs(ratios), 1.0)
+
+
+class TestSlicing:
+    def test_shape_preserved(self, panel, rng):
+        out = Slicing(0.7).transform(panel, rng=rng)
+        assert out.shape == panel.shape
+
+    def test_values_within_range(self, rng):
+        X = rng.uniform(2.0, 3.0, (4, 1, 30))
+        out = Slicing(0.5).transform(X, rng=rng)
+        assert out.min() >= 2.0 - 1e-9 and out.max() <= 3.0 + 1e-9  # interpolation
+
+    def test_rejects_zero_fraction(self):
+        with pytest.raises(ValueError):
+            Slicing(0.0)
+
+
+class TestCroppingMasking:
+    def test_cropping_zeroes_outside_window(self, rng):
+        X = np.ones((6, 2, 20))
+        out = Cropping(0.5).transform(X, rng=rng)
+        zero_fraction = (out == 0).mean()
+        assert 0.45 < zero_fraction < 0.55
+
+    def test_masking_zeroes_inside_window(self, rng):
+        X = np.ones((6, 2, 20))
+        out = Masking(mask_fraction=0.25).transform(X, rng=rng)
+        per_series_zeros = (out == 0).sum(axis=(1, 2))
+        assert (per_series_zeros == 2 * 5).all()
+
+
+class TestPermutation:
+    def test_preserves_values_multiset(self, rng):
+        X = rng.standard_normal((5, 2, 24))
+        out = Permutation(n_segments=4).transform(X, rng=rng)
+        assert np.allclose(np.sort(out, axis=2), np.sort(X, axis=2))
+
+    def test_rejects_single_segment(self):
+        with pytest.raises(ValueError):
+            Permutation(n_segments=1)
+
+    def test_segments_capped_by_length(self, rng):
+        X = rng.standard_normal((2, 1, 3))
+        out = Permutation(n_segments=10).transform(X, rng=rng)
+        assert out.shape == X.shape
+
+
+class TestWarping:
+    def test_window_warping_shape(self, panel, rng):
+        out = WindowWarping().transform(panel, rng=rng)
+        assert out.shape == panel.shape
+
+    def test_time_warping_monotone_resample(self, rng):
+        """Warping a monotone series keeps it monotone."""
+        X = np.tile(np.linspace(0, 1, 50), (3, 1, 1)).reshape(3, 1, 50)
+        out = TimeWarping(sigma=0.3).transform(X, rng=rng)
+        assert (np.diff(out, axis=2) >= -1e-9).all()
+
+    def test_time_warping_fixes_endpoints(self, rng):
+        X = np.tile(np.linspace(0, 1, 50), (3, 1, 1)).reshape(3, 1, 50)
+        out = TimeWarping(sigma=0.3).transform(X, rng=rng)
+        assert np.allclose(out[:, :, 0], 0.0, atol=1e-9)
+        assert np.allclose(out[:, :, -1], 1.0, atol=1e-9)
+
+    def test_magnitude_warping_smooth_factor(self, rng):
+        X = np.ones((4, 2, 30))
+        out = MagnitudeWarping(sigma=0.2).transform(X, rng=rng)
+        # smooth curve: successive factors change slowly
+        assert np.abs(np.diff(out, axis=2)).max() < 0.2
+
+
+class TestDriftPooling:
+    def test_drift_bounded(self, rng):
+        X = rng.standard_normal((6, 2, 50))
+        out = Drift(max_drift=0.5).transform(X, rng=rng)
+        drift = out - X
+        limit = 0.5 * X.std(axis=2, keepdims=True)
+        assert (np.abs(drift) <= limit + 1e-9).all()
+
+    def test_pooling_smooths(self, rng):
+        X = rng.standard_normal((5, 1, 60))
+        out = Pooling(pool_size=5).transform(X, rng=rng)
+        assert np.abs(np.diff(out, axis=2)).mean() < np.abs(np.diff(X, axis=2)).mean()
+
+    def test_pooling_rejects_one(self):
+        with pytest.raises(ValueError):
+            Pooling(pool_size=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 6),
+    channels=st.integers(1, 4),
+    length=st.integers(8, 40),
+    seed=st.integers(0, 1000),
+)
+def test_all_transforms_preserve_shape(n, channels, length, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, channels, length))
+    transforms = [
+        NoiseInjection(1.0), Scaling(), Rotation(), Slicing(), Cropping(),
+        Permutation(), Masking(), WindowWarping(), TimeWarping(),
+        MagnitudeWarping(), Drift(), Pooling(),
+    ]
+    for transform in transforms:
+        out = transform.transform(X.copy(), rng=rng)
+        assert out.shape == X.shape, type(transform).__name__
+        assert np.isfinite(out).all(), type(transform).__name__

@@ -1,0 +1,73 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "CharacterTrajectories" in out
+    assert out.count("\n") >= 14  # header + 13 rows
+
+
+def test_techniques_command(capsys):
+    assert main(["techniques"]) == 0
+    out = capsys.readouterr().out
+    assert "smote" in out and "timegan" in out
+
+
+def test_taxonomy_command(capsys):
+    assert main(["taxonomy"]) == 0
+    assert "Preserving" in capsys.readouterr().out
+
+
+def test_evaluate_command(capsys):
+    code = main(["evaluate", "RacketSports", "--technique", "noise1",
+                 "--runs", "1", "--kernels", "100"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "RacketSports / rocket / noise1" in out
+    assert "%" in out
+
+
+def test_evaluate_baseline(capsys):
+    main(["evaluate", "Epilepsy", "--runs", "1", "--kernels", "100"])
+    assert "baseline" in capsys.readouterr().out
+
+
+def test_grid_command(capsys):
+    code = main(["grid", "--datasets", "Epilepsy", "--techniques", "noise1",
+                 "--runs", "1", "--kernels", "100"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "improved datasets" in out
+    assert "Average Improvement" in out
+
+
+def test_figure_command(capsys):
+    assert main(["figure", "3"]) == 0
+    assert "minority" in capsys.readouterr().out
+
+
+def test_table3_command(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "EigenWorms" in out and "(paper)" in out
+
+
+def test_fidelity_command(capsys):
+    assert main(["fidelity", "RacketSports", "--technique", "smote"]) == 0
+    out = capsys.readouterr().out
+    assert "disc=" in out and "tstr/trtr=" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["bogus"])
+
+
+def test_figure_validates_number():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "7"])

@@ -1,0 +1,129 @@
+"""Dictionary (SAX) and interval-based classifier families."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    IntervalFeatureClassifier,
+    SAXDictionaryClassifier,
+    interval_features,
+    paa,
+    sax_words,
+)
+from repro.data import make_classification_panel
+
+
+@pytest.fixture
+def problem():
+    X, y = make_classification_panel(
+        n_series=60, n_channels=2, length=48, n_classes=2, difficulty=0.2, seed=0
+    )
+    return X[:40], y[:40], X[40:], y[40:]
+
+
+class TestPAA:
+    def test_reduces_length(self):
+        out = paa(np.arange(12.0), 4)
+        assert out.shape == (4,)
+        assert np.allclose(out, [1.0, 4.0, 7.0, 10.0])
+
+    def test_identity_when_segments_equal_length(self):
+        x = np.random.default_rng(0).standard_normal(8)
+        assert np.allclose(paa(x, 8), x)
+
+    def test_single_segment_is_mean(self):
+        x = np.array([1.0, 3.0, 5.0])
+        assert np.allclose(paa(x, 1), [3.0])
+
+
+class TestSAXWords:
+    def test_word_count(self):
+        x = np.random.default_rng(0).standard_normal(20)
+        words = sax_words(x, window=8, word_length=4, alphabet_size=4)
+        assert len(words) == 13  # 20 - 8 + 1
+
+    def test_symbols_within_alphabet(self):
+        x = np.random.default_rng(1).standard_normal(30)
+        for word in sax_words(x, window=10, word_length=3, alphabet_size=5):
+            assert all(0 <= s < 5 for s in word)
+            assert len(word) == 3
+
+    def test_flat_window_is_middle_word(self):
+        words = sax_words(np.ones(10), window=10, word_length=2, alphabet_size=4)
+        # Zero lands on a middle symbol (left insertion against the
+        # symmetric breakpoints), identically for both segments.
+        assert words[0] in ((1, 1), (2, 2))
+
+    def test_shift_invariance_of_znorm(self):
+        x = np.sin(np.linspace(0, 6, 40))
+        a = sax_words(x, window=10, word_length=4, alphabet_size=4)
+        b = sax_words(x + 100, window=10, word_length=4, alphabet_size=4)
+        assert a == b
+
+
+class TestSAXClassifier:
+    def test_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = SAXDictionaryClassifier(word_length=4, alphabet_size=4, seed=0)
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.6
+
+    def test_validates_params(self):
+        with pytest.raises(ValueError):
+            SAXDictionaryClassifier(word_length=0)
+        with pytest.raises(ValueError):
+            SAXDictionaryClassifier(alphabet_size=1)
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            SAXDictionaryClassifier().predict(problem[0])
+
+    def test_unseen_words_ignored(self, problem):
+        X_tr, y_tr, X_te, _ = problem
+        model = SAXDictionaryClassifier(seed=0).fit(X_tr, y_tr)
+        # Extreme series will generate unseen words; prediction must not fail.
+        predictions = model.predict(X_te * 100 + np.linspace(0, 50, X_te.shape[2]))
+        assert predictions.shape == (len(X_te),)
+
+
+class TestIntervalFeatures:
+    def test_feature_layout(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((5, 2, 20))
+        intervals = np.array([[0, 0, 10], [1, 5, 20]])
+        features = interval_features(X, intervals)
+        assert features.shape == (5, 10)
+        assert np.allclose(features[:, 0], X[:, 0, :10].mean(axis=1))
+        assert np.allclose(features[:, 8], X[:, 1, 5:].min(axis=1))
+
+    def test_slope_of_linear_segment(self):
+        t = np.arange(10.0)
+        X = np.tile(2.0 * t, (3, 1, 1))
+        features = interval_features(X, np.array([[0, 0, 10]]))
+        assert np.allclose(features[:, 2], 2.0)
+
+    def test_degenerate_interval_slope_zero(self):
+        X = np.random.default_rng(0).standard_normal((2, 1, 5))
+        features = interval_features(X, np.array([[0, 2, 3]]))
+        assert np.allclose(features[:, 2], 0.0)
+
+
+class TestIntervalClassifier:
+    def test_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = IntervalFeatureClassifier(n_intervals=80, seed=0).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.7
+
+    def test_deterministic_given_seed(self, problem):
+        X_tr, y_tr, X_te, _ = problem
+        a = IntervalFeatureClassifier(n_intervals=30, seed=5).fit(X_tr, y_tr).predict(X_te)
+        b = IntervalFeatureClassifier(n_intervals=30, seed=5).fit(X_tr, y_tr).predict(X_te)
+        assert np.array_equal(a, b)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            IntervalFeatureClassifier(n_intervals=0)
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            IntervalFeatureClassifier().predict(problem[0])

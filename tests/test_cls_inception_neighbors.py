@@ -1,0 +1,150 @@
+"""InceptionTime and nearest-neighbour classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    InceptionNetwork,
+    InceptionTimeClassifier,
+    KNeighborsTimeSeriesClassifier,
+    dtw_distance,
+)
+from repro.data import make_classification_panel
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def problem():
+    X, y = make_classification_panel(
+        n_series=60, n_channels=2, length=32, n_classes=2, difficulty=0.2, seed=0
+    )
+    return X[:40], y[:40], X[40:], y[40:]
+
+
+class TestInceptionNetwork:
+    def test_output_shape(self, rng):
+        network = InceptionNetwork(3, 4, n_filters=4, depth=3,
+                                   kernel_sizes=(9, 5, 3), bottleneck=4, rng=rng)
+        out = network(Tensor(rng.standard_normal((5, 3, 30))))
+        assert out.shape == (5, 4)
+
+    def test_depth_without_residual(self, rng):
+        network = InceptionNetwork(2, 3, n_filters=4, depth=2,
+                                   kernel_sizes=(5, 3), bottleneck=4,
+                                   residual_every=0, rng=rng)
+        out = network(Tensor(rng.standard_normal((2, 2, 20))))
+        assert out.shape == (2, 3)
+        assert len(network.shortcuts) == 0
+
+    def test_residual_count(self, rng):
+        network = InceptionNetwork(2, 2, n_filters=4, depth=6,
+                                   kernel_sizes=(5, 3), bottleneck=4,
+                                   residual_every=3, rng=rng)
+        assert len(network.shortcuts) == 2
+
+    def test_rejects_zero_depth(self, rng):
+        with pytest.raises(ValueError):
+            InceptionNetwork(2, 2, depth=0, rng=rng)
+
+    def test_gradients_reach_all_parameters(self, rng):
+        network = InceptionNetwork(2, 2, n_filters=2, depth=3,
+                                   kernel_sizes=(5, 3), bottleneck=2, rng=rng)
+        out = network(Tensor(rng.standard_normal((4, 2, 16))))
+        (out ** 2).sum().backward()
+        missing = [p for p in network.parameters() if p.grad is None]
+        assert not missing
+
+
+class TestInceptionTimeClassifier:
+    def test_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = InceptionTimeClassifier(
+            n_filters=4, depth=3, kernel_sizes=(9, 5, 3), bottleneck=4,
+            ensemble_size=1, max_epochs=40, patience=15, batch_size=16, seed=0,
+        )
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.7
+
+    def test_predict_proba_normalized(self, problem):
+        X_tr, y_tr, X_te, _ = problem
+        model = InceptionTimeClassifier(
+            n_filters=2, depth=2, kernel_sizes=(5, 3), bottleneck=2,
+            ensemble_size=2, max_epochs=3, patience=5, batch_size=16, seed=0,
+        )
+        model.fit(X_tr, y_tr)
+        probs = model.predict_proba(X_te)
+        assert probs.shape == (len(X_te), 2)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_extra_samples_used(self, problem):
+        X_tr, y_tr, *_ = problem
+        model = InceptionTimeClassifier(
+            n_filters=2, depth=2, kernel_sizes=(5, 3), bottleneck=2,
+            ensemble_size=1, max_epochs=2, patience=5, batch_size=16, seed=0,
+        )
+        extra = X_tr[:4] + 0.1
+        model.fit(X_tr, y_tr, X_extra=extra, y_extra=y_tr[:4])
+        assert hasattr(model, "networks_")
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            InceptionTimeClassifier().predict(problem[0])
+
+
+class TestDTW:
+    def test_identical_series_zero(self):
+        x = np.random.default_rng(0).standard_normal((2, 10))
+        assert dtw_distance(x, x) == 0.0
+
+    def test_window_zero_equals_euclidean(self):
+        rng = np.random.default_rng(1)
+        a = rng.standard_normal((1, 8))
+        b = rng.standard_normal((1, 8))
+        assert np.isclose(dtw_distance(a, b, window=0), np.linalg.norm(a - b))
+
+    def test_shifted_series_cheaper_than_euclidean(self):
+        t = np.linspace(0, 4 * np.pi, 60)
+        a = np.sin(t)[None, :]
+        b = np.sin(t + 0.6)[None, :]
+        assert dtw_distance(a, b) < np.linalg.norm(a - b)
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((2, 12))
+        b = rng.standard_normal((2, 12))
+        assert np.isclose(dtw_distance(a, b), dtw_distance(b, a))
+
+    def test_different_lengths(self):
+        a = np.ones((1, 10))
+        b = np.ones((1, 7))
+        assert dtw_distance(a, b) == 0.0
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            dtw_distance(np.ones((2, 5)), np.ones((3, 5)))
+
+
+class TestKNN:
+    def test_euclidean_1nn(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = KNeighborsTimeSeriesClassifier().fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.8
+
+    def test_dtw_metric(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = KNeighborsTimeSeriesClassifier(metric="dtw", window=3).fit(X_tr, y_tr)
+        assert model.score(X_te[:10], y_te[:10]) > 0.6
+
+    def test_k_majority_vote(self, rng):
+        X = np.concatenate([np.zeros((5, 1, 4)), np.ones((3, 1, 4))])
+        y = np.array([0] * 5 + [1] * 3)
+        model = KNeighborsTimeSeriesClassifier(n_neighbors=7).fit(X, y)
+        assert model.predict(np.zeros((1, 1, 4)))[0] == 0
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            KNeighborsTimeSeriesClassifier(metric="cosine")
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            KNeighborsTimeSeriesClassifier().predict(problem[0])

@@ -1,0 +1,113 @@
+"""ResNet/FCN baselines and model serialization."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    FCNClassifier,
+    FCNNetwork,
+    InceptionTimeClassifier,
+    ResNetClassifier,
+    ResNetNetwork,
+    RocketClassifier,
+    RidgeClassifierCV,
+    load_model,
+    save_model,
+)
+from repro.data import make_classification_panel
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def problem():
+    X, y = make_classification_panel(
+        n_series=60, n_channels=2, length=32, n_classes=2, difficulty=0.2, seed=0
+    )
+    return X[:40], y[:40], X[40:], y[40:]
+
+
+class TestNetworks:
+    def test_fcn_output_shape(self, rng):
+        network = FCNNetwork(3, 4, filters=(4, 8, 4), rng=rng)
+        out = network(Tensor(rng.standard_normal((5, 3, 24))))
+        assert out.shape == (5, 4)
+
+    def test_resnet_output_shape(self, rng):
+        network = ResNetNetwork(2, 3, filters=(4, 8, 8), rng=rng)
+        out = network(Tensor(rng.standard_normal((4, 2, 20))))
+        assert out.shape == (4, 3)
+
+    def test_resnet_gradients_flow(self, rng):
+        network = ResNetNetwork(2, 2, filters=(4, 4, 4), rng=rng)
+        out = network(Tensor(rng.standard_normal((3, 2, 16))))
+        (out ** 2).sum().backward()
+        assert all(p.grad is not None for p in network.parameters())
+
+    def test_resnet_projection_shortcut_used(self, rng):
+        network = ResNetNetwork(2, 2, filters=(4, 8, 8), rng=rng)
+        # first block projects (2 -> 4), second projects (4 -> 8), third identity
+        assert network.blocks[0].project
+        assert network.blocks[1].project
+        assert not network.blocks[2].project
+
+
+class TestClassifiers:
+    def test_fcn_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = FCNClassifier(filters=(4, 8, 4), max_epochs=30, patience=10, seed=0)
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.7
+
+    def test_resnet_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = ResNetClassifier(filters=(4, 8, 8), max_epochs=30, patience=10, seed=0)
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.7
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            FCNClassifier().predict(problem[0])
+
+    def test_extra_samples_accepted(self, problem):
+        X_tr, y_tr, *_ = problem
+        model = ResNetClassifier(filters=(2, 2, 2), max_epochs=2, patience=5, seed=0)
+        model.fit(X_tr, y_tr, X_extra=X_tr[:3] + 0.1, y_extra=y_tr[:3])
+        assert hasattr(model, "network_")
+
+
+class TestSerialization:
+    def test_rocket_roundtrip(self, problem, tmp_path):
+        X_tr, y_tr, X_te, _ = problem
+        model = RocketClassifier(num_kernels=100, seed=0).fit(X_tr, y_tr)
+        path = tmp_path / "rocket.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(model.predict(X_te), restored.predict(X_te))
+
+    def test_ridge_roundtrip(self, problem, tmp_path):
+        X_tr, y_tr, *_ = problem
+        features = X_tr.reshape(len(X_tr), -1)
+        model = RidgeClassifierCV().fit(features, y_tr)
+        path = tmp_path / "ridge.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(model.predict(features), restored.predict(features))
+
+    def test_inceptiontime_roundtrip(self, problem, tmp_path):
+        X_tr, y_tr, X_te, _ = problem
+        model = InceptionTimeClassifier(
+            n_filters=2, depth=2, kernel_sizes=(5, 3), bottleneck=2,
+            ensemble_size=2, max_epochs=2, patience=5, batch_size=16, seed=0,
+        ).fit(X_tr, y_tr)
+        path = tmp_path / "inception.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.allclose(model.predict_proba(X_te), restored.predict_proba(X_te))
+
+    def test_unfitted_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_model(RocketClassifier(10), tmp_path / "x.npz")
+
+    def test_unsupported_type(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_model(object(), tmp_path / "x.npz")

@@ -1,0 +1,123 @@
+"""Ridge classifier with LOO-CV alpha selection."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import RidgeClassifierCV
+
+
+def _blobs(rng, n=60, d=10, classes=3, gap=4.0):
+    centers = rng.standard_normal((classes, d)) * gap
+    y = rng.integers(0, classes, size=n)
+    X = centers[y] + rng.standard_normal((n, d))
+    return X, y
+
+
+def test_separable_blobs(rng):
+    X, y = _blobs(rng)
+    model = RidgeClassifierCV().fit(X, y)
+    assert model.score(X, y) > 0.95
+
+
+def test_generalizes(rng):
+    X, y = _blobs(rng, n=200)
+    model = RidgeClassifierCV().fit(X[:150], y[:150])
+    assert model.score(X[150:], y[150:]) > 0.9
+
+
+def test_alpha_selected_from_candidates(rng):
+    X, y = _blobs(rng)
+    model = RidgeClassifierCV(alphas=np.array([0.1, 10.0])).fit(X, y)
+    assert model.alpha_ in (0.1, 10.0)
+
+
+def test_chosen_alpha_minimizes_brute_force_loo(rng):
+    """The selected alpha is the brute-force LOO-error minimiser."""
+    n, d = 14, 6
+    X = rng.standard_normal((n, d))
+    y = rng.integers(0, 2, n)
+    alphas = np.array([0.01, 1.0, 100.0])
+    model = RidgeClassifierCV(alphas=alphas, normalize=False).fit(X, y)
+
+    targets = np.where(y[:, None] == np.unique(y)[None, :], 1.0, -1.0)
+    centered = targets - targets.mean(axis=0)
+    brute_errors = []
+    for alpha in alphas:
+        errors = []
+        for leave in range(n):
+            keep = np.arange(n) != leave
+            gram = X[keep].T @ X[keep] + alpha * np.eye(d)
+            coef = np.linalg.solve(gram, X[keep].T @ centered[keep])
+            errors.append(((centered[leave] - X[leave] @ coef) ** 2).sum())
+        brute_errors.append(np.sum(errors) / n)
+    assert model.alpha_ == alphas[np.argmin(brute_errors)]
+
+
+def test_binary_labels_arbitrary_values(rng):
+    X, y = _blobs(rng, classes=2)
+    labels = np.where(y == 0, 7, 42)
+    model = RidgeClassifierCV().fit(X, labels)
+    assert set(model.predict(X)) <= {7, 42}
+
+
+def test_decision_function_shape(rng):
+    X, y = _blobs(rng, classes=4)
+    model = RidgeClassifierCV().fit(X, y)
+    assert model.decision_function(X).shape == (len(X), 4)
+
+
+def test_constant_feature_safe(rng):
+    X, y = _blobs(rng)
+    X[:, 0] = 5.0  # zero-variance feature
+    model = RidgeClassifierCV().fit(X, y)
+    assert np.isfinite(model.decision_function(X)).all()
+
+
+def test_rejects_single_class():
+    with pytest.raises(ValueError, match="two classes"):
+        RidgeClassifierCV().fit(np.zeros((4, 2)), np.zeros(4))
+
+
+def test_rejects_bad_alphas():
+    with pytest.raises(ValueError):
+        RidgeClassifierCV(alphas=np.array([-1.0, 1.0]))
+
+
+def test_rejects_mismatched_lengths(rng):
+    with pytest.raises(ValueError):
+        RidgeClassifierCV().fit(rng.standard_normal((4, 2)), np.zeros(3))
+
+
+def test_rejects_3d_features(rng):
+    with pytest.raises(ValueError):
+        RidgeClassifierCV().fit(rng.standard_normal((4, 2, 2)), np.zeros(4))
+
+
+def test_loo_error_recorded(rng):
+    X, y = _blobs(rng)
+    model = RidgeClassifierCV().fit(X, y)
+    assert model.best_loo_error_ >= 0
+
+
+def test_loo_matches_explicit_leave_one_out(rng):
+    """Closed-form LOO residuals equal literally refitting without each row."""
+    n, d = 12, 5
+    X = rng.standard_normal((n, d))
+    y = rng.integers(0, 2, n)
+    alpha = 1.0
+    model = RidgeClassifierCV(alphas=np.array([alpha]), normalize=False)
+    model.fit(X, y)
+
+    # Recompute the LOO error by brute force on centred +/-1 targets.
+    targets = np.where(y[:, None] == np.unique(y)[None, :], 1.0, -1.0)
+    target_mean = targets.mean(axis=0)
+    centered = targets - target_mean
+    errors = []
+    for leave in range(n):
+        keep = np.arange(n) != leave
+        gram = X[keep].T @ X[keep] + alpha * np.eye(d)
+        coef = np.linalg.solve(gram, X[keep].T @ centered[keep])
+        residual = centered[leave] - X[leave] @ coef
+        errors.append((residual**2).sum())
+    brute = np.sum(errors) / n
+    assert np.isclose(model.best_loo_error_, brute, rtol=0.15)

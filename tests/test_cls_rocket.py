@@ -1,0 +1,109 @@
+"""ROCKET and MiniRocket transforms and classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    MiniRocketClassifier,
+    MiniRocketTransform,
+    RocketClassifier,
+    RocketTransform,
+)
+from repro.data import make_classification_panel
+
+
+@pytest.fixture
+def problem():
+    X, y = make_classification_panel(
+        n_series=60, n_channels=3, length=50, n_classes=2, difficulty=0.2, seed=0
+    )
+    return X[:40], y[:40], X[40:], y[40:]
+
+
+class TestRocketTransform:
+    def test_feature_count(self, problem):
+        X_tr, *_ = problem
+        transform = RocketTransform(num_kernels=100, seed=0)
+        features = transform.fit_transform(X_tr)
+        assert features.shape == (40, 200)
+        assert transform.n_features == 200
+
+    def test_ppv_in_unit_interval(self, problem):
+        X_tr, *_ = problem
+        features = RocketTransform(num_kernels=50, seed=0).fit_transform(X_tr)
+        ppv = features[:, :50]
+        assert (ppv >= 0).all() and (ppv <= 1).all()
+
+    def test_deterministic_given_seed(self, problem):
+        X_tr, *_ = problem
+        a = RocketTransform(num_kernels=30, seed=5).fit_transform(X_tr)
+        b = RocketTransform(num_kernels=30, seed=5).fit_transform(X_tr)
+        assert np.allclose(a, b)
+
+    def test_transform_before_fit_raises(self, problem):
+        X_tr, *_ = problem
+        with pytest.raises(RuntimeError):
+            RocketTransform(10).transform(X_tr)
+
+    def test_shape_mismatch_raises(self, problem):
+        X_tr, *_ = problem
+        transform = RocketTransform(10, seed=0).fit(X_tr)
+        with pytest.raises(ValueError):
+            transform.transform(X_tr[:, :, :-1])
+
+    def test_rejects_zero_kernels(self):
+        with pytest.raises(ValueError):
+            RocketTransform(0)
+
+    def test_short_series_supported(self):
+        """PenDigits-style length-8 series must work (kernel length capped)."""
+        X, y = make_classification_panel(n_series=20, n_channels=2, length=8, seed=1)
+        features = RocketTransform(num_kernels=50, seed=0).fit_transform(X)
+        assert np.isfinite(features).all()
+
+    def test_nan_input_tolerated(self, problem):
+        X_tr, *_ = problem
+        X = X_tr.copy()
+        X[0, 0, -10:] = np.nan
+        features = RocketTransform(num_kernels=20, seed=0).fit_transform(X)
+        assert np.isfinite(features).all()
+
+
+class TestRocketClassifier:
+    def test_accuracy_on_easy_problem(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = RocketClassifier(num_kernels=300, seed=0).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.85
+
+    def test_multiclass(self):
+        X, y = make_classification_panel(
+            n_series=90, n_channels=2, length=40, n_classes=3, difficulty=0.2, seed=2
+        )
+        model = RocketClassifier(num_kernels=300, seed=0).fit(X[:60], y[:60])
+        assert model.score(X[60:], y[60:]) > 0.7
+
+    def test_predict_before_fit(self, problem):
+        X_tr, *_ = problem
+        with pytest.raises(RuntimeError):
+            RocketClassifier(10).predict(X_tr)
+
+
+class TestMiniRocket:
+    def test_feature_bounds(self, problem):
+        X_tr, *_ = problem
+        features = MiniRocketTransform(num_features=200, seed=0).fit_transform(X_tr)
+        assert (features >= 0).all() and (features <= 1).all()
+
+    def test_classifier_accuracy(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = MiniRocketClassifier(num_features=500, seed=0).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.75
+
+    def test_rejects_too_few_features(self):
+        with pytest.raises(ValueError):
+            MiniRocketTransform(num_features=10)
+
+    def test_transform_before_fit(self, problem):
+        X_tr, *_ = problem
+        with pytest.raises(RuntimeError):
+            MiniRocketTransform(100).transform(X_tr)

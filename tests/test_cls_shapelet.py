@@ -1,0 +1,64 @@
+"""Shapelet transform classifier."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import ShapeletTransformClassifier, min_shapelet_distance
+from repro.data import make_classification_panel
+
+
+class TestMinShapeletDistance:
+    def test_exact_subsequence_zero(self):
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(30)
+        shapelet = series[10:18]
+        assert min_shapelet_distance(series, shapelet) < 1e-10
+
+    def test_scale_invariance(self):
+        """z-normalised matching is invariant to shapelet scale/offset."""
+        rng = np.random.default_rng(1)
+        series = rng.standard_normal(25)
+        shapelet = series[5:12]
+        assert np.isclose(
+            min_shapelet_distance(series, shapelet),
+            min_shapelet_distance(series, 3.0 * shapelet + 7.0),
+            atol=1e-10,
+        )
+
+    def test_rejects_long_shapelet(self):
+        with pytest.raises(ValueError):
+            min_shapelet_distance(np.zeros(5), np.zeros(6))
+
+    def test_flat_shapelet_finite(self):
+        series = np.random.default_rng(2).standard_normal(20)
+        assert np.isfinite(min_shapelet_distance(series, np.ones(5)))
+
+
+class TestShapeletClassifier:
+    @pytest.fixture
+    def problem(self):
+        X, y = make_classification_panel(
+            n_series=50, n_channels=2, length=40, n_classes=2, difficulty=0.2, seed=0
+        )
+        return X[:34], y[:34], X[34:], y[34:]
+
+    def test_learns(self, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = ShapeletTransformClassifier(n_shapelets=40, seed=0).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.65
+
+    def test_deterministic(self, problem):
+        X_tr, y_tr, X_te, _ = problem
+        a = ShapeletTransformClassifier(n_shapelets=20, seed=3).fit(X_tr, y_tr).predict(X_te)
+        b = ShapeletTransformClassifier(n_shapelets=20, seed=3).fit(X_tr, y_tr).predict(X_te)
+        assert np.array_equal(a, b)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            ShapeletTransformClassifier(n_shapelets=0)
+        with pytest.raises(ValueError):
+            ShapeletTransformClassifier(length_range=(0.5, 0.2))
+
+    def test_predict_before_fit(self, problem):
+        with pytest.raises(RuntimeError):
+            ShapeletTransformClassifier().predict(problem[0])

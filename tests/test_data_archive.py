@@ -1,0 +1,124 @@
+"""The simulated UEA archive: Table III metadata reproduction."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    UEA_IMBALANCED_SPECS,
+    characterize,
+    imbalance_degree,
+    list_datasets,
+    load_dataset,
+    solve_class_counts,
+)
+
+
+def test_thirteen_datasets():
+    assert len(list_datasets()) == 13
+    assert list_datasets()[0] == "CharacterTrajectories"
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError):
+        load_dataset("NotADataset")
+
+
+def test_invalid_scale():
+    with pytest.raises(ValueError):
+        load_dataset("Epilepsy", scale="huge")
+
+
+def test_small_scale_shapes_capped():
+    train, test = load_dataset("EigenWorms", scale="small")
+    assert train.length <= 48
+    assert train.n_channels <= 6
+    assert train.n_series <= 48
+
+
+def test_full_scale_matches_table3_shapes():
+    spec = next(s for s in UEA_IMBALANCED_SPECS if s.name == "RacketSports")
+    train, test = load_dataset("RacketSports", scale="full")
+    assert train.n_series == spec.train_size
+    assert test.n_series == spec.test_size
+    assert train.n_channels == spec.dim
+    assert train.length == spec.length
+    assert train.n_classes == spec.n_classes
+
+
+def test_determinism():
+    a_train, a_test = load_dataset("Epilepsy")
+    b_train, b_test = load_dataset("Epilepsy")
+    assert np.array_equal(a_train.X, b_train.X)
+    assert np.array_equal(a_test.y, b_test.y)
+
+
+def test_seed_offset_changes_samples_not_structure():
+    a, _ = load_dataset("Epilepsy", seed_offset=0)
+    b, _ = load_dataset("Epilepsy", seed_offset=1)
+    assert not np.allclose(a.X, b.X)
+    assert np.array_equal(a.class_counts(), b.class_counts())
+
+
+@pytest.mark.parametrize("name", ["Epilepsy", "Heartbeat", "LSST"])
+def test_characteristics_close_to_paper(name):
+    spec = next(s for s in UEA_IMBALANCED_SPECS if s.name == name)
+    train, test = load_dataset(name, scale="small")
+    ch = characterize(train, test)
+    assert abs(ch.var_train - spec.var_train) < 0.02
+    assert abs(ch.im_ratio - spec.im_ratio) < 0.35
+    assert abs(ch.d_train_test - spec.d_train_test) / max(spec.d_train_test, 1) < 0.05
+
+
+def test_full_scale_imbalance_degree_precision():
+    """At full training-set size the Hellinger ID matches the paper closely."""
+    for name, paper_value in (("LSST", 9.49), ("PenDigits", 4.02)):
+        train, _ = load_dataset(name, scale="full")
+        measured = imbalance_degree(train.class_counts())
+        assert abs(measured - paper_value) < 0.1, name
+
+
+def test_balanced_specs_are_balanced():
+    for name in ("FingerMovements", "SelfRegulationSCP1", "SpokenArabicDigits"):
+        train, _ = load_dataset(name, scale="small")
+        assert train.is_balanced(), name
+
+
+def test_missing_values_injected():
+    train, _ = load_dataset("CharacterTrajectories", scale="small")
+    assert 0.25 < train.missing_proportion() < 0.42
+
+
+def test_no_missing_values_elsewhere():
+    train, _ = load_dataset("PenDigits", scale="small")
+    assert train.missing_proportion() == 0.0
+
+
+class TestSolveClassCounts:
+    def test_balanced_target(self):
+        counts = solve_class_counts(4, 20, 0.0)
+        assert np.array_equal(counts, [5, 5, 5, 5])
+
+    def test_balanced_with_remainder(self):
+        counts = solve_class_counts(3, 10, 0.0)
+        assert counts.sum() == 10
+        assert counts.max() - counts.min() <= 1
+
+    def test_target_id_reached(self):
+        counts = solve_class_counts(5, 100, 3.26)
+        assert counts.sum() == 100
+        assert (counts >= 1).all()
+        assert abs(imbalance_degree(counts) - 3.26) < 0.2
+
+    def test_extreme_target(self):
+        counts = solve_class_counts(4, 48, 2.0)
+        assert abs(imbalance_degree(counts) - 2.0) < 0.15
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            solve_class_counts(10, 5, 1.0)
+
+
+def test_metadata_records_spec():
+    train, _ = load_dataset("Heartbeat")
+    assert train.metadata["spec"].name == "Heartbeat"
+    assert train.metadata["scale"] == "small"

@@ -1,0 +1,127 @@
+"""Table III metrics: Eq. 4-5 variance, Hellinger ID, train/test distance."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import (
+    TimeSeriesDataset,
+    characterize,
+    dataset_variance,
+    hellinger_distance,
+    imbalance_degree,
+    train_test_distance,
+)
+
+
+class TestDatasetVariance:
+    def test_matches_manual_computation(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((20, 3, 10))
+        manual = np.mean([X[:, m, t].var() for m in range(3) for t in range(10)])
+        assert np.isclose(dataset_variance(X), manual)
+
+    def test_constant_panel_zero(self):
+        assert dataset_variance(np.ones((5, 2, 4))) == 0.0
+
+    def test_scaling_quadratic(self):
+        rng = np.random.default_rng(1)
+        X = rng.standard_normal((10, 2, 6))
+        assert np.isclose(dataset_variance(3 * X), 9 * dataset_variance(X))
+
+    def test_nan_aware(self):
+        X = np.ones((4, 1, 3))
+        X[0, 0, 0] = np.nan
+        assert np.isfinite(dataset_variance(X))
+
+
+class TestHellinger:
+    def test_identical_distributions(self):
+        assert hellinger_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert np.isclose(hellinger_distance([1, 0], [0, 1]), 1.0)
+
+    def test_symmetric(self):
+        p, q = [0.7, 0.3], [0.2, 0.8]
+        assert np.isclose(hellinger_distance(p, q), hellinger_distance(q, p))
+
+    def test_normalizes_inputs(self):
+        assert np.isclose(hellinger_distance([2, 2], [7, 7]), 0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            hellinger_distance([-1, 2], [1, 0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            hellinger_distance([1, 0], [1, 0, 0])
+
+
+class TestImbalanceDegree:
+    def test_balanced_is_zero(self):
+        assert imbalance_degree([10, 10, 10]) == 0.0
+
+    def test_binary_range(self):
+        """Binary problems have ID in [0, 1) for one minority class."""
+        value = imbalance_degree([70, 30])
+        assert 0.0 < value < 1.0
+
+    def test_id_bounded_by_classes_minus_one(self):
+        value = imbalance_degree([1000, 1, 1, 1])
+        assert value < 4
+
+    def test_more_skew_larger_id(self):
+        mild = imbalance_degree([60, 40])
+        severe = imbalance_degree([95, 5])
+        assert severe > mild
+
+    def test_minority_count_dominates(self):
+        """ID's integer part is the number of minority classes minus one."""
+        two_minorities = imbalance_degree([50, 10, 10])  # m=2 -> ID in [1, 2)
+        assert 1.0 <= two_minorities < 2.0
+
+    def test_rejects_single_class(self):
+        with pytest.raises(ValueError):
+            imbalance_degree([10])
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            imbalance_degree([0, 0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(counts=st.lists(st.integers(1, 500), min_size=2, max_size=10))
+    def test_always_in_valid_range(self, counts):
+        value = imbalance_degree(counts)
+        k = len(counts)
+        assert 0.0 <= value <= k - 1 + 1e-9
+
+
+class TestTrainTestDistance:
+    def test_identical_sets(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((5, 2, 4))
+        assert train_test_distance(X, X) == 0.0
+
+    def test_known_offset(self):
+        X = np.zeros((4, 1, 9))
+        assert np.isclose(train_test_distance(X, X + 1.0), 3.0)  # sqrt(9)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            train_test_distance(np.zeros((2, 1, 4)), np.zeros((2, 1, 5)))
+
+
+def test_characterize_full_row():
+    rng = np.random.default_rng(2)
+    train = TimeSeriesDataset(rng.standard_normal((12, 2, 8)), np.array([0] * 8 + [1] * 4), name="t")
+    test = TimeSeriesDataset(rng.standard_normal((6, 2, 8)), np.array([0, 0, 0, 1, 1, 1]))
+    row = characterize(train, test)
+    assert row.name == "t"
+    assert row.n_classes == 2
+    assert row.train_size == 12
+    assert row.dim == 2
+    assert row.length == 8
+    assert row.prop_miss == 0.0
+    assert len(row.as_row()) == 10

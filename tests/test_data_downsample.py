@@ -1,0 +1,80 @@
+"""Dataset downsampling and resampling utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data import TimeSeriesDataset
+
+
+@pytest.fixture
+def dataset():
+    rng = np.random.default_rng(0)
+    X = rng.standard_normal((20, 2, 16))
+    y = np.array([0] * 12 + [1] * 8)
+    return TimeSeriesDataset(X, y)
+
+
+class TestDownsample:
+    def test_stratified_keeps_all_classes(self, dataset):
+        small = dataset.downsample(0.5, rng=0)
+        assert small.n_classes == 2
+        assert np.array_equal(small.class_counts(), [6, 4])
+
+    def test_minimum_one_per_class(self, dataset):
+        tiny = dataset.downsample(0.01, rng=0)
+        assert (tiny.class_counts() >= 1).all()
+
+    def test_unstratified_size(self, dataset):
+        small = dataset.downsample(0.25, rng=0, stratified=False)
+        assert small.n_series == 5
+
+    def test_full_fraction_identity_size(self, dataset):
+        assert dataset.downsample(1.0, rng=0).n_series == 20
+
+    def test_rejects_bad_fraction(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.downsample(0.0)
+        with pytest.raises(ValueError):
+            dataset.downsample(1.5)
+
+    def test_deterministic(self, dataset):
+        a = dataset.downsample(0.5, rng=7)
+        b = dataset.downsample(0.5, rng=7)
+        assert np.array_equal(a.X, b.X)
+
+
+class TestResample:
+    def test_upsample_length(self, dataset):
+        longer = dataset.resample(32)
+        assert longer.length == 32
+        assert longer.n_series == dataset.n_series
+
+    def test_downsample_preserves_endpoints(self, dataset):
+        shorter = dataset.resample(8)
+        assert np.allclose(shorter.X[:, :, 0], dataset.X[:, :, 0])
+        assert np.allclose(shorter.X[:, :, -1], dataset.X[:, :, -1])
+
+    def test_same_length_is_identity(self, dataset):
+        assert dataset.resample(16) is dataset
+
+    def test_linear_signal_preserved(self):
+        X = np.linspace(0, 1, 10)[None, None, :]
+        ds = TimeSeriesDataset(X, np.array([0])).resample(19)
+        assert np.allclose(ds.X[0, 0], np.linspace(0, 1, 19), atol=1e-9)
+
+    def test_nan_tail_preserved_proportionally(self):
+        X = np.ones((1, 1, 10))
+        X[0, 0, 5:] = np.nan  # half missing
+        ds = TimeSeriesDataset(X, np.array([0])).resample(20)
+        missing = np.isnan(ds.X[0, 0]).mean()
+        assert 0.4 <= missing <= 0.6
+
+    def test_all_nan_channel_stays_nan(self):
+        X = np.ones((1, 2, 8))
+        X[0, 1] = np.nan
+        ds = TimeSeriesDataset(X, np.array([0])).resample(12)
+        assert np.isnan(ds.X[0, 1]).all()
+
+    def test_rejects_tiny_length(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.resample(1)

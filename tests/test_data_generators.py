@@ -1,0 +1,100 @@
+"""Synthetic MTS generators: determinism, separability, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import KNeighborsTimeSeriesClassifier
+from repro.data import MTSGenerator, make_classification_panel
+
+
+def test_shapes():
+    generator = MTSGenerator(n_channels=3, length=20, n_classes=4, seed=0)
+    X = generator.sample_class(2, 7, rng=1)
+    assert X.shape == (7, 3, 20)
+
+
+def test_zero_samples():
+    generator = MTSGenerator(n_channels=2, length=10, n_classes=2, seed=0)
+    assert generator.sample_class(0, 0, rng=1).shape == (0, 2, 10)
+
+
+def test_label_bounds():
+    generator = MTSGenerator(n_channels=2, length=10, n_classes=2, seed=0)
+    with pytest.raises(ValueError):
+        generator.sample_class(2, 1, rng=0)
+
+
+def test_difficulty_bounds():
+    with pytest.raises(ValueError):
+        MTSGenerator(n_channels=1, length=10, n_classes=2, difficulty=0.0)
+    with pytest.raises(ValueError):
+        MTSGenerator(n_channels=1, length=10, n_classes=2, difficulty=1.5)
+
+
+def test_same_seed_same_prototypes():
+    a = MTSGenerator(n_channels=2, length=16, n_classes=3, seed=5)
+    b = MTSGenerator(n_channels=2, length=16, n_classes=3, seed=5)
+    Xa = a.sample_class(0, 4, rng=9)
+    Xb = b.sample_class(0, 4, rng=9)
+    assert np.allclose(Xa, Xb)
+
+
+def test_different_classes_differ():
+    generator = MTSGenerator(n_channels=2, length=64, n_classes=2, difficulty=0.2, seed=0)
+    X0 = generator.sample_class(0, 20, rng=1)
+    X1 = generator.sample_class(1, 20, rng=2)
+    # Class means should be clearly distinct in at least one cell.
+    gap = np.abs(X0.mean(axis=0) - X1.mean(axis=0)).max()
+    assert gap > 0.5
+
+
+def test_sample_counts_and_shuffling():
+    generator = MTSGenerator(n_channels=1, length=12, n_classes=3, seed=0)
+    X, y = generator.sample(np.array([5, 3, 2]), rng=4)
+    assert X.shape == (10, 1, 12)
+    assert np.array_equal(np.bincount(y), [5, 3, 2])
+    # Shuffled: labels should not be sorted.
+    assert not np.array_equal(y, np.sort(y))
+
+
+def test_sample_validates_counts_shape():
+    generator = MTSGenerator(n_channels=1, length=12, n_classes=3, seed=0)
+    with pytest.raises(ValueError):
+        generator.sample(np.array([5, 3]), rng=0)
+
+
+def test_easy_problem_is_learnable():
+    """Low difficulty should be near-perfectly separable by 1-NN."""
+    X, y = make_classification_panel(
+        n_series=60, n_channels=2, length=40, n_classes=2, difficulty=0.1, seed=3
+    )
+    model = KNeighborsTimeSeriesClassifier().fit(X[:40], y[:40])
+    assert model.score(X[40:], y[40:]) > 0.85
+
+
+def test_difficulty_monotonicity():
+    """Higher difficulty should not make the problem easier for 1-NN."""
+    scores = []
+    for difficulty in (0.1, 0.9):
+        X, y = make_classification_panel(
+            n_series=80, n_channels=2, length=32, n_classes=2,
+            difficulty=difficulty, seed=11,
+        )
+        model = KNeighborsTimeSeriesClassifier().fit(X[:50], y[:50])
+        scores.append(model.score(X[50:], y[50:]))
+    assert scores[0] >= scores[1]
+
+
+def test_class_proportions_respected():
+    X, y = make_classification_panel(
+        n_series=30, n_classes=3, class_proportions=[6, 3, 1], seed=0
+    )
+    counts = np.bincount(y)
+    assert counts[0] > counts[1] > counts[2]
+
+
+def test_ar_noise_is_stationary_scale():
+    """AR(1) noise normalisation keeps signal scale stable across lengths."""
+    short = MTSGenerator(n_channels=1, length=20, n_classes=1, seed=1).sample_class(0, 30, rng=0)
+    long = MTSGenerator(n_channels=1, length=200, n_classes=1, seed=1).sample_class(0, 30, rng=0)
+    assert 0.2 < short.std() / long.std() < 5.0

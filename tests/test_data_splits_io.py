@@ -1,0 +1,123 @@
+"""Stratified splitting and .ts file round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TimeSeriesDataset,
+    read_ts,
+    stratified_split,
+    train_val_split,
+    write_ts,
+)
+
+
+class TestStratifiedSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        y = np.array([0] * 9 + [1] * 6 + [2] * 3)
+        train_idx, val_idx = stratified_split(y, seed=0)
+        combined = np.sort(np.concatenate([train_idx, val_idx]))
+        assert np.array_equal(combined, np.arange(18))
+
+    def test_two_to_one_ratio_per_class(self):
+        y = np.array([0] * 9 + [1] * 6)
+        train_idx, val_idx = stratified_split(y, val_fraction=1 / 3, seed=0)
+        assert (y[train_idx] == 0).sum() == 6
+        assert (y[val_idx] == 0).sum() == 3
+        assert (y[train_idx] == 1).sum() == 4
+        assert (y[val_idx] == 1).sum() == 2
+
+    def test_single_sample_class_stays_in_train(self):
+        y = np.array([0, 0, 0, 1])
+        train_idx, val_idx = stratified_split(y, seed=0)
+        assert 3 in train_idx
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            stratified_split(np.array([0, 1]), val_fraction=0.0)
+
+    def test_deterministic(self):
+        y = np.arange(20) % 4
+        a = stratified_split(y, seed=7)
+        b = stratified_split(y, seed=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_train_val_split_wrapper(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((12, 2, 5))
+        y = np.arange(12) % 2
+        X_tr, y_tr, X_val, y_val = train_val_split(X, y, seed=0)
+        assert len(X_tr) + len(X_val) == 12
+        assert len(X_tr) == len(y_tr)
+
+
+class TestTsIO:
+    def _dataset(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((6, 2, 10)).round(4)
+        y = np.array([0, 0, 1, 1, 2, 2])
+        return TimeSeriesDataset(X, y, name="RoundTrip")
+
+    def test_roundtrip(self):
+        dataset = self._dataset()
+        buffer = io.StringIO()
+        write_ts(dataset, buffer)
+        buffer.seek(0)
+        loaded = read_ts(buffer)
+        assert loaded.name == "RoundTrip"
+        assert np.allclose(loaded.X, dataset.X, atol=1e-4)
+        assert np.array_equal(loaded.y, dataset.y)
+
+    def test_roundtrip_with_missing(self):
+        X = np.ones((2, 1, 4))
+        X[0, 0, 2:] = np.nan
+        dataset = TimeSeriesDataset(X, np.array([0, 1]), name="Gaps")
+        buffer = io.StringIO()
+        write_ts(dataset, buffer)
+        buffer.seek(0)
+        loaded = read_ts(buffer)
+        assert np.isnan(loaded.X[0, 0, 2])
+        assert loaded.X[1, 0, 0] == 1.0
+
+    def test_roundtrip_file(self, tmp_path):
+        dataset = self._dataset()
+        path = tmp_path / "sample.ts"
+        write_ts(dataset, path)
+        loaded = read_ts(path)
+        assert loaded.n_series == 6
+
+    def test_header_parsed(self):
+        text = (
+            "@problemName Tiny\n@timeStamps false\n@univariate true\n"
+            "@equalLength true\n@seriesLength 3\n@classLabel true a b\n"
+            "@data\n1,2,3:a\n4,5,6:b\n"
+        )
+        loaded = read_ts(io.StringIO(text))
+        assert loaded.name == "Tiny"
+        assert loaded.n_channels == 1
+        assert np.array_equal(loaded.y, [0, 1])
+
+    def test_labels_sorted_mapping(self):
+        text = "@data\n1,2:zebra\n3,4:apple\n"
+        loaded = read_ts(io.StringIO(text))
+        # 'apple' < 'zebra' so apple -> 0
+        assert np.array_equal(loaded.y, [1, 0])
+
+    def test_question_mark_missing(self):
+        text = "@data\n1,?,3:a\n1,2,3:b\n"
+        loaded = read_ts(io.StringIO(text))
+        assert np.isnan(loaded.X[0, 0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            read_ts(io.StringIO("@data\n"))
+
+    def test_rejects_data_before_header(self):
+        with pytest.raises(ValueError):
+            read_ts(io.StringIO("1,2,3:a\n@data\n"))
+
+    def test_rejects_inconsistent_dimensions(self):
+        with pytest.raises(ValueError):
+            read_ts(io.StringIO("@data\n1,2:3,4:a\n1,2:b\n"))

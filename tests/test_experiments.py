@@ -1,0 +1,195 @@
+"""Experiment harness: metrics, protocol, grid, analysis, tables, figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    GridResult,
+    ascii_scatter,
+    count_improvements,
+    evaluate,
+    figure2_noise,
+    figure3_smote,
+    figure5_range,
+    figure6_ohit,
+    inceptiontime_spec,
+    paper_reference as ref,
+    relative_gain,
+    best_relative_gain_percent,
+    render_accuracy_table,
+    render_table1_roles,
+    render_table2_families,
+    render_table6_counts,
+    rocket_spec,
+    run_grid,
+    summarize_findings,
+)
+from repro.data import load_dataset
+
+
+class TestMetrics:
+    def test_relative_gain_eq3(self):
+        assert np.isclose(relative_gain(0.80, 0.84), 0.05)
+
+    def test_negative_gain(self):
+        assert relative_gain(0.8, 0.76) < 0
+
+    def test_rejects_zero_baseline(self):
+        with pytest.raises(ValueError):
+            relative_gain(0.0, 0.5)
+
+    def test_best_gain_percent(self):
+        gains = {"a": 0.82, "b": 0.88, "c": 0.70}
+        assert np.isclose(best_relative_gain_percent(0.80, gains), 10.0)
+
+    def test_best_gain_rejects_empty(self):
+        with pytest.raises(ValueError):
+            best_relative_gain_percent(0.8, {})
+
+
+class TestPaperReference:
+    def test_tables_cover_13_datasets(self):
+        assert len(ref.ROCKET_TABLE4) == 13
+        assert len(ref.INCEPTIONTIME_TABLE5) == 13
+
+    def test_improved_counts_match_paper_claim(self):
+        assert ref.paper_improved_datasets(ref.ROCKET_TABLE4) == 10
+        assert ref.paper_improved_datasets(ref.INCEPTIONTIME_TABLE5) == 10
+
+    def test_average_improvements(self):
+        rocket_avg = np.mean([row["improvement"] for row in ref.ROCKET_TABLE4.values()])
+        assert abs(rocket_avg - ref.ROCKET_AVERAGE_IMPROVEMENT) < 0.06
+        inception_avg = np.mean([row["improvement"] for row in ref.INCEPTIONTIME_TABLE5.values()])
+        assert abs(inception_avg - ref.INCEPTIONTIME_AVERAGE_IMPROVEMENT) < 0.06
+
+    def test_improvement_column_consistent_with_best_technique(self):
+        """Published improvement == relative gain of the best technique."""
+        for table in (ref.ROCKET_TABLE4, ref.INCEPTIONTIME_TABLE5):
+            for dataset, row in table.items():
+                best = max(row[t] for t in ref.TECHNIQUE_COLUMNS)
+                expected = 100.0 * (best - row["baseline"]) / row["baseline"]
+                assert abs(expected - row["improvement"]) < 0.06, dataset
+
+
+class TestProtocol:
+    @pytest.fixture(scope="class")
+    def epilepsy(self):
+        return load_dataset("Epilepsy", scale="small")
+
+    def test_baseline_evaluation(self, epilepsy):
+        train, test = epilepsy
+        result = evaluate(train, test, rocket_spec(200), None, n_runs=2, seed=0)
+        assert result.technique == "baseline"
+        assert len(result.accuracies) == 2
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_augmented_evaluation(self, epilepsy):
+        train, test = epilepsy
+        result = evaluate(train, test, rocket_spec(200), "noise1", n_runs=2, seed=0)
+        assert result.technique == "noise1"
+
+    def test_deterministic_given_seed(self, epilepsy):
+        train, test = epilepsy
+        a = evaluate(train, test, rocket_spec(200), "smote", n_runs=2, seed=3)
+        b = evaluate(train, test, rocket_spec(200), "smote", n_runs=2, seed=3)
+        assert a.accuracies == b.accuracies
+
+    def test_inceptiontime_path(self, epilepsy):
+        train, test = epilepsy
+        spec = inceptiontime_spec(n_filters=2, depth=2, kernel_sizes=(5, 3),
+                                  bottleneck=2, max_epochs=3, patience=5)
+        result = evaluate(train, test, spec, "smote", n_runs=1, seed=0)
+        assert 0.0 <= result.mean_accuracy <= 1.0
+
+    def test_rejects_zero_runs(self, epilepsy):
+        train, test = epilepsy
+        with pytest.raises(ValueError):
+            evaluate(train, test, rocket_spec(100), None, n_runs=0)
+
+
+class TestGrid:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return run_grid(
+            rocket_spec(150),
+            datasets=["Epilepsy", "RacketSports"],
+            techniques=("noise1", "smote"),
+            n_runs=2,
+            seed=0,
+        )
+
+    def test_cells_complete(self, grid):
+        assert set(grid.datasets()) == {"Epilepsy", "RacketSports"}
+        for dataset in grid.datasets():
+            assert ("%s" % dataset, "baseline") in grid.cells
+            for technique in grid.techniques:
+                assert (dataset, technique) in grid.cells
+
+    def test_accuracy_percent_scale(self, grid):
+        assert 0.0 <= grid.baseline_accuracy("Epilepsy") <= 100.0
+
+    def test_improvement_column(self, grid):
+        value = grid.improvement_percent("Epilepsy")
+        assert np.isfinite(value)
+
+    def test_average_improvement(self, grid):
+        assert np.isfinite(grid.average_improvement())
+
+    def test_count_improvements(self, grid):
+        counts = count_improvements(grid)
+        assert 0 <= counts.smote <= 2
+        assert 0 <= counts.noise <= 2
+        assert counts.timegan == 0  # not in this grid
+
+    def test_summary(self, grid):
+        summary = summarize_findings(grid)
+        assert summary.n_datasets == 2
+        assert set(summary.best_technique_by_dataset) == {"Epilepsy", "RacketSports"}
+
+    def test_render_accuracy_table(self, grid):
+        text = render_accuracy_table(grid, ref.ROCKET_TABLE4)
+        assert "Epilepsy" in text
+        assert "Average Improvement" in text
+
+
+class TestStaticTables:
+    def test_table1(self):
+        text = render_table1_roles()
+        assert "ROCKET" in text and "InceptionTime" in text
+
+    def test_table2(self):
+        text = render_table2_families()
+        assert "Kernel-based" in text
+
+    def test_table6(self):
+        from repro.experiments.analysis import ImprovementCounts
+        text = render_table6_counts(
+            ImprovementCounts("rocket", smote=8, timegan=7, noise=7),
+            ImprovementCounts("inceptiontime", smote=8, timegan=4, noise=8),
+        )
+        assert "SMOTE" in text and "(8)" in text
+
+
+class TestFigures:
+    def test_figure2(self):
+        fig = figure2_noise()
+        assert fig.class_a.shape[1] == 2
+        assert len(fig.synthetic) == 25
+
+    def test_figure3(self):
+        fig = figure3_smote()
+        assert len(fig.synthetic) == 25
+
+    def test_figure5_has_radii(self):
+        fig = figure5_range()
+        assert "safe_radii" in fig.annotations
+        assert (fig.annotations["safe_radii"] > 0).all()
+
+    def test_figure6_has_clusters(self):
+        fig = figure6_ohit()
+        assert "clusters" in fig.annotations
+
+    def test_ascii_scatter_renders(self):
+        fig = figure2_noise()
+        text = ascii_scatter(fig)
+        assert "+" in text and "o" in text and "x" in text

@@ -1,0 +1,104 @@
+"""Generative-quality metrics and critical-difference analysis."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import NoiseInjection, SMOTE
+from repro.data import make_classification_panel
+from repro.experiments import (
+    EvaluationResult,
+    GridResult,
+    discriminative_score,
+    fidelity_report,
+    nemenyi_critical_difference,
+    predictive_score,
+    render_cd_diagram,
+)
+
+
+@pytest.fixture(scope="module")
+def real_panel():
+    X, y = make_classification_panel(
+        n_series=60, n_channels=2, length=24, n_classes=2, difficulty=0.3, seed=3
+    )
+    return X[y == 0]
+
+
+class TestDiscriminativeScore:
+    def test_identical_distributions_near_zero(self, real_panel):
+        half = len(real_panel) // 2
+        score = discriminative_score(real_panel[:half], real_panel[half:], seed=0)
+        assert score < 0.35  # cannot reliably separate same-distribution halves
+
+    def test_shifted_distribution_high(self, real_panel):
+        score = discriminative_score(real_panel, real_panel + 10.0, seed=0)
+        assert score > 0.4
+
+    def test_bounds(self, real_panel):
+        score = discriminative_score(real_panel, real_panel * 1.5, seed=0)
+        assert 0.0 <= score <= 0.5
+
+    def test_rejects_shape_mismatch(self, real_panel):
+        with pytest.raises(ValueError):
+            discriminative_score(real_panel, real_panel[:, :, :-1])
+
+
+class TestPredictiveScore:
+    def test_trtr_is_self_consistent(self, real_panel):
+        tstr, trtr = predictive_score(real_panel, real_panel)
+        assert np.isclose(tstr, trtr)
+
+    def test_noise_synthetic_worse_than_real(self, real_panel):
+        rng = np.random.default_rng(0)
+        garbage = rng.standard_normal(real_panel.shape) * 5
+        tstr, trtr = predictive_score(real_panel, garbage)
+        assert tstr > trtr
+
+    def test_good_synthetic_close(self, real_panel):
+        synthetic = SMOTE().generate(real_panel, len(real_panel), rng=0)
+        tstr, trtr = predictive_score(real_panel, synthetic)
+        assert tstr < 2.0 * trtr
+
+
+class TestFidelityReport:
+    def test_report_fields(self, real_panel):
+        report = fidelity_report(SMOTE(), real_panel, seed=0)
+        assert report.technique == "smote"
+        assert 0 <= report.discriminative <= 0.5
+        assert report.predictive_ratio > 0
+        assert "smote" in report.as_row()
+
+    def test_smote_beats_heavy_noise_on_fidelity(self, real_panel):
+        smote = fidelity_report(SMOTE(), real_panel, seed=0)
+        noisy = fidelity_report(NoiseInjection(5.0), real_panel, seed=0)
+        # heavy noise is easier to discriminate from real data
+        assert noisy.discriminative >= smote.discriminative - 0.05
+        assert noisy.std_gap > smote.std_gap
+
+
+class TestCriticalDifference:
+    def test_cd_value_reasonable(self):
+        cd = nemenyi_critical_difference(6, 13)
+        assert 2.0 < cd < 2.5  # Demsar's example scale
+
+    def test_cd_shrinks_with_more_datasets(self):
+        assert nemenyi_critical_difference(5, 50) < nemenyi_critical_difference(5, 10)
+
+    def test_cd_validates(self):
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(1, 10)
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(20, 10)
+        with pytest.raises(ValueError):
+            nemenyi_critical_difference(4, 1)
+
+    def test_render_cd_diagram(self):
+        grid = GridResult("toy", ("a", "b"))
+        for i, dataset in enumerate(["d1", "d2", "d3", "d4"]):
+            for technique, accuracy in [("baseline", 0.7), ("a", 0.8), ("b", 0.6 + 0.01 * i)]:
+                grid.cells[(dataset, technique)] = EvaluationResult(
+                    dataset, "toy", technique, [accuracy]
+                )
+        text = render_cd_diagram(grid)
+        assert "CD(0.05)" in text
+        assert "a (1.00)" in text

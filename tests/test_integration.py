@@ -1,0 +1,95 @@
+"""End-to-end integration: the full paper pipeline at miniature scale."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    PAPER_TECHNIQUES,
+    augment_to_balance,
+    make_augmenter,
+)
+from repro.classifiers import RocketClassifier
+from repro.data import load_dataset
+from repro.experiments import (
+    count_improvements,
+    render_accuracy_table,
+    rocket_spec,
+    run_grid,
+    summarize_findings,
+)
+
+
+def test_full_pipeline_one_dataset():
+    """Load -> augment -> normalise -> train -> score, for each paper technique."""
+    train, test = load_dataset("RacketSports", scale="small")
+    test_ready = test.znormalize().impute()
+    scores = {}
+    for technique in ("noise1", "smote"):
+        augmenter = make_augmenter(technique)
+        augmented = augment_to_balance(train, augmenter, rng=0)
+        assert augmented.is_balanced()
+        ready = augmented.znormalize().impute()
+        model = RocketClassifier(num_kernels=200, seed=0).fit(ready.X, ready.y)
+        scores[technique] = model.score(test_ready.X, test_ready.y)
+    assert all(0.0 <= s <= 1.0 for s in scores.values())
+
+
+def test_balancing_protocol_on_every_archive_dataset():
+    """The paper's protocol must succeed on all 13 datasets (cheap augmenter)."""
+    from repro.data import list_datasets
+
+    augmenter = make_augmenter("noise1")
+    for name in list_datasets():
+        train, _ = load_dataset(name, scale="small")
+        balanced = augment_to_balance(train, augmenter, rng=0)
+        assert balanced.is_balanced(), name
+
+
+def test_mini_grid_reproduces_paper_shape():
+    """3-dataset mini-grid: structure of Tables IV and VI is regenerable."""
+    grid = run_grid(
+        rocket_spec(150),
+        datasets=["Epilepsy", "RacketSports", "Heartbeat"],
+        techniques=("noise1", "smote"),
+        n_runs=2,
+        seed=1,
+    )
+    table = render_accuracy_table(grid)
+    assert table.count("\n") >= 5
+    counts = count_improvements(grid)
+    assert 0 <= counts.smote <= 3
+    summary = summarize_findings(grid)
+    assert summary.n_datasets == 3
+
+
+def test_all_paper_techniques_complete_protocol():
+    """noise1/3/5, SMOTE and TimeGAN all run the balancing protocol."""
+    train, _ = load_dataset("RacketSports", scale="small")
+    for technique in PAPER_TECHNIQUES:
+        augmenter = make_augmenter(technique)
+        if technique == "timegan":
+            augmenter.config.iterations = (4, 4, 2)  # keep the test fast
+        balanced = augment_to_balance(train, augmenter, rng=0)
+        assert balanced.is_balanced(), technique
+        assert np.isfinite(np.nan_to_num(balanced.X)).all(), technique
+
+
+def test_augmentation_improves_an_imbalanced_problem():
+    """Sanity: on a heavily imbalanced problem, the best of several
+    augmentations should not be dramatically worse than the baseline."""
+    train, test = load_dataset("Handwriting", scale="small")
+    test_ready = test.znormalize().impute()
+    baseline_ready = train.znormalize().impute()
+    baseline = RocketClassifier(num_kernels=200, seed=0).fit(
+        baseline_ready.X, baseline_ready.y
+    ).score(test_ready.X, test_ready.y)
+
+    best = -1.0
+    for technique in ("noise1", "smote"):
+        augmented = augment_to_balance(train, make_augmenter(technique), rng=0)
+        ready = augmented.znormalize().impute()
+        score = RocketClassifier(num_kernels=200, seed=0).fit(
+            ready.X, ready.y
+        ).score(test_ready.X, test_ready.y)
+        best = max(best, score)
+    assert best >= baseline - 0.15

@@ -1,0 +1,93 @@
+"""Internal utilities: RNG plumbing and validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro._rng import ensure_rng, spawn
+from repro._validation import (
+    check_labels,
+    check_panel,
+    check_panel_labels,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert ensure_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_independent_streams(self):
+        children = spawn(np.random.default_rng(0), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_spawn_reproducible(self):
+        a = [c.random() for c in spawn(np.random.default_rng(5), 4)]
+        b = [c.random() for c in spawn(np.random.default_rng(5), 4)]
+        assert a == b
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(np.random.default_rng(0), -1)
+
+
+class TestValidation:
+    def test_check_panel_promotes_2d(self):
+        out = check_panel(np.zeros((3, 5)))
+        assert out.shape == (3, 1, 5)
+
+    def test_check_panel_contiguous_float64(self):
+        out = check_panel(np.asfortranarray(np.zeros((2, 3, 4), dtype=np.float32)))
+        assert out.dtype == np.float64
+        assert out.flags["C_CONTIGUOUS"]
+
+    def test_check_panel_rejects_4d(self):
+        with pytest.raises(ValueError):
+            check_panel(np.zeros((1, 2, 3, 4)))
+
+    def test_check_panel_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_panel(np.zeros((0, 2, 3)))
+
+    def test_check_panel_allow_empty(self):
+        out = check_panel(np.zeros((0, 2, 3)), allow_empty=True)
+        assert out.shape == (0, 2, 3)
+
+    def test_check_panel_rejects_zero_axes(self):
+        with pytest.raises(ValueError):
+            check_panel(np.zeros((2, 0, 3)))
+
+    def test_check_labels_length(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros(3), n=4)
+
+    def test_check_labels_rejects_2d(self):
+        with pytest.raises(ValueError):
+            check_labels(np.zeros((2, 2)))
+
+    def test_check_panel_labels_joint(self):
+        X, y = check_panel_labels(np.zeros((3, 5)), np.arange(3))
+        assert X.shape == (3, 1, 5)
+        assert y.shape == (3,)
+
+    def test_check_positive(self):
+        check_positive(1, name="x")
+        check_positive(0, name="x", strict=False)
+        with pytest.raises(ValueError):
+            check_positive(0, name="x")
+        with pytest.raises(ValueError):
+            check_positive(-1, name="x", strict=False)
+
+    def test_check_probability(self):
+        check_probability(0.0, name="p")
+        check_probability(1.0, name="p")
+        with pytest.raises(ValueError):
+            check_probability(1.5, name="p")

@@ -1,0 +1,134 @@
+"""Classification metrics and cross-dataset statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import (
+    EvaluationResult,
+    GridResult,
+    average_ranks,
+    balanced_accuracy,
+    classification_report,
+    cohen_kappa,
+    confusion_matrix,
+    friedman_test,
+    precision_recall_f1,
+    wilcoxon_matrix,
+)
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect(self):
+        y = np.array([0, 1, 2, 1])
+        matrix = confusion_matrix(y, y)
+        assert np.array_equal(matrix, np.diag([1, 2, 1]))
+
+    def test_off_diagonal(self):
+        matrix = confusion_matrix([0, 0, 1], [1, 0, 1])
+        assert matrix[0, 1] == 1 and matrix[0, 0] == 1 and matrix[1, 1] == 1
+
+    def test_explicit_n_classes(self):
+        matrix = confusion_matrix([0], [0], n_classes=4)
+        assert matrix.shape == (4, 4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([], [])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix([0, 1], [0])
+
+
+class TestPrecisionRecallF1:
+    def test_perfect(self):
+        y = np.array([0, 1, 0, 1])
+        precision, recall, f1 = precision_recall_f1(y, y)
+        assert np.allclose(precision, 1) and np.allclose(recall, 1) and np.allclose(f1, 1)
+
+    def test_known_values(self):
+        y_true = np.array([0, 0, 0, 1, 1])
+        y_pred = np.array([0, 0, 1, 1, 1])
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+        assert np.isclose(precision[0], 1.0)  # 2/2 predicted-0 correct
+        assert np.isclose(recall[0], 2 / 3)
+        assert np.isclose(precision[1], 2 / 3)
+        assert np.isclose(recall[1], 1.0)
+
+    def test_absent_class_zero_not_nan(self):
+        precision, recall, f1 = precision_recall_f1([0, 0], [0, 0], n_classes=2)
+        assert precision[1] == 0.0 and recall[1] == 0.0 and f1[1] == 0.0
+
+
+class TestBalancedAccuracyKappa:
+    def test_balanced_accuracy_counters_majority_bias(self):
+        # 90 of class 0, 10 of class 1; predict all 0.
+        y_true = np.array([0] * 90 + [1] * 10)
+        y_pred = np.zeros(100, dtype=int)
+        assert np.isclose(balanced_accuracy(y_true, y_pred), 0.5)
+        assert (y_true == y_pred).mean() == 0.9  # plain accuracy misleads
+
+    def test_kappa_zero_for_constant_prediction(self):
+        y_true = np.array([0, 1, 0, 1])
+        y_pred = np.zeros(4, dtype=int)
+        assert np.isclose(cohen_kappa(y_true, y_pred), 0.0)
+
+    def test_kappa_one_for_perfect(self):
+        y = np.array([0, 1, 2, 0])
+        assert np.isclose(cohen_kappa(y, y), 1.0)
+
+    def test_report_fields(self):
+        y_true = np.array([0, 1, 1, 0, 1])
+        y_pred = np.array([0, 1, 0, 0, 1])
+        report = classification_report(y_true, y_pred)
+        assert 0 <= report.accuracy <= 1
+        assert report.confusion.sum() == 5
+        assert "balanced accuracy" in report.render()
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(5, 60), k=st.integers(2, 5))
+    def test_balanced_accuracy_bounds(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, k, n)
+        y_pred = rng.integers(0, k, n)
+        value = balanced_accuracy(y_true, y_pred)
+        assert 0.0 <= value <= 1.0
+
+
+def _toy_grid():
+    """Synthetic grid: technique 'a' always wins, 'b' always loses."""
+    grid = GridResult("toy", ("a", "b"))
+    for i, dataset in enumerate(["d1", "d2", "d3", "d4", "d5"]):
+        for technique, accuracy in [("baseline", 0.7), ("a", 0.8 + 0.01 * i), ("b", 0.6)]:
+            cell = EvaluationResult(dataset, "toy", technique, [accuracy])
+            grid.cells[(dataset, technique)] = cell
+    return grid
+
+
+class TestRanksAndTests:
+    def test_average_ranks_ordering(self):
+        ranks = average_ranks(_toy_grid())
+        assert ranks["a"] < ranks["baseline"] < ranks["b"]
+        assert np.isclose(ranks["a"], 1.0)
+
+    def test_friedman_detects_difference(self):
+        _, p_value = friedman_test(_toy_grid())
+        assert p_value < 0.1
+
+    def test_wilcoxon_matrix_keys(self):
+        results = wilcoxon_matrix(_toy_grid())
+        assert ("baseline", "a") in results
+        assert ("a", "b") in results
+        assert all(0 <= p <= 1 for p in results.values())
+
+    def test_wilcoxon_ties_give_one(self):
+        grid = GridResult("toy", ("same",))
+        for dataset in ["d1", "d2", "d3"]:
+            for technique in ("baseline", "same"):
+                grid.cells[(dataset, technique)] = EvaluationResult(
+                    dataset, "toy", technique, [0.5]
+                )
+        results = wilcoxon_matrix(grid)
+        assert results[("baseline", "same")] == 1.0

@@ -1,0 +1,186 @@
+"""Gradient and shape checks for the hand-written NN kernels."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.layers import BatchNorm1d
+
+from conftest import numerical_gradient
+
+
+def test_conv1d_matches_direct_computation():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 2, 8))
+    w = rng.standard_normal((3, 2, 3))
+    out = F.conv1d(Tensor(x), Tensor(w)).data
+    # Direct cross-correlation for one output position.
+    expected = sum(
+        (x[0, c, 2 : 2 + 3] * w[1, c]).sum() for c in range(2)
+    )
+    assert out.shape == (1, 3, 6)
+    assert np.isclose(out[0, 1, 2], expected)
+
+
+@pytest.mark.parametrize("stride,padding,dilation", [
+    (1, 0, 1), (2, 1, 1), (1, 2, 2), (3, 0, 1),
+])
+def test_conv1d_gradients(stride, padding, dilation):
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((2, 3, 12))
+    w = rng.standard_normal((4, 3, 3))
+    b = rng.standard_normal(4)
+
+    def value():
+        out = F.conv1d(Tensor(x), Tensor(w), Tensor(b),
+                       stride=stride, padding=padding, dilation=dilation)
+        return float((out.tanh() ** 2).sum().data)
+
+    tx = Tensor(x, requires_grad=True)
+    tw = Tensor(w, requires_grad=True)
+    tb = Tensor(b, requires_grad=True)
+    out = F.conv1d(tx, tw, tb, stride=stride, padding=padding, dilation=dilation)
+    (out.tanh() ** 2).sum().backward()
+    for tensor, array in [(tx, x), (tw, w), (tb, b)]:
+        assert np.abs(numerical_gradient(value, array) - tensor.grad).max() < 1e-5
+
+
+def test_conv1d_channel_mismatch():
+    with pytest.raises(ValueError, match="channels"):
+        F.conv1d(Tensor(np.zeros((1, 2, 8))), Tensor(np.zeros((3, 4, 3))))
+
+
+def test_max_pool1d_shape_and_values():
+    x = np.arange(12.0).reshape(1, 1, 12)
+    out = F.max_pool1d(Tensor(x), kernel=3, stride=3).data
+    assert np.allclose(out, [[[2, 5, 8, 11]]])
+
+
+def test_max_pool1d_gradient():
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((2, 2, 11))
+
+    def value():
+        return float((F.max_pool1d(Tensor(x), 3, stride=2, padding=1) ** 2).sum().data)
+
+    t = Tensor(x, requires_grad=True)
+    (F.max_pool1d(t, 3, stride=2, padding=1) ** 2).sum().backward()
+    assert np.abs(numerical_gradient(value, x) - t.grad).max() < 1e-5
+
+
+def test_global_avg_pool():
+    x = np.ones((2, 3, 5))
+    out = F.global_avg_pool1d(Tensor(x))
+    assert out.shape == (2, 3)
+    assert np.allclose(out.data, 1.0)
+
+
+def test_batch_norm_normalizes_training():
+    rng = np.random.default_rng(3)
+    bn = BatchNorm1d(4)
+    x = rng.standard_normal((16, 4, 10)) * 5 + 2
+    out = bn(Tensor(x)).data
+    assert np.abs(out.mean(axis=(0, 2))).max() < 1e-8
+    assert np.abs(out.std(axis=(0, 2)) - 1).max() < 1e-3
+
+
+def test_batch_norm_running_stats_used_in_eval():
+    rng = np.random.default_rng(4)
+    bn = BatchNorm1d(2)
+    for _ in range(50):
+        bn(Tensor(rng.standard_normal((8, 2, 6)) * 3 + 1))
+    bn.eval()
+    x = rng.standard_normal((4, 2, 6)) * 3 + 1
+    out = bn(Tensor(x)).data
+    expected = (x - bn.running_mean[None, :, None]) / np.sqrt(bn.running_var[None, :, None] + bn.eps)
+    assert np.allclose(out, expected)
+
+
+def test_batch_norm_gradients():
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((6, 3, 5))
+    gamma = rng.standard_normal(3)
+    beta = rng.standard_normal(3)
+
+    def value():
+        bn = BatchNorm1d(3)
+        bn.gamma.data[:] = gamma
+        bn.beta.data[:] = beta
+        return float((bn(Tensor(x)).tanh() ** 2).sum().data)
+
+    bn = BatchNorm1d(3)
+    bn.gamma.data[:] = gamma
+    bn.beta.data[:] = beta
+    tx = Tensor(x, requires_grad=True)
+    (bn(tx).tanh() ** 2).sum().backward()
+    assert np.abs(numerical_gradient(value, x) - tx.grad).max() < 1e-4
+    assert np.abs(numerical_gradient(value, gamma) - bn.gamma.grad).max() < 1e-4
+    assert np.abs(numerical_gradient(value, beta) - bn.beta.grad).max() < 1e-4
+
+
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(6)
+    out = F.softmax(Tensor(rng.standard_normal((5, 7))), axis=1).data
+    assert np.allclose(out.sum(axis=1), 1.0)
+    assert (out > 0).all()
+
+
+def test_softmax_gradient():
+    rng = np.random.default_rng(7)
+    x = rng.standard_normal((3, 4))
+    target = rng.standard_normal((3, 4))
+
+    def value():
+        return float((F.softmax(Tensor(x), axis=1) * Tensor(target)).sum().data)
+
+    t = Tensor(x, requires_grad=True)
+    (F.softmax(t, axis=1) * Tensor(target)).sum().backward()
+    assert np.abs(numerical_gradient(value, x) - t.grad).max() < 1e-6
+
+
+def test_log_softmax_stable_for_large_logits():
+    out = F.log_softmax(Tensor(np.array([[1000.0, 0.0]])), axis=1).data
+    assert np.isfinite(out).all()
+    assert np.isclose(out[0, 0], 0.0, atol=1e-6)
+
+
+def test_log_softmax_gradient():
+    rng = np.random.default_rng(8)
+    x = rng.standard_normal((3, 5))
+    picks = np.array([0, 2, 4])
+
+    def value():
+        return float(F.log_softmax(Tensor(x), axis=1)[np.arange(3), picks].sum().data)
+
+    t = Tensor(x, requires_grad=True)
+    F.log_softmax(t, axis=1)[np.arange(3), picks].sum().backward()
+    assert np.abs(numerical_gradient(value, x) - t.grad).max() < 1e-6
+
+
+def test_dropout_train_scales_survivors():
+    rng = np.random.default_rng(9)
+    x = np.ones((1000,))
+    out = F.dropout(Tensor(x), 0.5, training=True, rng=rng).data
+    survivors = out[out != 0]
+    assert np.allclose(survivors, 2.0)
+    assert 0.3 < (out == 0).mean() < 0.7
+
+
+def test_dropout_eval_is_identity():
+    rng = np.random.default_rng(10)
+    x = np.ones((50,))
+    out = F.dropout(Tensor(x), 0.5, training=False, rng=rng).data
+    assert np.array_equal(out, x)
+
+
+def test_dropout_rejects_p_one():
+    with pytest.raises(ValueError):
+        F.dropout(Tensor(np.ones(3)), 1.0, training=True, rng=np.random.default_rng(0))
+
+
+def test_pad1d_roundtrip_gradient():
+    x = np.random.default_rng(11).standard_normal((2, 2, 6))
+    t = Tensor(x, requires_grad=True)
+    (F.pad1d(t, 2) ** 2).sum().backward()
+    assert np.allclose(t.grad, 2 * x)

@@ -1,0 +1,122 @@
+"""Layer modules: shapes, parameter discovery, checkpointing, training modes."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_linear_shape_and_bias(rng):
+    layer = nn.Linear(4, 3, rng=rng)
+    out = layer(Tensor(rng.standard_normal((5, 4))))
+    assert out.shape == (5, 3)
+    layer_no_bias = nn.Linear(4, 3, bias=False, rng=rng)
+    assert layer_no_bias.bias is None
+
+
+def test_linear_gradients_flow(rng):
+    layer = nn.Linear(4, 2, rng=rng)
+    out = layer(Tensor(rng.standard_normal((6, 4))))
+    (out ** 2).sum().backward()
+    assert layer.weight.grad is not None
+    assert layer.bias.grad is not None
+
+
+def test_conv1d_layer_padding_same_length(rng):
+    layer = nn.Conv1d(3, 8, 5, padding=2, rng=rng)
+    out = layer(Tensor(rng.standard_normal((2, 3, 20))))
+    assert out.shape == (2, 8, 20)
+
+
+def test_sequential_composition(rng):
+    model = nn.Sequential(
+        nn.Conv1d(2, 4, 3, padding=1, rng=rng),
+        nn.BatchNorm1d(4),
+        nn.ReLU(),
+        nn.GlobalAvgPool1d(),
+        nn.Linear(4, 3, rng=rng),
+    )
+    out = model(Tensor(rng.standard_normal((5, 2, 16))))
+    assert out.shape == (5, 3)
+    assert len(model) == 5
+
+
+def test_parameters_unique_and_complete(rng):
+    model = nn.Sequential(nn.Linear(3, 3, rng=rng), nn.ReLU(), nn.Linear(3, 2, rng=rng))
+    params = model.parameters()
+    assert len(params) == 4  # two weights + two biases
+    assert len({id(p) for p in params}) == 4
+
+
+def test_parameters_in_lists_found(rng):
+    class WithList(nn.Module):
+        def __init__(self):
+            super().__init__()
+            self.blocks = [nn.Linear(2, 2, rng=rng) for _ in range(3)]
+
+        def forward(self, x):
+            for block in self.blocks:
+                x = block(x)
+            return x
+
+    assert len(WithList().parameters()) == 6
+
+
+def test_train_eval_propagates(rng):
+    model = nn.Sequential(nn.Dropout(0.5, rng=rng), nn.BatchNorm1d(3))
+    model.eval()
+    assert all(not m.training for m in model.modules())
+    model.train()
+    assert all(m.training for m in model.modules())
+
+
+def test_state_dict_roundtrip(rng):
+    model = nn.Sequential(nn.Conv1d(2, 3, 3, rng=rng), nn.BatchNorm1d(3))
+    x = rng.standard_normal((4, 2, 10))
+    model(Tensor(x))  # update running stats
+    state = model.state_dict()
+
+    model2 = nn.Sequential(nn.Conv1d(2, 3, 3, rng=np.random.default_rng(99)), nn.BatchNorm1d(3))
+    model2.load_state_dict(state)
+    model.eval()
+    model2.eval()
+    assert np.allclose(model(Tensor(x)).data, model2(Tensor(x)).data)
+
+
+def test_state_dict_copies_not_views(rng):
+    layer = nn.Linear(2, 2, rng=rng)
+    state = layer.state_dict()
+    layer.weight.data += 1.0
+    layer.load_state_dict(state)
+    reloaded = layer.state_dict()
+    for key in state:
+        assert np.allclose(state[key], reloaded[key])
+
+
+def test_flatten(rng):
+    out = nn.Flatten()(Tensor(rng.standard_normal((3, 4, 5))))
+    assert out.shape == (3, 20)
+
+
+def test_dropout_validates_p():
+    with pytest.raises(ValueError):
+        nn.Dropout(1.5)
+
+
+def test_maxpool_layer(rng):
+    out = nn.MaxPool1d(2)(Tensor(rng.standard_normal((2, 3, 10))))
+    assert out.shape == (2, 3, 5)
+
+
+def test_zero_grad_clears(rng):
+    model = nn.Linear(3, 2, rng=rng)
+    (model(Tensor(rng.standard_normal((4, 3)))) ** 2).sum().backward()
+    assert model.weight.grad is not None
+    model.zero_grad()
+    assert model.weight.grad is None

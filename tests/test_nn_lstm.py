@@ -1,0 +1,101 @@
+"""LSTM cell/stack and the LSTM autoencoder augmenter."""
+
+import numpy as np
+import pytest
+
+from repro.augmentation import LSTMAutoencoder, WGAN
+from repro.nn import LSTM, LSTMCell, Tensor
+
+from conftest import numerical_gradient
+
+
+class TestLSTMCell:
+    def test_shapes(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        h, c = cell(Tensor(rng.standard_normal((4, 3))),
+                    (Tensor(np.zeros((4, 5))), Tensor(np.zeros((4, 5)))))
+        assert h.shape == (4, 5) and c.shape == (4, 5)
+
+    def test_forget_bias_initialized_to_one(self, rng):
+        cell = LSTMCell(2, 4, rng=rng)
+        assert np.allclose(cell.bias.data[4:8], 1.0)
+        assert np.allclose(cell.bias.data[:4], 0.0)
+
+    def test_hidden_state_bounded(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        h = Tensor(np.zeros((5, 3)))
+        c = Tensor(np.zeros((5, 3)))
+        for _ in range(30):
+            h, c = cell(Tensor(rng.standard_normal((5, 2)) * 10), (h, c))
+        assert np.abs(h.data).max() <= 1.0 + 1e-9  # o * tanh(c)
+
+    def test_gradient_numerical(self, rng):
+        cell = LSTMCell(2, 2, rng=rng)
+        x = rng.standard_normal((3, 2))
+        w = cell.w_ih.data.copy()
+
+        def value():
+            cell.w_ih.data[:] = w
+            h, _ = cell(Tensor(x), (Tensor(np.zeros((3, 2))), Tensor(np.zeros((3, 2)))))
+            return float((h ** 2).sum().data)
+
+        h, _ = cell(Tensor(x), (Tensor(np.zeros((3, 2))), Tensor(np.zeros((3, 2)))))
+        (h ** 2).sum().backward()
+        assert np.abs(numerical_gradient(value, w) - cell.w_ih.grad).max() < 1e-5
+
+
+class TestLSTM:
+    def test_sequence_shape(self, rng):
+        lstm = LSTM(3, 6, num_layers=2, rng=rng)
+        out = lstm(Tensor(rng.standard_normal((2, 7, 3))))
+        assert out.shape == (2, 7, 6)
+
+    def test_rejects_zero_layers(self):
+        with pytest.raises(ValueError):
+            LSTM(2, 3, num_layers=0)
+
+    def test_gradients_flow(self, rng):
+        lstm = LSTM(2, 3, rng=rng)
+        x = Tensor(rng.standard_normal((2, 4, 2)), requires_grad=True)
+        (lstm(x) ** 2).sum().backward()
+        assert x.grad is not None
+        assert all(p.grad is not None for p in lstm.parameters())
+
+
+class TestLSTMAutoencoder:
+    def test_generate_shape(self, rng):
+        X = rng.standard_normal((10, 2, 16))
+        augmenter = LSTMAutoencoder(hidden_size=6, epochs=8)
+        out = augmenter.generate(X, 4, rng=rng)
+        assert out.shape == (4, 2, 16)
+        assert np.isfinite(out).all()
+
+    def test_long_series_downsampled(self, rng):
+        X = rng.standard_normal((6, 1, 200))
+        augmenter = LSTMAutoencoder(hidden_size=4, epochs=2, max_sequence_length=24)
+        out = augmenter.generate(X, 2, rng=rng)
+        assert out.shape == (2, 1, 200)
+
+    def test_reconstruction_near_class(self, rng):
+        t = np.linspace(0, 1, 20)
+        X = np.sin(2 * np.pi * 2 * t)[None, None, :] + rng.standard_normal((12, 1, 20)) * 0.2
+        out = LSTMAutoencoder(hidden_size=8, epochs=60, jitter=0.1).generate(X, 5, rng=rng)
+        assert abs(out.mean() - X.mean()) < 1.0
+
+
+class TestWGAN:
+    def test_generate_shape(self, rng):
+        X = rng.standard_normal((16, 2, 10))
+        out = WGAN(iterations=20, hidden_dim=16).generate(X, 5, rng=rng)
+        assert out.shape == (5, 2, 10)
+        assert np.isfinite(out).all()
+
+    def test_critic_weights_clipped(self, rng):
+        X = rng.standard_normal((12, 1, 8))
+        augmenter = WGAN(iterations=10, hidden_dim=8, clip=0.02)
+        augmenter.generate(X, 2, rng=rng)  # training happens inside
+
+    def test_matches_scale_roughly(self, rng):
+        X = rng.standard_normal((30, 1, 6)) * 2 + 10
+        out = WGAN(iterations=150, hidden_dim=32).generate(X, 50, rng=rng)
+        assert abs(out.mean() - 10) < 4.0

@@ -1,0 +1,139 @@
+"""Optimisers, losses, gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+from conftest import numerical_gradient
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = nn.SGD([p], lr=0.1)
+        p.grad = np.array([2.0])
+        optimizer.step()
+        assert np.allclose(p.data, [0.8])
+
+    def test_momentum_accumulates(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = nn.SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        optimizer.step()
+        p.grad = np.array([1.0])
+        optimizer.step()
+        assert np.allclose(p.data, [-2.9])  # -1 then -(0.9 + 1)
+
+    def test_weight_decay(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        optimizer = nn.SGD([p], lr=0.1, weight_decay=1.0)
+        p.grad = np.array([0.0])
+        optimizer.step()
+        assert np.allclose(p.data, [0.9])
+
+    def test_skips_none_grad(self):
+        p = Tensor(np.array([1.0]), requires_grad=True)
+        nn.SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, [1.0])
+
+
+class TestAdam:
+    def test_first_step_is_lr_sized(self):
+        p = Tensor(np.array([0.0]), requires_grad=True)
+        optimizer = nn.Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        optimizer.step()
+        assert np.isclose(abs(p.data[0]), 0.01, rtol=1e-6)
+
+    def test_minimizes_quadratic(self):
+        p = Tensor(np.array([5.0]), requires_grad=True)
+        optimizer = nn.Adam([p], lr=0.3)
+        for _ in range(200):
+            optimizer.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            optimizer.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_rejects_bad_lr(self):
+        with pytest.raises(ValueError):
+            nn.Adam([Tensor(np.ones(1), requires_grad=True)], lr=0.0)
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            nn.Adam([], lr=0.1)
+
+
+def test_clip_grad_norm():
+    p = Tensor(np.zeros(4), requires_grad=True)
+    p.grad = np.full(4, 3.0)  # norm 6
+    norm = nn.clip_grad_norm([p], max_norm=3.0)
+    assert np.isclose(norm, 6.0)
+    assert np.isclose(np.linalg.norm(p.grad), 3.0)
+
+
+def test_clip_grad_norm_noop_below_threshold():
+    p = Tensor(np.zeros(2), requires_grad=True)
+    p.grad = np.array([0.1, 0.1])
+    before = p.grad.copy()
+    nn.clip_grad_norm([p], max_norm=10.0)
+    assert np.array_equal(p.grad, before)
+
+
+class TestLosses:
+    def test_cross_entropy_value(self):
+        logits = Tensor(np.array([[10.0, 0.0], [0.0, 10.0]]))
+        loss = nn.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_cross_entropy_gradient(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 3))
+        y = np.array([0, 1, 2, 1])
+
+        def value():
+            return nn.cross_entropy(Tensor(x), y).item()
+
+        t = Tensor(x, requires_grad=True)
+        nn.cross_entropy(t, y).backward()
+        assert np.abs(numerical_gradient(value, x) - t.grad).max() < 1e-6
+
+    def test_cross_entropy_rejects_2d_targets(self):
+        with pytest.raises(ValueError):
+            nn.cross_entropy(Tensor(np.zeros((2, 2))), np.zeros((2, 2), dtype=int))
+
+    def test_mse(self):
+        loss = nn.mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.5)
+
+    def test_mae(self):
+        loss = nn.mae_loss(Tensor(np.array([1.0, -3.0])), np.array([0.0, 0.0]))
+        assert np.isclose(loss.item(), 2.0)
+
+    def test_bce_with_logits_matches_formula(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        targets = np.array([1.0, 0.0, 1.0])
+        expected = np.mean(
+            np.maximum(logits, 0) - logits * targets + np.log1p(np.exp(-np.abs(logits)))
+        )
+        loss = nn.bce_with_logits(Tensor(logits), targets)
+        assert np.isclose(loss.item(), expected)
+
+    def test_bce_with_logits_stable_extremes(self):
+        loss = nn.bce_with_logits(Tensor(np.array([1e4, -1e4])), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() < 1e-6
+
+    def test_bce_gradient(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal(5)
+        y = rng.integers(0, 2, 5).astype(float)
+
+        def value():
+            return nn.bce_with_logits(Tensor(x), y).item()
+
+        t = Tensor(x, requires_grad=True)
+        nn.bce_with_logits(t, y).backward()
+        assert np.abs(numerical_gradient(value, x) - t.grad).max() < 1e-5

@@ -1,0 +1,70 @@
+"""GRU cells and stacked GRUs."""
+
+import numpy as np
+import pytest
+
+from repro.nn import GRU, GRUCell, Tensor
+
+from conftest import numerical_gradient
+
+
+def test_gru_cell_shape():
+    rng = np.random.default_rng(0)
+    cell = GRUCell(4, 6, rng=rng)
+    h = cell(Tensor(rng.standard_normal((3, 4))), Tensor(np.zeros((3, 6))))
+    assert h.shape == (3, 6)
+
+
+def test_gru_cell_bounded_output():
+    """GRU state is a convex mix of tanh candidate and previous state."""
+    rng = np.random.default_rng(1)
+    cell = GRUCell(2, 3, rng=rng)
+    h = Tensor(np.zeros((5, 3)))
+    for _ in range(20):
+        h = cell(Tensor(rng.standard_normal((5, 2)) * 10), h)
+    assert np.abs(h.data).max() <= 1.0 + 1e-9
+
+
+def test_gru_sequence_shape():
+    rng = np.random.default_rng(2)
+    gru = GRU(3, 5, num_layers=2, rng=rng)
+    out = gru(Tensor(rng.standard_normal((4, 7, 3))))
+    assert out.shape == (4, 7, 5)
+
+
+def test_gru_rejects_zero_layers():
+    with pytest.raises(ValueError):
+        GRU(3, 5, num_layers=0)
+
+
+def test_gru_gradient_flows_to_input_and_weights():
+    rng = np.random.default_rng(3)
+    gru = GRU(2, 3, rng=rng)
+    x = Tensor(rng.standard_normal((2, 5, 2)), requires_grad=True)
+    (gru(x) ** 2).sum().backward()
+    assert x.grad is not None and np.abs(x.grad).sum() > 0
+    for p in gru.parameters():
+        assert p.grad is not None
+
+
+def test_gru_cell_gradient_numerical():
+    rng = np.random.default_rng(4)
+    cell = GRUCell(2, 2, rng=rng)
+    x = rng.standard_normal((3, 2))
+    w = cell.w_ih.data.copy()
+
+    def value():
+        cell.w_ih.data[:] = w
+        return float((cell(Tensor(x), Tensor(np.zeros((3, 2)))) ** 2).sum().data)
+
+    out = (cell(Tensor(x), Tensor(np.zeros((3, 2)))) ** 2).sum()
+    out.backward()
+    numeric = numerical_gradient(value, w)
+    assert np.abs(numeric - cell.w_ih.grad).max() < 1e-5
+
+
+def test_gru_deterministic_given_seed():
+    a = GRU(2, 3, rng=np.random.default_rng(7))
+    b = GRU(2, 3, rng=np.random.default_rng(7))
+    x = np.random.default_rng(0).standard_normal((2, 4, 2))
+    assert np.allclose(a(Tensor(x)).data, b(Tensor(x)).data)

@@ -1,0 +1,229 @@
+"""Autodiff engine: correctness of every primitive's gradient."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, no_grad
+
+from conftest import numerical_gradient
+
+
+def check_gradient(build, *shapes, seed=0, tol=1e-5):
+    """Compare autodiff and numerical gradients for f(tensors) -> scalar."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(shape) for shape in shapes]
+
+    def value():
+        return float(build(*[Tensor(a) for a in arrays]).data)
+
+    tensors = [Tensor(a, requires_grad=True) for a in arrays]
+    build(*tensors).backward()
+    for tensor, array in zip(tensors, arrays):
+        numeric = numerical_gradient(value, array)
+        assert np.abs(numeric - tensor.grad).max() < tol
+
+
+class TestArithmetic:
+    def test_add(self):
+        check_gradient(lambda a, b: (a + b).sum(), (3, 4), (3, 4))
+
+    def test_add_broadcast(self):
+        check_gradient(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_sub(self):
+        check_gradient(lambda a, b: (a - b).sum(), (2, 3), (2, 3))
+
+    def test_rsub_scalar(self):
+        check_gradient(lambda a: (2.0 - a).sum(), (3,))
+
+    def test_mul(self):
+        check_gradient(lambda a, b: (a * b).sum(), (3, 4), (3, 4))
+
+    def test_mul_broadcast(self):
+        check_gradient(lambda a, b: (a * b).sum(), (2, 3, 4), (3, 1))
+
+    def test_div(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((3, 3))
+        b = rng.uniform(0.5, 2.0, (3, 3))
+        ta = Tensor(a, requires_grad=True)
+        tb = Tensor(b, requires_grad=True)
+        (ta / tb).sum().backward()
+        assert np.allclose(ta.grad, 1.0 / b)
+        assert np.allclose(tb.grad, -a / b**2)
+
+    def test_neg(self):
+        check_gradient(lambda a: (-a).sum(), (4,))
+
+    def test_pow(self):
+        check_gradient(lambda a: (a**3).sum(), (5,))
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** Tensor([2.0])
+
+    def test_matmul_2d(self):
+        check_gradient(lambda a, b: (a @ b).sum(), (3, 4), (4, 5))
+
+    def test_matmul_batched(self):
+        check_gradient(lambda a, b: (a @ b).sum(), (2, 3, 4), (2, 4, 5))
+
+
+class TestNonlinearities:
+    def test_exp(self):
+        check_gradient(lambda a: a.exp().sum(), (3, 3))
+
+    def test_log(self):
+        rng = np.random.default_rng(0)
+        a = rng.uniform(0.5, 2.0, (4,))
+        t = Tensor(a, requires_grad=True)
+        t.log().sum().backward()
+        assert np.allclose(t.grad, 1.0 / a)
+
+    def test_tanh(self):
+        check_gradient(lambda a: a.tanh().sum(), (3, 4))
+
+    def test_sigmoid(self):
+        check_gradient(lambda a: a.sigmoid().sum(), (3, 4))
+
+    def test_relu(self):
+        a = np.array([-1.0, 2.0, -3.0, 4.0])
+        t = Tensor(a, requires_grad=True)
+        t.relu().sum().backward()
+        assert np.allclose(t.grad, [0, 1, 0, 1])
+
+    def test_abs(self):
+        check_gradient(lambda a: (a.abs() * a.abs()).sum(), (5,), seed=3)
+
+    def test_clip(self):
+        a = np.array([-2.0, 0.5, 3.0])
+        t = Tensor(a, requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        assert np.allclose(t.grad, [0, 1, 0])
+
+    def test_sigmoid_extreme_values_finite(self):
+        t = Tensor(np.array([-1000.0, 1000.0]))
+        out = t.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] < 1e-12 and out[1] > 1 - 1e-12
+
+
+class TestReductions:
+    def test_sum_all(self):
+        check_gradient(lambda a: (a * a).sum(), (3, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda a: (a.sum(axis=1) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda a: (a.sum(axis=0, keepdims=True) * a).sum(), (3, 4))
+
+    def test_mean(self):
+        t = Tensor(np.ones((2, 5)), requires_grad=True)
+        t.mean().backward()
+        assert np.allclose(t.grad, 0.1)
+
+    def test_mean_axis_tuple(self):
+        check_gradient(lambda a: (a.mean(axis=(0, 2)) ** 2).sum(), (2, 3, 4))
+
+    def test_max_axis(self):
+        check_gradient(lambda a: a.max(axis=1).sum(), (3, 5), seed=7)
+
+    def test_max_ties_split_gradient(self):
+        t = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        assert np.allclose(t.grad, [[0.5, 0.5, 0.0]])
+
+
+class TestShapeOps:
+    def test_reshape(self):
+        check_gradient(lambda a: (a.reshape(6) ** 2).sum(), (2, 3))
+
+    def test_transpose(self):
+        check_gradient(lambda a: (a.transpose(1, 0) @ a).sum(), (3, 4))
+
+    def test_getitem(self):
+        check_gradient(lambda a: (a[1:, :2] ** 2).sum(), (3, 4))
+
+    def test_getitem_fancy_accumulates(self):
+        t = Tensor(np.arange(4.0), requires_grad=True)
+        t[np.array([0, 0, 1])].sum().backward()
+        assert np.allclose(t.grad, [2, 1, 0, 0])
+
+    def test_concatenate(self):
+        check_gradient(
+            lambda a, b: (Tensor.concatenate([a, b], axis=1) ** 2).sum(), (2, 3), (2, 2)
+        )
+
+    def test_stack(self):
+        check_gradient(lambda a, b: (Tensor.stack([a, b], axis=0) ** 2).sum(), (2, 3), (2, 3))
+
+
+class TestBackwardMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_backward_nonscalar_needs_grad(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_grad_accumulates_over_reuse(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (t * t).backward()  # d(t^2)/dt = 2t = 4
+        assert np.allclose(t.grad, [4.0])
+
+    def test_diamond_graph(self):
+        t = Tensor(np.array([3.0]), requires_grad=True)
+        a = t * 2
+        b = t * 3
+        (a + b).backward()
+        assert np.allclose(t.grad, [5.0])
+
+    def test_detach_blocks_gradient(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        out = (t.detach() * t).sum()
+        out.backward()
+        assert np.allclose(t.grad, np.ones(3))
+
+    def test_no_grad_context(self):
+        t = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            out = t * 2
+        assert not out.requires_grad
+
+    def test_no_grad_restores_state(self):
+        with no_grad():
+            pass
+        t = Tensor(np.ones(1), requires_grad=True)
+        assert (t * 1).requires_grad
+
+    def test_zero_grad(self):
+        t = Tensor(np.ones(2), requires_grad=True)
+        (t * 2).sum().backward()
+        t.zero_grad()
+        assert t.grad is None
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rows=st.integers(1, 5),
+    cols=st.integers(1, 5),
+    seed=st.integers(0, 10_000),
+)
+def test_chain_rule_property(rows, cols, seed):
+    """d/dx sum(tanh(x*w)) matches numerical gradient for random shapes."""
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((rows, cols))
+    w = rng.standard_normal((cols,))
+
+    def value():
+        return float((Tensor(x) * Tensor(w)).tanh().sum().data)
+
+    t = Tensor(x, requires_grad=True)
+    (t * Tensor(w)).tanh().sum().backward()
+    numeric = numerical_gradient(value, x)
+    assert np.abs(numeric - t.grad).max() < 1e-5

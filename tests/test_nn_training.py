@@ -1,0 +1,127 @@
+"""Trainer (early stopping, best-model restore) and LR schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+def _toy_problem(seed=0, n=60):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n, 2, 16))
+    y = rng.integers(0, 2, size=n)
+    X[y == 1, 0, :] += 1.5  # clear channel-0 offset for class 1
+    return X[: n // 2], y[: n // 2], X[n // 2 :], y[n // 2 :]
+
+
+def _toy_model(seed=0):
+    rng = np.random.default_rng(seed)
+    return nn.Sequential(
+        nn.Conv1d(2, 6, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.GlobalAvgPool1d(),
+        nn.Linear(6, 2, rng=rng),
+    )
+
+
+class TestTrainer:
+    def test_learns_separable_problem(self):
+        X_tr, y_tr, X_val, y_val = _toy_problem()
+        trainer = nn.Trainer(_toy_model(), lr=0.05, max_epochs=40, patience=15,
+                             batch_size=16, seed=0)
+        history = trainer.fit(X_tr, y_tr, X_val, y_val)
+        assert history.best_val_accuracy > 0.8
+
+    def test_early_stopping_triggers(self):
+        X_tr, y_tr, X_val, y_val = _toy_problem()
+        trainer = nn.Trainer(_toy_model(), lr=0.05, max_epochs=500, patience=3,
+                             batch_size=16, seed=0)
+        history = trainer.fit(X_tr, y_tr, X_val, y_val)
+        assert history.stopped_epoch < 499
+        assert len(history.val_accuracy) == history.stopped_epoch + 1
+
+    def test_best_model_restored(self):
+        X_tr, y_tr, X_val, y_val = _toy_problem()
+        model = _toy_model()
+        trainer = nn.Trainer(model, lr=0.05, max_epochs=30, patience=30,
+                             batch_size=16, seed=0)
+        history = trainer.fit(X_tr, y_tr, X_val, y_val)
+        _, final_acc = trainer.evaluate(X_val, y_val)
+        assert np.isclose(final_acc, history.best_val_accuracy)
+
+    def test_history_lengths_consistent(self):
+        X_tr, y_tr, X_val, y_val = _toy_problem()
+        trainer = nn.Trainer(_toy_model(), lr=0.01, max_epochs=5, patience=10,
+                             batch_size=16, seed=0)
+        history = trainer.fit(X_tr, y_tr, X_val, y_val)
+        assert len(history.train_loss) == len(history.val_loss) == len(history.val_accuracy)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            nn.Trainer(_toy_model(), max_epochs=0)
+        with pytest.raises(ValueError):
+            nn.Trainer(_toy_model(), patience=0)
+
+    def test_deterministic_given_seed(self):
+        X_tr, y_tr, X_val, y_val = _toy_problem()
+        results = []
+        for _ in range(2):
+            trainer = nn.Trainer(_toy_model(seed=3), lr=0.02, max_epochs=5,
+                                 patience=10, batch_size=16, seed=42)
+            history = trainer.fit(X_tr, y_tr, X_val, y_val)
+            results.append(history.train_loss)
+        assert np.allclose(results[0], results[1])
+
+
+def test_iterate_minibatches_covers_everything():
+    rng = np.random.default_rng(0)
+    seen = np.concatenate(list(nn.iterate_minibatches(23, 5, rng)))
+    assert sorted(seen) == list(range(23))
+
+
+class TestSchedulers:
+    def _optimizer(self):
+        return nn.SGD([Tensor(np.ones(1), requires_grad=True)], lr=1.0)
+
+    def test_step_decay(self):
+        optimizer = self._optimizer()
+        scheduler = nn.StepDecay(optimizer, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            scheduler.step()
+            lrs.append(optimizer.lr)
+        assert np.allclose(lrs, [1.0, 0.5, 0.5, 0.25])
+
+    def test_cosine_annealing_endpoints(self):
+        optimizer = self._optimizer()
+        scheduler = nn.CosineAnnealing(optimizer, t_max=10, eta_min=0.0)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr < 1e-12
+
+    def test_lr_range_test_stops_on_divergence(self):
+        calls = []
+
+        def loss_at_lr(lr):
+            calls.append(lr)
+            return 1.0 if lr < 0.01 else 1e9
+
+        lrs, losses = nn.lr_range_test(loss_at_lr, min_lr=1e-4, max_lr=1.0, num_steps=20)
+        assert len(lrs) < 20
+        assert losses[-1] > 1e8
+
+    def test_suggest_valley_lr_finds_descent(self):
+        lrs = np.geomspace(1e-4, 1.0, 30)
+        # Loss decreasing until lr=0.01 then exploding.
+        losses = np.where(lrs < 0.01, 1.0 / (1 + lrs * 100), 10 * lrs)
+        suggestion = nn.suggest_valley_lr(lrs, losses)
+        assert 1e-4 <= suggestion <= 0.05
+
+    def test_suggest_valley_lr_rejects_empty(self):
+        with pytest.raises(ValueError):
+            nn.suggest_valley_lr(np.array([]), np.array([]))
+
+    def test_lr_range_test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            nn.lr_range_test(lambda lr: 1.0, min_lr=1.0, max_lr=0.1)

@@ -1,0 +1,157 @@
+"""Property-based tests on cross-module invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.augmentation import (
+    NoiseInjection,
+    SMOTE,
+    augment_to_balance,
+    make_augmenter,
+)
+from repro.data import TimeSeriesDataset, dataset_variance, imbalance_degree
+from repro.data.archive import solve_class_counts
+from repro.data.splits import stratified_split
+from repro.experiments import confusion_matrix, relative_gain
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    counts=st.lists(st.integers(1, 30), min_size=2, max_size=6),
+    seed=st.integers(0, 1000),
+)
+def test_balancing_always_balances(counts, seed):
+    """augment_to_balance yields equal class counts for any initial counts."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((sum(counts), 2, 8))
+    y = np.repeat(np.arange(len(counts)), counts)
+    dataset = TimeSeriesDataset(X, y)
+    balanced = augment_to_balance(dataset, NoiseInjection(1.0), rng=seed)
+    assert balanced.is_balanced()
+    assert balanced.n_series >= dataset.n_series
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_classes=st.integers(2, 10),
+    total_factor=st.integers(2, 20),
+    target=st.floats(0.0, 5.0),
+)
+def test_solve_class_counts_invariants(n_classes, total_factor, target):
+    total = n_classes * total_factor
+    counts = solve_class_counts(n_classes, total, min(target, n_classes - 1))
+    assert counts.sum() == total
+    assert (counts >= 1).all()
+    assert len(counts) == n_classes
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    sizes=st.lists(st.integers(2, 20), min_size=2, max_size=5),
+    seed=st.integers(0, 1000),
+    fraction=st.floats(0.1, 0.6),
+)
+def test_stratified_split_partition(sizes, seed, fraction):
+    y = np.repeat(np.arange(len(sizes)), sizes)
+    train_idx, val_idx = stratified_split(y, val_fraction=fraction, seed=seed)
+    union = np.sort(np.concatenate([train_idx, val_idx]))
+    assert np.array_equal(union, np.arange(len(y)))
+    # Every class keeps at least one training sample.
+    for label in range(len(sizes)):
+        assert (y[train_idx] == label).any()
+
+
+@settings(max_examples=25, deadline=None)
+@given(scale=st.floats(0.1, 10.0), seed=st.integers(0, 100))
+def test_dataset_variance_scaling_law(scale, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((10, 2, 6))
+    assert np.isclose(dataset_variance(scale * X), scale**2 * dataset_variance(X),
+                      rtol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    duplication=st.integers(1, 10),
+    counts=st.lists(st.integers(1, 50), min_size=2, max_size=6),
+)
+def test_imbalance_degree_scale_invariant(duplication, counts):
+    """ID depends only on class proportions, not absolute counts."""
+    base = imbalance_degree(counts)
+    scaled = imbalance_degree([c * duplication for c in counts])
+    assert np.isclose(base, scaled, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    baseline=st.floats(0.05, 1.0),
+    augmented=st.floats(0.0, 1.0),
+)
+def test_relative_gain_sign(baseline, augmented):
+    gain = relative_gain(baseline, augmented)
+    if augmented > baseline:
+        assert gain > 0
+    elif augmented < baseline:
+        assert gain < 0
+    else:
+        assert gain == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    k=st.integers(2, 5),
+    seed=st.integers(0, 1000),
+)
+def test_confusion_matrix_marginals(n, k, seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, k, n)
+    y_pred = rng.integers(0, k, n)
+    matrix = confusion_matrix(y_true, y_pred, n_classes=k)
+    assert matrix.sum() == n
+    assert np.array_equal(matrix.sum(axis=1), np.bincount(y_true, minlength=k))
+    assert np.array_equal(matrix.sum(axis=0), np.bincount(y_pred, minlength=k))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    name=st.sampled_from(["smote", "noise1", "scaling", "interpolation",
+                          "spo", "ohit", "gaussian", "markov", "lgt"]),
+    n_source=st.integers(2, 10),
+    n_new=st.integers(0, 8),
+    seed=st.integers(0, 500),
+)
+def test_augmenter_contract(name, n_source, n_new, seed):
+    """Every cheap augmenter honours the generate() contract."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((n_source, 2, 10))
+    out = make_augmenter(name).generate(X, n_new, rng=seed)
+    assert out.shape == (n_new, 2, 10)
+    assert np.isfinite(out).all()
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 500), gap=st.floats(0.0, 1.0))
+def test_smote_convex_combination_property(seed, gap):
+    """Every SMOTE output is a convex combination of two class members."""
+    rng = np.random.default_rng(seed)
+    X = rng.standard_normal((6, 1, 5))
+    out = SMOTE().generate(X, 10, rng=seed)
+    flat = X.reshape(6, -1)
+    for sample in out.reshape(10, -1):
+        # The sample must lie on the segment between SOME pair of sources.
+        on_some_segment = False
+        for i in range(len(flat)):
+            for j in range(len(flat)):
+                if i == j:
+                    continue
+                a, b = flat[i], flat[j]
+                segment = b - a
+                t = np.clip(segment @ (sample - a) / max(segment @ segment, 1e-12), 0, 1)
+                if np.linalg.norm(sample - (a + t * segment)) < 1e-8:
+                    on_some_segment = True
+                    break
+            if on_some_segment:
+                break
+        assert on_some_segment

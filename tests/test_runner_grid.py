@@ -1,0 +1,85 @@
+"""GridResult bookkeeping and runner behaviour (cheap, synthetic cells)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import EvaluationResult, GridResult
+from repro.experiments.runner import run_grid
+from repro.experiments.protocol import rocket_spec
+
+
+def _grid(values: dict[str, dict[str, float]], techniques=("a", "b")) -> GridResult:
+    grid = GridResult("toy", tuple(techniques))
+    for dataset, row in values.items():
+        for technique, accuracy in row.items():
+            grid.cells[(dataset, technique)] = EvaluationResult(
+                dataset, "toy", technique, [accuracy, accuracy]
+            )
+    return grid
+
+
+class TestGridResult:
+    def test_datasets_in_insertion_order(self):
+        grid = _grid({"z": {"baseline": 0.5, "a": 0.5, "b": 0.5},
+                      "m": {"baseline": 0.5, "a": 0.5, "b": 0.5}})
+        assert grid.datasets() == ["z", "m"]
+
+    def test_accuracy_is_percent(self):
+        grid = _grid({"d": {"baseline": 0.75, "a": 0.8, "b": 0.7}})
+        assert grid.baseline_accuracy("d") == 75.0
+        assert grid.accuracy("d", "a") == 80.0
+
+    def test_improvement_percent_uses_best(self):
+        grid = _grid({"d": {"baseline": 0.80, "a": 0.84, "b": 0.70}})
+        assert np.isclose(grid.improvement_percent("d"), 5.0)
+
+    def test_negative_improvement_when_all_worse(self):
+        grid = _grid({"d": {"baseline": 0.80, "a": 0.72, "b": 0.76}})
+        assert np.isclose(grid.improvement_percent("d"), -5.0)
+
+    def test_average_improvement(self):
+        grid = _grid({
+            "d1": {"baseline": 0.80, "a": 0.84, "b": 0.70},
+            "d2": {"baseline": 0.50, "a": 0.45, "b": 0.55},
+        })
+        assert np.isclose(grid.average_improvement(), (5.0 + 10.0) / 2)
+
+    def test_improved_dataset_count(self):
+        grid = _grid({
+            "d1": {"baseline": 0.8, "a": 0.9, "b": 0.7},
+            "d2": {"baseline": 0.8, "a": 0.7, "b": 0.7},
+            "d3": {"baseline": 0.8, "a": 0.8, "b": 0.8},
+        })
+        assert grid.improved_dataset_count() == 1  # ties don't count
+
+    def test_missing_cell_raises(self):
+        grid = _grid({"d": {"baseline": 0.8, "a": 0.8, "b": 0.8}})
+        with pytest.raises(KeyError):
+            grid.accuracy("d", "zz")
+
+
+class TestRunGrid:
+    def test_augmenter_instances_accepted(self):
+        """run_grid normalises Augmenter instances to their names."""
+        from repro.augmentation import NoiseInjection
+
+        grid = run_grid(
+            rocket_spec(100),
+            datasets=["RacketSports"],
+            techniques=(NoiseInjection(1.0),),
+            n_runs=1,
+            seed=0,
+        )
+        assert grid.techniques == ("noise1",)
+        assert ("RacketSports", "noise1") in grid.cells
+
+    def test_verbose_prints(self, capsys):
+        run_grid(rocket_spec(100), datasets=["RacketSports"],
+                 techniques=(), n_runs=1, seed=0, verbose=True)
+        assert "RacketSports" in capsys.readouterr().out
+
+    def test_reproducible_across_calls(self):
+        kwargs = dict(datasets=["Epilepsy"], techniques=("noise1",), n_runs=1, seed=3)
+        a = run_grid(rocket_spec(100), **kwargs)
+        b = run_grid(rocket_spec(100), **kwargs)
+        assert a.accuracy("Epilepsy", "noise1") == b.accuracy("Epilepsy", "noise1")

@@ -1,0 +1,76 @@
+"""Figure-1 taxonomy tree and implementation coverage."""
+
+import networkx as nx
+import pytest
+
+from repro.augmentation import available_augmenters, make_augmenter
+from repro.taxonomy import (
+    ROOT,
+    build_taxonomy,
+    implementation_coverage,
+    render_taxonomy,
+    taxonomy_leaves,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_taxonomy()
+
+
+def test_is_tree(graph):
+    assert nx.is_tree(graph.to_undirected())
+
+
+def test_root_has_three_branches(graph):
+    branches = list(graph.successors(ROOT))
+    labels = {graph.nodes[b]["label"] for b in branches}
+    assert labels == {"Basic Techniques", "Generative Techniques", "Preserving Techniques"}
+
+
+def test_every_leaf_reachable_from_root(graph):
+    for leaf in taxonomy_leaves(graph):
+        assert nx.has_path(graph, ROOT, leaf)
+
+
+def test_leaf_implementations_exist_in_registry(graph):
+    registered = set(available_augmenters())
+    for leaf in taxonomy_leaves(graph):
+        for name in graph.nodes[leaf].get("implementations", []):
+            assert name in registered, f"{leaf} references unknown augmenter {name}"
+
+
+def test_taxonomy_paths_consistent_with_augmenters(graph):
+    """Each augmenter's declared taxonomy branch matches the tree's branch."""
+    branch_by_name = {}
+    for leaf in taxonomy_leaves(graph):
+        top = leaf.split(" / ")[0]
+        for name in graph.nodes[leaf].get("implementations", []):
+            branch_by_name.setdefault(name, set()).add(top)
+    mapping = {
+        "basic": "Basic Techniques",
+        "generative": "Generative Techniques",
+        "preserving": "Preserving Techniques",
+    }
+    for name, branches in branch_by_name.items():
+        augmenter = make_augmenter(name)
+        if augmenter.taxonomy and augmenter.taxonomy[0] in mapping:
+            assert mapping[augmenter.taxonomy[0]] in branches, name
+
+
+def test_coverage_nearly_complete(graph):
+    coverage = implementation_coverage(graph)
+    assert coverage["Basic Techniques"] == 1.0
+    assert coverage["Preserving Techniques"] == 1.0
+    assert coverage["Generative Techniques"] >= 0.8  # flows leaf unimplemented
+
+
+def test_render_contains_all_branch_labels(graph):
+    text = render_taxonomy(graph)
+    for label in ("Time Domain", "Frequency Domain", "GANs", "OHIT", "Diffusion Models"):
+        assert label in text
+
+
+def test_figure1_leaf_count(graph):
+    """The taxonomy has the full complement of Figure-1 leaves."""
+    assert len(taxonomy_leaves(graph)) >= 30
