@@ -1,0 +1,94 @@
+"""Grid engine performance: sequential vs cached vs parallel wall-clock.
+
+Times the same small accuracy grid three ways:
+
+* **naive** — one standalone ``evaluate`` per cell with caching disabled,
+  the shape of the pre-engine nested loop (every cell recomputes panels,
+  kernels and real-panel features);
+* **engine jobs=1** — the engine's in-process path with its artefact
+  cache (real-panel features shared across techniques);
+* **engine jobs=4** — the same job list on a 4-worker pool.
+
+All three produce bit-identical accuracies (asserted); the published
+table records the wall-clock ratios.  The acceptance bar is >= 2x for
+the 4-worker engine over the naive loop.
+"""
+
+import time
+
+from _shared import publish
+
+from repro.cache import caching, feature_cache
+from repro.data import load_dataset
+from repro.experiments import evaluate, rocket_spec, run_grid
+from repro.experiments import engine as engine_module
+
+DATASETS = ["Epilepsy", "RacketSports", "FingerMovements",
+            "SelfRegulationSCP1", "SpokenArabicDigits"]
+TECHNIQUES = ("noise1", "noise3", "noise5", "smote")
+N_RUNS = 3
+KERNELS = 400
+REPEATS = 2  # wall-clock is best-of-N to damp scheduler noise
+
+
+def _reset_process_caches():
+    """Each scenario pays its own loading costs."""
+    feature_cache().clear()
+    engine_module._DATASET_CACHE.clear()
+
+
+def _time_naive() -> tuple[float, dict]:
+    _reset_process_caches()
+    cells = {}
+    start = time.perf_counter()
+    with caching(False):
+        for name in DATASETS:
+            train, test = load_dataset(name, scale="small")
+            for technique in (None, *TECHNIQUES):
+                result = evaluate(train, test, rocket_spec(KERNELS), technique,
+                                  n_runs=N_RUNS, seed=0)
+                cells[(name, result.technique)] = result.accuracies
+    return time.perf_counter() - start, cells
+
+
+def _time_engine(jobs: int) -> tuple[float, dict]:
+    _reset_process_caches()
+    start = time.perf_counter()
+    grid = run_grid(rocket_spec(KERNELS), datasets=DATASETS,
+                    techniques=TECHNIQUES, n_runs=N_RUNS, seed=0, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return elapsed, {key: cell.accuracies for key, cell in grid.cells.items()}
+
+
+def _best_of(measure, *args):
+    best_time, cells = measure(*args)
+    for _ in range(REPEATS - 1):
+        elapsed, again = measure(*args)
+        assert again == cells
+        best_time = min(best_time, elapsed)
+    return best_time, cells
+
+
+def test_grid_engine_speedup():
+    naive_time, naive_cells = _best_of(_time_naive)
+    seq_time, seq_cells = _best_of(_time_engine, 1)
+    par_time, par_cells = _best_of(_time_engine, 4)
+
+    # Execution strategy must never change results.
+    assert naive_cells == seq_cells == par_cells
+
+    grid_size = f"{len(DATASETS)} datasets x {1 + len(TECHNIQUES)} configs x {N_RUNS} runs"
+    lines = [
+        f"grid: {grid_size}, ROCKET {KERNELS} kernels (paper: 10 000)",
+        "",
+        f"{'strategy':28s} {'wall-clock':>10s} {'speedup':>8s}",
+        f"{'naive per-cell loop':28s} {naive_time:9.2f}s {1.0:7.2f}x",
+        f"{'engine --jobs 1 (cached)':28s} {seq_time:9.2f}s {naive_time / seq_time:7.2f}x",
+        f"{'engine --jobs 4 (cached)':28s} {par_time:9.2f}s {naive_time / par_time:7.2f}x",
+    ]
+    publish("perf_grid_engine", "\n".join(lines))
+
+    assert naive_time / par_time >= 2.0, (
+        f"4-worker engine must be >= 2x the naive loop; "
+        f"got {naive_time / par_time:.2f}x"
+    )

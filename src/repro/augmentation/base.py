@@ -64,6 +64,11 @@ class Augmenter(ABC):
     name: str = "augmenter"
     #: taxonomy path, e.g. ("basic", "time_domain") — links to Figure 1
     taxonomy: tuple[str, ...] = ()
+    #: whether synthetic series may carry the source class's label.  Every
+    #: technique here generates from one class's panel, so the default is
+    #: True; a subclass mixing classes must declare False, and the
+    #: balancing protocol (and its contract tests) key off the flag.
+    label_preserving: bool = True
 
     @abstractmethod
     def generate(
@@ -75,6 +80,13 @@ class Augmenter(ABC):
         X_other: np.ndarray | None = None,
     ) -> np.ndarray:
         """Return *n* new series shaped like ``X_class[0]``.
+
+        The output contract, shared by every registered technique and
+        asserted registry-wide by the contract tests: a float64 panel of
+        shape ``(n, M, T)`` matching ``X_class``'s (validated) channel
+        count and length — including ``n = 0``, which yields an empty
+        float64 panel — identical for identical ``rng`` seeds, and a
+        ``ValueError`` for negative ``n``.
 
         Parameters
         ----------
@@ -109,7 +121,9 @@ class TransformAugmenter(Augmenter):
         check_positive(n, name="n", strict=False)
         rng = ensure_rng(rng)
         if n == 0:
-            return np.empty((0,) + X_class.shape[1:])
+            # Explicit dtype: check_panel normalises to float64, and the
+            # empty panel must match what n > 0 would return.
+            return np.empty((0,) + X_class.shape[1:], dtype=X_class.dtype)
         sources = X_class[rng.integers(0, len(X_class), size=n)]
         out = self.transform(sources, rng=rng)
         if out.shape != sources.shape:

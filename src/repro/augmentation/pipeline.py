@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import ensure_rng
-from .._validation import check_panel
+from .._validation import check_panel, check_positive
 from .base import Augmenter, TransformAugmenter
 
 __all__ = ["Compose", "RandomChoice", "make_specaugment"]
@@ -81,7 +81,8 @@ class RandomChoice(Augmenter):
         if weights is None:
             self.weights = np.full(len(augmenters), 1.0 / len(augmenters))
         else:
-            weights = np.asarray(weights, dtype=float)
+            # atleast_1d: a single-augmenter choice may pass a scalar weight.
+            weights = np.atleast_1d(np.asarray(weights, dtype=float))
             if weights.shape != (len(augmenters),) or (weights < 0).any() or weights.sum() == 0:
                 raise ValueError("weights must be non-negative, one per augmenter")
             self.weights = weights / weights.sum()
@@ -89,9 +90,10 @@ class RandomChoice(Augmenter):
 
     def generate(self, X_class, n, *, rng=None, X_other=None):
         X_class = check_panel(X_class)
+        check_positive(n, name="n", strict=False)
         rng = ensure_rng(rng)
         if n == 0:
-            return np.empty((0,) + X_class.shape[1:])
+            return np.empty((0,) + X_class.shape[1:], dtype=X_class.dtype)
         assignment = rng.choice(len(self.augmenters), size=n, p=self.weights)
         pieces = []
         for index, augmenter in enumerate(self.augmenters):

@@ -1,0 +1,189 @@
+"""Process-local, content-keyed artifact cache for expensive computations.
+
+The experiment grid recomputes the same expensive artefacts many times:
+the prepared (z-normalised, imputed) panel of a dataset is identical for
+every technique, and because the execution engine gives every
+``(dataset, run)`` pair one model seed shared across techniques, the
+ROCKET kernels and the feature matrices of the *real* train and test
+panels are identical across the baseline and all augmented cells.  This
+module provides the cache those layers share.
+
+Keys are content-derived (array digests, RNG state digests, hyper-
+parameters), so a hit is guaranteed to hold exactly the value the
+computation would produce — results are bit-identical whatever the
+hit/miss pattern, which is what lets the parallel engine promise
+``--jobs N`` equals ``--jobs 1``.
+
+Caching is **off by default** and scoped with :func:`caching`: a cache
+hit on a fitted transform legitimately skips the RNG draws that sampling
+would have consumed, so the cache must only be enabled where every
+transform owns a dedicated generator (as the execution engine arranges).
+Each process has its own cache; pool workers enable theirs at startup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCache",
+    "CacheStats",
+    "digest_array",
+    "digest_rng",
+    "feature_cache",
+    "caching",
+    "caching_enabled",
+    "set_caching",
+]
+
+
+def digest_array(X: np.ndarray) -> str:
+    """Content digest of an array: dtype, shape and bytes."""
+    X = np.ascontiguousarray(X)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(X.dtype).encode())
+    h.update(str(X.shape).encode())
+    h.update(X.view(np.uint8).data)
+    return h.hexdigest()
+
+
+def digest_rng(rng: np.random.Generator) -> str:
+    """Digest of a generator's exact state (stream position included)."""
+    h = hashlib.blake2b(repr(rng.bit_generator.state).encode(), digest_size=16)
+    return h.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for benchmarks and tests."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    current_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def _nbytes(value) -> int:
+    """Approximate in-memory size of a cached value (arrays dominate)."""
+    if isinstance(value, np.ndarray):
+        return value.nbytes
+    if isinstance(value, (tuple, list)):
+        return sum(_nbytes(v) for v in value) + 64
+    if hasattr(value, "X") and isinstance(getattr(value, "X"), np.ndarray):
+        return value.X.nbytes + 64
+    if hasattr(value, "weights") and hasattr(value, "biases"):  # _KernelGroup
+        return value.weights.nbytes + value.biases.nbytes + 64
+    return 256
+
+
+class ArtifactCache:
+    """Thread-safe LRU cache bounded by approximate payload bytes.
+
+    Values are returned as stored (no copies); numpy arrays are marked
+    read-only on insertion so a consumer cannot corrupt a shared entry.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024):
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes must be > 0; got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[tuple, tuple[object, int]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.stats = CacheStats()
+
+    def get(self, key: tuple):
+        """Return the cached value for *key*, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, value) -> None:
+        """Insert *value* under *key*, evicting LRU entries over budget."""
+        _freeze(value)
+        size = _nbytes(value)
+        with self._lock:
+            if key in self._entries:
+                self.stats.current_bytes -= self._entries.pop(key)[1]
+            self._entries[key] = (value, size)
+            self.stats.current_bytes += size
+            while self.stats.current_bytes > self.max_bytes and len(self._entries) > 1:
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self.stats.current_bytes -= evicted
+                self.stats.evictions += 1
+
+    def get_or_create(self, key: tuple, create: Callable[[], object]):
+        """Return the cached value, computing and storing it on a miss."""
+        value = self.get(key)
+        if value is None:
+            value = create()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def _freeze(value) -> None:
+    """Mark arrays inside a cached value read-only (best effort)."""
+    if isinstance(value, np.ndarray):
+        value.setflags(write=False)
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            _freeze(item)
+    elif hasattr(value, "weights") and hasattr(value, "biases"):  # _KernelGroup
+        _freeze(value.weights)
+        _freeze(value.biases)
+
+
+_FEATURE_CACHE = ArtifactCache()
+_ENABLED = False
+
+
+def feature_cache() -> ArtifactCache:
+    """The process-global cache shared by transforms and the protocol."""
+    return _FEATURE_CACHE
+
+
+def caching_enabled() -> bool:
+    """Whether cache-aware components should consult :func:`feature_cache`."""
+    return _ENABLED
+
+
+def set_caching(enabled: bool) -> bool:
+    """Set the global caching flag; returns the previous value."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = bool(enabled)
+    return previous
+
+
+@contextmanager
+def caching(enabled: bool = True):
+    """Scope the global caching flag: ``with caching(): run_grid(...)``."""
+    previous = set_caching(enabled)
+    try:
+        yield _FEATURE_CACHE
+    finally:
+        set_caching(previous)

@@ -11,12 +11,14 @@ counts — used by the ablation benchmarks.
 
 from __future__ import annotations
 
+import hashlib
 from itertools import combinations
 
 import numpy as np
 
 from .._rng import ensure_rng
 from .._validation import check_panel
+from ..cache import caching_enabled, digest_array, digest_rng, feature_cache
 from .base import Classifier
 from .ridge import RidgeClassifierCV
 
@@ -39,6 +41,10 @@ def _canonical_kernels() -> np.ndarray:
 class MiniRocketTransform:
     """Deterministic PPV features from the 84 canonical kernels."""
 
+    #: the bias quantiles read panel values, so fit depends on the data —
+    #: the protocol must fit on exactly the panel it will train on
+    fits_on_shape_only = False
+
     def __init__(self, num_features: int = 2_000,
                  seed: int | np.random.Generator | None = None):
         if num_features < 84:
@@ -51,6 +57,17 @@ class MiniRocketTransform:
         X = np.nan_to_num(X, nan=0.0)
         _, n_channels, length = X.shape
         rng = ensure_rng(self.seed)
+        # Unlike ROCKET, the bias quantiles depend on the panel's values, so
+        # the fit key must include the data digest.  A hit leaves the
+        # generator unadvanced (see RocketTransform.fit).
+        fit_key = ("minirocket-fit", self.num_features, digest_rng(rng), digest_array(X))
+        self._fit_digest = hashlib.blake2b(repr(fit_key).encode(), digest_size=16).hexdigest()
+        cache = feature_cache() if caching_enabled() else None
+        if cache is not None:
+            cached = cache.get(fit_key)
+            if cached is not None:
+                self._plan, self._fit_shape = cached
+                return self
         kernels = _canonical_kernels()
 
         max_exponent = max(np.log2((length - 1) / (_KERNEL_LENGTH - 1)), 0.0)
@@ -76,6 +93,8 @@ class MiniRocketTransform:
             ])  # (k, features_per_combo)
             self._plan.append((int(dilation), padding, channel_choice, biases))
         self._fit_shape = (n_channels, length)
+        if cache is not None:
+            cache.put(fit_key, (self._plan, self._fit_shape))
         return self
 
     def transform(self, X: np.ndarray) -> np.ndarray:
@@ -85,14 +104,22 @@ class MiniRocketTransform:
         if X.shape[1:] != self._fit_shape:
             raise ValueError(f"panel shape {X.shape[1:]} differs from fit shape {self._fit_shape}")
         X = np.nan_to_num(X, nan=0.0)
-        kernels = _canonical_kernels()
-        parts = []
-        for dilation, padding, channel_choice, biases in self._plan:
-            responses = self._convolve(X, kernels, dilation, padding, channel_choice)
-            # PPV against each bias quantile: (n, k, features_per_combo)
-            ppv = (responses[:, :, None, :] > biases[None, :, :, None]).mean(axis=3)
-            parts.append(ppv.reshape(len(X), -1))
-        return np.concatenate(parts, axis=1)
+
+        def compute() -> np.ndarray:
+            kernels = _canonical_kernels()
+            parts = []
+            for dilation, padding, channel_choice, biases in self._plan:
+                responses = self._convolve(X, kernels, dilation, padding, channel_choice)
+                # PPV against each bias quantile: (n, k, features_per_combo)
+                ppv = (responses[:, :, None, :] > biases[None, :, :, None]).mean(axis=3)
+                parts.append(ppv.reshape(len(X), -1))
+            return np.concatenate(parts, axis=1)
+
+        fit_digest = getattr(self, "_fit_digest", None)
+        if not caching_enabled() or fit_digest is None:
+            return compute()
+        key = ("minirocket-features", fit_digest, digest_array(X))
+        return feature_cache().get_or_create(key, compute)
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
@@ -112,7 +139,10 @@ class MiniRocketTransform:
             strides=(s_n, s_c, s_t * dilation, s_t), writeable=False,
         )
         picked = windows[:, channel_choice, :, :]  # (n, k, L, out)
-        return np.einsum("kl,nklo->nko", kernels, picked, optimize=True)
+        # Contract the kernel-length axis with one batched matmul (kernels
+        # as (k, 1, L) row vectors) instead of einsum; see RocketTransform.
+        responses = np.matmul(kernels[None, :, None, :], np.ascontiguousarray(picked))
+        return responses[:, :, 0, :]
 
 
 class MiniRocketClassifier(Classifier):

@@ -50,6 +50,13 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--runs", type=int, default=2)
     grid.add_argument("--kernels", type=int, default=300)
     grid.add_argument("--seed", type=int, default=0)
+    grid.add_argument("--scale", choices=("small", "full"), default="small")
+    grid.add_argument("--jobs", type=int, default=1,
+                      help="worker processes; results are identical for any value")
+    grid.add_argument("--checkpoint", default=None,
+                      help="JSON-lines file recording completed cells")
+    grid.add_argument("--resume", action="store_true",
+                      help="continue an interrupted grid from --checkpoint")
 
     figure = commands.add_parser("figure", help="render Figure 2-6 as ASCII")
     figure.add_argument("number", type=int, choices=(2, 3, 4, 5, 6))
@@ -138,9 +145,16 @@ def _cmd_evaluate(args) -> int:
 def _cmd_grid(args) -> int:
     from .experiments import render_accuracy_table, run_grid, summarize_findings
 
-    grid = run_grid(_model_spec(args), datasets=args.datasets,
-                    techniques=tuple(args.techniques), n_runs=args.runs,
-                    seed=args.seed, verbose=True)
+    try:
+        grid = run_grid(_model_spec(args), datasets=args.datasets,
+                        techniques=tuple(args.techniques), n_runs=args.runs,
+                        scale=args.scale, seed=args.seed, verbose=True,
+                        jobs=args.jobs, checkpoint=args.checkpoint,
+                        resume=args.resume)
+    except ValueError as error:
+        # Checkpoint conflicts and bad flag values are user errors, not bugs.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(render_accuracy_table(grid))
     summary = summarize_findings(grid)
     print(f"\nimproved datasets: {summary.improved_datasets}/{summary.n_datasets}; "

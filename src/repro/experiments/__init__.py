@@ -34,8 +34,17 @@ from .figures import (
     figure5_range,
     figure6_ohit,
 )
+from .engine import BASELINE, GridCheckpoint, GridJob, execute_jobs, plan_grid
 from .metrics import best_relative_gain_percent, relative_gain
-from .protocol import EvaluationResult, ModelSpec, evaluate, inceptiontime_spec, rocket_spec
+from .protocol import (
+    EvaluationResult,
+    ModelSpec,
+    cell_seeds,
+    evaluate,
+    inceptiontime_spec,
+    rocket_spec,
+    run_single,
+)
 from .runner import GridResult, run_grid
 from .tables import (
     render_accuracy_table,
@@ -52,10 +61,17 @@ __all__ = [
     "ModelSpec",
     "EvaluationResult",
     "evaluate",
+    "run_single",
+    "cell_seeds",
     "rocket_spec",
     "inceptiontime_spec",
     "GridResult",
     "run_grid",
+    "BASELINE",
+    "GridJob",
+    "GridCheckpoint",
+    "plan_grid",
+    "execute_jobs",
     "ImprovementCounts",
     "count_improvements",
     "FindingsSummary",

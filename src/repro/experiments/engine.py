@@ -1,0 +1,292 @@
+"""Parallel, cached, resumable execution engine for experiment grids.
+
+A grid (Tables IV-VI: datasets x techniques x runs) decomposes into
+independent :class:`GridJob` s — one ``(dataset, model, technique, run)``
+tuple each.  Because every job's seeds derive from its identity alone
+(:func:`~repro.experiments.protocol.cell_seeds`), jobs may execute in any
+order, on any worker, and still produce bit-identical accuracies: running
+with ``n_jobs=4`` equals running with ``n_jobs=1`` cell for cell.
+
+Three layers make large grids cheap:
+
+* **decomposition** — :func:`plan_grid` emits the job list; subsets of a
+  grid (a resumed remainder, a single re-run cell) keep their seeds;
+* **caching** — workers enable :mod:`repro.cache`, so loaded panels,
+  prepared panels, fitted kernels and the feature matrices of the shared
+  real train/test panels are computed once per worker instead of once per
+  cell (the model seed is shared across techniques by design);
+* **checkpointing** — completed jobs append to a JSON-lines file;
+  :func:`execute_jobs` with ``resume=True`` re-runs only missing jobs.
+
+Workers are ``fork``-start ``multiprocessing`` processes; the model spec
+and any augmenter instances are inherited through the fork, so specs may
+carry arbitrary callables.  Jobs are chunked dataset-major, which keeps
+one dataset's jobs on one worker and its cache hot.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import warnings
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from ..augmentation import make_augmenter
+from ..augmentation.base import Augmenter
+from ..cache import set_caching
+from ..data.archive import load_dataset
+from .protocol import ModelSpec, cell_seeds, run_single
+
+__all__ = ["GridJob", "plan_grid", "execute_jobs", "GridCheckpoint", "BASELINE"]
+
+#: technique label of the unaugmented cell
+BASELINE = "baseline"
+
+_CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class GridJob:
+    """One independent unit of grid work, seeds included."""
+
+    dataset: str
+    model: str
+    technique: str  # BASELINE or a technique name
+    run: int
+    model_seed: int
+    aug_seed: int
+
+    @property
+    def key(self) -> tuple[str, str, str, int]:
+        return (self.dataset, self.model, self.technique, self.run)
+
+
+def plan_grid(
+    model_name: str,
+    datasets: list[str],
+    technique_names: tuple[str, ...],
+    *,
+    n_runs: int,
+    master_seed: int,
+) -> list[GridJob]:
+    """Decompose a grid into jobs, dataset-major (cache-friendly) order."""
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1; got {n_runs}")
+    jobs: list[GridJob] = []
+    for dataset in datasets:
+        for technique in (BASELINE, *technique_names):
+            for run in range(n_runs):
+                model_seed, aug_seed = cell_seeds(master_seed, dataset, technique, run)
+                jobs.append(GridJob(dataset, model_name, technique, run,
+                                    model_seed, aug_seed))
+    return jobs
+
+
+# --------------------------------------------------------------------- #
+# checkpointing
+# --------------------------------------------------------------------- #
+
+
+class GridCheckpoint:
+    """JSON-lines record of completed grid jobs.
+
+    Line 1 is a metadata header identifying the grid (model, scale,
+    master seed, run count); every other line is one completed cell run.
+    Appending is atomic enough for crash recovery: a truncated trailing
+    line is ignored on load.
+    """
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+
+    def start(self, meta: dict) -> None:
+        """Truncate and write the metadata header."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = {"kind": "grid-meta", "version": _CHECKPOINT_VERSION, **meta}
+        with open(self.path, "w") as handle:
+            handle.write(json.dumps(header) + "\n")
+
+    def append(self, job: GridJob, accuracy: float) -> None:
+        """Record one completed job (flushed immediately)."""
+        row = {"kind": "cell", **asdict(job), "accuracy": accuracy}
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(row) + "\n")
+            handle.flush()
+
+    def load(self, expected_meta: dict) -> dict[tuple, float]:
+        """Completed accuracies keyed by job key; validates the header.
+
+        Raises ``ValueError`` when the header disagrees with
+        *expected_meta* — resuming a checkpoint into a different grid
+        would silently mix incompatible numbers.
+        """
+        completed: dict[tuple, float] = {}
+        with open(self.path) as handle:
+            lines = handle.read().splitlines()
+        if not lines:
+            raise ValueError(f"checkpoint {self.path} is empty")
+        header = json.loads(lines[0])
+        for field, expected in expected_meta.items():
+            found = header.get(field)
+            if found != expected:
+                raise ValueError(
+                    f"checkpoint {self.path} belongs to a different grid: "
+                    f"{field}={found!r}, expected {expected!r}"
+                )
+        for line in lines[1:]:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # interrupted mid-write; the job will re-run
+            if row.get("kind") != "cell":
+                continue
+            key = (row["dataset"], row["model"], row["technique"], row["run"])
+            completed[key] = float(row["accuracy"])
+        return completed
+
+
+# --------------------------------------------------------------------- #
+# execution
+# --------------------------------------------------------------------- #
+
+#: worker context inherited through fork: (model_spec, augmenters, scale)
+_WORKER_CONTEXT: tuple[ModelSpec, dict[str, Augmenter | None], str] | None = None
+
+#: per-process cache of loaded (train, test) archive pairs
+_DATASET_CACHE: dict[tuple[str, str], tuple] = {}
+
+
+def _load_cached(dataset: str, scale: str):
+    key = (dataset, scale)
+    if key not in _DATASET_CACHE:
+        _DATASET_CACHE[key] = load_dataset(dataset, scale=scale)
+    return _DATASET_CACHE[key]
+
+
+def _resolve_augmenter(name: str, augmenters: dict[str, Augmenter | None]) -> Augmenter | None:
+    if name == BASELINE:
+        return None
+    instance = augmenters.get(name)
+    return instance if instance is not None else make_augmenter(name)
+
+
+def _init_worker() -> None:
+    """Pool initializer: each worker gets its own enabled cache."""
+    set_caching(True)
+
+
+def _execute_job(job: GridJob) -> tuple[GridJob, float]:
+    """Run one job inside the worker context."""
+    if _WORKER_CONTEXT is None:
+        raise RuntimeError("engine worker context is not initialised")
+    model_spec, augmenters, scale = _WORKER_CONTEXT
+    train, test = _load_cached(job.dataset, scale)
+    augmenter = _resolve_augmenter(job.technique, augmenters)
+    accuracy = run_single(train, test, model_spec, augmenter,
+                          model_seed=job.model_seed, aug_seed=job.aug_seed)
+    return job, accuracy
+
+
+def execute_jobs(
+    jobs: list[GridJob],
+    model_spec: ModelSpec,
+    *,
+    augmenters: dict[str, Augmenter | None] | None = None,
+    scale: str = "small",
+    n_jobs: int = 1,
+    checkpoint: str | os.PathLike | None = None,
+    resume: bool = False,
+    meta: dict | None = None,
+    verbose: bool = False,
+) -> dict[tuple, float]:
+    """Execute *jobs*, returning ``{job.key: accuracy}`` for every job.
+
+    Parameters
+    ----------
+    augmenters:
+        Optional pre-built augmenter instances keyed by technique name
+        (e.g. a budget-reduced TimeGAN); techniques not present are
+        instantiated from the registry inside each worker.
+    n_jobs:
+        Worker processes.  ``1`` (default) runs in-process — the same
+        code path, so results are identical.
+    checkpoint / resume / meta:
+        With a checkpoint path, completed jobs are appended as JSON lines
+        and *meta* identifies the grid.  ``resume=True`` loads matching
+        completed jobs and runs only the remainder; without ``resume`` an
+        existing checkpoint is refused rather than overwritten.
+    """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1; got {n_jobs}")
+    augmenters = augmenters or {}
+    meta = meta or {}
+
+    writer = None
+    completed: dict[tuple, float] = {}
+    if checkpoint is not None:
+        writer = GridCheckpoint(checkpoint)
+        if writer.path.exists():
+            if not resume:
+                raise ValueError(
+                    f"checkpoint {writer.path} already exists; "
+                    "pass resume=True to continue it or remove the file"
+                )
+            completed = writer.load(meta)
+        else:
+            writer.start(meta)
+
+    wanted = {job.key for job in jobs}
+    results = {key: acc for key, acc in completed.items() if key in wanted}
+    pending = [job for job in jobs if job.key not in results]
+
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = (model_spec, augmenters, scale)
+    previous_caching = set_caching(True)
+    # Load every panel once in the parent: the sequential path reuses them
+    # directly, and forked workers inherit them copy-on-write instead of
+    # regenerating the archive per process.
+    for dataset in dict.fromkeys(job.dataset for job in pending):
+        _load_cached(dataset, scale)
+    try:
+        context = None
+        if n_jobs > 1 and len(pending) > 1:
+            try:
+                # Workers must inherit the (potentially lambda-carrying)
+                # model spec and augmenter instances, so only the fork
+                # start method will do.
+                context = multiprocessing.get_context("fork")
+            except ValueError:
+                warnings.warn(
+                    "the 'fork' multiprocessing start method is unavailable "
+                    "on this platform; running the grid sequentially",
+                    RuntimeWarning, stacklevel=2,
+                )
+        if context is None:
+            for job in pending:
+                job, accuracy = _execute_job(job)
+                _record(job, accuracy, results, writer, verbose)
+        else:
+            # Chunk dataset-major so one dataset's jobs (which share panels,
+            # kernels and real-panel features) stay on one worker.
+            per_dataset = max(1, len(pending) // max(len({j.dataset for j in pending}), 1))
+            chunksize = max(1, min(per_dataset, (len(pending) + n_jobs - 1) // n_jobs))
+            with context.Pool(processes=n_jobs, initializer=_init_worker) as pool:
+                for job, accuracy in pool.imap_unordered(
+                    _execute_job, pending, chunksize=chunksize
+                ):
+                    _record(job, accuracy, results, writer, verbose)
+    finally:
+        _WORKER_CONTEXT = None
+        set_caching(previous_caching)
+    return results
+
+
+def _record(job: GridJob, accuracy: float, results: dict, writer, verbose: bool) -> None:
+    results[job.key] = accuracy
+    if writer is not None:
+        writer.append(job, accuracy)
+    if verbose:
+        print(f"  {job.dataset:24s} {job.technique:10s} run {job.run}: "
+              f"{100 * accuracy:6.2f}%")

@@ -2,21 +2,27 @@
 
 A :class:`GridResult` holds one accuracy table: rows are datasets, columns
 are baseline + techniques, mirroring the layout of the paper's Tables IV-V.
-:func:`run_grid` executes the full protocol; scaled-down defaults keep the
-13-dataset x 6-config x n-run grid CPU-feasible.
+:func:`run_grid` plans the grid as independent jobs and hands them to the
+execution engine (:mod:`repro.experiments.engine`), which adds worker
+parallelism (``jobs=N``), per-worker artefact caching, and JSON
+checkpointing with resume.  ``jobs=1`` runs the identical job list
+in-process, so parallel and sequential grids agree cell for cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from os import PathLike
 
 import numpy as np
 
-from .._rng import ensure_rng
+from .._rng import resolve_master_seed
 from ..augmentation import PAPER_TECHNIQUES
-from ..data.archive import list_datasets, load_dataset
+from ..augmentation.base import Augmenter
+from ..data.archive import list_datasets
+from .engine import BASELINE, execute_jobs, plan_grid
 from .metrics import best_relative_gain_percent
-from .protocol import EvaluationResult, ModelSpec, evaluate
+from .protocol import EvaluationResult, ModelSpec
 
 __all__ = ["GridResult", "run_grid"]
 
@@ -73,26 +79,47 @@ def run_grid(
     scale: str = "small",
     seed: int | np.random.Generator | None = 0,
     verbose: bool = False,
+    jobs: int = 1,
+    checkpoint: str | PathLike | None = None,
+    resume: bool = False,
 ) -> GridResult:
     """Evaluate baseline + every technique on every dataset.
 
-    Each (dataset, technique) cell derives its seed from the master seed
-    independently, so grids are reproducible and subsets re-runnable.
+    Every ``(dataset, technique, run)`` job derives its seeds from the
+    master seed and its own identity, so grids are reproducible, subsets
+    re-runnable, and ``jobs=N`` worker-pool execution returns exactly the
+    ``jobs=1`` accuracies.  With *checkpoint*, completed cells append to a
+    JSON-lines file; ``resume=True`` continues an interrupted grid,
+    re-running only the missing cells.
     """
-    rng = ensure_rng(seed)
+    master = resolve_master_seed(seed)
     names = datasets if datasets is not None else list_datasets()
     technique_names = tuple(
         t if isinstance(t, str) else t.name for t in techniques
     )
+    instances: dict[str, Augmenter | None] = {
+        t.name: t for t in techniques if isinstance(t, Augmenter)
+    }
+    grid_jobs = plan_grid(model_spec.name, names, technique_names,
+                          n_runs=n_runs, master_seed=master)
+    accuracies = execute_jobs(
+        grid_jobs, model_spec,
+        augmenters=instances, scale=scale, n_jobs=jobs,
+        checkpoint=checkpoint, resume=resume,
+        meta={"model": model_spec.name, "model_config": model_spec.config,
+              "scale": scale, "master_seed": master, "n_runs": n_runs},
+    )
+
     result = GridResult(model_spec.name, technique_names)
     for dataset_name in names:
-        train, test = load_dataset(dataset_name, scale=scale)
-        for technique in (None, *techniques):
-            cell_seed = int(rng.integers(0, 2**63 - 1))
-            cell = evaluate(train, test, model_spec, technique,
-                            n_runs=n_runs, seed=cell_seed)
-            result.cells[(dataset_name, cell.technique)] = cell
+        for technique in (BASELINE, *technique_names):
+            cell = EvaluationResult(dataset_name, model_spec.name, technique)
+            cell.accuracies = [
+                accuracies[(dataset_name, model_spec.name, technique, run)]
+                for run in range(n_runs)
+            ]
+            result.cells[(dataset_name, technique)] = cell
             if verbose:
-                print(f"  {dataset_name:24s} {cell.technique:10s} "
+                print(f"  {dataset_name:24s} {technique:10s} "
                       f"{100 * cell.mean_accuracy:6.2f}%")
     return result

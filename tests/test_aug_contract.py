@@ -1,0 +1,202 @@
+"""Registry-wide augmenter contract sweep.
+
+Every augmenter exposed by the registry — the list comes from
+``available_augmenters()``, never a hardcoded subset — plus the
+composition wrappers must honour the ``Augmenter.generate`` contract:
+
+* output is a float64 panel ``(n, M, T)`` matching the validated input
+  panel's channel count and length, with no non-finite values on clean
+  input;
+* ``n = 0`` returns an empty float64 panel of the same trailing shape;
+* negative ``n`` raises ``ValueError``;
+* identical seeds give bit-identical outputs;
+* techniques declaring ``label_preserving`` survive the balancing
+  protocol: originals untouched, deficits filled under the right labels.
+
+Neural techniques run with budget-reduced configurations (same classes,
+fewer iterations) so the sweep stays CPU-cheap; the *names* swept are
+always the registry's full list.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.augmentation import (
+    Compose,
+    NoiseInjection,
+    RandomChoice,
+    Scaling,
+    augment_to_balance,
+    available_augmenters,
+    make_augmenter,
+    make_specaugment,
+)
+from repro.data import TimeSeriesDataset, make_classification_panel
+
+N_SYNTH = 3
+N_SERIES, N_CHANNELS, LENGTH = 8, 2, 24
+
+
+def _fast_instance(name: str):
+    """Registry instance, with reduced training budgets for neural models.
+
+    Overriding a *budget* keeps the swept class and name identical to the
+    registry's; the sweep still covers every registered technique.
+    """
+    from repro.augmentation import (
+        WGAN,
+        AutoencoderInterpolation,
+        DiffusionSampler,
+        LSTMAutoencoder,
+        NormalizingFlowSampler,
+        TimeGAN,
+        TimeGANConfig,
+        VAESampler,
+    )
+
+    overrides = {
+        "timegan": lambda: TimeGAN(TimeGANConfig(
+            iterations=(2, 2, 1), num_layers=1, max_sequence_length=12)),
+        "wgan": lambda: WGAN(iterations=5),
+        "lstm_ae": lambda: LSTMAutoencoder(epochs=2, max_sequence_length=12),
+        "flow": lambda: NormalizingFlowSampler(epochs=3),
+        "diffusion": lambda: DiffusionSampler(epochs=3, n_steps=4),
+        "vae": lambda: VAESampler(epochs=3),
+        "autoencoder": lambda: AutoencoderInterpolation(epochs=3),
+    }
+    factory = overrides.get(name)
+    return factory() if factory is not None else make_augmenter(name)
+
+
+def _panels() -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(42)
+    X_class = np.cumsum(rng.standard_normal((N_SERIES, N_CHANNELS, LENGTH)), axis=2)
+    X_other = np.cumsum(rng.standard_normal((N_SERIES + 2, N_CHANNELS, LENGTH)), axis=2)
+    return X_class, X_other
+
+
+@functools.lru_cache(maxsize=None)
+def _outputs(name: str) -> dict:
+    """Generate once per augmenter; the contract tests share the results."""
+    X_class, X_other = _panels()
+    return {
+        "first": _fast_instance(name).generate(X_class, N_SYNTH, rng=7, X_other=X_other),
+        "second": _fast_instance(name).generate(X_class, N_SYNTH, rng=7, X_other=X_other),
+        "empty": _fast_instance(name).generate(X_class, 0, rng=7, X_other=X_other),
+    }
+
+
+ALL_NAMES = available_augmenters()
+
+
+def test_sweep_covers_whole_registry():
+    """The sweep parametrizes over the live registry, subset-free."""
+    assert ALL_NAMES == available_augmenters()
+    assert len(ALL_NAMES) >= 45  # the Figure-1 taxonomy's implementations
+    for paper_technique in ("noise1", "noise3", "noise5", "smote", "timegan"):
+        assert paper_technique in ALL_NAMES
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestRegistryContract:
+    def test_output_shape_and_dtype(self, name):
+        out = _outputs(name)["first"]
+        assert out.shape == (N_SYNTH, N_CHANNELS, LENGTH)
+        assert out.dtype == np.float64
+        assert np.isfinite(out).all()
+
+    def test_empty_request(self, name):
+        empty = _outputs(name)["empty"]
+        assert empty.shape == (0, N_CHANNELS, LENGTH)
+        assert empty.dtype == np.float64
+
+    def test_same_seed_reproducible(self, name):
+        results = _outputs(name)
+        np.testing.assert_array_equal(results["first"], results["second"])
+
+    def test_negative_n_rejected(self, name):
+        X_class, X_other = _panels()
+        with pytest.raises(ValueError):
+            _fast_instance(name).generate(X_class, -1, rng=7, X_other=X_other)
+
+    def test_label_preservation_through_balancing(self, name):
+        augmenter = _fast_instance(name)
+        if not augmenter.label_preserving:
+            pytest.skip(f"{name} does not declare label preservation")
+        X, y = make_classification_panel(
+            n_series=10, n_channels=N_CHANNELS, length=LENGTH, n_classes=2,
+            class_proportions=[6, 4], seed=5,
+        )
+        dataset = TimeSeriesDataset(X, y, name="contract")
+        balanced = augment_to_balance(dataset, augmenter, rng=11)
+        assert balanced.is_balanced()
+        # Originals first and bit-identical; synthetic tail fills deficits.
+        np.testing.assert_array_equal(balanced.X[: len(dataset)], dataset.X)
+        np.testing.assert_array_equal(balanced.y[: len(dataset)], dataset.y)
+        tail_labels = balanced.y[len(dataset):]
+        assert (tail_labels == 1).all()  # the one deficient class
+        assert len(tail_labels) == 2
+
+
+WRAPPER_FACTORIES = {
+    "compose": lambda: Compose([NoiseInjection(1.0), Scaling()]),
+    "specaugment": make_specaugment,
+    "choice": lambda: RandomChoice(
+        [NoiseInjection(1.0), make_augmenter("smote")], weights=[1.0, 2.0]
+    ),
+    "choice-single": lambda: RandomChoice([NoiseInjection(1.0)]),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(WRAPPER_FACTORIES))
+class TestCompositionWrapperContract:
+    def test_shape_dtype_and_reproducibility(self, kind):
+        X_class, X_other = _panels()
+        factory = WRAPPER_FACTORIES[kind]
+        first = factory().generate(X_class, N_SYNTH, rng=7, X_other=X_other)
+        second = factory().generate(X_class, N_SYNTH, rng=7, X_other=X_other)
+        assert first.shape == (N_SYNTH, N_CHANNELS, LENGTH)
+        assert first.dtype == np.float64
+        assert np.isfinite(first).all()
+        np.testing.assert_array_equal(first, second)
+
+    def test_empty_request(self, kind):
+        X_class, X_other = _panels()
+        empty = WRAPPER_FACTORIES[kind]().generate(X_class, 0, rng=7, X_other=X_other)
+        assert empty.shape == (0, N_CHANNELS, LENGTH)
+        assert empty.dtype == np.float64
+
+    def test_negative_n_rejected(self, kind):
+        X_class, _ = _panels()
+        with pytest.raises(ValueError):
+            WRAPPER_FACTORIES[kind]().generate(X_class, -1, rng=7)
+
+
+class TestRandomChoiceEdgeCases:
+    """Regressions for edge cases surfaced by the registry sweep."""
+
+    def test_negative_n_is_clean_value_error(self):
+        choice = RandomChoice([NoiseInjection(1.0)])
+        with pytest.raises(ValueError, match="n must be >= 0"):
+            choice.generate(np.zeros((4, 2, 16)), -3, rng=0)
+
+    def test_empty_panel_dtype_is_float64_even_for_float32_input(self):
+        X32 = np.random.default_rng(0).standard_normal((4, 2, 16)).astype(np.float32)
+        choice = RandomChoice([NoiseInjection(1.0)])
+        assert choice.generate(X32, 0, rng=0).dtype == np.float64
+        assert NoiseInjection(1.0).generate(X32, 0, rng=0).dtype == np.float64
+
+    def test_single_augmenter_scalar_weight(self):
+        choice = RandomChoice([NoiseInjection(1.0)], weights=2.0)
+        out = choice.generate(np.random.default_rng(0).standard_normal((4, 2, 16)), 3, rng=0)
+        assert out.shape == (3, 2, 16)
+
+    def test_zero_weights_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            RandomChoice([NoiseInjection(1.0), Scaling()], weights=[0.0, 0.0])
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="weights"):
+            RandomChoice([NoiseInjection(1.0)], weights=[0.5, 0.5])
