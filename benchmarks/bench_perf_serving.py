@@ -1,0 +1,99 @@
+"""Serving throughput: sequential single-request vs micro-batched.
+
+Simulates a prediction workload against one published ROCKET model two
+ways:
+
+* **sequential** — one ``model.predict`` call per series, the shape of a
+  server without batching (every request pays the full per-call transform
+  overhead);
+* **micro-batched** — the same requests submitted one-by-one through a
+  :class:`~repro.serving.MicroBatcher`, which coalesces them into panels.
+
+Labels must be identical request for request; the published table records
+requests/second and the coalescing statistics.  The acceptance bar is
+>= 2x throughput for the batched path.
+"""
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from _shared import publish
+
+from repro.classifiers import RocketClassifier
+from repro.data import load_dataset
+from repro.serving import MicroBatcher, prepare_panel
+
+DATASET = "RacketSports"
+KERNELS = 400
+N_REQUESTS = 200
+MAX_BATCH = 64
+MAX_LATENCY = 0.010
+SUBMITTERS = 8  # concurrent clients, as HTTP handler threads would be
+REPEATS = 2  # wall-clock is best-of-N to damp scheduler noise
+
+
+def _workload():
+    train, test = load_dataset(DATASET, scale="small")
+    ready = train.znormalize().impute()
+    model = RocketClassifier(num_kernels=KERNELS, seed=0).fit(ready.X, ready.y)
+    rng = np.random.default_rng(0)
+    requests = prepare_panel(test.X)[rng.integers(0, test.n_series, size=N_REQUESTS)]
+    return model, requests
+
+
+def _time_sequential(model, requests):
+    start = time.perf_counter()
+    labels = [int(model.predict(series[None])[0]) for series in requests]
+    return time.perf_counter() - start, labels
+
+
+def _time_batched(model, requests):
+    with MicroBatcher(model.predict, max_batch=MAX_BATCH,
+                      max_latency=MAX_LATENCY) as batcher:
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=SUBMITTERS) as pool:
+            futures = list(pool.map(batcher.submit, requests))
+        labels = [int(future.result()) for future in futures]
+        elapsed = time.perf_counter() - start
+    return elapsed, labels, batcher.stats
+
+
+def _best_of(measure, *args):
+    best = measure(*args)
+    for _ in range(REPEATS - 1):
+        again = measure(*args)
+        assert again[1] == best[1]
+        if again[0] < best[0]:
+            best = again
+    return best
+
+
+def test_serving_throughput():
+    model, requests = _workload()
+    seq_time, seq_labels = _best_of(_time_sequential, model, requests)
+    bat_time, bat_labels, stats = _best_of(_time_batched, model, requests)
+
+    # Batching must never change an answer.
+    assert bat_labels == seq_labels
+
+    speedup = seq_time / bat_time
+    lines = [
+        f"workload: {N_REQUESTS} single-series requests, {DATASET} "
+        f"(ROCKET {KERNELS} kernels), {SUBMITTERS} concurrent clients",
+        "",
+        f"{'strategy':34s} {'wall-clock':>10s} {'req/s':>8s} {'speedup':>8s}",
+        f"{'sequential (1 predict per req)':34s} {seq_time:9.2f}s "
+        f"{N_REQUESTS / seq_time:8.1f} {1.0:7.2f}x",
+        f"{'micro-batched (<= ' + str(MAX_BATCH) + '/panel)':34s} {bat_time:9.2f}s "
+        f"{N_REQUESTS / bat_time:8.1f} {speedup:7.2f}x",
+        "",
+        f"coalescing: {stats.batches} batches for {stats.requests} requests "
+        f"(mean {stats.mean_batch_size:.1f}, max {stats.max_batch_size})",
+    ]
+    publish("perf_serving", "\n".join(lines))
+
+    assert speedup >= 2.0, (
+        f"micro-batched serving must be >= 2x sequential; got {speedup:.2f}x"
+    )

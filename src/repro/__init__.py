@@ -14,6 +14,8 @@ Subpackages
     The from-scratch numpy deep-learning substrate.
 ``repro.experiments``
     Protocol, grid runner and renderers for every table and figure.
+``repro.serving``
+    Versioned model registry, micro-batching inference, HTTP prediction API.
 ``repro.taxonomy``
     The Figure-1 tree linked to implementations.
 
@@ -29,8 +31,9 @@ Quickstart
 ...     test.znormalize().impute().X, test.y)
 """
 
-from . import augmentation, classifiers, data, experiments, nn, taxonomy
+from . import augmentation, classifiers, data, experiments, nn, serving, taxonomy
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["augmentation", "classifiers", "data", "experiments", "nn", "taxonomy", "__version__"]
+__all__ = ["augmentation", "classifiers", "data", "experiments", "nn", "serving",
+           "taxonomy", "__version__"]

@@ -36,6 +36,7 @@ __all__ = [
     "ArtifactCache",
     "CacheStats",
     "digest_array",
+    "digest_file",
     "digest_rng",
     "feature_cache",
     "caching",
@@ -43,20 +44,36 @@ __all__ = [
     "set_caching",
 ]
 
+#: digest width shared by every artifact key in the library (cache entries,
+#: registry object names) — 128 bits keeps collisions out of reach while
+#: the hex form stays filename-friendly
+_DIGEST_SIZE = 16
+
 
 def digest_array(X: np.ndarray) -> str:
     """Content digest of an array: dtype, shape and bytes."""
     X = np.ascontiguousarray(X)
-    h = hashlib.blake2b(digest_size=16)
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
     h.update(str(X.dtype).encode())
     h.update(str(X.shape).encode())
     h.update(X.view(np.uint8).data)
     return h.hexdigest()
 
 
+def digest_file(path, chunk_size: int = 1 << 20) -> str:
+    """Content digest of a file, streamed — used by the model registry to
+    content-address published artifacts without loading them whole."""
+    h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
+    with open(path, "rb") as handle:
+        while chunk := handle.read(chunk_size):
+            h.update(chunk)
+    return h.hexdigest()
+
+
 def digest_rng(rng: np.random.Generator) -> str:
     """Digest of a generator's exact state (stream position included)."""
-    h = hashlib.blake2b(repr(rng.bit_generator.state).encode(), digest_size=16)
+    h = hashlib.blake2b(repr(rng.bit_generator.state).encode(),
+                        digest_size=_DIGEST_SIZE)
     return h.hexdigest()
 
 

@@ -150,6 +150,10 @@ class InceptionTimeClassifier(Classifier):
         X, y = check_panel_labels(self._clean(X), y)
         rng = ensure_rng(self.seed)
         n_classes = int(y.max()) + 1
+        # Labels are dense 0..C-1 by construction; recorded so consumers
+        # (e.g. the model registry's metadata) can read the label map the
+        # same way they do from the ridge-backed families.
+        self.classes_ = np.arange(n_classes)
 
         X_tr, y_tr, X_val, y_val = train_val_split(X, y, val_fraction=1.0 / 3.0, seed=rng)
         if X_extra is not None and len(X_extra):

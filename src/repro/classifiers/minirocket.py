@@ -124,6 +124,13 @@ class MiniRocketTransform:
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
 
+    @property
+    def input_shape(self) -> tuple[int, int] | None:
+        """``(n_channels, length)`` the transform was fitted on, or ``None``
+        before fit — the shape every future panel must match."""
+        shape = getattr(self, "_fit_shape", None)
+        return tuple(shape) if shape is not None else None
+
     @staticmethod
     def _convolve(X: np.ndarray, kernels: np.ndarray, dilation: int, padding: int,
                   channel_choice: np.ndarray) -> np.ndarray:

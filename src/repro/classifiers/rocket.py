@@ -149,6 +149,13 @@ class RocketTransform:
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
 
+    @property
+    def input_shape(self) -> tuple[int, int] | None:
+        """``(n_channels, length)`` the transform was fitted on, or ``None``
+        before fit — the shape every future panel must match."""
+        shape = getattr(self, "_fit_shape", None)
+        return tuple(shape) if shape is not None else None
+
     @staticmethod
     def _convolve_group(X: np.ndarray, group: _KernelGroup) -> np.ndarray:
         n, c, t = X.shape

@@ -2,8 +2,9 @@
 
 Only numpy containers are used (no pickle of arbitrary code), so archives
 are portable and safe to load.  Supported models: ROCKET (kernel groups +
-ridge solution), the ridge classifier alone, and InceptionTime (ensemble
-state dicts + architecture hyper-parameters).
+ridge solution), MiniRocket (PPV plan + ridge solution), the ridge
+classifier alone, and InceptionTime (ensemble state dicts + architecture
+hyper-parameters).
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ from pathlib import Path
 import numpy as np
 
 from .inception_time import InceptionTimeClassifier
+from .minirocket import MiniRocketClassifier
 from .ridge import RidgeClassifierCV
 from .rocket import RocketClassifier, _KernelGroup
 
@@ -22,11 +24,28 @@ __all__ = ["save_model", "load_model"]
 _KIND_KEY = "__repro_kind__"
 
 
-def save_model(model, path) -> None:
-    """Serialise a supported classifier to *path* (``.npz``)."""
+def _npz_path(path) -> Path:
+    """*path* with the ``.npz`` suffix ``np.savez_compressed`` writes.
+
+    ``savez`` silently appends ``.npz`` when the suffix is missing, so
+    without normalisation ``save_model("m"); load_model("m")`` would save
+    to ``m.npz`` yet try to load ``m``.  Both directions go through this.
+    """
+    path = Path(path)
+    return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+
+def save_model(model, path) -> Path:
+    """Serialise a supported classifier; returns the path actually written
+    (``.npz`` is appended when *path* lacks it, matching ``np.savez``)."""
+    # MiniRocket before ROCKET: both are transform+ridge pairs but are not
+    # related by inheritance, so isinstance order is only cosmetic here.
     if isinstance(model, RocketClassifier):
         payload = _rocket_payload(model)
         payload[_KIND_KEY] = np.array("rocket")
+    elif isinstance(model, MiniRocketClassifier):
+        payload = _minirocket_payload(model)
+        payload[_KIND_KEY] = np.array("minirocket")
     elif isinstance(model, RidgeClassifierCV):
         payload = _ridge_payload(model, prefix="")
         payload[_KIND_KEY] = np.array("ridge")
@@ -35,16 +54,26 @@ def save_model(model, path) -> None:
         payload[_KIND_KEY] = np.array("inceptiontime")
     else:
         raise TypeError(f"unsupported model type: {type(model).__name__}")
-    np.savez_compressed(Path(path), **payload)
+    target = _npz_path(path)
+    np.savez_compressed(target, **payload)
+    return target
 
 
 def load_model(path):
-    """Load a classifier previously stored with :func:`save_model`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    """Load a classifier previously stored with :func:`save_model`.
+
+    Accepts the path with or without the ``.npz`` suffix; a file saved as
+    ``save_model(model, "m")`` loads back as ``load_model("m")``.
+    """
+    raw = Path(path)
+    source = raw if raw.exists() else _npz_path(raw)
+    with np.load(source, allow_pickle=False) as archive:
         data = {key: archive[key] for key in archive.files}
     kind = str(data.pop(_KIND_KEY))
     if kind == "rocket":
         return _rocket_restore(data)
+    if kind == "minirocket":
+        return _minirocket_restore(data)
     if kind == "ridge":
         return _ridge_restore(data, prefix="")
     if kind == "inceptiontime":
@@ -116,6 +145,40 @@ def _rocket_restore(data: dict[str, np.ndarray]) -> RocketClassifier:
             data[f"group{index}_weights"], data[f"group{index}_biases"],
         ))
     transform._groups = groups
+    transform._fit_shape = tuple(int(v) for v in data["fit_shape"])
+    model.ridge = _ridge_restore(data, prefix="ridge_")
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# minirocket
+# --------------------------------------------------------------------------- #
+
+
+def _minirocket_payload(model: MiniRocketClassifier) -> dict[str, np.ndarray]:
+    transform = model.transformer
+    if not hasattr(transform, "_plan"):
+        raise ValueError("cannot save an unfitted MiniRocket model")
+    payload = _ridge_payload(model.ridge, prefix="ridge_")
+    payload["num_features"] = np.array(transform.num_features)
+    payload["fit_shape"] = np.array(transform._fit_shape)
+    payload["n_plan"] = np.array(len(transform._plan))
+    for index, (dilation, padding, channel_choice, biases) in enumerate(transform._plan):
+        payload[f"plan{index}_meta"] = np.array([dilation, padding])
+        payload[f"plan{index}_channels"] = channel_choice
+        payload[f"plan{index}_biases"] = biases
+    return payload
+
+
+def _minirocket_restore(data: dict[str, np.ndarray]) -> MiniRocketClassifier:
+    model = MiniRocketClassifier(num_features=int(data["num_features"]))
+    transform = model.transformer
+    plan = []
+    for index in range(int(data["n_plan"])):
+        dilation, padding = (int(v) for v in data[f"plan{index}_meta"])
+        plan.append((dilation, padding,
+                     data[f"plan{index}_channels"], data[f"plan{index}_biases"]))
+    transform._plan = plan
     transform._fit_shape = tuple(int(v) for v in data["fit_shape"])
     model.ridge = _ridge_restore(data, prefix="ridge_")
     return model

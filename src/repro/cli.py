@@ -8,7 +8,10 @@ Regenerates any published artefact from the terminal without writing code:
 * ``table3`` — regenerate Table III (measured vs paper);
 * ``evaluate`` — run one (dataset, model, technique) protocol cell;
 * ``grid`` — run the Table IV/V grid on selected datasets;
-* ``figure`` — render one of Figures 2-6 as an ASCII scatter.
+* ``figure`` — render one of Figures 2-6 as an ASCII scatter;
+* ``train`` — fit a classifier and publish it to a model registry;
+* ``predict`` — classify series with a registry model, in process;
+* ``serve`` — start the HTTP prediction server over a registry.
 """
 
 from __future__ import annotations
@@ -69,6 +72,58 @@ def build_parser() -> argparse.ArgumentParser:
     fidelity.add_argument("--label", type=int, default=None,
                           help="class to audit (default: largest class)")
     fidelity.add_argument("--seed", type=int, default=0)
+
+    train = commands.add_parser(
+        "train", help="train a classifier and publish it to a model registry"
+    )
+    train.add_argument("dataset")
+    train.add_argument("--registry", required=True, help="registry root directory")
+    train.add_argument("--name", default=None,
+                       help="registry model name (default: <dataset>-<model>)")
+    train.add_argument("--model", choices=("rocket", "minirocket", "inceptiontime"),
+                       default="rocket")
+    train.add_argument("--technique", default=None,
+                       help="balance the training set with this augmenter first")
+    train.add_argument("--kernels", type=int, default=500,
+                       help="ROCKET kernel budget")
+    train.add_argument("--features", type=int, default=2000,
+                       help="MiniRocket feature budget")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--scale", choices=("small", "full"), default="small")
+    train.add_argument("--tag", action="append", default=None,
+                       help="tag the published version (repeatable)")
+
+    predict = commands.add_parser(
+        "predict", help="classify series with a registry model"
+    )
+    predict.add_argument("name", help="registry model name")
+    predict.add_argument("--registry", required=True)
+    predict.add_argument("--version", default=None,
+                         help="version number or tag (default: latest)")
+    source = predict.add_mutually_exclusive_group(required=True)
+    source.add_argument("--input", default=None,
+                        help="JSON file: one channels x length series, or a list of them")
+    source.add_argument("--dataset", default=None,
+                        help="classify a series from this archive dataset's test split")
+    predict.add_argument("--index", type=int, default=0,
+                         help="test-split series index (with --dataset)")
+    predict.add_argument("--scale", choices=("small", "full"), default="small")
+
+    serve = commands.add_parser(
+        "serve", help="start the HTTP prediction server over a registry"
+    )
+    serve.add_argument("--registry", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="0 picks a free ephemeral port")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch panel-size ceiling")
+    serve.add_argument("--max-latency-ms", type=float, default=5.0,
+                       help="how long a batch waits for stragglers")
+    serve.add_argument("--batch-workers", type=int, default=1,
+                       help="batch-assembling threads per model")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log one line per HTTP request")
     return parser
 
 
@@ -83,6 +138,9 @@ def main(argv: list[str] | None = None) -> int:
         "grid": _cmd_grid,
         "figure": _cmd_figure,
         "fidelity": _cmd_fidelity,
+        "train": _cmd_train,
+        "predict": _cmd_predict,
+        "serve": _cmd_serve,
     }[args.command]
     return handler(args)
 
@@ -194,6 +252,158 @@ def _cmd_fidelity(args) -> int:
     print(f"  {report.as_row()}")
     print("  (disc: 0 = indistinguishable from real, 0.5 = trivially separable;"
           " tstr/trtr: 1 = trains a forecaster as well as real data)")
+    return 0
+
+
+def _build_classifier(args, model_rng):
+    from .classifiers import (
+        InceptionTimeClassifier,
+        MiniRocketClassifier,
+        RocketClassifier,
+    )
+
+    if args.model == "rocket":
+        return RocketClassifier(num_kernels=args.kernels, seed=model_rng)
+    if args.model == "minirocket":
+        return MiniRocketClassifier(num_features=args.features, seed=model_rng)
+    return InceptionTimeClassifier(
+        n_filters=8, depth=3, kernel_sizes=(9, 5, 3), bottleneck=8,
+        ensemble_size=1, max_epochs=30, patience=10, batch_size=16,
+        seed=model_rng,
+    )
+
+
+def _cmd_train(args) -> int:
+    import numpy as np
+
+    from .augmentation import augment_to_balance, make_augmenter
+    from .data.archive import load_dataset
+    from .experiments import cell_seeds
+    from .serving import (
+        PROTOCOL_PREPROCESSING,
+        ModelRegistry,
+        model_metadata,
+        validate_reference,
+    )
+
+    name = args.name or f"{args.dataset}-{args.model}"
+    try:
+        # Fail on a bad name/tag now, not after minutes of training.
+        validate_reference(name, tuple(args.tag or ()))
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        train, test = load_dataset(args.dataset, scale=args.scale)
+        technique = args.technique or "baseline"
+        # The same seed derivation as grid run 0, so a published model is
+        # the model that grid cell trains.
+        model_seed, aug_seed = cell_seeds(args.seed, args.dataset, technique, 0)
+        synth_ready = None
+        if args.technique is not None:
+            augmented = augment_to_balance(train, make_augmenter(args.technique),
+                                           rng=np.random.default_rng(aug_seed))
+            if augmented.n_series > train.n_series:
+                tail = augmented.subset(np.arange(train.n_series, augmented.n_series))
+                synth_ready = tail.znormalize().impute()
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    train_ready = train.znormalize().impute()
+    test_ready = test.znormalize().impute()
+
+    model = _build_classifier(args, np.random.default_rng(model_seed))
+    if synth_ready is not None and args.model == "inceptiontime":
+        # Synthetic samples join only the training part of the internal
+        # validation split (Sec. IV-D) — the same path the grid takes.
+        model.fit(train_ready.X, train_ready.y,
+                  X_extra=synth_ready.X, y_extra=synth_ready.y)
+    elif synth_ready is not None:
+        model.fit(np.concatenate([train_ready.X, synth_ready.X], axis=0),
+                  np.concatenate([train_ready.y, synth_ready.y]))
+    else:
+        model.fit(train_ready.X, train_ready.y)
+    accuracy = model.score(test_ready.X, test_ready.y)
+
+    metadata = model_metadata(
+        model, dataset=args.dataset, technique=technique, seed=args.seed,
+        scale=args.scale, test_accuracy=accuracy,
+        preprocessing=PROTOCOL_PREPROCESSING,
+        # Explicit for every family: deep models don't expose a transform
+        # fit shape, but the serving contract is the trained panel's shape.
+        input_shape=list(train_ready.X.shape[1:]),
+    )
+    record = ModelRegistry(args.registry).publish(
+        model, name, metadata=metadata, tags=tuple(args.tag or ()))
+    tags = f" tags={','.join(record.tags)}" if record.tags else ""
+    print(f"published {record.name}:{record.version}{tags} "
+          f"(digest {record.digest}, test accuracy {100 * accuracy:.2f}%)")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    import json
+
+    import numpy as np
+
+    from .serving import ModelRegistry, PredictionService, ServingError
+
+    if args.input is not None:
+        try:
+            with open(args.input) as handle:
+                instances = np.asarray(json.load(handle), dtype=np.float64)
+        except (OSError, json.JSONDecodeError, ValueError) as error:
+            print(f"error: cannot read series from {args.input}: {error}",
+                  file=sys.stderr)
+            return 2
+        truth = None
+    else:
+        from .data.archive import load_dataset
+
+        try:
+            _, test = load_dataset(args.dataset, scale=args.scale)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if not 0 <= args.index < test.n_series:
+            print(f"error: --index {args.index} out of range for "
+                  f"{test.n_series} test series", file=sys.stderr)
+            return 2
+        instances = test.X[args.index]
+        truth = int(test.y[args.index])
+
+    service = PredictionService(ModelRegistry(args.registry))
+    try:
+        result = service.predict(args.name, instances, args.version)
+    except ServingError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    suffix = f" (true label {truth})" if truth is not None else ""
+    labels = result["labels"]
+    shown = labels[0] if len(labels) == 1 else labels
+    print(f"{result['model']}:{result['version']} -> {shown}{suffix}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serving import create_server
+
+    server = create_server(
+        args.registry, host=args.host, port=args.port,
+        max_batch=args.max_batch, max_latency=args.max_latency_ms / 1000.0,
+        batch_workers=args.batch_workers, quiet=not args.verbose,
+    )
+    print(f"serving registry {args.registry} on http://{args.host}:{server.port}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
     return 0
 
 

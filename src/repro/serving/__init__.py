@@ -1,0 +1,40 @@
+"""Model serving: versioned registry, micro-batching engine, HTTP API.
+
+Three layers turn a trained classifier into a prediction service:
+
+* :mod:`repro.serving.registry` — publish/get/list/tag of content-hashed
+  ``.npz`` artifacts with fit-time metadata;
+* :mod:`repro.serving.batcher` — coalesce single-series requests into
+  panels for throughput;
+* :mod:`repro.serving.server` — a stdlib ``http.server`` JSON API
+  (``/healthz``, ``/v1/models``, ``/v1/models/<name>/predict``).
+
+The CLI front-ends are ``repro train``, ``repro predict`` and
+``repro serve``; see the README's Serving section for a quickstart.
+"""
+
+from .batcher import BatcherStats, MicroBatcher
+from .registry import ModelRecord, ModelRegistry, model_metadata, validate_reference
+from .server import (
+    PROTOCOL_PREPROCESSING,
+    PredictionServer,
+    PredictionService,
+    ServingError,
+    create_server,
+    prepare_panel,
+)
+
+__all__ = [
+    "BatcherStats",
+    "MicroBatcher",
+    "ModelRecord",
+    "ModelRegistry",
+    "model_metadata",
+    "validate_reference",
+    "PredictionServer",
+    "PredictionService",
+    "ServingError",
+    "create_server",
+    "prepare_panel",
+    "PROTOCOL_PREPROCESSING",
+]

@@ -1,0 +1,202 @@
+"""Micro-batching inference engine: coalesce single-series requests.
+
+Feature-transform classifiers pay a large per-call overhead (kernel
+matmuls, thousands of PPV thresholds) that is nearly flat in batch size,
+so predicting 64 series in one panel costs little more than predicting
+one.  The :class:`MicroBatcher` exploits that the same way the experiment
+engine exploits job batching: callers submit one series at a time from
+any thread, a small worker pool drains the shared queue, coalesces up to
+``max_batch`` series (waiting at most ``max_latency`` seconds for
+stragglers), stacks them into one ``(n, channels, length)`` panel, and
+fans the predictions back out through per-request futures.
+
+Per-series predictions are independent (PPV features and ridge scores
+are computed row-wise), so a label never depends on which other requests
+shared its batch — batching changes throughput, not results.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["BatcherStats", "MicroBatcher"]
+
+_SHUTDOWN = object()
+
+
+@dataclass
+class BatcherStats:
+    """Coalescing counters, exposed for benchmarks and tests."""
+
+    requests: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+    def _record_batch(self, size: int) -> None:
+        with self._lock:
+            self.requests += size
+            self.batches += 1
+            self.max_batch_size = max(self.max_batch_size, size)
+
+
+class MicroBatcher:
+    """Queue single-series requests and predict them in coalesced panels.
+
+    Parameters
+    ----------
+    predict_fn:
+        Called with a panel ``(n, channels, length)``; must return one
+        prediction per row (any sequence of length ``n``).
+    input_shape:
+        Optional ``(channels, length)``; when given, submissions are
+        validated eagerly so a malformed request fails in the caller, not
+        inside someone else's batch.
+    max_batch:
+        Panel-size ceiling per predict call.
+    max_latency:
+        Seconds a worker waits for stragglers after the first request of a
+        batch arrives — the latency price of coalescing.
+    workers:
+        Batch-assembling threads.  numpy releases the GIL inside the BLAS
+        calls that dominate prediction, so a small pool overlaps compute
+        with queueing like the grid engine's worker pool does.
+    """
+
+    def __init__(self, predict_fn, *, input_shape: tuple[int, int] | None = None,
+                 max_batch: int = 64, max_latency: float = 0.005,
+                 workers: int = 1):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1; got {max_batch}")
+        if max_latency < 0:
+            raise ValueError(f"max_latency must be >= 0; got {max_latency}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1; got {workers}")
+        self._predict_fn = predict_fn
+        self.input_shape = tuple(input_shape) if input_shape is not None else None
+        self.max_batch = int(max_batch)
+        self.max_latency = float(max_latency)
+        self.stats = BatcherStats()
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+        #: serialises submits against close(), so no request can be enqueued
+        #: behind the shutdown sentinel and starve
+        self._submit_lock = threading.Lock()
+        self._workers = [
+            threading.Thread(target=self._drain, name=f"micro-batcher-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+
+    # ------------------------------------------------------------------ #
+    # client side
+    # ------------------------------------------------------------------ #
+
+    def submit(self, series) -> Future:
+        """Enqueue one series ``(channels, length)``; returns its future."""
+        series = np.asarray(series, dtype=np.float64)
+        if series.ndim == 1:
+            series = series[None, :]  # univariate convenience
+        if series.ndim != 2:
+            raise ValueError(
+                f"a request is one series of shape (channels, length); "
+                f"got ndim={series.ndim}"
+            )
+        if self.input_shape is not None and series.shape != self.input_shape:
+            raise ValueError(
+                f"series shape {series.shape} does not match the model's "
+                f"input shape {self.input_shape}"
+            )
+        future: Future = Future()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            self._queue.put((series, future))
+        return future
+
+    def predict(self, series, timeout: float | None = None):
+        """Blocking single-series prediction (submit + wait)."""
+        return self.submit(series).result(timeout=timeout)
+
+    def close(self) -> None:
+        """Stop the workers after all queued requests are served."""
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Under the submit lock, every accepted request is already ahead
+            # of the sentinel in the FIFO queue, so the workers serve all of
+            # them before shutting down.
+            self._queue.put(_SHUTDOWN)
+        for worker in self._workers:
+            worker.join()
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # worker side
+    # ------------------------------------------------------------------ #
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                self._queue.put(_SHUTDOWN)  # release the next worker
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.max_latency
+            stop = False
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    self._queue.put(_SHUTDOWN)
+                    stop = True
+                    break
+                batch.append(item)
+            self._run_batch(batch)
+            if stop:
+                return
+
+    def _run_batch(self, batch: list[tuple[np.ndarray, Future]]) -> None:
+        self.stats._record_batch(len(batch))
+        try:
+            # stack stays inside the try: without an input_shape the series
+            # in one batch may disagree, and that must fail the requests,
+            # not kill the worker thread.
+            panel = np.stack([series for series, _ in batch])
+            predictions = self._predict_fn(panel)
+        except Exception as error:  # noqa: BLE001 - forwarded to every caller
+            for _, future in batch:
+                future.set_exception(error)
+            return
+        if len(predictions) != len(batch):
+            error = RuntimeError(
+                f"predict_fn returned {len(predictions)} predictions "
+                f"for a batch of {len(batch)}"
+            )
+            for _, future in batch:
+                future.set_exception(error)
+            return
+        for (_, future), prediction in zip(batch, predictions):
+            future.set_result(prediction)

@@ -1,0 +1,298 @@
+"""Stdlib HTTP prediction server over a model registry.
+
+Routes (JSON in, JSON out)::
+
+    GET  /healthz                        liveness + model count
+    GET  /v1/models                      latest record per published name
+    POST /v1/models/<name>/predict       classify one series or a list
+
+A predict body carries either one series (``{"series": [[...], ...]}`` —
+a ``channels x length`` matrix) or several (``{"instances": [series,
+...]}``); ``{"version": 2}`` or ``{"version": "prod"}`` selects a
+non-latest version or a tag.  The response echoes the model identity and
+returns ``"label"`` (or ``"labels"``).
+
+The server is a ``ThreadingHTTPServer``: each connection gets a thread,
+and all threads funnel their series into one shared
+:class:`~repro.serving.batcher.MicroBatcher` per model version, so
+concurrent clients are answered from coalesced panels.  Models are
+loaded from the registry lazily and memoised.  Input series are
+preprocessed exactly as the training protocol preprocesses panels
+(per-series z-normalisation, then imputation) when the published
+metadata says the model was trained that way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..data.dataset import TimeSeriesDataset
+from ..experiments.protocol import _prepare as _protocol_prepare
+from .batcher import MicroBatcher
+from .registry import ModelRecord, ModelRegistry
+
+__all__ = ["PredictionService", "PredictionServer", "ServingError",
+           "create_server", "prepare_panel", "PROTOCOL_PREPROCESSING"]
+
+#: metadata value written by ``repro train`` — the training-protocol
+#: preprocessing (znormalize + impute) the server must mirror
+PROTOCOL_PREPROCESSING = "znormalize+impute"
+
+
+def prepare_panel(X: np.ndarray) -> np.ndarray:
+    """Apply the training protocol's preprocessing to a raw panel.
+
+    Delegates to the protocol's own ``_prepare`` so the serving path can
+    never drift from what published models were trained on.
+    """
+    dataset = TimeSeriesDataset(X, np.zeros(len(X), dtype=np.int64))
+    return _protocol_prepare(dataset).X
+
+
+class ServingError(Exception):
+    """A client-visible failure with an HTTP status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+class PredictionService:
+    """Registry-backed prediction with one micro-batcher per model version.
+
+    The service is the transport-free core of the server: the HTTP layer,
+    the CLI ``predict`` command and in-process tests all call the same
+    :meth:`predict`.
+    """
+
+    def __init__(self, registry: ModelRegistry, *, max_batch: int = 64,
+                 max_latency: float = 0.005, workers: int = 1,
+                 predict_timeout: float = 30.0):
+        self.registry = registry
+        self.max_batch = max_batch
+        self.max_latency = max_latency
+        self.workers = workers
+        self.predict_timeout = predict_timeout
+        self._loaded: dict[tuple[str, int], tuple[ModelRecord, MicroBatcher]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        #: per-version load locks, so a cold load of one model never blocks
+        #: requests that only need the cache
+        self._loading: dict[tuple[str, int], threading.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+
+    def models(self) -> list[dict]:
+        """Latest record per name, with the total version count."""
+        out = []
+        for name in self.registry.list_models():
+            versions = self.registry.versions(name)
+            latest = versions[-1].describe()
+            latest["n_versions"] = len(versions)
+            out.append(latest)
+        return out
+
+    def predict(self, name: str, instances, version=None) -> dict:
+        """Classify *instances* — a sequence of series, each ``(channels,
+        length)`` or 1-D univariate.  A single 2-D array is accepted as a
+        one-series convenience; everything else is validated per series,
+        so e.g. a list of 1-D univariate series yields one label each
+        rather than being misread as one multivariate series.
+
+        Returns ``{"model", "version", "labels"}``; labels come back in
+        request order whatever batches the series landed in.
+        """
+        record, batcher = self._resolve(name, version)
+        if isinstance(instances, np.ndarray):
+            if instances.ndim in (1, 2):
+                instances = instances[None]
+        elif isinstance(instances, (list, tuple)) and instances \
+                and np.isscalar(instances[0]):
+            instances = [instances]  # one flat univariate series
+        try:
+            futures = [batcher.submit(series) for series in instances]
+        except (TypeError, ValueError) as error:
+            raise ServingError(400, str(error)) from error
+        try:
+            labels = [_jsonable(future.result(timeout=self.predict_timeout))
+                      for future in futures]
+        except FutureTimeoutError as error:
+            # Fail fast instead of parking a handler thread forever on a
+            # stalled batcher.
+            raise ServingError(
+                503, f"prediction timed out after {self.predict_timeout}s"
+            ) from error
+        return {"model": record.name, "version": record.version, "labels": labels}
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            batchers = [batcher for _, batcher in self._loaded.values()]
+            self._loaded.clear()
+        for batcher in batchers:
+            batcher.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _resolve(self, name: str, version) -> tuple[ModelRecord, MicroBatcher]:
+        try:
+            record = self.registry.record(name, version)
+        except KeyError as error:
+            # KeyError.__str__ repr-quotes its message; unwrap it.
+            raise ServingError(404, error.args[0]) from error
+        key = (record.name, record.version)
+        with self._lock:
+            if self._closed:
+                raise ServingError(503, "service is shutting down")
+            entry = self._loaded.get(key)
+            if entry is not None:
+                return entry
+            load_lock = self._loading.setdefault(key, threading.Lock())
+        # Deserialisation can take seconds for deep ensembles; hold only this
+        # version's lock so other models keep answering from the cache.
+        with load_lock:
+            with self._lock:
+                entry = self._loaded.get(key)
+            if entry is not None:
+                return entry
+            model, record = self.registry.load(record.name, record.version)
+            predict_fn = model.predict
+            if record.metadata.get("preprocessing") == PROTOCOL_PREPROCESSING:
+                predict_fn = lambda panel, _m=model: _m.predict(prepare_panel(panel))  # noqa: E731
+            shape = record.metadata.get("input_shape")
+            entry = (record, MicroBatcher(
+                predict_fn,
+                input_shape=tuple(shape) if shape else None,
+                max_batch=self.max_batch, max_latency=self.max_latency,
+                workers=self.workers,
+            ))
+            with self._lock:
+                if self._closed:
+                    # close() ran while we were loading; don't resurrect.
+                    entry[1].close()
+                    raise ServingError(503, "service is shutting down")
+                self._loaded[key] = entry
+        return entry
+
+
+def _jsonable(value):
+    """Numpy scalars -> plain python for json.dumps."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+# --------------------------------------------------------------------------- #
+# HTTP layer
+# --------------------------------------------------------------------------- #
+
+
+class _Handler(BaseHTTPRequestHandler):
+    service: PredictionService  # injected by create_server
+    quiet = True
+    # Keep-alive: _reply always sends Content-Length, so clients can reuse
+    # one connection for a burst instead of a TCP handshake per request.
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------ #
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._reply(200, {"status": "ok",
+                              "models": len(self.service.registry.list_models())})
+        elif self.path == "/v1/models":
+            self._reply(200, {"models": self.service.models()})
+        else:
+            self._reply(404, {"error": f"no route for GET {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        parts = self.path.strip("/").split("/")
+        if len(parts) != 4 or parts[:2] != ["v1", "models"] or parts[3] != "predict":
+            self._reply(404, {"error": f"no route for POST {self.path}"})
+            return
+        try:
+            body = self._read_json()
+            result = self._predict(parts[2], body)
+        except ServingError as error:
+            self._reply(error.status, {"error": str(error)})
+        except Exception as error:  # noqa: BLE001 - must answer the client
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+        else:
+            self._reply(200, result)
+
+    def _predict(self, name: str, body: dict) -> dict:
+        if not isinstance(body, dict):
+            raise ServingError(400, "request body must be a JSON object")
+        single = "series" in body
+        if single == ("instances" in body):
+            raise ServingError(400, "provide exactly one of 'series' or 'instances'")
+        instances = [body["series"]] if single else body["instances"]
+        try:
+            result = self.service.predict(name, instances, body.get("version"))
+        except ValueError as error:
+            raise ServingError(400, str(error)) from error
+        if single:
+            result["label"] = result.pop("labels")[0]
+        return result
+
+    # ------------------------------------------------------------------ #
+
+    def _read_json(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServingError(400, "empty request body")
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as error:
+            raise ServingError(400, f"invalid JSON body: {error}") from error
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+
+class PredictionServer(ThreadingHTTPServer):
+    """A ``ThreadingHTTPServer`` owning a :class:`PredictionService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, handler, service: PredictionService):
+        super().__init__(address, handler)
+        self.service = service
+
+    def server_close(self) -> None:
+        super().server_close()
+        self.service.close()
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+
+def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
+                  port: int = 0, max_batch: int = 64, max_latency: float = 0.005,
+                  batch_workers: int = 1, quiet: bool = True) -> PredictionServer:
+    """Build a ready-to-run prediction server (``port=0`` picks a free one).
+
+    Run it with ``server.serve_forever()`` (blocking) or from a thread;
+    ``server.server_close()`` also shuts down the per-model batchers.
+    """
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry)
+    service = PredictionService(registry, max_batch=max_batch,
+                                max_latency=max_latency, workers=batch_workers)
+    handler = type("Handler", (_Handler,), {"service": service, "quiet": quiet})
+    return PredictionServer((host, port), handler, service)

@@ -63,6 +63,197 @@ def test_fidelity_command(capsys):
     assert "disc=" in out and "tstr/trtr=" in out
 
 
+def test_train_publishes_registry_entry(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    code = main(["train", "RacketSports", "--registry", str(registry),
+                 "--kernels", "100", "--tag", "prod"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "published RacketSports-rocket:1" in out
+    assert "test accuracy" in out
+
+    from repro.serving import ModelRegistry
+
+    record = ModelRegistry(registry).record("RacketSports-rocket", "prod")
+    assert record.metadata["dataset"] == "RacketSports"
+    assert record.metadata["technique"] == "baseline"
+    assert record.metadata["preprocessing"] == "znormalize+impute"
+    assert record.metadata["input_shape"] is not None
+
+
+def test_train_minirocket_with_technique(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    code = main(["train", "Epilepsy", "--registry", str(registry),
+                 "--model", "minirocket", "--features", "84",
+                 "--technique", "smote", "--name", "epi"])
+    assert code == 0
+    assert "published epi:1" in capsys.readouterr().out
+
+
+def test_predict_matches_in_process_model(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    main(["train", "RacketSports", "--registry", str(registry), "--kernels", "100"])
+    capsys.readouterr()
+
+    assert main(["predict", "RacketSports-rocket", "--registry", str(registry),
+                 "--dataset", "RacketSports", "--index", "3"]) == 0
+    out = capsys.readouterr().out
+
+    from repro.data import load_dataset
+    from repro.serving import ModelRegistry, prepare_panel
+
+    model, _ = ModelRegistry(registry).load("RacketSports-rocket")
+    _, test = load_dataset("RacketSports", scale="small")
+    expected = model.predict(prepare_panel(test.X[3:4]))[0]
+    assert f"-> {expected} (true label {test.y[3]})" in out
+
+
+def test_predict_from_json_input(tmp_path, capsys):
+    import json
+
+    registry = tmp_path / "registry"
+    main(["train", "RacketSports", "--registry", str(registry), "--kernels", "100"])
+    capsys.readouterr()
+
+    from repro.data import load_dataset
+
+    _, test = load_dataset("RacketSports", scale="small")
+    payload = tmp_path / "series.json"
+    payload.write_text(json.dumps(test.X[:2].tolist()))
+    assert main(["predict", "RacketSports-rocket", "--registry", str(registry),
+                 "--input", str(payload)]) == 0
+    assert "RacketSports-rocket:1 -> [" in capsys.readouterr().out
+
+
+def test_predict_malformed_input_is_user_error(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    main(["train", "RacketSports", "--registry", str(registry), "--kernels", "100"])
+    capsys.readouterr()
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    assert main(["predict", "RacketSports-rocket", "--registry", str(registry),
+                 "--input", str(bad)]) == 2
+    assert "error:" in capsys.readouterr().err
+    ragged = tmp_path / "ragged.json"
+    ragged.write_text("[[1, 2, 3], [1, 2]]")
+    assert main(["predict", "RacketSports-rocket", "--registry", str(registry),
+                 "--input", str(ragged)]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_train_invalid_name_or_tag_fails_before_training(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    assert main(["train", "RacketSports", "--registry", str(registry),
+                 "--tag", "2024"]) == 2
+    assert "tag" in capsys.readouterr().err
+    assert main(["train", "RacketSports", "--registry", str(registry),
+                 "--name", "a/b"]) == 2
+    assert "name" in capsys.readouterr().err
+    assert not registry.exists()  # refused before any artifact was written
+
+
+def test_train_inceptiontime_metadata_complete(tmp_path):
+    """Deep models expose no transformer, but published metadata must still
+    carry the label map and fit-time input shape."""
+    from repro.serving import ModelRegistry
+
+    registry = tmp_path / "registry"
+    assert main(["train", "Epilepsy", "--registry", str(registry),
+                 "--model", "inceptiontime"]) == 0
+    record = ModelRegistry(registry).record("Epilepsy-inceptiontime")
+    assert record.metadata["labels"] == [0, 1, 2, 3]
+    assert record.metadata["input_shape"] is not None
+
+
+def test_train_unknown_dataset_or_technique_is_user_error(tmp_path, capsys):
+    registry = str(tmp_path / "registry")
+    assert main(["train", "Racketsports", "--registry", registry]) == 2
+    assert "error:" in capsys.readouterr().err
+    assert main(["train", "RacketSports", "--registry", registry,
+                 "--technique", "bogus"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_train_publishes_the_grid_cell_model(tmp_path):
+    """The published accuracy must equal the grid's (dataset, technique,
+    run 0) cell at the same seed — same seeds, same training path."""
+    import numpy as np
+
+    from repro.augmentation import make_augmenter
+    from repro.data import load_dataset
+    from repro.experiments import cell_seeds, rocket_spec, run_single
+    from repro.serving import ModelRegistry
+
+    registry = tmp_path / "registry"
+    assert main(["train", "Epilepsy", "--registry", str(registry),
+                 "--kernels", "100", "--technique", "noise1"]) == 0
+    published = ModelRegistry(registry).record("Epilepsy-rocket")
+
+    train, test = load_dataset("Epilepsy", scale="small")
+    model_seed, aug_seed = cell_seeds(0, "Epilepsy", "noise1", 0)
+    expected = run_single(train, test, rocket_spec(100),
+                          make_augmenter("noise1"),
+                          model_seed=model_seed, aug_seed=aug_seed)
+    assert np.isclose(published.metadata["test_accuracy"], expected)
+
+
+def test_predict_unknown_model_is_user_error(tmp_path, capsys):
+    assert main(["predict", "ghost", "--registry", str(tmp_path / "registry"),
+                 "--dataset", "RacketSports"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_predict_index_out_of_range(tmp_path, capsys):
+    registry = tmp_path / "registry"
+    main(["train", "RacketSports", "--registry", str(registry), "--kernels", "100"])
+    capsys.readouterr()
+    assert main(["predict", "RacketSports-rocket", "--registry", str(registry),
+                 "--dataset", "RacketSports", "--index", "9999"]) == 2
+    assert "out of range" in capsys.readouterr().err
+
+
+def test_serve_end_to_end(tmp_path):
+    """`repro train` then the server the `serve` command builds, over HTTP."""
+    import json
+    import threading
+    import urllib.request
+
+    registry = tmp_path / "registry"
+    assert main(["train", "RacketSports", "--registry", str(registry),
+                 "--kernels", "100"]) == 0
+
+    from repro.data import load_dataset
+    from repro.serving import ModelRegistry, create_server, prepare_panel
+
+    server = create_server(str(registry), port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        base = f"http://127.0.0.1:{server.port}"
+        with urllib.request.urlopen(base + "/healthz") as response:
+            assert json.load(response)["status"] == "ok"
+        _, test = load_dataset("RacketSports", scale="small")
+        request = urllib.request.Request(
+            base + "/v1/models/RacketSports-rocket/predict",
+            data=json.dumps({"series": test.X[0].tolist()}).encode(),
+        )
+        with urllib.request.urlopen(request) as response:
+            body = json.load(response)
+        model, _ = ModelRegistry(registry).load("RacketSports-rocket")
+        assert body["label"] == int(model.predict(prepare_panel(test.X[:1]))[0])
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_serve_parser_defaults():
+    args = build_parser().parse_args(["serve", "--registry", "r"])
+    assert args.port == 8080
+    assert args.max_batch == 64
+    assert args.max_latency_ms == 5.0
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["bogus"])

@@ -7,6 +7,7 @@ from repro.classifiers import (
     FCNClassifier,
     FCNNetwork,
     InceptionTimeClassifier,
+    MiniRocketClassifier,
     ResNetClassifier,
     ResNetNetwork,
     RocketClassifier,
@@ -104,10 +105,115 @@ class TestSerialization:
         restored = load_model(path)
         assert np.allclose(model.predict_proba(X_te), restored.predict_proba(X_te))
 
+    def test_minirocket_roundtrip(self, problem, tmp_path):
+        X_tr, y_tr, X_te, _ = problem
+        model = MiniRocketClassifier(num_features=84, seed=0).fit(X_tr, y_tr)
+        path = tmp_path / "minirocket.npz"
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(model.predict(X_te), restored.predict(X_te))
+        assert restored.transformer.input_shape == model.transformer.input_shape
+
     def test_unfitted_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             save_model(RocketClassifier(10), tmp_path / "x.npz")
+        with pytest.raises(ValueError):
+            save_model(MiniRocketClassifier(84), tmp_path / "x.npz")
 
     def test_unsupported_type(self, tmp_path):
         with pytest.raises(TypeError):
             save_model(object(), tmp_path / "x.npz")
+
+
+def _fit_rocket(X, y):
+    return RocketClassifier(num_kernels=100, seed=0).fit(X, y)
+
+
+def _fit_minirocket(X, y):
+    return MiniRocketClassifier(num_features=84, seed=0).fit(X, y)
+
+
+def _fit_ridge(X, y):
+    return RidgeClassifierCV().fit(X.reshape(len(X), -1), y)
+
+
+def _fit_inceptiontime(X, y):
+    return InceptionTimeClassifier(
+        n_filters=2, depth=2, kernel_sizes=(5, 3), bottleneck=2,
+        ensemble_size=2, max_epochs=2, patience=5, batch_size=16, seed=0,
+    ).fit(X, y)
+
+
+#: every serialization-supported classifier family — keep in sync with the
+#: kinds in classifiers/serialization.py so registry publishing covers all
+ALL_SERIALIZABLE = {
+    "rocket": _fit_rocket,
+    "minirocket": _fit_minirocket,
+    "ridge": _fit_ridge,
+    "inceptiontime": _fit_inceptiontime,
+}
+
+
+class TestSerializationSweep:
+    """save -> load -> predict must be bit-identical for every family."""
+
+    @pytest.mark.parametrize("family", sorted(ALL_SERIALIZABLE))
+    def test_roundtrip_predictions_bit_identical(self, family, problem, tmp_path):
+        X_tr, y_tr, X_te, _ = problem
+        model = ALL_SERIALIZABLE[family](X_tr, y_tr)
+        restored = load_model(save_model(model, tmp_path / family))
+        X_eval = X_te.reshape(len(X_te), -1) if family == "ridge" else X_te
+        assert np.array_equal(model.predict(X_eval), restored.predict(X_eval))
+
+    @pytest.mark.parametrize("family", sorted(ALL_SERIALIZABLE))
+    def test_double_roundtrip_is_stable(self, family, problem, tmp_path):
+        """A restored model must itself re-serialise losslessly."""
+        X_tr, y_tr, *_ = problem
+        model = ALL_SERIALIZABLE[family](X_tr, y_tr)
+        once = load_model(save_model(model, tmp_path / "once"))
+        twice = load_model(save_model(once, tmp_path / "twice"))
+        X_eval = X_tr.reshape(len(X_tr), -1) if family == "ridge" else X_tr
+        assert np.array_equal(model.predict(X_eval), twice.predict(X_eval))
+
+
+class TestSuffixNormalization:
+    """np.savez appends .npz silently; both directions must agree."""
+
+    def test_save_without_suffix_then_load_without_suffix(self, problem, tmp_path):
+        X_tr, y_tr, *_ = problem
+        model = _fit_rocket(X_tr, y_tr)
+        written = save_model(model, tmp_path / "model")
+        assert written == tmp_path / "model.npz"
+        assert written.exists()
+        restored = load_model(tmp_path / "model")
+        assert np.array_equal(model.predict(X_tr), restored.predict(X_tr))
+
+    def test_save_without_suffix_then_load_with_suffix(self, problem, tmp_path):
+        X_tr, y_tr, *_ = problem
+        model = _fit_rocket(X_tr, y_tr)
+        save_model(model, tmp_path / "model")
+        restored = load_model(tmp_path / "model.npz")
+        assert np.array_equal(model.predict(X_tr), restored.predict(X_tr))
+
+    def test_explicit_suffix_unchanged(self, problem, tmp_path):
+        X_tr, y_tr, *_ = problem
+        written = save_model(_fit_rocket(X_tr, y_tr), tmp_path / "model.npz")
+        assert written == tmp_path / "model.npz"
+
+    def test_dotted_names_keep_their_dots(self, problem, tmp_path):
+        X_tr, y_tr, *_ = problem
+        model = _fit_rocket(X_tr, y_tr)
+        written = save_model(model, tmp_path / "model.v1")
+        assert written == tmp_path / "model.v1.npz"
+        restored = load_model(tmp_path / "model.v1")
+        assert np.array_equal(model.predict(X_tr), restored.predict(X_tr))
+
+    def test_literal_file_without_suffix_still_loads(self, problem, tmp_path):
+        """A pre-fix archive a user renamed to drop .npz must stay loadable."""
+        X_tr, y_tr, *_ = problem
+        model = _fit_rocket(X_tr, y_tr)
+        written = save_model(model, tmp_path / "model")
+        bare = tmp_path / "bare"
+        bare.write_bytes(written.read_bytes())
+        restored = load_model(bare)
+        assert np.array_equal(model.predict(X_tr), restored.predict(X_tr))

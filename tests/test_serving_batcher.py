@@ -1,0 +1,169 @@
+"""The micro-batching inference engine."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import MicroBatcher
+
+
+@pytest.fixture
+def fitted():
+    X, y = make_classification_panel(
+        n_series=40, n_channels=2, length=32, n_classes=2, difficulty=0.2, seed=0
+    )
+    return RocketClassifier(num_kernels=60, seed=0).fit(X, y), X
+
+
+def test_labels_match_direct_prediction(fitted):
+    model, X = fitted
+    with MicroBatcher(model.predict, max_batch=8, max_latency=0.05) as batcher:
+        labels = [batcher.submit(series) for series in X]
+        labels = np.array([future.result(timeout=10) for future in labels])
+    assert np.array_equal(labels, model.predict(X))
+
+
+def test_requests_are_coalesced(fitted):
+    model, X = fitted
+    # A generous straggler window: all 20 pre-queued requests must land in
+    # far fewer than 20 panels (typically 1-2).
+    with MicroBatcher(model.predict, max_batch=64, max_latency=0.25) as batcher:
+        futures = [batcher.submit(series) for series in X[:20]]
+        for future in futures:
+            future.result(timeout=10)
+    assert batcher.stats.requests == 20
+    assert batcher.stats.batches < 20
+    assert batcher.stats.mean_batch_size > 1.0
+    assert batcher.stats.max_batch_size <= 64
+
+
+def test_max_batch_respected(fitted):
+    model, X = fitted
+    sizes = []
+
+    def spy(panel):
+        sizes.append(len(panel))
+        return model.predict(panel)
+
+    with MicroBatcher(spy, max_batch=4, max_latency=0.25) as batcher:
+        futures = [batcher.submit(series) for series in X[:12]]
+        for future in futures:
+            future.result(timeout=10)
+    assert max(sizes) <= 4
+
+
+def test_concurrent_submitters(fitted):
+    model, X = fitted
+    expected = model.predict(X)
+    results = {}
+
+    def client(index):
+        results[index] = batcher.predict(X[index], timeout=10)
+
+    with MicroBatcher(model.predict, max_batch=16, max_latency=0.01) as batcher:
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(len(X))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    assert all(results[i] == expected[i] for i in range(len(X)))
+
+
+def test_worker_pool_serves_all(fitted):
+    model, X = fitted
+    with MicroBatcher(model.predict, max_batch=4, max_latency=0.005,
+                      workers=3) as batcher:
+        futures = [batcher.submit(series) for series in X]
+        labels = np.array([future.result(timeout=10) for future in futures])
+    assert np.array_equal(labels, model.predict(X))
+
+
+def test_univariate_series_promoted():
+    seen = []
+
+    def echo(panel):
+        seen.append(panel.shape)
+        return np.zeros(len(panel), dtype=int)
+
+    with MicroBatcher(echo, max_latency=0.0) as batcher:
+        batcher.predict(np.ones(16), timeout=10)
+    assert seen[0] == (1, 1, 16)
+
+
+def test_shape_validation_is_eager():
+    with MicroBatcher(lambda p: np.zeros(len(p)), input_shape=(2, 32)) as batcher:
+        with pytest.raises(ValueError, match="input shape"):
+            batcher.submit(np.ones((3, 32)))
+        with pytest.raises(ValueError, match="one series"):
+            batcher.submit(np.ones((2, 2, 32)))
+
+
+def test_mismatched_shapes_fail_requests_not_workers():
+    """Without an input_shape, ragged series coalesced into one batch must
+    error out through the futures and leave the worker alive."""
+    with MicroBatcher(lambda p: np.zeros(len(p), dtype=int),
+                      max_batch=8, max_latency=0.25) as batcher:
+        short = batcher.submit(np.ones((1, 8)))
+        long = batcher.submit(np.ones((1, 16)))
+        with pytest.raises(ValueError):
+            short.result(timeout=10)
+        with pytest.raises(ValueError):
+            long.result(timeout=10)
+        # the worker survived and keeps serving
+        assert batcher.predict(np.ones((1, 8)), timeout=10) == 0
+
+
+def test_predict_errors_propagate_to_futures():
+    def boom(panel):
+        raise RuntimeError("model exploded")
+
+    with MicroBatcher(boom, max_latency=0.0) as batcher:
+        future = batcher.submit(np.ones((1, 8)))
+        with pytest.raises(RuntimeError, match="model exploded"):
+            future.result(timeout=10)
+
+
+def test_wrong_prediction_count_reported():
+    with MicroBatcher(lambda p: np.zeros(len(p) + 1), max_latency=0.0) as batcher:
+        future = batcher.submit(np.ones((1, 8)))
+        with pytest.raises(RuntimeError, match="predictions"):
+            future.result(timeout=10)
+
+
+def test_close_drains_pending_work():
+    released = threading.Event()
+
+    def slow(panel):
+        released.wait(timeout=10)
+        return np.zeros(len(panel), dtype=int)
+
+    batcher = MicroBatcher(slow, max_latency=0.0)
+    futures = [batcher.submit(np.ones((1, 8))) for _ in range(5)]
+    closer = threading.Thread(target=batcher.close)
+    closer.start()
+    time.sleep(0.05)
+    released.set()
+    closer.join(timeout=10)
+    assert all(future.result(timeout=10) == 0 for future in futures)
+
+
+def test_submit_after_close_rejected():
+    batcher = MicroBatcher(lambda p: np.zeros(len(p)))
+    batcher.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        batcher.submit(np.ones((1, 8)))
+    batcher.close()  # idempotent
+
+
+def test_invalid_parameters_rejected():
+    predict = len
+    with pytest.raises(ValueError):
+        MicroBatcher(predict, max_batch=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(predict, max_latency=-1.0)
+    with pytest.raises(ValueError):
+        MicroBatcher(predict, workers=0)

@@ -1,0 +1,160 @@
+"""The versioned model registry (publish / get / list / tag)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.classifiers import MiniRocketClassifier, RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import ModelRegistry, model_metadata
+
+
+@pytest.fixture
+def problem():
+    X, y = make_classification_panel(
+        n_series=40, n_channels=2, length=32, n_classes=2, difficulty=0.2, seed=0
+    )
+    return X, y
+
+
+@pytest.fixture
+def model(problem):
+    X, y = problem
+    return RocketClassifier(num_kernels=60, seed=0).fit(X, y)
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_publish_and_load_roundtrip(self, registry, model, problem):
+        X, _ = problem
+        record = registry.publish(model, "demo")
+        restored, loaded_record = registry.load("demo")
+        assert loaded_record == record
+        assert np.array_equal(model.predict(X), restored.predict(X))
+
+    def test_versions_autoincrement(self, registry, model):
+        assert registry.publish(model, "demo").version == 1
+        assert registry.publish(model, "demo").version == 2
+        assert [r.version for r in registry.versions("demo")] == [1, 2]
+
+    def test_identical_artifacts_deduplicate(self, registry, model):
+        first = registry.publish(model, "demo")
+        second = registry.publish(model, "demo")
+        assert first.digest == second.digest
+        objects = list((registry.root / "objects").glob("*.npz"))
+        assert len(objects) == 1
+
+    def test_distinct_models_get_distinct_digests(self, registry, model, problem):
+        X, y = problem
+        other = RocketClassifier(num_kernels=60, seed=1).fit(X, y)
+        assert registry.publish(model, "demo").digest != \
+            registry.publish(other, "demo").digest
+
+    def test_metadata_persisted(self, registry, model):
+        metadata = model_metadata(model, dataset="Epilepsy", technique="smote", seed=7)
+        record = registry.publish(model, "demo", metadata=metadata)
+        reread = registry.record("demo")
+        assert reread.metadata["dataset"] == "Epilepsy"
+        assert reread.metadata["technique"] == "smote"
+        assert reread.metadata["seed"] == 7
+        assert reread.metadata["model_kind"] == "RocketClassifier"
+        assert reread.metadata["labels"] == [0, 1]
+        assert reread.metadata["input_shape"] == [2, 32]
+
+    def test_minirocket_publishable(self, registry, problem):
+        X, y = problem
+        model = MiniRocketClassifier(num_features=84, seed=0).fit(X, y)
+        registry.publish(model, "mini")
+        restored, _ = registry.load("mini")
+        assert np.array_equal(model.predict(X), restored.predict(X))
+
+    def test_bad_names_rejected(self, registry, model):
+        for name in ("", "a/b", "..", "a\\b"):
+            with pytest.raises(ValueError):
+                registry.publish(model, name)
+
+
+class TestLookup:
+    def test_list_models(self, registry, model):
+        assert registry.list_models() == []
+        registry.publish(model, "beta")
+        registry.publish(model, "alpha")
+        assert registry.list_models() == ["alpha", "beta"]
+
+    def test_latest_is_default(self, registry, model):
+        registry.publish(model, "demo")
+        registry.publish(model, "demo")
+        assert registry.record("demo").version == 2
+
+    def test_numeric_version_lookup(self, registry, model):
+        registry.publish(model, "demo")
+        registry.publish(model, "demo")
+        assert registry.record("demo", 1).version == 1
+        assert registry.record("demo", "1").version == 1
+
+    def test_unknown_name_and_version(self, registry, model):
+        with pytest.raises(KeyError):
+            registry.record("demo")
+        registry.publish(model, "demo")
+        with pytest.raises(KeyError):
+            registry.record("demo", 9)
+        with pytest.raises(KeyError):
+            registry.record("demo", "prod")
+
+    def test_versions_memo_sees_external_appends(self, registry, model):
+        """The mtime/size-keyed memo must not hide another process's rows."""
+        registry.publish(model, "demo")
+        assert len(registry.versions("demo")) == 1  # memoised
+        other = type(registry)(registry.root)  # a second writer
+        other.publish(model, "demo")
+        assert [r.version for r in registry.versions("demo")] == [1, 2]
+
+    def test_torn_manifest_line_ignored(self, registry, model):
+        registry.publish(model, "demo")
+        manifest = registry.root / "models" / "demo" / "manifest.jsonl"
+        with open(manifest, "a") as handle:
+            handle.write('{"kind": "publish", "version"')  # crash mid-write
+        assert [r.version for r in registry.versions("demo")] == [1]
+
+
+class TestTags:
+    def test_publish_with_tags(self, registry, model):
+        record = registry.publish(model, "demo", tags=("prod", "canary"))
+        assert record.tags == ("canary", "prod")
+        assert registry.record("demo", "prod").version == 1
+
+    def test_tag_moves(self, registry, model):
+        registry.publish(model, "demo", tags=("prod",))
+        registry.publish(model, "demo")
+        registry.tag("demo", 2, "prod")
+        assert registry.record("demo", "prod").version == 2
+        assert registry.record("demo", 1).tags == ()
+
+    def test_tag_unknown_version_rejected(self, registry, model):
+        registry.publish(model, "demo")
+        with pytest.raises(KeyError):
+            registry.tag("demo", 5, "prod")
+
+    def test_numeric_tags_rejected(self, registry, model):
+        """All-digit tags would shadow version-number lookup — refused."""
+        with pytest.raises(ValueError, match="tag"):
+            registry.publish(model, "demo", tags=("2024",))
+        # refused before the artifact write: no orphaned object files
+        assert not list(registry.root.glob("objects/*.npz"))
+        registry.publish(model, "demo")
+        with pytest.raises(ValueError, match="tag"):
+            registry.tag("demo", 1, "7")
+        with pytest.raises(ValueError, match="tag"):
+            registry.tag("demo", 1, "")
+
+    def test_manifest_is_plain_jsonl(self, registry, model):
+        registry.publish(model, "demo", tags=("prod",))
+        manifest = registry.root / "models" / "demo" / "manifest.jsonl"
+        rows = [json.loads(line) for line in manifest.read_text().splitlines()]
+        assert rows[0]["kind"] == "publish"
+        assert rows[0]["version"] == 1
