@@ -1,0 +1,218 @@
+"""Serving under overload: backpressure keeps latency bounded.
+
+Two claims about the hardened runtime, measured over real HTTP against a
+published ROCKET model:
+
+* **no regression unloaded** — with the bounded queue, body cap and
+  metrics recording all enabled, single-request latency stays within 2x
+  of a plain (unhardened) server;
+* **no collapse overloaded** — at ~4x-capacity offered load the server
+  sheds the excess with immediate ``429`` responses instead of queueing
+  it, so the p99 latency of *admitted* requests stays bounded by the
+  queue depth (``(max_queue + max_batch) * batch_time``-ish) rather than
+  growing with the backlog, and throughput stays at capacity.
+
+Capacity is made deterministic by throttling the model's predict to a
+fixed per-batch service time, the standard technique for load-testing a
+serving stack without a GPU-sized model.  Offered load is open-loop
+(paced submission, independent of responses), which is what "4x
+capacity" means for a public endpoint: clients do not slow down just
+because the server is melting.
+
+The bench finishes by scraping ``/metrics`` and checking the exported
+latency-histogram count against the number of requests the server
+actually answered 200 — the observability path is asserted, not assumed.
+"""
+
+import json
+import re
+import statistics
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+from _shared import publish
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import ModelRegistry, create_server, model_metadata, prepare_panel
+
+MODEL = "overload-demo"
+#: throttled per-batch service time -> capacity = MAX_BATCH / SERVICE_TIME
+SERVICE_TIME = 0.05
+MAX_BATCH = 4
+MAX_QUEUE = 16
+CAPACITY_RPS = MAX_BATCH / SERVICE_TIME  # 80 req/s
+OVERLOAD_FACTOR = 4
+N_OFFERED = 240  # ~0.75 s of 4x-capacity offered load
+N_PROBES = 30  # unloaded latency samples per server
+
+
+def _publish_model(root):
+    X, y = make_classification_panel(
+        n_series=40, n_channels=2, length=32, n_classes=2, difficulty=0.2, seed=0
+    )
+    model = RocketClassifier(num_kernels=60, seed=0).fit(prepare_panel(X), y)
+    registry = ModelRegistry(root)
+    registry.publish(model, MODEL, metadata=model_metadata(
+        model, dataset="synthetic", preprocessing="znormalize+impute"))
+    return registry, X
+
+
+def _start(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return thread
+
+
+def _request(port, payload) -> tuple[int, float]:
+    """(status, seconds) for one predict POST."""
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/models/{MODEL}/predict",
+        data=payload, headers={"Content-Type": "application/json"},
+    )
+    start = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request) as response:
+            response.read()
+            return response.status, time.perf_counter() - start
+    except urllib.error.HTTPError as error:
+        error.read()
+        return error.code, time.perf_counter() - start
+
+
+def _unloaded_latency(port, payload) -> float:
+    for _ in range(3):  # warm the model cache and the connection path
+        _request(port, payload)
+    samples = [_request(port, payload)[1] for _ in range(N_PROBES)]
+    return statistics.median(samples)
+
+
+def _throttle(server):
+    """Give the loaded model a fixed per-batch service time."""
+    _, batcher = server.service._loaded[(MODEL, 1)]
+    real = batcher._predict_fn
+
+    def throttled(panel):
+        time.sleep(SERVICE_TIME)
+        return real(panel)
+
+    batcher._predict_fn = throttled
+
+
+def _offered_burst(port, payload):
+    """Open-loop offered load at OVERLOAD_FACTOR x capacity."""
+    interval = 1.0 / (OVERLOAD_FACTOR * CAPACITY_RPS)
+    results = []
+    with ThreadPoolExecutor(max_workers=64) as pool:
+        start = time.perf_counter()
+        futures = []
+        for index in range(N_OFFERED):
+            while time.perf_counter() - start < index * interval:
+                time.sleep(interval / 4)
+            futures.append(pool.submit(_request, port, payload))
+        results = [future.result() for future in futures]
+        elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def _metric(text: str, name: str, **labels) -> float:
+    fragment = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    match = re.search(rf"^{re.escape(name)}\{{{re.escape(fragment)}\}} (\S+)$",
+                      text, re.MULTILINE)
+    assert match, f"no sample {name}{{{fragment}}} in /metrics"
+    return float(match.group(1))
+
+
+def _percentile(values, q):
+    ordered = sorted(values)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+def test_overload_backpressure():
+    registry, X = _publish_model(tempfile.mkdtemp(prefix="overload-registry-"))
+    payload = json.dumps({"series": X[0].tolist()}).encode()
+
+    # Plain server: no queue bound, no body cap — the PR-2 configuration.
+    plain = create_server(registry, port=0, max_queue=0, max_body_bytes=0)
+    _start(plain)
+    plain_latency = _unloaded_latency(plain.port, payload)
+    plain.shutdown()
+    plain.server_close()
+
+    # Hardened server: bounded queue + body cap + metrics, same model.
+    hardened = create_server(registry, port=0, max_batch=MAX_BATCH,
+                             max_queue=MAX_QUEUE, max_loaded_models=4)
+    _start(hardened)
+    hardened_latency = _unloaded_latency(hardened.port, payload)
+
+    # Overload the hardened server at 4x its (throttled) capacity.
+    _throttle(hardened)
+    results, elapsed = _offered_burst(hardened.port, payload)
+    served = [seconds for status, seconds in results if status == 200]
+    shed = [status for status, _ in results if status in (429, 503)]
+    assert served and len(served) + len(shed) == len(results), \
+        f"unexpected statuses: {set(s for s, _ in results)}"
+    p50 = _percentile(served, 0.50)
+    p99 = _percentile(served, 0.99)
+    throughput = len(served) / elapsed
+
+    # The observability path tells the same story as the client side.
+    with urllib.request.urlopen(
+            f"http://127.0.0.1:{hardened.port}/metrics") as response:
+        metrics = response.read().decode()
+    labels = dict(model=MODEL, version="1")
+    histogram_count = _metric(
+        metrics, "repro_serving_request_latency_seconds_count", **labels)
+    served_total = 3 + N_PROBES + len(served)  # warmup + probes + burst
+    rejected_total = _metric(metrics, "repro_serving_rejected_total", **labels)
+
+    hardened.shutdown()
+    hardened.server_close()
+
+    lines = [
+        f"workload: ROCKET model throttled to {SERVICE_TIME * 1000:.0f} ms/batch, "
+        f"max_batch {MAX_BATCH} -> capacity {CAPACITY_RPS:.0f} req/s; "
+        f"max_queue {MAX_QUEUE}",
+        "",
+        f"{'unloaded single-request latency':38s} {'median':>10s}",
+        f"{'  plain server (PR-2 defaults)':38s} {plain_latency * 1000:8.1f}ms",
+        f"{'  hardened (queue+cap+metrics)':38s} {hardened_latency * 1000:8.1f}ms "
+        f"({hardened_latency / plain_latency:.2f}x)",
+        "",
+        f"overload: {N_OFFERED} requests offered open-loop at "
+        f"{OVERLOAD_FACTOR}x capacity over {elapsed:.2f}s",
+        f"  served 200:    {len(served):4d}  "
+        f"(p50 {p50 * 1000:6.1f}ms, p99 {p99 * 1000:6.1f}ms)",
+        f"  shed 429/503:  {len(shed):4d}  (fast-fail, Retry-After: 1)",
+        f"  throughput:    {throughput:6.1f} req/s of {CAPACITY_RPS:.0f} capacity",
+        "",
+        f"/metrics: latency histogram count {histogram_count:.0f} "
+        f"(= {served_total} requests served), "
+        f"rejected_total {rejected_total:.0f} (= {len(shed)} shed)",
+    ]
+    publish("perf_overload", "\n".join(lines))
+
+    # Enabling the hardening must not tax the unloaded request path.
+    assert hardened_latency <= 2 * plain_latency + 0.005, (
+        f"hardened unloaded latency {hardened_latency * 1000:.1f}ms vs "
+        f"plain {plain_latency * 1000:.1f}ms"
+    )
+    # Overload is shed, not queued: a large share of the 4x burst fast-fails.
+    assert len(shed) >= 0.25 * N_OFFERED, (
+        f"expected >=25% of a 4x-capacity burst shed; got {len(shed)}/{N_OFFERED}"
+    )
+    # Bounded queue -> bounded p99.  Unbounded queueing of this burst would
+    # push the tail past (N_OFFERED / capacity) ~ 3s; the bound holds p99
+    # near (max_queue / max_batch + O(1)) * batch_time ~ 0.3 s.
+    assert p99 <= 1.0, f"p99 of admitted requests {p99:.2f}s is not bounded"
+    # Throughput does not collapse under pressure.
+    assert throughput >= 0.4 * CAPACITY_RPS, (
+        f"throughput collapsed: {throughput:.1f} of {CAPACITY_RPS:.0f} req/s"
+    )
+    # The exported histogram agrees with the client-observed counts.
+    assert histogram_count == served_total, (histogram_count, served_total)
+    assert rejected_total == len(shed), (rejected_total, len(shed))

@@ -5,17 +5,23 @@ Walks the full model-serving path in one process:
 1. train a ROCKET classifier on an archive dataset;
 2. publish it to a versioned registry (content-hashed ``.npz`` artifact
    plus fit-time metadata) and tag it ``prod``;
-3. start the stdlib HTTP prediction server in a background thread;
+3. start the stdlib HTTP prediction server in a background thread —
+   load-hardened: bounded request queue (429 on overflow), body-size cap
+   (413), LRU model cache;
 4. classify test series via ``POST /v1/models/<name>/predict`` — single
    requests and a concurrent burst that the micro-batcher coalesces —
-   and check the labels against the in-process classifier.
+   and check the labels against the in-process classifier;
+5. scrape ``GET /metrics`` (Prometheus text format) and show the
+   per-model counters the burst produced.
 
 The same flow from the shell:
 
     python -m repro train RacketSports --registry ./registry --tag prod
-    python -m repro serve --registry ./registry --port 8080
+    python -m repro serve --registry ./registry --port 8080 \
+        --max-queue 256 --max-loaded-models 8 --access-log
     curl -s localhost:8080/v1/models/RacketSports-rocket/predict \
         -d '{"series": [[...]]}'
+    curl -s localhost:8080/metrics
 
 Run:  python examples/serve_predict.py
 """
@@ -64,8 +70,9 @@ def main() -> None:
     print(f"published {record.name}:{record.version} "
           f"(digest {record.digest}, tags {list(record.tags)})")
 
-    # 3. serve it.
-    server = create_server(registry, port=0)
+    # 3. serve it, load-hardened: bounded queue, body cap, LRU lifecycle.
+    server = create_server(registry, port=0, max_queue=256,
+                           max_loaded_models=8, max_body_bytes=10_000_000)
     threading.Thread(target=server.serve_forever, daemon=True).start()
     base = f"http://127.0.0.1:{server.port}"
     with urllib.request.urlopen(f"{base}/healthz") as response:
@@ -89,8 +96,20 @@ def main() -> None:
     print(f"micro-batching: {stats.requests} requests served in "
           f"{stats.batches} panels (mean batch {stats.mean_batch_size:.1f})")
 
+    # 5. observability: the burst as Prometheus metrics.
+    with urllib.request.urlopen(f"{base}/metrics") as response:
+        metrics = response.read().decode()
+    shown = [line for line in metrics.splitlines()
+             if line.startswith(("repro_serving_requests_total",
+                                 "repro_serving_batches_total",
+                                 "repro_serving_request_latency_seconds_count",
+                                 "repro_serving_loaded_models"))]
+    print("GET /metrics (excerpt):")
+    for line in shown:
+        print(f"  {line}")
+
     server.shutdown()
-    server.server_close()
+    server.server_close()  # drains in-flight batches before returning
 
 
 if __name__ == "__main__":

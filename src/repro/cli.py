@@ -122,6 +122,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how long a batch waits for stragglers")
     serve.add_argument("--batch-workers", type=int, default=1,
                        help="batch-assembling threads per model")
+    serve.add_argument("--max-queue", type=int, default=1024,
+                       help="bounded per-model request queue; overflow is "
+                            "answered 429 (0 = unbounded)")
+    serve.add_argument("--max-loaded-models", type=int, default=0,
+                       help="LRU-evict loaded models beyond this many "
+                            "(0 = unlimited)")
+    serve.add_argument("--max-body-bytes", type=int, default=10_000_000,
+                       help="refuse request bodies above this with 413 "
+                            "(0 = unlimited)")
+    serve.add_argument("--access-log", action="store_true",
+                       help="write one structured JSON line per request "
+                            "to stderr")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
     return parser
@@ -394,6 +406,8 @@ def _cmd_serve(args) -> int:
         args.registry, host=args.host, port=args.port,
         max_batch=args.max_batch, max_latency=args.max_latency_ms / 1000.0,
         batch_workers=args.batch_workers, quiet=not args.verbose,
+        max_queue=args.max_queue, max_loaded_models=args.max_loaded_models,
+        max_body_bytes=args.max_body_bytes, access_log=args.access_log,
     )
     print(f"serving registry {args.registry} on http://{args.host}:{server.port}",
           flush=True)

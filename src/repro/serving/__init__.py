@@ -7,13 +7,18 @@ Three layers turn a trained classifier into a prediction service:
 * :mod:`repro.serving.batcher` — coalesce single-series requests into
   panels for throughput;
 * :mod:`repro.serving.server` — a stdlib ``http.server`` JSON API
-  (``/healthz``, ``/v1/models``, ``/v1/models/<name>/predict``).
+  (``/healthz``, ``/metrics``, ``/v1/models``,
+  ``/v1/models/<name>/predict``) with bounded-queue backpressure (429),
+  body-size admission control (413) and LRU model lifecycle;
+* :mod:`repro.serving.metrics` — stdlib Prometheus-format counters and
+  histograms behind the ``/metrics`` endpoint.
 
 The CLI front-ends are ``repro train``, ``repro predict`` and
 ``repro serve``; see the README's Serving section for a quickstart.
 """
 
-from .batcher import BatcherStats, MicroBatcher
+from .batcher import BatcherStats, MicroBatcher, QueueFullError
+from .metrics import Histogram
 from .registry import ModelRecord, ModelRegistry, model_metadata, validate_reference
 from .server import (
     PROTOCOL_PREPROCESSING,
@@ -26,7 +31,9 @@ from .server import (
 
 __all__ = [
     "BatcherStats",
+    "Histogram",
     "MicroBatcher",
+    "QueueFullError",
     "ModelRecord",
     "ModelRegistry",
     "model_metadata",

@@ -25,18 +25,43 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["BatcherStats", "MicroBatcher"]
+from .metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS, Histogram
+
+__all__ = ["BatcherStats", "MicroBatcher", "QueueFullError"]
 
 _SHUTDOWN = object()
 
 
+class QueueFullError(RuntimeError):
+    """``submit`` fast-fail: the bounded request queue is at ``max_queue``.
+
+    Raised instead of blocking so an overloaded server can shed load
+    immediately (HTTP 429) rather than queueing without bound and letting
+    every request's latency grow past its timeout.
+    """
+
+
 @dataclass
 class BatcherStats:
-    """Coalescing counters, exposed for benchmarks and tests."""
+    """Coalescing counters and distributions, exposed for ``/metrics``,
+    benchmarks and tests.
+
+    A stats object can outlive its batcher: the serving layer passes one
+    per model version into every (re)loaded :class:`MicroBatcher`, so
+    counters keep accumulating across LRU evictions and reloads.
+    """
 
     requests: int = 0
     batches: int = 0
     max_batch_size: int = 0
+    #: submits rejected by the bounded queue (each one was answered 429)
+    rejected: int = 0
+    batch_sizes: Histogram = field(
+        default_factory=lambda: Histogram(BATCH_SIZE_BUCKETS), repr=False)
+    #: submit-to-completion seconds per request: queue wait + straggler
+    #: window + predict, the latency a client actually observes
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(LATENCY_BUCKETS), repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     @property
@@ -48,6 +73,11 @@ class BatcherStats:
             self.requests += size
             self.batches += 1
             self.max_batch_size = max(self.max_batch_size, size)
+        self.batch_sizes.observe(size)
+
+    def _record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
 
 
 class MicroBatcher:
@@ -71,22 +101,36 @@ class MicroBatcher:
         Batch-assembling threads.  numpy releases the GIL inside the BLAS
         calls that dominate prediction, so a small pool overlaps compute
         with queueing like the grid engine's worker pool does.
+    max_queue:
+        Backpressure bound: when this many requests are already waiting,
+        ``submit`` raises :class:`QueueFullError` immediately instead of
+        queueing (0 = unbounded, the library default).  Bounding the
+        queue bounds worst-case latency: at most ``max_queue`` requests
+        can be ahead of an admitted one.
+    stats:
+        Optional pre-existing :class:`BatcherStats` to accumulate into —
+        the serving layer passes the same object across model reloads so
+        ``/metrics`` counters survive LRU eviction.
     """
 
     def __init__(self, predict_fn, *, input_shape: tuple[int, int] | None = None,
                  max_batch: int = 64, max_latency: float = 0.005,
-                 workers: int = 1):
+                 workers: int = 1, max_queue: int = 0,
+                 stats: BatcherStats | None = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
         if max_latency < 0:
             raise ValueError(f"max_latency must be >= 0; got {max_latency}")
         if workers < 1:
             raise ValueError(f"workers must be >= 1; got {workers}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0; got {max_queue}")
         self._predict_fn = predict_fn
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.max_batch = int(max_batch)
         self.max_latency = float(max_latency)
-        self.stats = BatcherStats()
+        self.max_queue = int(max_queue)
+        self.stats = stats if stats is not None else BatcherStats()
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         #: serialises submits against close(), so no request can be enqueued
@@ -105,6 +149,40 @@ class MicroBatcher:
 
     def submit(self, series) -> Future:
         """Enqueue one series ``(channels, length)``; returns its future."""
+        return self.submit_many([series])[0]
+
+    def submit_many(self, series_list) -> list[Future]:
+        """Enqueue several series atomically: either every series is
+        admitted or none is (``QueueFullError``), so an over-quota
+        multi-series request never leaves orphaned work behind its 429 —
+        the rejected client retries the whole request, and nothing it
+        already abandoned is still being computed.
+
+        The bound is applied to *waiting* work: a request larger than
+        ``max_queue`` is still admitted when the queue is empty (its size
+        is capped upstream by the server's body limit), but any queued
+        backlog makes overflow fail fast.
+        """
+        prepared = [self._validate(series) for series in series_list]
+        futures: list[Future] = [Future() for _ in prepared]
+        now = time.monotonic()
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed MicroBatcher")
+            depth = self._queue.qsize()
+            if self.max_queue and depth \
+                    and depth + len(prepared) > self.max_queue:
+                for _ in prepared:
+                    self.stats._record_rejected()
+                raise QueueFullError(
+                    f"request queue is full ({self.max_queue} waiting); "
+                    f"retry later"
+                )
+            for series, future in zip(prepared, futures):
+                self._queue.put((series, future, now))
+        return futures
+
+    def _validate(self, series) -> np.ndarray:
         series = np.asarray(series, dtype=np.float64)
         if series.ndim == 1:
             series = series[None, :]  # univariate convenience
@@ -118,29 +196,40 @@ class MicroBatcher:
                 f"series shape {series.shape} does not match the model's "
                 f"input shape {self.input_shape}"
             )
-        future: Future = Future()
-        with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed MicroBatcher")
-            self._queue.put((series, future))
-        return future
+        return series
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting to be coalesced (approximate)."""
+        return self._queue.qsize()
 
     def predict(self, series, timeout: float | None = None):
         """Blocking single-series prediction (submit + wait)."""
         return self.submit(series).result(timeout=timeout)
 
-    def close(self) -> None:
-        """Stop the workers after all queued requests are served."""
+    def close(self, timeout: float | None = None) -> bool:
+        """Stop the workers after all queued requests are served.
+
+        With ``timeout`` (seconds), the join is bounded: a predict_fn
+        stalled past the deadline leaves its daemon worker behind rather
+        than hanging the closer forever.  Returns ``True`` when every
+        worker actually exited (the queue fully drained).
+        """
         with self._submit_lock:
-            if self._closed:
-                return
-            self._closed = True
-            # Under the submit lock, every accepted request is already ahead
-            # of the sentinel in the FIFO queue, so the workers serve all of
-            # them before shutting down.
-            self._queue.put(_SHUTDOWN)
+            if not self._closed:
+                self._closed = True
+                # Under the submit lock, every accepted request is already
+                # ahead of the sentinel in the FIFO queue, so the workers
+                # serve all of them before shutting down.
+                self._queue.put(_SHUTDOWN)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        drained = True
         for worker in self._workers:
-            worker.join()
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            worker.join(remaining)
+            drained = drained and not worker.is_alive()
+        return drained
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -178,25 +267,31 @@ class MicroBatcher:
             if stop:
                 return
 
-    def _run_batch(self, batch: list[tuple[np.ndarray, Future]]) -> None:
+    def _run_batch(self, batch: list[tuple[np.ndarray, Future, float]]) -> None:
         self.stats._record_batch(len(batch))
         try:
             # stack stays inside the try: without an input_shape the series
             # in one batch may disagree, and that must fail the requests,
             # not kill the worker thread.
-            panel = np.stack([series for series, _ in batch])
+            panel = np.stack([series for series, _, _ in batch])
             predictions = self._predict_fn(panel)
         except Exception as error:  # noqa: BLE001 - forwarded to every caller
-            for _, future in batch:
-                future.set_exception(error)
+            self._finish(batch, error=error)
             return
         if len(predictions) != len(batch):
-            error = RuntimeError(
+            self._finish(batch, error=RuntimeError(
                 f"predict_fn returned {len(predictions)} predictions "
                 f"for a batch of {len(batch)}"
-            )
-            for _, future in batch:
-                future.set_exception(error)
+            ))
             return
-        for (_, future), prediction in zip(batch, predictions):
-            future.set_result(prediction)
+        self._finish(batch, results=predictions)
+
+    def _finish(self, batch, results=None, error=None) -> None:
+        """Complete every future in *batch*, recording observed latency."""
+        now = time.monotonic()
+        for index, (_, future, submitted) in enumerate(batch):
+            self.stats.latency.observe(now - submitted)
+            if error is not None:
+                future.set_exception(error)
+            else:
+                future.set_result(results[index])

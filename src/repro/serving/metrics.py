@@ -1,0 +1,149 @@
+"""In-process serving metrics with Prometheus text-format rendering.
+
+The serving runtime needs observability without adding a dependency, so
+this module implements the two primitives the ``/metrics`` endpoint
+exports — monotonically growing counters (plain ints guarded by their
+owners' locks) and fixed-bucket :class:`Histogram`\\ s — plus the
+formatting helpers that render them in the Prometheus exposition format
+(text version 0.0.4), which every mainstream scraper understands::
+
+    repro_serving_requests_total{model="demo",version="1"} 412
+    repro_serving_request_latency_seconds_bucket{model="demo",version="1",le="0.01"} 390
+    ...
+
+Histograms are cumulative (a sample with ``le="0.05"`` counts every
+observation ``<= 0.05``) exactly as Prometheus expects, so latency
+quantiles can be derived server-side with ``histogram_quantile``.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+
+__all__ = [
+    "BATCH_SIZE_BUCKETS",
+    "LATENCY_BUCKETS",
+    "Histogram",
+    "HistogramSnapshot",
+    "format_labels",
+    "format_sample",
+    "render_histogram",
+]
+
+#: request-latency buckets in seconds: sub-millisecond cache hits through
+#: multi-second stalls (predict_timeout territory)
+LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+                   0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: micro-batch panel sizes; powers of two up to the default max_batch
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """A consistent point-in-time copy of a :class:`Histogram`."""
+
+    bounds: tuple[float, ...]
+    counts: tuple[int, ...]  # per-bucket, one extra trailing +Inf bucket
+    sum: float
+
+    @property
+    def count(self) -> int:
+        return sum(self.counts)
+
+    def cumulative(self) -> list[int]:
+        """Running totals per bucket, +Inf last — the Prometheus layout."""
+        totals, running = [], 0
+        for count in self.counts:
+            running += count
+            totals.append(running)
+        return totals
+
+
+class Histogram:
+    """A thread-safe fixed-bucket histogram.
+
+    ``observe`` is O(log buckets) and lock-cheap, so it can sit on the
+    per-request hot path of the batcher.  Bucket upper bounds are
+    inclusive (Prometheus ``le`` semantics); one implicit +Inf bucket
+    catches the overflow.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_lock")
+
+    def __init__(self, buckets=LATENCY_BUCKETS):
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("a Histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value) -> None:
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return sum(self._counts)
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(self.bounds, tuple(self._counts), self._sum)
+
+
+# --------------------------------------------------------------------------- #
+# exposition-format rendering
+# --------------------------------------------------------------------------- #
+
+
+def _escape(value: str) -> str:
+    """Escape a label value per the exposition format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def format_labels(labels: dict[str, str] | None) -> str:
+    """``{a="x",b="y"}`` — or an empty string for no labels."""
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{_escape(str(value))}"'
+                     for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def _number(value) -> str:
+    """Render ints without a decimal point, floats via repr (shortest)."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        value = int(value)
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    return str(int(as_float)) if as_float.is_integer() else repr(as_float)
+
+
+def format_sample(name: str, labels: dict[str, str] | None, value) -> str:
+    """One exposition line: ``name{labels} value``."""
+    return f"{name}{format_labels(labels)} {_number(value)}"
+
+
+def render_histogram(name: str, labels: dict[str, str] | None,
+                     snapshot: HistogramSnapshot) -> list[str]:
+    """The ``_bucket``/``_sum``/``_count`` sample lines for one histogram."""
+    labels = dict(labels or {})
+    lines = []
+    totals = snapshot.cumulative()
+    for bound, total in zip(snapshot.bounds, totals):
+        lines.append(format_sample(
+            f"{name}_bucket", {**labels, "le": _number(bound)}, total))
+    lines.append(format_sample(f"{name}_bucket", {**labels, "le": "+Inf"},
+                               totals[-1]))
+    lines.append(format_sample(f"{name}_sum", labels, snapshot.sum))
+    lines.append(format_sample(f"{name}_count", labels, totals[-1]))
+    return lines

@@ -27,6 +27,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
@@ -112,6 +113,10 @@ class ModelRegistry:
         #: hot path resolves a record per request, and reparsing the JSONL
         #: every time would dominate cache-hit predictions
         self._versions_cache: dict[str, tuple[tuple[int, int], list[ModelRecord]]] = {}
+        #: list_models() memo keyed by the models-root directory mtime —
+        #: /healthz hits this per request, and an os.scandir per health
+        #: probe is wasted I/O under load
+        self._names_cache: tuple[int, list[str]] | None = None
         self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -166,20 +171,56 @@ class ModelRegistry:
         """Point *tag* at ``name:version`` (moving it from any other version)."""
         _check_tag(tag)
         record = self.record(name, version)  # validates existence
-        self._append(self._manifest(name), {"kind": "tag", "tag": str(tag),
-                                            "version": record.version})
+        manifest = self._manifest(name)
+        # Same lock publish() holds for its read-then-append version mint:
+        # an unlocked tag append racing a publish could land between the
+        # publisher's read and write and interleave the manifest.
+        with _locked(manifest):
+            self._append(manifest, {"kind": "tag", "tag": str(tag),
+                                    "version": record.version})
         return self.record(name, version)
 
     # ------------------------------------------------------------------ #
     # read side
     # ------------------------------------------------------------------ #
 
+    #: only memoise a scan once the models root has been unchanged this
+    #: long — coarse-mtime filesystems (1 s on ext3/NFS) could otherwise
+    #: serve a stale cache when two publishes land in one mtime granule
+    _MTIME_QUIESCENCE = 2.0
+
     def list_models(self) -> list[str]:
-        """Sorted names that have at least one published version."""
-        if not self._models.is_dir():
+        """Sorted names that have at least one published version.
+
+        Memoised on the models-root directory mtime: creating or removing
+        a model directory bumps it, so the cache invalidates on publish of
+        a new name while repeated health checks cost one ``stat``.  A scan
+        is only cached once the directory has been quiet for
+        ``_MTIME_QUIESCENCE`` seconds, so mtime granularity can never pin
+        a stale listing.
+        """
+        try:
+            stat = self._models.stat()
+        except OSError:
             return []
-        return sorted(p.name for p in self._models.iterdir()
-                      if (p / "manifest.jsonl").is_file())
+        stamp = stat.st_mtime_ns
+        with self._cache_lock:
+            if self._names_cache is not None and self._names_cache[0] == stamp:
+                return list(self._names_cache[1])
+        names, complete = [], True
+        for path in self._models.iterdir():
+            if (path / "manifest.jsonl").is_file():
+                names.append(path.name)
+            elif path.is_dir():
+                # A publish in flight: the directory exists but its first
+                # manifest line hasn't landed.  Don't cache a scan that
+                # would hide the name until the *next* directory change.
+                complete = False
+        names.sort()
+        if complete and time.time() - stat.st_mtime >= self._MTIME_QUIESCENCE:
+            with self._cache_lock:
+                self._names_cache = (stamp, names)
+        return names
 
     def versions(self, name: str) -> list[ModelRecord]:
         """Every published version of *name*, oldest first, tags resolved."""

@@ -1,8 +1,9 @@
 """Stdlib HTTP prediction server over a model registry.
 
-Routes (JSON in, JSON out)::
+Routes (JSON in, JSON out unless noted)::
 
     GET  /healthz                        liveness + model count
+    GET  /metrics                        Prometheus text format (0.0.4)
     GET  /v1/models                      latest record per published name
     POST /v1/models/<name>/predict       classify one series or a list
 
@@ -16,16 +17,35 @@ The server is a ``ThreadingHTTPServer``: each connection gets a thread,
 and all threads funnel their series into one shared
 :class:`~repro.serving.batcher.MicroBatcher` per model version, so
 concurrent clients are answered from coalesced panels.  Models are
-loaded from the registry lazily and memoised.  Input series are
-preprocessed exactly as the training protocol preprocesses panels
-(per-series z-normalisation, then imputation) when the published
-metadata says the model was trained that way.
+loaded from the registry lazily, memoised, and — when
+``max_loaded_models`` is set — LRU-evicted with their queued requests
+drained first.  Input series are preprocessed exactly as the training
+protocol preprocesses panels (per-series z-normalisation, then
+imputation) when the published metadata says the model was trained that
+way.
+
+The runtime is load-safe by construction:
+
+* **backpressure** — each batcher's queue is bounded (``max_queue``);
+  overflow is answered ``429`` with a ``Retry-After`` hint instead of
+  queueing unboundedly, so admitted requests keep a bounded worst-case
+  latency;
+* **admission control** — request bodies above ``max_body_bytes`` are
+  refused with ``413`` before being read;
+* **lifecycle** — ``server_close`` drains in-flight requests and every
+  batcher before returning; a model evicted mid-request is reloaded
+  transparently;
+* **observability** — ``/metrics`` exports per-model request counts,
+  queue depths, batch-size and latency histograms; ``access_log=True``
+  writes one structured JSON line per request to stderr.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import threading
+import time
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -33,7 +53,8 @@ import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
 from ..experiments.protocol import _prepare as _protocol_prepare
-from .batcher import MicroBatcher
+from .batcher import BatcherStats, MicroBatcher, QueueFullError
+from .metrics import format_sample, render_histogram
 from .registry import ModelRecord, ModelRegistry
 
 __all__ = ["PredictionService", "PredictionServer", "ServingError",
@@ -55,11 +76,18 @@ def prepare_panel(X: np.ndarray) -> np.ndarray:
 
 
 class ServingError(Exception):
-    """A client-visible failure with an HTTP status."""
+    """A client-visible failure with an HTTP status.
 
-    def __init__(self, status: int, message: str):
+    ``retry_after`` (seconds) is surfaced as a ``Retry-After`` response
+    header for the transient statuses (429/503) where a client should
+    back off and try again.
+    """
+
+    def __init__(self, status: int, message: str, *,
+                 retry_after: int | None = None):
         super().__init__(message)
         self.status = status
+        self.retry_after = retry_after
 
 
 class PredictionService:
@@ -68,22 +96,48 @@ class PredictionService:
     The service is the transport-free core of the server: the HTTP layer,
     the CLI ``predict`` command and in-process tests all call the same
     :meth:`predict`.
+
+    Parameters beyond the batching knobs:
+
+    max_queue:
+        Per-model bounded request queue; overflow raises
+        ``ServingError(429)`` (0 = unbounded).
+    max_loaded_models:
+        Cap on concurrently loaded models; the least-recently-used one is
+        evicted — its queued requests drained first — to make room
+        (0 = unlimited).
+    drain_timeout:
+        How long :meth:`close` waits for in-flight predicts to finish
+        before tearing the batchers down.
     """
 
     def __init__(self, registry: ModelRegistry, *, max_batch: int = 64,
                  max_latency: float = 0.005, workers: int = 1,
-                 predict_timeout: float = 30.0):
+                 predict_timeout: float = 30.0, max_queue: int = 0,
+                 max_loaded_models: int = 0, drain_timeout: float = 5.0):
         self.registry = registry
         self.max_batch = max_batch
         self.max_latency = max_latency
         self.workers = workers
         self.predict_timeout = predict_timeout
+        self.max_queue = int(max_queue)
+        self.max_loaded_models = int(max_loaded_models)
+        self.drain_timeout = float(drain_timeout)
+        #: insertion order doubles as LRU order: a cache hit reinserts its
+        #: key, so the first key is always the least recently used
         self._loaded: dict[tuple[str, int], tuple[ModelRecord, MicroBatcher]] = {}
         self._lock = threading.Lock()
+        #: close() waits on this for in-flight predicts to drain
+        self._idle = threading.Condition(self._lock)
+        self._active = 0
         self._closed = False
         #: per-version load locks, so a cold load of one model never blocks
         #: requests that only need the cache
         self._loading: dict[tuple[str, int], threading.Lock] = {}
+        #: per-version stats survive eviction/reload so /metrics counters
+        #: are monotone over the process lifetime
+        self._stats: dict[tuple[str, int], BatcherStats] = {}
+        self._http_responses: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
 
@@ -97,6 +151,11 @@ class PredictionService:
             out.append(latest)
         return out
 
+    def healthz(self) -> dict:
+        """Liveness summary; uses the registry's memoised name scan so a
+        health-check loop never hammers the filesystem."""
+        return {"status": "ok", "models": len(self.registry.list_models())}
+
     def predict(self, name: str, instances, version=None) -> dict:
         """Classify *instances* — a sequence of series, each ``(channels,
         length)`` or 1-D univariate.  A single 2-D array is accepted as a
@@ -105,19 +164,54 @@ class PredictionService:
         rather than being misread as one multivariate series.
 
         Returns ``{"model", "version", "labels"}``; labels come back in
-        request order whatever batches the series landed in.
+        request order whatever batches the series landed in.  Raises
+        :class:`ServingError` 429 under backpressure, 503 on shutdown.
         """
-        record, batcher = self._resolve(name, version)
+        with self._idle:
+            if self._closed:
+                raise ServingError(503, "service is shutting down")
+            self._active += 1
+        try:
+            return self._predict(name, instances, version)
+        finally:
+            with self._idle:
+                self._active -= 1
+                if not self._active:
+                    self._idle.notify_all()
+
+    def _predict(self, name: str, instances, version) -> dict:
         if isinstance(instances, np.ndarray):
             if instances.ndim in (1, 2):
                 instances = instances[None]
         elif isinstance(instances, (list, tuple)) and instances \
                 and np.isscalar(instances[0]):
             instances = [instances]  # one flat univariate series
-        try:
-            futures = [batcher.submit(series) for series in instances]
-        except (TypeError, ValueError) as error:
-            raise ServingError(400, str(error)) from error
+        for attempt in (0, 1):
+            record, batcher = self._resolve(name, version)
+            try:
+                # All-or-nothing admission: a 429 never leaves already-
+                # submitted series computing for a client that will retry.
+                futures = batcher.submit_many(instances)
+                break
+            except QueueFullError as error:
+                raise ServingError(429, str(error), retry_after=1) from error
+            except (TypeError, ValueError) as error:
+                raise ServingError(400, str(error)) from error
+            except RuntimeError as error:
+                # The batcher closed between _resolve and submit: either
+                # the service is shutting down (the next _resolve answers
+                # 503) or the LRU evicted this model under us — drop the
+                # stale cache entry and retry once, which reloads it.
+                key = (record.name, record.version)
+                with self._lock:
+                    current = self._loaded.get(key)
+                    if current is not None and current[1] is batcher:
+                        del self._loaded[key]
+                if attempt:
+                    raise ServingError(
+                        503, f"model {name} was unloaded mid-request; retry",
+                        retry_after=1,
+                    ) from error
         try:
             labels = [_jsonable(future.result(timeout=self.predict_timeout))
                       for future in futures]
@@ -130,12 +224,94 @@ class PredictionService:
         return {"model": record.name, "version": record.version, "labels": labels}
 
     def close(self) -> None:
-        with self._lock:
+        """Refuse new work, wait (bounded) for in-flight predicts, then
+        drain and stop every batcher.
+
+        The whole close is bounded by ``drain_timeout``: the in-flight
+        wait and the batcher joins share one deadline, so a predict_fn
+        stalled forever cannot hang shutdown — its daemon worker is
+        abandoned instead.
+        """
+        with self._idle:
             self._closed = True
+            deadline = time.monotonic() + self.drain_timeout
+            while self._active:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._idle.wait(remaining)
             batchers = [batcher for _, batcher in self._loaded.values()]
             self._loaded.clear()
+            self._loading.clear()  # per-version load locks die with us
         for batcher in batchers:
-            batcher.close()
+            batcher.close(timeout=max(0.1, deadline - time.monotonic()))
+
+    # ------------------------------------------------------------------ #
+
+    def record_response(self, status: int) -> None:
+        """Count one HTTP response for ``/metrics`` (called by the handler)."""
+        with self._lock:
+            self._http_responses[status] = self._http_responses.get(status, 0) + 1
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition-format dump for ``/metrics``."""
+        with self._lock:
+            stats = list(self._stats.items())
+            depths = {key: batcher.queue_depth
+                      for key, (_, batcher) in self._loaded.items()}
+            responses = sorted(self._http_responses.items())
+            n_loaded = len(self._loaded)
+        lines: list[str] = []
+
+        def family(name: str, kind: str, help_text: str, samples) -> None:
+            block = list(samples)
+            if not block and kind != "gauge":
+                return
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.extend(block)
+
+        def labels(key):
+            return {"model": key[0], "version": str(key[1])}
+
+        family("repro_serving_requests_total", "counter",
+               "Series admitted to a model's micro-batcher.",
+               (format_sample("repro_serving_requests_total", labels(key),
+                              stat.requests) for key, stat in stats))
+        family("repro_serving_rejected_total", "counter",
+               "Series refused by the bounded queue (answered 429).",
+               (format_sample("repro_serving_rejected_total", labels(key),
+                              stat.rejected) for key, stat in stats))
+        family("repro_serving_batches_total", "counter",
+               "Coalesced panels predicted.",
+               (format_sample("repro_serving_batches_total", labels(key),
+                              stat.batches) for key, stat in stats))
+        family("repro_serving_queue_depth", "gauge",
+               "Requests waiting in each loaded model's queue.",
+               (format_sample("repro_serving_queue_depth", labels(key), depth)
+                for key, depth in sorted(depths.items())))
+        family("repro_serving_loaded_models", "gauge",
+               "Models currently resident in memory.",
+               [format_sample("repro_serving_loaded_models", None, n_loaded)])
+        batch_lines: list[str] = []
+        latency_lines: list[str] = []
+        for key, stat in stats:
+            batch_lines.extend(render_histogram(
+                "repro_serving_batch_size", labels(key),
+                stat.batch_sizes.snapshot()))
+            latency_lines.extend(render_histogram(
+                "repro_serving_request_latency_seconds", labels(key),
+                stat.latency.snapshot()))
+        family("repro_serving_batch_size", "histogram",
+               "Coalesced panel sizes.", batch_lines)
+        family("repro_serving_request_latency_seconds", "histogram",
+               "Submit-to-completion seconds per series.", latency_lines)
+        family("repro_serving_http_responses_total", "counter",
+               "HTTP responses by status code.",
+               (format_sample("repro_serving_http_responses_total",
+                              {"status": str(status)}, count)
+                for status, count in responses))
+        return "\n".join(lines) + "\n"
 
     # ------------------------------------------------------------------ #
 
@@ -151,6 +327,7 @@ class PredictionService:
                 raise ServingError(503, "service is shutting down")
             entry = self._loaded.get(key)
             if entry is not None:
+                self._loaded[key] = self._loaded.pop(key)  # refresh LRU rank
                 return entry
             load_lock = self._loading.setdefault(key, threading.Lock())
         # Deserialisation can take seconds for deep ensembles; hold only this
@@ -165,18 +342,30 @@ class PredictionService:
             if record.metadata.get("preprocessing") == PROTOCOL_PREPROCESSING:
                 predict_fn = lambda panel, _m=model: _m.predict(prepare_panel(panel))  # noqa: E731
             shape = record.metadata.get("input_shape")
+            with self._lock:
+                stats = self._stats.setdefault(key, BatcherStats())
             entry = (record, MicroBatcher(
                 predict_fn,
                 input_shape=tuple(shape) if shape else None,
                 max_batch=self.max_batch, max_latency=self.max_latency,
-                workers=self.workers,
+                workers=self.workers, max_queue=self.max_queue, stats=stats,
             ))
+            evicted = []
             with self._lock:
                 if self._closed:
                     # close() ran while we were loading; don't resurrect.
                     entry[1].close()
                     raise ServingError(503, "service is shutting down")
                 self._loaded[key] = entry
+                while self.max_loaded_models > 0 \
+                        and len(self._loaded) > self.max_loaded_models:
+                    oldest = next(iter(self._loaded))
+                    evicted.append(self._loaded.pop(oldest))
+            for _, old_batcher in evicted:
+                # Outside the lock: close() drains the evicted model's
+                # queued requests, so nobody who was already admitted loses
+                # an answer to the eviction.
+                old_batcher.close()
         return entry
 
 
@@ -195,6 +384,10 @@ def _jsonable(value):
 class _Handler(BaseHTTPRequestHandler):
     service: PredictionService  # injected by create_server
     quiet = True
+    #: refuse request bodies above this many bytes with 413 (0 = unlimited)
+    max_body_bytes = 0
+    #: one structured JSON line per request on stderr
+    access_log = False
     # Keep-alive: _reply always sends Content-Length, so clients can reuse
     # one connection for a burst instead of a TCP handshake per request.
     protocol_version = "HTTP/1.1"
@@ -202,15 +395,22 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------ #
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
-            self._reply(200, {"status": "ok",
-                              "models": len(self.service.registry.list_models())})
-        elif self.path == "/v1/models":
-            self._reply(200, {"models": self.service.models()})
-        else:
-            self._reply(404, {"error": f"no route for GET {self.path}"})
+        self._started = time.monotonic()
+        try:
+            if self.path == "/healthz":
+                self._reply(200, self.service.healthz())
+            elif self.path == "/metrics":
+                self._send(200, self.service.metrics_text().encode(),
+                           "text/plain; version=0.0.4; charset=utf-8")
+            elif self.path == "/v1/models":
+                self._reply(200, {"models": self.service.models()})
+            else:
+                self._reply(404, {"error": f"no route for GET {self.path}"})
+        except Exception as error:  # noqa: BLE001 - must answer the client
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._started = time.monotonic()
         parts = self.path.strip("/").split("/")
         if len(parts) != 4 or parts[:2] != ["v1", "models"] or parts[3] != "predict":
             self._reply(404, {"error": f"no route for POST {self.path}"})
@@ -219,7 +419,10 @@ class _Handler(BaseHTTPRequestHandler):
             body = self._read_json()
             result = self._predict(parts[2], body)
         except ServingError as error:
-            self._reply(error.status, {"error": str(error)})
+            headers = {}
+            if error.retry_after is not None:
+                headers["Retry-After"] = str(error.retry_after)
+            self._reply(error.status, {"error": str(error)}, headers=headers)
         except Exception as error:  # noqa: BLE001 - must answer the client
             self._reply(500, {"error": f"{type(error).__name__}: {error}"})
         else:
@@ -246,18 +449,72 @@ class _Handler(BaseHTTPRequestHandler):
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0:
             raise ServingError(400, "empty request body")
+        if self.max_body_bytes and length > self.max_body_bytes:
+            # Refuse without buffering, but *drain* the wire (bounded):
+            # closing a socket with unread data makes the kernel send RST,
+            # which can destroy the 413 response before the client reads
+            # it.  The bytes are discarded chunk by chunk, never held.
+            self.close_connection = True
+            self._discard_body(length)
+            raise ServingError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{self.max_body_bytes}-byte limit"
+            )
         try:
             return json.loads(self.rfile.read(length))
         except json.JSONDecodeError as error:
             raise ServingError(400, f"invalid JSON body: {error}") from error
 
-    def _reply(self, status: int, payload: dict) -> None:
-        body = json.dumps(payload).encode()
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+    #: stop draining a refused body past this; a sender lying about a
+    #: colossal Content-Length gets the RST instead of our time
+    _DISCARD_LIMIT = 64 * 1024 * 1024
+
+    def _discard_body(self, length: int) -> None:
+        remaining = min(length, self._DISCARD_LIMIT)
+        try:
+            while remaining > 0:
+                chunk = self.rfile.read(min(65536, remaining))
+                if not chunk:
+                    break
+                remaining -= len(chunk)
+        except (ConnectionResetError, TimeoutError):
+            pass  # sender already gave up; nothing left to protect
+
+    def _reply(self, status: int, payload: dict,
+               headers: dict[str, str] | None = None) -> None:
+        self._send(status, json.dumps(payload).encode(), "application/json",
+                   headers)
+
+    def _send(self, status: int, body: bytes, content_type: str,
+              headers: dict[str, str] | None = None) -> None:
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            # The client hung up before reading its answer.  That is the
+            # client's problem, not a server error: swallow it so the
+            # handler thread survives instead of dying with a traceback.
+            self.close_connection = True
+        self.service.record_response(status)
+        if self.access_log:
+            self._log_access(status, len(body))
+
+    def _log_access(self, status: int, n_bytes: int) -> None:
+        elapsed = time.monotonic() - getattr(self, "_started", time.monotonic())
+        print(json.dumps({
+            "time": round(time.time(), 3),
+            "client": self.client_address[0],
+            "method": self.command,
+            "path": self.path,
+            "status": status,
+            "bytes": n_bytes,
+            "ms": round(elapsed * 1000, 2),
+        }), file=sys.stderr, flush=True)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
@@ -274,8 +531,11 @@ class PredictionServer(ThreadingHTTPServer):
         self.service = service
 
     def server_close(self) -> None:
-        super().server_close()
+        # Drain first: in-flight predicts finish and every batcher empties
+        # before the listening socket is torn down, so a graceful stop
+        # never abandons an admitted request.
         self.service.close()
+        super().server_close()
 
     @property
     def port(self) -> int:
@@ -284,15 +544,26 @@ class PredictionServer(ThreadingHTTPServer):
 
 def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
                   port: int = 0, max_batch: int = 64, max_latency: float = 0.005,
-                  batch_workers: int = 1, quiet: bool = True) -> PredictionServer:
+                  batch_workers: int = 1, quiet: bool = True,
+                  max_queue: int = 1024, max_loaded_models: int = 0,
+                  max_body_bytes: int = 10_000_000,
+                  access_log: bool = False) -> PredictionServer:
     """Build a ready-to-run prediction server (``port=0`` picks a free one).
 
     Run it with ``server.serve_forever()`` (blocking) or from a thread;
-    ``server.server_close()`` also shuts down the per-model batchers.
+    ``server.server_close()`` drains in-flight work and shuts down the
+    per-model batchers.  The defaults are load-safe: a bounded per-model
+    queue (429 on overflow) and a 10 MB body cap (413 above it);
+    ``max_loaded_models`` bounds resident models with LRU eviction.
     """
     if not isinstance(registry, ModelRegistry):
         registry = ModelRegistry(registry)
     service = PredictionService(registry, max_batch=max_batch,
-                                max_latency=max_latency, workers=batch_workers)
-    handler = type("Handler", (_Handler,), {"service": service, "quiet": quiet})
+                                max_latency=max_latency, workers=batch_workers,
+                                max_queue=max_queue,
+                                max_loaded_models=max_loaded_models)
+    handler = type("Handler", (_Handler,), {
+        "service": service, "quiet": quiet,
+        "max_body_bytes": int(max_body_bytes), "access_log": bool(access_log),
+    })
     return PredictionServer((host, port), handler, service)

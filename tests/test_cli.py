@@ -252,6 +252,22 @@ def test_serve_parser_defaults():
     assert args.port == 8080
     assert args.max_batch == 64
     assert args.max_latency_ms == 5.0
+    # load-hardening knobs default to safe bounds
+    assert args.max_queue == 1024
+    assert args.max_loaded_models == 0
+    assert args.max_body_bytes == 10_000_000
+    assert args.access_log is False
+
+
+def test_serve_parser_hardening_flags():
+    args = build_parser().parse_args([
+        "serve", "--registry", "r", "--max-queue", "32",
+        "--max-loaded-models", "2", "--max-body-bytes", "4096", "--access-log",
+    ])
+    assert args.max_queue == 32
+    assert args.max_loaded_models == 2
+    assert args.max_body_bytes == 4096
+    assert args.access_log is True
 
 
 def test_unknown_command_rejected():

@@ -8,7 +8,7 @@ import pytest
 
 from repro.classifiers import RocketClassifier
 from repro.data import make_classification_panel
-from repro.serving import MicroBatcher
+from repro.serving import BatcherStats, MicroBatcher, QueueFullError
 
 
 @pytest.fixture
@@ -167,3 +167,171 @@ def test_invalid_parameters_rejected():
         MicroBatcher(predict, max_latency=-1.0)
     with pytest.raises(ValueError):
         MicroBatcher(predict, workers=0)
+    with pytest.raises(ValueError):
+        MicroBatcher(predict, max_queue=-1)
+
+
+def _gated_batcher(**kwargs):
+    """A batcher whose predict blocks until ``release`` is set; returns
+    (batcher, entered, release)."""
+    entered, release = threading.Event(), threading.Event()
+
+    def gated(panel):
+        entered.set()
+        release.wait(timeout=10)
+        return np.zeros(len(panel), dtype=int)
+
+    return MicroBatcher(gated, **kwargs), entered, release
+
+
+def test_bounded_queue_fast_fails_with_queue_full():
+    batcher, entered, release = _gated_batcher(max_batch=1, max_queue=2,
+                                               max_latency=0.0)
+    try:
+        first = batcher.submit(np.ones((1, 8)))  # occupies the worker
+        assert entered.wait(timeout=10)
+        queued = [batcher.submit(np.ones((1, 8))) for _ in range(2)]
+        assert batcher.queue_depth == 2
+        with pytest.raises(QueueFullError, match="queue is full"):
+            batcher.submit(np.ones((1, 8)))
+        assert batcher.stats.rejected == 1
+        release.set()
+        # Every admitted request is still answered.
+        assert first.result(timeout=10) == 0
+        assert [f.result(timeout=10) for f in queued] == [0, 0]
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_queue_drains_and_readmits_after_rejection():
+    batcher, entered, release = _gated_batcher(max_batch=1, max_queue=1,
+                                               max_latency=0.0)
+    try:
+        batcher.submit(np.ones((1, 8)))
+        assert entered.wait(timeout=10)
+        batcher.submit(np.ones((1, 8)))
+        with pytest.raises(QueueFullError):
+            batcher.submit(np.ones((1, 8)))
+        release.set()
+        for _ in range(500):  # wait for the worker to drain the queue
+            if batcher.queue_depth == 0:
+                break
+            time.sleep(0.01)
+        # Once the queue drains, submissions are admitted again.
+        assert batcher.predict(np.ones((1, 8)), timeout=10) == 0
+        assert batcher.stats.rejected == 1
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_close_works_with_a_full_queue():
+    """The shutdown sentinel must never be blocked out by the bound."""
+    batcher, entered, release = _gated_batcher(max_batch=1, max_queue=1,
+                                               max_latency=0.0)
+    batcher.submit(np.ones((1, 8)))
+    assert entered.wait(timeout=10)
+    queued = batcher.submit(np.ones((1, 8)))
+    release.set()
+    batcher.close()  # must drain the queued request, then stop
+    assert queued.result(timeout=10) == 0
+
+
+def test_unbounded_by_default(fitted):
+    model, X = fitted
+    with MicroBatcher(model.predict, max_batch=4, max_latency=0.0) as batcher:
+        assert batcher.max_queue == 0
+        futures = [batcher.submit(series) for series in X]  # never rejected
+        for future in futures:
+            future.result(timeout=10)
+    assert batcher.stats.rejected == 0
+
+
+def test_latency_and_batch_size_histograms_recorded(fitted):
+    model, X = fitted
+    with MicroBatcher(model.predict, max_batch=8, max_latency=0.05) as batcher:
+        futures = [batcher.submit(series) for series in X[:10]]
+        for future in futures:
+            future.result(timeout=10)
+    assert batcher.stats.latency.count == 10
+    assert batcher.stats.latency.snapshot().sum > 0.0
+    sizes = batcher.stats.batch_sizes.snapshot()
+    assert sizes.count == batcher.stats.batches
+    assert sizes.sum == batcher.stats.requests
+
+
+def test_failed_requests_still_record_latency():
+    def boom(panel):
+        raise RuntimeError("model exploded")
+
+    with MicroBatcher(boom, max_latency=0.0) as batcher:
+        future = batcher.submit(np.ones((1, 8)))
+        with pytest.raises(RuntimeError):
+            future.result(timeout=10)
+        assert batcher.stats.latency.count == 1
+
+
+def test_submit_many_is_all_or_nothing():
+    """Overflow on a multi-series submit enqueues nothing: no orphaned
+    work keeps computing for a client that was told 429."""
+    batcher, entered, release = _gated_batcher(max_batch=1, max_queue=4,
+                                               max_latency=0.0)
+    try:
+        batcher.submit(np.ones((1, 8)))  # occupies the worker
+        assert entered.wait(timeout=10)
+        batcher.submit(np.ones((1, 8)))  # queue depth 1 of 4
+        with pytest.raises(QueueFullError):
+            batcher.submit_many([np.ones((1, 8))] * 4)  # 1 + 4 > 4
+        assert batcher.queue_depth == 1  # nothing from the rejected batch
+        assert batcher.stats.rejected == 4  # every refused series counted
+    finally:
+        release.set()
+        batcher.close()
+
+
+def test_submit_many_validates_before_admitting():
+    with MicroBatcher(lambda p: np.zeros(len(p)), input_shape=(1, 8),
+                      max_latency=0.0) as batcher:
+        with pytest.raises(ValueError, match="input shape"):
+            batcher.submit_many([np.ones((1, 8)), np.ones((2, 8))])
+        assert batcher.queue_depth == 0  # the valid series was not enqueued
+
+
+def test_large_request_admitted_on_idle_queue():
+    """A single request bigger than max_queue still runs when nothing is
+    waiting (its size is bounded upstream by the HTTP body cap)."""
+    with MicroBatcher(lambda p: np.zeros(len(p), dtype=int), max_queue=2,
+                      max_batch=8, max_latency=0.0) as batcher:
+        futures = batcher.submit_many([np.ones((1, 8))] * 6)
+        assert [f.result(timeout=10) for f in futures] == [0] * 6
+
+
+def test_close_timeout_bounds_a_stalled_worker():
+    stall = threading.Event()
+
+    def stuck(panel):
+        stall.wait(timeout=30)
+        return np.zeros(len(panel), dtype=int)
+
+    batcher = MicroBatcher(stuck, max_latency=0.0)
+    batcher.submit(np.ones((1, 8)))
+    start = time.monotonic()
+    drained = batcher.close(timeout=0.2)
+    assert time.monotonic() - start < 5.0  # bounded, not a forever-join
+    assert drained is False
+    stall.set()
+    assert batcher.close(timeout=10) is True  # second close reaps the worker
+
+
+def test_shared_stats_accumulate_across_batchers():
+    """The serving layer reuses one BatcherStats across reloads of the
+    same model version, so counters survive LRU eviction."""
+    stats = BatcherStats()
+    for _ in range(2):
+        with MicroBatcher(lambda p: np.zeros(len(p), dtype=int),
+                          max_latency=0.0, stats=stats) as batcher:
+            assert batcher.stats is stats
+            batcher.predict(np.ones((1, 8)), timeout=10)
+    assert stats.requests == 2
+    assert stats.latency.count == 2

@@ -1,0 +1,81 @@
+"""The stdlib metrics primitives behind /metrics."""
+
+import threading
+
+import pytest
+
+from repro.serving import Histogram
+from repro.serving.metrics import (
+    format_labels,
+    format_sample,
+    render_histogram,
+)
+
+
+class TestHistogram:
+    def test_observations_land_in_inclusive_buckets(self):
+        hist = Histogram((1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 3.0, 100.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        # le semantics: 1.0 counts toward the le="1" bucket, 2.0 toward le="2"
+        assert snap.counts == (2, 2, 1, 1)  # (<=1, <=2, <=4, +Inf)
+        assert snap.count == 6
+        assert snap.sum == pytest.approx(108.0)
+
+    def test_cumulative_is_running_total(self):
+        hist = Histogram((1.0, 2.0))
+        for value in (0.5, 1.5, 5.0):
+            hist.observe(value)
+        assert hist.snapshot().cumulative() == [1, 2, 3]
+
+    def test_empty_bucket_list_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_bounds_are_sorted(self):
+        assert Histogram((4.0, 1.0, 2.0)).bounds == (1.0, 2.0, 4.0)
+
+    def test_concurrent_observers_lose_nothing(self):
+        hist = Histogram((0.5,))
+        n, per_thread = 8, 500
+
+        def observe():
+            for _ in range(per_thread):
+                hist.observe(1.0)
+
+        threads = [threading.Thread(target=observe) for _ in range(n)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert hist.count == n * per_thread
+
+
+class TestRendering:
+    def test_format_sample_and_labels(self):
+        assert format_sample("x_total", None, 3) == "x_total 3"
+        assert format_sample("x_total", {"model": "demo", "version": "1"}, 3) \
+            == 'x_total{model="demo",version="1"} 3'
+
+    def test_label_values_escaped(self):
+        rendered = format_labels({"model": 'a"b\\c\nd'})
+        assert rendered == '{model="a\\"b\\\\c\\nd"}'
+
+    def test_integral_floats_render_without_point(self):
+        assert format_sample("x", None, 2.0) == "x 2"
+        assert format_sample("x", None, 0.25) == "x 0.25"
+
+    def test_render_histogram_is_cumulative_with_inf(self):
+        hist = Histogram((0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        hist.observe(2.0)
+        lines = render_histogram("lat", {"model": "m"}, hist.snapshot())
+        assert lines == [
+            'lat_bucket{model="m",le="0.1"} 1',
+            'lat_bucket{model="m",le="1"} 2',
+            'lat_bucket{model="m",le="+Inf"} 3',
+            'lat_sum{model="m"} 2.55',
+            'lat_count{model="m"} 3',
+        ]

@@ -158,3 +158,104 @@ class TestTags:
         rows = [json.loads(line) for line in manifest.read_text().splitlines()]
         assert rows[0]["kind"] == "publish"
         assert rows[0]["version"] == 1
+
+    def test_tags_racing_publishes_stay_consistent(self, registry, model):
+        """tag() holds the same manifest lock as publish(), so concurrent
+        taggers and publishers can never interleave the read-then-append
+        version mint: versions stay unique and every tag row resolves."""
+        import threading
+
+        registry.publish(model, "demo")
+        errors = []
+
+        def publisher():
+            try:
+                for _ in range(3):
+                    registry.publish(model, "demo")
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        def tagger(label):
+            try:
+                for _ in range(5):
+                    registry.tag("demo", 1, label)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=publisher) for _ in range(2)] + \
+                  [threading.Thread(target=tagger, args=(f"t{i}",))
+                   for i in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert errors == []
+        versions = [r.version for r in registry.versions("demo")]
+        assert versions == list(range(1, 8))  # 1 + 2x3 publishes, no dupes
+        manifest = registry.root / "models" / "demo" / "manifest.jsonl"
+        for line in manifest.read_text().splitlines():
+            row = json.loads(line)  # every line is intact JSON
+            if row["kind"] == "tag":
+                assert row["version"] in versions
+
+
+class TestListModelsMemo:
+    @staticmethod
+    def _age(registry, seconds=10.0):
+        """Backdate the models-root mtime so the scan is quiescent enough
+        to be memoised (fresh directories are deliberately not cached,
+        guarding against coarse-mtime filesystems)."""
+        import os
+        import time
+
+        stamp = time.time() - seconds
+        os.utime(registry._models, (stamp, stamp))
+
+    def test_list_models_is_cached_between_scans(self, registry, model,
+                                                 monkeypatch):
+        registry.publish(model, "demo")
+        self._age(registry)
+        assert registry.list_models() == ["demo"]  # scans + memoises
+
+        calls = {"n": 0}
+        real_iterdir = type(registry._models).iterdir
+
+        def counting(path):
+            calls["n"] += 1
+            return real_iterdir(path)
+
+        monkeypatch.setattr(type(registry._models), "iterdir", counting)
+        for _ in range(5):
+            assert registry.list_models() == ["demo"]
+        assert calls["n"] == 0  # all five served from the memo
+
+    def test_fresh_directory_is_not_memoised(self, registry, model):
+        """Within the quiescence window the scan must re-run: a second
+        publish in the same mtime granule would otherwise stay hidden."""
+        registry.publish(model, "demo")
+        assert registry.list_models() == ["demo"]
+        assert registry._names_cache is None
+
+    def test_cache_invalidates_on_new_model(self, registry, model):
+        registry.publish(model, "alpha")
+        self._age(registry)
+        assert registry.list_models() == ["alpha"]
+        registry.publish(model, "beta")  # bumps the directory mtime
+        assert registry.list_models() == ["alpha", "beta"]
+
+    def test_empty_registry_lists_nothing(self, tmp_path):
+        from repro.serving import ModelRegistry
+
+        assert ModelRegistry(tmp_path / "missing").list_models() == []
+
+    def test_in_flight_publish_is_not_cached(self, registry, model):
+        """A model directory without its manifest yet (a publish between
+        mkdir and the first append) must not poison the memo."""
+        registry.publish(model, "alpha")
+        pending = registry.root / "models" / "pending"
+        pending.mkdir(parents=True)
+        assert registry.list_models() == ["alpha"]
+        # The manifest lands without touching the models-root mtime; the
+        # uncached scan still picks it up.
+        (pending / "manifest.jsonl").write_text("")
+        assert registry.list_models() == ["alpha", "pending"]

@@ -79,6 +79,29 @@ class TestRoutes:
         assert status == 200
         assert body == {"status": "ok", "models": 1}
 
+    def test_healthz_sees_models_published_after_startup(self, server,
+                                                         registry, problem):
+        """/healthz is served from a memoised directory scan; the memo must
+        still invalidate when a new model name appears."""
+        X, y = problem
+        for _ in range(3):  # repeated probes warm + hit the memo
+            assert _get(server, "/healthz")[1]["models"] == 1
+        model = RocketClassifier(num_kernels=60, seed=1).fit(prepare_panel(X), y)
+        registry.publish(model, "late-arrival",
+                         metadata=model_metadata(model, **PREDICT_KWARGS))
+        status, body = _get(server, "/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "models": 2}
+
+    def test_metrics_route_exists(self, server):
+        import urllib.request
+
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics") as response:
+            assert response.status == 200
+            assert response.headers["Content-Type"].startswith("text/plain")
+            assert "repro_serving_loaded_models" in response.read().decode()
+
     def test_models_listing(self, server):
         status, body = _get(server, "/v1/models")
         assert status == 200
