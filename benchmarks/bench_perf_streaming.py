@@ -1,0 +1,144 @@
+"""Streaming throughput: windows/second through the stream scorer.
+
+Two questions the streaming subsystem must answer under load:
+
+* **single stream** — how fast does one scorer turn samples into scored
+  windows, and how does the hop size (overlap) move that number?  Small
+  hops mean more windows per sample, which the micro-batcher coalesces;
+  the table records windows/sec across a hop sweep.  The acceptance bar
+  is >= 1000 windows/sec at the tiny config's best hop.
+* **fan-in** — do 16 concurrent NDJSON streams over HTTP share the
+  bounded queue without shedding?  Each stream caps its own in-flight
+  windows, so 16 x the default cap stays under the default
+  ``--max-queue`` and every window must be answered (no queue-full
+  errors), which is asserted.
+"""
+
+import threading
+import time
+
+import numpy as np
+
+from _shared import publish
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    create_server,
+    model_metadata,
+    prepare_panel,
+)
+from repro.streaming import ReplaySource, StreamScorer, stream_windows
+
+WINDOW = 32
+KERNELS = 60
+N_SERIES = 40  # replayed panel size -> 1280 samples per stream
+HOPS = (4, 8, 16, 32)
+N_STREAMS = 16
+REPEATS = 2  # wall-clock is best-of-N to damp scheduler noise
+
+PREDICT_KWARGS = dict(dataset="synthetic", preprocessing="znormalize+impute")
+
+
+def _published_registry(tmp):
+    X, y = make_classification_panel(
+        n_series=N_SERIES, n_channels=2, length=WINDOW, n_classes=2,
+        difficulty=0.15, seed=0,
+    )
+    model = RocketClassifier(num_kernels=KERNELS, seed=0).fit(prepare_panel(X), y)
+    registry = ModelRegistry(tmp)
+    registry.publish(model, "demo",
+                     metadata=model_metadata(model, **PREDICT_KWARGS))
+    return registry, X, y
+
+
+def _time_single_stream(service, X, y, hop):
+    source = ReplaySource(X, y)
+    start = time.perf_counter()
+    with StreamScorer(service, "demo", window=WINDOW, hop=hop) as scorer:
+        n = 0
+        for sample in source:
+            n += len(scorer.feed(sample.values, sample.label))
+        n += len(scorer.finish())
+    return time.perf_counter() - start, n
+
+
+def _run_http_stream(port, X, y, order, failures, counts):
+    try:
+        source = ReplaySource(X[order], y[order])
+        events = list(stream_windows(
+            "127.0.0.1", port, "demo",
+            ((s.values, s.label) for s in source), window=WINDOW, hop=WINDOW))
+        for event in events:
+            if event["kind"] == "error":
+                raise RuntimeError(event["error"])
+        counts.append(events[-1]["windows"])
+    except Exception as error:  # noqa: BLE001 - the bench asserts on it
+        failures.append(error)
+
+
+def test_streaming_throughput(tmp_path):
+    registry, X, y = _published_registry(tmp_path / "registry")
+
+    # -- single stream, in process, hop sweep --------------------------- #
+    service = PredictionService(registry, max_queue=1024)
+    rows, best_rate = [], 0.0
+    try:
+        for hop in HOPS:
+            best = None
+            for _ in range(REPEATS):
+                elapsed, n = _time_single_stream(service, X, y, hop)
+                if best is None or elapsed < best[0]:
+                    best = (elapsed, n)
+            elapsed, n = best
+            rate = n / elapsed
+            best_rate = max(best_rate, rate)
+            rows.append(f"{hop:5d} {n:8d} {elapsed:9.3f}s {rate:12.0f}")
+    finally:
+        service.close()
+
+    # -- 16 concurrent NDJSON streams over HTTP ------------------------- #
+    server = create_server(registry, port=0)  # default max_queue=1024
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    failures, counts = [], []
+    rng = np.random.default_rng(0)
+    orders = [rng.permutation(len(X)) for _ in range(N_STREAMS)]
+    start = time.perf_counter()
+    threads = [
+        threading.Thread(target=_run_http_stream,
+                         args=(server.port, X, y, order, failures, counts))
+        for order in orders
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    http_elapsed = time.perf_counter() - start
+    server.shutdown()
+    server.server_close()
+
+    total_windows = sum(counts)
+    lines = [
+        f"workload: {N_SERIES * WINDOW} samples/stream, window {WINDOW}, "
+        f"ROCKET {KERNELS} kernels",
+        "",
+        "single stream (in process), hop sweep:",
+        f"{'hop':>5s} {'windows':>8s} {'wall':>10s} {'windows/s':>12s}",
+        *rows,
+        "",
+        f"fan-in: {N_STREAMS} concurrent NDJSON streams over HTTP "
+        f"(default --max-queue)",
+        f"  {total_windows} windows in {http_elapsed:.2f}s "
+        f"({total_windows / http_elapsed:.0f} windows/s aggregate), "
+        f"queue-full errors: {len(failures)}",
+    ]
+    publish("perf_streaming", "\n".join(lines))
+
+    assert not failures, failures
+    assert counts == [N_SERIES] * N_STREAMS
+    assert best_rate >= 1000, (
+        f"single-stream scoring must reach >= 1000 windows/s on the tiny "
+        f"config; got {best_rate:.0f}"
+    )

@@ -1,5 +1,12 @@
 """Classifiers: ROCKET + ridge (the paper's kernel baseline), InceptionTime
-(the deep baseline), MiniRocket (extension) and nearest-neighbour utilities."""
+(the deep baseline), MiniRocket (extension) and nearest-neighbour utilities.
+
+Like the augmentation package, the classifier families are exposed through
+a small registry — :func:`available_classifiers` names every family and
+:func:`make_classifier` builds one — so sweeps (the registry-wide contract
+tests, the model-family ablation) enumerate the live list instead of a
+hardcoded subset.
+"""
 
 from .base import Classifier, accuracy_score
 from .dictionary import SAXDictionaryClassifier, paa, sax_words
@@ -13,9 +20,48 @@ from .rocket import RocketClassifier, RocketTransform
 from .serialization import load_model, save_model
 from .shapelet import ShapeletTransformClassifier, min_shapelet_distance
 
+#: one factory per classifier family; keyword overrides pass through to the
+#: constructor, so callers can shrink budgets without leaving the registry
+_CLASSIFIER_FACTORIES = {
+    "rocket": RocketClassifier,
+    "minirocket": MiniRocketClassifier,
+    "inceptiontime": InceptionTimeClassifier,
+    "fcn": FCNClassifier,
+    "resnet": ResNetClassifier,
+    "knn_euclidean": lambda **kw: KNeighborsTimeSeriesClassifier(
+        metric="euclidean", **kw),
+    "knn_dtw": lambda **kw: KNeighborsTimeSeriesClassifier(metric="dtw", **kw),
+    "sax_dictionary": SAXDictionaryClassifier,
+    "interval": IntervalFeatureClassifier,
+    "shapelet": ShapeletTransformClassifier,
+}
+
+
+def available_classifiers() -> tuple[str, ...]:
+    """Registered classifier-family names, alphabetical."""
+    return tuple(sorted(_CLASSIFIER_FACTORIES))
+
+
+def make_classifier(name: str, **overrides) -> Classifier:
+    """Build one registered classifier family by name.
+
+    *overrides* are constructor keyword arguments (budgets, seeds); the
+    family's defaults apply otherwise.
+    """
+    try:
+        factory = _CLASSIFIER_FACTORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown classifier {name!r}; see available_classifiers()"
+        ) from None
+    return factory(**overrides)
+
+
 __all__ = [
     "Classifier",
     "accuracy_score",
+    "available_classifiers",
+    "make_classifier",
     "RocketTransform",
     "RocketClassifier",
     "MiniRocketTransform",

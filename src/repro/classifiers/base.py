@@ -1,4 +1,20 @@
-"""Classifier protocol shared by ROCKET, InceptionTime and the baselines."""
+"""Classifier protocol shared by ROCKET, InceptionTime and the baselines.
+
+Every family honours one input contract, enforced here so the
+registry-wide sweep (``tests/test_cls_contract.py``) can assert it
+uniformly:
+
+* panels are validated with :func:`~repro._validation.check_panel`
+  (shape ``(N, M, T)``, 2-D univariate promoted) — wrong-rank input is a
+  ``ValueError``;
+* non-finite values (NaN/Inf) are **rejected**, never silently
+  zero-filled — the protocol imputes before fitting, and a silently
+  patched panel would hide a broken upstream pipeline;
+* the fit-time panel shape is remembered, and predict refuses a panel
+  whose channel count (or, for fixed-length families, length) disagrees
+  with it — mismatches fail with a clear ``ValueError`` instead of an
+  index error or, worse, silently wrong features.
+"""
 
 from __future__ import annotations
 
@@ -39,9 +55,47 @@ class Classifier(ABC):
         return accuracy_score(y, self.predict(X))
 
     @staticmethod
-    def _clean(X: np.ndarray) -> np.ndarray:
-        """Validate and zero-fill NaNs (classifiers need dense input)."""
-        X = check_panel(X)
-        if np.isnan(X).any():
-            X = np.nan_to_num(X, nan=0.0)
+    def _clean(X: np.ndarray, *, name: str = "X") -> np.ndarray:
+        """Validate a panel and reject non-finite values.
+
+        Classifiers need dense, finite input; a NaN/Inf panel means an
+        upstream step (imputation, augmentation) was skipped or broke,
+        so it is refused rather than silently zero-filled.
+        """
+        X = check_panel(X, name=name)
+        if not np.isfinite(X).all():
+            raise ValueError(
+                f"{name} contains non-finite values (NaN/Inf); impute or "
+                f"clean the panel before fit/predict"
+            )
         return X
+
+    @property
+    def input_shape(self) -> tuple[int, int] | None:
+        """``(n_channels, length)`` seen at fit, or ``None`` before fit."""
+        shape = getattr(self, "_input_shape_", None)
+        return tuple(shape) if shape is not None else None
+
+    def _remember_shape(self, X: np.ndarray) -> None:
+        """Record the fit panel's per-series shape for predict-time checks."""
+        self._input_shape_ = tuple(X.shape[1:])
+
+    def _check_shape(self, X: np.ndarray, *, variable_length: bool = False) -> None:
+        """Refuse a predict panel that disagrees with the fit shape.
+
+        *variable_length* families (elastic distances like DTW) accept any
+        series length but still require the fit-time channel count.
+        """
+        expected = self.input_shape
+        if expected is None:
+            return
+        if X.shape[1] != expected[0]:
+            raise ValueError(
+                f"panel has {X.shape[1]} channels but the model was fitted "
+                f"on {expected[0]}"
+            )
+        if not variable_length and X.shape[2] != expected[1]:
+            raise ValueError(
+                f"panel length {X.shape[2]} differs from the fitted length "
+                f"{expected[1]}"
+            )

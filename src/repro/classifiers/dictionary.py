@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import norm
 
-from .._validation import check_panel
 from .base import Classifier
 from .ridge import RidgeClassifierCV
 
@@ -103,7 +102,8 @@ class SAXDictionaryClassifier(Classifier):
         return np.asarray(rows)
 
     def fit(self, X, y):
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._remember_shape(X)
         y = np.asarray(y)
         window = self.window or max(3, X.shape[2] // 4)
         # Build the vocabulary from the training data only.
@@ -122,5 +122,6 @@ class SAXDictionaryClassifier(Classifier):
     def predict(self, X):
         if not hasattr(self, "_vocabulary"):
             raise RuntimeError("predict called before fit")
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._check_shape(X)
         return self.ridge.predict(self._histograms(X))

@@ -148,18 +148,22 @@ class InceptionTimeClassifier(Classifier):
         stratified, per Sec. IV-D.
         """
         X, y = check_panel_labels(self._clean(X), y)
+        self._remember_shape(X)
         rng = ensure_rng(self.seed)
-        n_classes = int(y.max()) + 1
-        # Labels are dense 0..C-1 by construction; recorded so consumers
-        # (e.g. the model registry's metadata) can read the label map the
-        # same way they do from the ridge-backed families.
-        self.classes_ = np.arange(n_classes)
+        # The ensemble is trained on dense class indices; arbitrary label
+        # values map through classes_ (consumers like the model registry
+        # read the label map the same way as for the ridge-backed
+        # families).  For dense 0..C-1 labels this is the identity.
+        self.classes_ = np.unique(y)
+        y = np.searchsorted(self.classes_, y)
+        n_classes = len(self.classes_)
 
         X_tr, y_tr, X_val, y_val = train_val_split(X, y, val_fraction=1.0 / 3.0, seed=rng)
         if X_extra is not None and len(X_extra):
             X_extra = self._clean(X_extra)
             X_tr = np.concatenate([X_tr, X_extra], axis=0)
-            y_tr = np.concatenate([y_tr, np.asarray(y_extra, dtype=np.int64)])
+            y_extra = np.searchsorted(self.classes_, np.asarray(y_extra))
+            y_tr = np.concatenate([y_tr, y_extra.astype(np.int64)])
         if len(X_val) == 0:  # tiny datasets: validate on train
             X_val, y_val = X_tr, y_tr
 
@@ -212,10 +216,12 @@ class InceptionTimeClassifier(Classifier):
     # ------------------------------------------------------------------ #
 
     def predict_proba(self, X) -> np.ndarray:
-        """Ensemble-averaged softmax probabilities."""
+        """Ensemble-averaged softmax probabilities, columns in ``classes_``
+        order."""
         if not hasattr(self, "networks_"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
+        self._check_shape(X)
         total = None
         with nn.no_grad():
             for network in self.networks_:
@@ -229,4 +235,5 @@ class InceptionTimeClassifier(Classifier):
         return total / len(self.networks_)
 
     def predict(self, X) -> np.ndarray:
-        return self.predict_proba(X).argmax(axis=1)
+        probs = self.predict_proba(X)  # first: raises cleanly before fit
+        return self.classes_[probs.argmax(axis=1)]

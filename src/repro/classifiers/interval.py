@@ -62,7 +62,8 @@ class IntervalFeatureClassifier(Classifier):
         self.ridge = RidgeClassifierCV()
 
     def fit(self, X, y):
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._remember_shape(X)
         rng = ensure_rng(self.seed)
         _, m, t = X.shape
         min_length = min(self.min_length, t)
@@ -77,5 +78,6 @@ class IntervalFeatureClassifier(Classifier):
     def predict(self, X):
         if not hasattr(self, "_intervals"):
             raise RuntimeError("predict called before fit")
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._check_shape(X)
         return self.ridge.predict(interval_features(X, self._intervals))

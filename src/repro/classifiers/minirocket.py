@@ -163,6 +163,7 @@ class MiniRocketClassifier(Classifier):
 
     def fit(self, X, y):
         X = self._clean(X)
+        self._remember_shape(X)
         self.ridge.fit(self.transformer.fit_transform(X), np.asarray(y))
         return self
 

@@ -62,6 +62,7 @@ class KNeighborsTimeSeriesClassifier(Classifier):
 
     def fit(self, X, y):
         X, y = check_panel_labels(self._clean(X), y)
+        self._remember_shape(X)
         self._X = X
         self._y = y
         return self
@@ -69,7 +70,9 @@ class KNeighborsTimeSeriesClassifier(Classifier):
     def predict(self, X):
         if not hasattr(self, "_X"):
             raise RuntimeError("predict called before fit")
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        # DTW aligns series of any length; Euclidean needs the fit length.
+        self._check_shape(X, variable_length=self.metric == "dtw")
         k = min(self.n_neighbors, len(self._X))
         predictions = np.empty(len(X), dtype=np.int64)
         if self.metric == "euclidean":

@@ -124,12 +124,19 @@ class _ProtocolClassifier(Classifier):
 
     def fit(self, X, y, *, X_extra=None, y_extra=None):
         X, y = check_panel_labels(self._clean(X), y)
+        self._remember_shape(X)
         rng = ensure_rng(self.seed)
-        n_classes = int(y.max()) + 1
+        # The network is trained on dense class indices; arbitrary label
+        # values map through classes_ so predictions always come from the
+        # training label set (for dense 0..C-1 labels this is the identity).
+        self.classes_ = np.unique(y)
+        y = np.searchsorted(self.classes_, y)
+        n_classes = len(self.classes_)
         X_tr, y_tr, X_val, y_val = train_val_split(X, y, seed=rng)
         if X_extra is not None and len(X_extra):
             X_tr = np.concatenate([X_tr, self._clean(X_extra)], axis=0)
-            y_tr = np.concatenate([y_tr, np.asarray(y_extra, dtype=np.int64)])
+            y_extra = np.searchsorted(self.classes_, np.asarray(y_extra))
+            y_tr = np.concatenate([y_tr, y_extra.astype(np.int64)])
         if len(X_val) == 0:
             X_val, y_val = X_tr, y_tr
         self.network_ = self._build(X.shape[1], n_classes, rng)
@@ -144,13 +151,14 @@ class _ProtocolClassifier(Classifier):
         if not hasattr(self, "network_"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
+        self._check_shape(X)
         self.network_.eval()
         predictions = []
         with nn.no_grad():
             for start in range(0, len(X), self.batch_size):
                 logits = self.network_(nn.Tensor(X[start : start + self.batch_size]))
                 predictions.append(logits.data.argmax(axis=1))
-        return np.concatenate(predictions)
+        return self.classes_[np.concatenate(predictions)]
 
 
 class FCNClassifier(_ProtocolClassifier):

@@ -191,6 +191,7 @@ class RocketClassifier(Classifier):
 
     def fit(self, X, y):
         X = self._clean(X)
+        self._remember_shape(X)
         features = self.transformer.fit_transform(X)
         self.ridge.fit(features, np.asarray(y))
         return self

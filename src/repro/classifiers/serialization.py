@@ -201,6 +201,9 @@ def _inception_payload(model: InceptionTimeClassifier) -> dict[str, np.ndarray]:
         "batch_size": model.batch_size,
         "in_channels": model.networks_[0].modules_list[0].pool_conv.weight.shape[1],
         "n_classes": model.networks_[0].head.out_features,
+        # The network emits dense class indices; classes_ maps them back to
+        # the training label values.
+        "classes": [int(c) for c in model.classes_],
     }
     payload: dict[str, np.ndarray] = {
         "config_json": np.frombuffer(json.dumps(config).encode(), dtype=np.uint8)
@@ -219,6 +222,9 @@ def _inception_restore(data: dict[str, np.ndarray]) -> InceptionTimeClassifier:
         ensemble_size=config["ensemble_size"], batch_size=config["batch_size"],
         seed=0,
     )
+    # Archives written before classes_ was recorded carry dense labels.
+    model.classes_ = np.asarray(
+        config.get("classes", list(range(config["n_classes"]))), dtype=np.int64)
     model.networks_ = []
     for index in range(config["ensemble_size"]):
         network = model._build(config["in_channels"], config["n_classes"],

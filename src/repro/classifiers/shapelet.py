@@ -13,7 +13,6 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import ensure_rng
-from .._validation import check_panel
 from .base import Classifier
 from .ridge import RidgeClassifierCV
 
@@ -87,7 +86,8 @@ class ShapeletTransformClassifier(Classifier):
         return features
 
     def fit(self, X, y):
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._remember_shape(X)
         rng = ensure_rng(self.seed)
         self._sample_shapelets(X, rng)
         self.ridge.fit(self._transform(X), np.asarray(y))
@@ -96,5 +96,6 @@ class ShapeletTransformClassifier(Classifier):
     def predict(self, X):
         if not hasattr(self, "_shapelets"):
             raise RuntimeError("predict called before fit")
-        X = self._clean(check_panel(X))
+        X = self._clean(X)
+        self._check_shape(X)
         return self.ridge.predict(self._transform(X))

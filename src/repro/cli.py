@@ -11,7 +11,8 @@ Regenerates any published artefact from the terminal without writing code:
 * ``figure`` — render one of Figures 2-6 as an ASCII scatter;
 * ``train`` — fit a classifier and publish it to a model registry;
 * ``predict`` — classify series with a registry model, in process;
-* ``serve`` — start the HTTP prediction server over a registry.
+* ``serve`` — start the HTTP prediction server over a registry;
+* ``stream`` — replay a sample stream against a served model (NDJSON).
 """
 
 from __future__ import annotations
@@ -136,6 +137,46 @@ def build_parser() -> argparse.ArgumentParser:
                             "to stderr")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
+
+    stream = commands.add_parser(
+        "stream", help="replay a sample stream against a served model "
+                       "(NDJSON over POST /v1/models/<name>/stream)"
+    )
+    stream.add_argument("name", help="served model name")
+    stream.add_argument("--url", default="http://127.0.0.1:8080",
+                        help="base URL of a running `repro serve`")
+    source = stream.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", default=None,
+                        help="replay this archive dataset's test split")
+    source.add_argument("--input", default=None,
+                        help="JSON file: a panel, or one channels x length "
+                             "series, replayed sample by sample")
+    source.add_argument("--synthetic-like", default=None, metavar="DATASET",
+                        help="stream fresh series from the dataset's own "
+                             "generator (supports --shift-at)")
+    stream.add_argument("--window", type=int, default=None,
+                        help="window length (default: the source's series "
+                             "length)")
+    stream.add_argument("--hop", type=int, default=None,
+                        help="samples between windows (default: window — "
+                             "tumbling)")
+    stream.add_argument("--version", default=None,
+                        help="model version number or tag (default: latest)")
+    stream.add_argument("--scale", choices=("small", "full"), default="small")
+    stream.add_argument("--series", type=int, default=50,
+                        help="series count for --synthetic-like")
+    stream.add_argument("--seed", type=int, default=0,
+                        help="stream seed for --synthetic-like")
+    stream.add_argument("--shift-at", type=int, default=None,
+                        help="induce a concept shift (prototype swap) after "
+                             "this many samples (--synthetic-like only)")
+    stream.add_argument("--limit", type=int, default=None,
+                        help="stop after this many samples")
+    stream.add_argument("--no-labels", action="store_true",
+                        help="withhold ground-truth labels (drift detection "
+                             "falls back to the prediction distribution)")
+    stream.add_argument("--quiet", action="store_true",
+                        help="print only the summary line")
     return parser
 
 
@@ -153,6 +194,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "stream": _cmd_stream,
     }[args.command]
     return handler(args)
 
@@ -397,6 +439,74 @@ def _cmd_predict(args) -> int:
     shown = labels[0] if len(labels) == 1 else labels
     print(f"{result['model']}:{result['version']} -> {shown}{suffix}")
     return 0
+
+
+def _stream_source(args):
+    """Build the (source, default_window) pair for `repro stream`."""
+    import json
+
+    import numpy as np
+
+    from .streaming import ReplaySource, SyntheticSource
+
+    if args.dataset is not None:
+        from .data.archive import load_dataset
+
+        _, test = load_dataset(args.dataset, scale=args.scale)
+        return ReplaySource(test.X, test.y), test.X.shape[2]
+    if args.input is not None:
+        with open(args.input) as handle:
+            X = np.asarray(json.load(handle), dtype=np.float64)
+        if X.ndim == 2:
+            X = X[None]  # one channels x length series
+        return ReplaySource(X), X.shape[2]
+    from .data.archive import dataset_generator
+
+    generator = dataset_generator(args.synthetic_like, scale=args.scale)
+    source = SyntheticSource(generator=generator, n_series=args.series,
+                             seed=args.seed, shift_at=args.shift_at)
+    return source, generator.length
+
+
+def _cmd_stream(args) -> int:
+    import json
+    import urllib.parse
+
+    from .streaming import StreamRequestError, stream_windows
+
+    url = urllib.parse.urlsplit(args.url)
+    if url.hostname is None or url.port is None:
+        print(f"error: --url needs the form http://host:port; got {args.url}",
+              file=sys.stderr)
+        return 2
+    try:
+        source, default_window = _stream_source(args)
+    except (KeyError, OSError, json.JSONDecodeError, ValueError) as error:
+        message = error.args[0] if isinstance(error, KeyError) else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    window = args.window or default_window
+
+    def samples():
+        for sample in source:
+            if args.limit is not None and sample.t >= args.limit:
+                return
+            yield (sample.values, None if args.no_labels else sample.label)
+
+    failed = False
+    try:
+        for event in stream_windows(url.hostname, url.port, args.name,
+                                    samples(), window=window, hop=args.hop,
+                                    version=args.version):
+            if event.get("kind") == "error":
+                failed = True
+                print(f"error: {event.get('error')}", file=sys.stderr)
+            elif event.get("kind") == "summary" or not args.quiet:
+                print(json.dumps(event))
+    except (StreamRequestError, ConnectionError, TimeoutError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
 
 
 def _cmd_serve(args) -> int:

@@ -5,7 +5,14 @@ deterministic synthetic equivalent whose Table III metadata matches the
 published values (see DESIGN.md for the substitution argument).
 """
 
-from .archive import DatasetSpec, UEA_IMBALANCED_SPECS, list_datasets, load_dataset, solve_class_counts
+from .archive import (
+    DatasetSpec,
+    UEA_IMBALANCED_SPECS,
+    dataset_generator,
+    list_datasets,
+    load_dataset,
+    solve_class_counts,
+)
 from .characteristics import (
     DatasetCharacteristics,
     characterize,
@@ -26,6 +33,7 @@ __all__ = [
     "make_classification_panel",
     "DatasetSpec",
     "UEA_IMBALANCED_SPECS",
+    "dataset_generator",
     "list_datasets",
     "load_dataset",
     "solve_class_counts",

@@ -27,7 +27,8 @@ from .characteristics import imbalance_degree
 from .dataset import TimeSeriesDataset
 from .generators import MTSGenerator
 
-__all__ = ["DatasetSpec", "UEA_IMBALANCED_SPECS", "load_dataset", "list_datasets", "solve_class_counts"]
+__all__ = ["DatasetSpec", "UEA_IMBALANCED_SPECS", "dataset_generator",
+           "load_dataset", "list_datasets", "solve_class_counts"]
 
 
 @dataclass(frozen=True)
@@ -141,6 +142,25 @@ def _scaled_spec(spec: DatasetSpec, scale: str) -> DatasetSpec:
         test_size=test,
         dim=min(spec.dim, 6),
         length=min(spec.length, 48),
+    )
+
+
+def dataset_generator(name: str, *, scale: str = "small") -> MTSGenerator:
+    """The :class:`MTSGenerator` behind one archive dataset.
+
+    Exactly the generator :func:`load_dataset` samples from (same
+    prototypes, same difficulty, at the requested *scale*'s shape) —
+    which makes it the right template for streaming scenarios that
+    should look like a model's training distribution, e.g. a synthetic
+    stream with a mid-stream concept shift replayed against a model
+    trained on that dataset.
+    """
+    if name not in _SPEC_BY_NAME:
+        raise KeyError(f"unknown dataset {name!r}; see list_datasets()")
+    spec = _scaled_spec(_SPEC_BY_NAME[name], scale)
+    return MTSGenerator(
+        n_channels=spec.dim, length=spec.length, n_classes=spec.n_classes,
+        difficulty=spec.difficulty, seed=spec.seed,
     )
 
 

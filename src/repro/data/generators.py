@@ -110,6 +110,31 @@ class MTSGenerator:
 
     # ------------------------------------------------------------------ #
 
+    def swap_prototypes(self, mapping: list[int] | tuple[int, ...] | None = None) -> None:
+        """Permute the class prototypes in place — a concept-shift dial.
+
+        After the swap, samples labelled *c* are drawn from the prototype
+        that previously defined class ``mapping[c]``: the nominal labels
+        keep flowing but their generating process changes, which is
+        exactly the mid-stream concept shift the streaming drift monitor
+        exists to catch.  The default mapping rotates by one
+        (``c -> (c + 1) % n_classes``), guaranteed to move every class
+        when there are at least two.
+
+        The noise process is shared across classes and is deliberately
+        left untouched, so the shift changes *what* each class looks
+        like, never how noisy the stream is.
+        """
+        n = self.n_classes
+        if mapping is None:
+            mapping = [(c + 1) % n for c in range(n)]
+        mapping = [int(c) for c in mapping]
+        if sorted(mapping) != list(range(n)):
+            raise ValueError(
+                f"mapping must be a permutation of 0..{n - 1}; got {mapping}"
+            )
+        self.prototypes = [self.prototypes[mapping[c]] for c in range(n)]
+
     def sample_class(self, label: int, n: int,
                      rng: int | np.random.Generator | None = None) -> np.ndarray:
         """Draw *n* series of class *label*, shaped ``(n, n_channels, length)``."""

@@ -120,14 +120,31 @@ class GridCheckpoint:
 
         Raises ``ValueError`` when the header disagrees with
         *expected_meta* — resuming a checkpoint into a different grid
-        would silently mix incompatible numbers.
+        would silently mix incompatible numbers — or when the header
+        itself is unreadable (a file that was truncated inside its first
+        line, or isn't a checkpoint at all): a grid identity that cannot
+        be verified is refused, never guessed.
+
+        Cell rows are loaded defensively: a torn trailing line, a row
+        with missing fields or a non-numeric accuracy is skipped (the
+        job simply re-runs), and a duplicated job key keeps the *last*
+        record — re-running a cell after a crash appends a fresh row
+        rather than corrupting the file.
         """
         completed: dict[tuple, float] = {}
         with open(self.path) as handle:
             lines = handle.read().splitlines()
         if not lines:
             raise ValueError(f"checkpoint {self.path} is empty")
-        header = json.loads(lines[0])
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("kind") != "grid-meta":
+            raise ValueError(
+                f"checkpoint {self.path} has a corrupt or missing header; "
+                "remove the file to start the grid over"
+            )
         for field, expected in expected_meta.items():
             found = header.get(field)
             if found != expected:
@@ -140,10 +157,13 @@ class GridCheckpoint:
                 row = json.loads(line)
             except json.JSONDecodeError:
                 continue  # interrupted mid-write; the job will re-run
-            if row.get("kind") != "cell":
+            if not isinstance(row, dict) or row.get("kind") != "cell":
                 continue
-            key = (row["dataset"], row["model"], row["technique"], row["run"])
-            completed[key] = float(row["accuracy"])
+            try:
+                key = (row["dataset"], row["model"], row["technique"], row["run"])
+                completed[key] = float(row["accuracy"])
+            except (KeyError, TypeError, ValueError):
+                continue  # half-written row; the job will re-run
         return completed
 
 

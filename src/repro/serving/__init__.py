@@ -15,6 +15,8 @@ Three layers turn a trained classifier into a prediction service:
 
 The CLI front-ends are ``repro train``, ``repro predict`` and
 ``repro serve``; see the README's Serving section for a quickstart.
+:mod:`repro.streaming` builds the window-by-window online-classification
+scenario on top of this stack (``repro stream``, NDJSON endpoint).
 """
 
 from .batcher import BatcherStats, MicroBatcher, QueueFullError
@@ -25,6 +27,7 @@ from .server import (
     PredictionServer,
     PredictionService,
     ServingError,
+    StreamStats,
     create_server,
     prepare_panel,
 )
@@ -41,6 +44,7 @@ __all__ = [
     "PredictionServer",
     "PredictionService",
     "ServingError",
+    "StreamStats",
     "create_server",
     "prepare_panel",
     "PROTOCOL_PREPROCESSING",

@@ -107,6 +107,12 @@ class MicroBatcher:
         queueing (0 = unbounded, the library default).  Bounding the
         queue bounds worst-case latency: at most ``max_queue`` requests
         can be ahead of an admitted one.
+    admit_nan:
+        Admit series containing NaN (Inf is always refused).  Set by the
+        serving layer for models whose ``predict_fn`` includes the
+        training protocol's imputation, which turns NaN into data; for
+        every other model a NaN series would poison its whole coalesced
+        batch, so it is refused at submit.
     stats:
         Optional pre-existing :class:`BatcherStats` to accumulate into —
         the serving layer passes the same object across model reloads so
@@ -116,6 +122,7 @@ class MicroBatcher:
     def __init__(self, predict_fn, *, input_shape: tuple[int, int] | None = None,
                  max_batch: int = 64, max_latency: float = 0.005,
                  workers: int = 1, max_queue: int = 0,
+                 admit_nan: bool = False,
                  stats: BatcherStats | None = None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
@@ -130,12 +137,16 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_latency = float(max_latency)
         self.max_queue = int(max_queue)
+        self.admit_nan = bool(admit_nan)
         self.stats = stats if stats is not None else BatcherStats()
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         #: serialises submits against close(), so no request can be enqueued
         #: behind the shutdown sentinel and starve
         self._submit_lock = threading.Lock()
+        #: notified whenever a worker drains items off the queue, so a
+        #: blocking submit (timeout > 0) can wait for space instead of polling
+        self._space = threading.Condition(self._submit_lock)
         self._workers = [
             threading.Thread(target=self._drain, name=f"micro-batcher-{i}", daemon=True)
             for i in range(workers)
@@ -147,11 +158,11 @@ class MicroBatcher:
     # client side
     # ------------------------------------------------------------------ #
 
-    def submit(self, series) -> Future:
+    def submit(self, series, *, timeout: float | None = None) -> Future:
         """Enqueue one series ``(channels, length)``; returns its future."""
-        return self.submit_many([series])[0]
+        return self.submit_many([series], timeout=timeout)[0]
 
-    def submit_many(self, series_list) -> list[Future]:
+    def submit_many(self, series_list, *, timeout: float | None = None) -> list[Future]:
         """Enqueue several series atomically: either every series is
         admitted or none is (``QueueFullError``), so an over-quota
         multi-series request never leaves orphaned work behind its 429 —
@@ -162,22 +173,35 @@ class MicroBatcher:
         ``max_queue`` is still admitted when the queue is empty (its size
         is capped upstream by the server's body limit), but any queued
         backlog makes overflow fail fast.
+
+        With ``timeout`` (seconds) an over-quota submit *waits* for the
+        workers to make space instead of failing immediately — the
+        backpressure mode of the streaming scorer, which has nowhere to
+        bounce a 429 mid-stream.  ``QueueFullError`` is still raised when
+        the queue stays full past the deadline.
         """
         prepared = [self._validate(series) for series in series_list]
         futures: list[Future] = [Future() for _ in prepared]
-        now = time.monotonic()
+        deadline = None if not timeout else time.monotonic() + timeout
         with self._submit_lock:
-            if self._closed:
-                raise RuntimeError("cannot submit to a closed MicroBatcher")
-            depth = self._queue.qsize()
-            if self.max_queue and depth \
-                    and depth + len(prepared) > self.max_queue:
-                for _ in prepared:
-                    self.stats._record_rejected()
-                raise QueueFullError(
-                    f"request queue is full ({self.max_queue} waiting); "
-                    f"retry later"
-                )
+            while True:
+                if self._closed:
+                    raise RuntimeError("cannot submit to a closed MicroBatcher")
+                depth = self._queue.qsize()
+                if not (self.max_queue and depth
+                        and depth + len(prepared) > self.max_queue):
+                    break
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is None or remaining <= 0:
+                    for _ in prepared:
+                        self.stats._record_rejected()
+                    raise QueueFullError(
+                        f"request queue is full ({self.max_queue} waiting); "
+                        f"retry later"
+                    )
+                self._space.wait(remaining)
+            now = time.monotonic()
             for series, future in zip(prepared, futures):
                 self._queue.put((series, future, now))
         return futures
@@ -196,6 +220,21 @@ class MicroBatcher:
                 f"series shape {series.shape} does not match the model's "
                 f"input shape {self.input_shape}"
             )
+        if not np.isfinite(series).all():
+            # Classifiers reject non-finite panels; catching it at
+            # admission fails only the offending request instead of the
+            # whole coalesced batch it would have joined.  NaN is data
+            # when the model's pipeline imputes (admit_nan); Inf never is.
+            if not self.admit_nan:
+                raise ValueError(
+                    "series contains non-finite values (NaN/Inf); impute "
+                    "or clean it before submitting"
+                )
+            if np.isinf(series).any():
+                raise ValueError(
+                    "series contains infinite values; clean it before "
+                    "submitting"
+                )
         return series
 
     @property
@@ -222,6 +261,9 @@ class MicroBatcher:
                 # ahead of the sentinel in the FIFO queue, so the workers
                 # serve all of them before shutting down.
                 self._queue.put(_SHUTDOWN)
+                # Submits blocked waiting for queue space must observe the
+                # close now, not at their deadline.
+                self._space.notify_all()
         deadline = None if timeout is None else time.monotonic() + timeout
         drained = True
         for worker in self._workers:
@@ -263,6 +305,9 @@ class MicroBatcher:
                     stop = True
                     break
                 batch.append(item)
+            # The batch is off the queue: wake any submit blocked on space.
+            with self._space:
+                self._space.notify_all()
             self._run_batch(batch)
             if stop:
                 return

@@ -25,6 +25,8 @@ from dataclasses import dataclass
 __all__ = [
     "BATCH_SIZE_BUCKETS",
     "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
     "Histogram",
     "HistogramSnapshot",
     "format_labels",
@@ -39,6 +41,60 @@ LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 
 #: micro-batch panel sizes; powers of two up to the default max_batch
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Counter:
+    """A thread-safe monotone counter.
+
+    The serving layer's original counters are plain ints guarded by their
+    owners' locks; this class exists for owners that have no natural lock
+    of their own — the streaming layer's per-model window and shift
+    totals, incremented from handler threads.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"a Counter only grows; got {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A thread-safe gauge: a value that can move both ways.
+
+    Used for the per-model active-stream count — incremented when an
+    NDJSON stream opens, decremented when it closes.
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
 
 
 @dataclass(frozen=True)

@@ -70,6 +70,11 @@ def model_metadata(model, **extra) -> dict:
         classes = getattr(model, "classes_", None)
     transformer = getattr(model, "transformer", None)
     input_shape = getattr(transformer, "input_shape", None)
+    if input_shape is None:
+        # Every Classifier remembers its fit shape; transform-backed
+        # families additionally expose it on the transformer (checked
+        # first — it survives serialization round trips).
+        input_shape = getattr(model, "input_shape", None)
     metadata = {
         "model_kind": type(model).__name__,
         "labels": [int(c) for c in np.asarray(classes)] if classes is not None else None,

@@ -46,7 +46,9 @@ import json
 import sys
 import threading
 import time
-from concurrent.futures import TimeoutError as FutureTimeoutError
+import urllib.parse
+from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
@@ -54,11 +56,12 @@ import numpy as np
 from ..data.dataset import TimeSeriesDataset
 from ..experiments.protocol import _prepare as _protocol_prepare
 from .batcher import BatcherStats, MicroBatcher, QueueFullError
-from .metrics import format_sample, render_histogram
+from .metrics import Counter, Gauge, format_sample, render_histogram
 from .registry import ModelRecord, ModelRegistry
 
 __all__ = ["PredictionService", "PredictionServer", "ServingError",
-           "create_server", "prepare_panel", "PROTOCOL_PREPROCESSING"]
+           "StreamStats", "create_server", "prepare_panel",
+           "PROTOCOL_PREPROCESSING"]
 
 #: metadata value written by ``repro train`` — the training-protocol
 #: preprocessing (znormalize + impute) the server must mirror
@@ -88,6 +91,26 @@ class ServingError(Exception):
         super().__init__(message)
         self.status = status
         self.retry_after = retry_after
+
+
+@dataclass
+class StreamStats:
+    """Per-model-version streaming counters for ``/metrics``.
+
+    Like :class:`~repro.serving.batcher.BatcherStats`, one object lives
+    per ``(name, version)`` for the process lifetime, so the counters
+    are monotone across streams coming and going.
+    """
+
+    opened: Counter = field(default_factory=Counter)
+    active: Gauge = field(default_factory=Gauge)
+    windows: Counter = field(default_factory=Counter)
+    shifts: Counter = field(default_factory=Counter)
+
+    def record_window(self, *, shift: bool = False) -> None:
+        self.windows.inc()
+        if shift:
+            self.shifts.inc()
 
 
 class PredictionService:
@@ -137,6 +160,8 @@ class PredictionService:
         #: per-version stats survive eviction/reload so /metrics counters
         #: are monotone over the process lifetime
         self._stats: dict[tuple[str, int], BatcherStats] = {}
+        #: per-version streaming stats (same lifetime rules)
+        self._streams: dict[tuple[str, int], StreamStats] = {}
         self._http_responses: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -172,14 +197,51 @@ class PredictionService:
                 raise ServingError(503, "service is shutting down")
             self._active += 1
         try:
-            return self._predict(name, instances, version)
+            record, futures = self._admit(name, instances, version, None)
+            try:
+                labels = [_jsonable(future.result(timeout=self.predict_timeout))
+                          for future in futures]
+            except FutureTimeoutError as error:
+                # Fail fast instead of parking a handler thread forever on
+                # a stalled batcher.
+                raise ServingError(
+                    503, f"prediction timed out after {self.predict_timeout}s"
+                ) from error
+            return {"model": record.name, "version": record.version,
+                    "labels": labels}
         finally:
             with self._idle:
                 self._active -= 1
                 if not self._active:
                     self._idle.notify_all()
 
-    def _predict(self, name: str, instances, version) -> dict:
+    def submit(self, name: str, instances, version=None, *,
+               queue_timeout: float | None = None
+               ) -> tuple[ModelRecord, list[Future]]:
+        """Admit *instances* to the model's batcher without waiting.
+
+        The asynchronous face of :meth:`predict`: the streaming scorer
+        keeps many windows in flight and collects their futures in its
+        own order.  With *queue_timeout*, a full queue blocks (bounded)
+        instead of answering 429 immediately — mid-stream there is no
+        client to bounce, so waiting *is* the backpressure.
+
+        Raises the same :class:`ServingError` family as :meth:`predict`.
+        """
+        with self._idle:
+            if self._closed:
+                raise ServingError(503, "service is shutting down")
+            self._active += 1
+        try:
+            return self._admit(name, instances, version, queue_timeout)
+        finally:
+            with self._idle:
+                self._active -= 1
+                if not self._active:
+                    self._idle.notify_all()
+
+    def _admit(self, name: str, instances, version,
+               queue_timeout) -> tuple[ModelRecord, list[Future]]:
         if isinstance(instances, np.ndarray):
             if instances.ndim in (1, 2):
                 instances = instances[None]
@@ -191,8 +253,8 @@ class PredictionService:
             try:
                 # All-or-nothing admission: a 429 never leaves already-
                 # submitted series computing for a client that will retry.
-                futures = batcher.submit_many(instances)
-                break
+                futures = batcher.submit_many(instances, timeout=queue_timeout)
+                return record, futures
             except QueueFullError as error:
                 raise ServingError(429, str(error), retry_after=1) from error
             except (TypeError, ValueError) as error:
@@ -212,16 +274,35 @@ class PredictionService:
                         503, f"model {name} was unloaded mid-request; retry",
                         retry_after=1,
                     ) from error
+
+    # ------------------------------------------------------------------ #
+    # streaming lifecycle
+    # ------------------------------------------------------------------ #
+
+    def open_stream(self, name: str, version=None
+                    ) -> tuple[ModelRecord, StreamStats]:
+        """Resolve a model for streaming and count the stream as active.
+
+        Raises ``ServingError(404)`` for an unknown model — before any
+        sample is consumed, so the transport can still answer with a
+        proper status line.  Pair with :meth:`close_stream`.
+        """
         try:
-            labels = [_jsonable(future.result(timeout=self.predict_timeout))
-                      for future in futures]
-        except FutureTimeoutError as error:
-            # Fail fast instead of parking a handler thread forever on a
-            # stalled batcher.
-            raise ServingError(
-                503, f"prediction timed out after {self.predict_timeout}s"
-            ) from error
-        return {"model": record.name, "version": record.version, "labels": labels}
+            record = self.registry.record(name, version)
+        except KeyError as error:
+            raise ServingError(404, error.args[0]) from error
+        key = (record.name, record.version)
+        with self._lock:
+            stats = self._streams.setdefault(key, StreamStats())
+        stats.opened.inc()
+        stats.active.inc()
+        return record, stats
+
+    def close_stream(self, record: ModelRecord) -> None:
+        with self._lock:
+            stats = self._streams.get((record.name, record.version))
+        if stats is not None:
+            stats.active.dec()
 
     def close(self) -> None:
         """Refuse new work, wait (bounded) for in-flight predicts, then
@@ -257,6 +338,7 @@ class PredictionService:
         """The Prometheus exposition-format dump for ``/metrics``."""
         with self._lock:
             stats = list(self._stats.items())
+            streams = sorted(self._streams.items())
             depths = {key: batcher.queue_depth
                       for key, (_, batcher) in self._loaded.items()}
             responses = sorted(self._http_responses.items())
@@ -293,6 +375,22 @@ class PredictionService:
         family("repro_serving_loaded_models", "gauge",
                "Models currently resident in memory.",
                [format_sample("repro_serving_loaded_models", None, n_loaded)])
+        family("repro_serving_streams_total", "counter",
+               "NDJSON streams opened against each model.",
+               (format_sample("repro_serving_streams_total", labels(key),
+                              stream.opened.value) for key, stream in streams))
+        family("repro_serving_active_streams", "gauge",
+               "NDJSON streams currently open per model.",
+               (format_sample("repro_serving_active_streams", labels(key),
+                              stream.active.value) for key, stream in streams))
+        family("repro_serving_stream_windows_total", "counter",
+               "Windows scored through the streaming scorer.",
+               (format_sample("repro_serving_stream_windows_total", labels(key),
+                              stream.windows.value) for key, stream in streams))
+        family("repro_serving_stream_shifts_total", "counter",
+               "Windows the drift monitor flagged as shifted.",
+               (format_sample("repro_serving_stream_shifts_total", labels(key),
+                              stream.shifts.value) for key, stream in streams))
         batch_lines: list[str] = []
         latency_lines: list[str] = []
         for key, stat in stats:
@@ -339,7 +437,9 @@ class PredictionService:
                 return entry
             model, record = self.registry.load(record.name, record.version)
             predict_fn = model.predict
-            if record.metadata.get("preprocessing") == PROTOCOL_PREPROCESSING:
+            preprocessed = record.metadata.get("preprocessing") \
+                == PROTOCOL_PREPROCESSING
+            if preprocessed:
                 predict_fn = lambda panel, _m=model: _m.predict(prepare_panel(panel))  # noqa: E731
             shape = record.metadata.get("input_shape")
             with self._lock:
@@ -348,7 +448,11 @@ class PredictionService:
                 predict_fn,
                 input_shape=tuple(shape) if shape else None,
                 max_batch=self.max_batch, max_latency=self.max_latency,
-                workers=self.workers, max_queue=self.max_queue, stats=stats,
+                workers=self.workers, max_queue=self.max_queue,
+                # prepare_panel imputes, so NaN requests are servable —
+                # and must stay so (missing values are a modelled archive
+                # characteristic).
+                admit_nan=preprocessed, stats=stats,
             ))
             evicted = []
             with self._lock:
@@ -411,8 +515,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._started = time.monotonic()
-        parts = self.path.strip("/").split("/")
-        if len(parts) != 4 or parts[:2] != ["v1", "models"] or parts[3] != "predict":
+        url = urllib.parse.urlsplit(self.path)
+        parts = url.path.strip("/").split("/")
+        routed = len(parts) == 4 and parts[:2] == ["v1", "models"]
+        if routed and parts[3] == "stream":
+            self._stream(parts[2], urllib.parse.parse_qs(url.query))
+            return
+        if not routed or parts[3] != "predict":
             self._reply(404, {"error": f"no route for POST {self.path}"})
             return
         try:
@@ -442,6 +551,156 @@ class _Handler(BaseHTTPRequestHandler):
         if single:
             result["label"] = result.pop("labels")[0]
         return result
+
+    # ------------------------------------------------------------------ #
+    # streaming: POST /v1/models/<name>/stream  (NDJSON in, NDJSON out)
+    # ------------------------------------------------------------------ #
+
+    #: refuse NDJSON lines longer than this — a line is one sample, and a
+    #: megabyte of sample means a broken or hostile sender
+    _MAX_STREAM_LINE = 1_048_576
+
+    def _stream(self, name: str, query: dict[str, list[str]]) -> None:
+        """Score an NDJSON sample stream window by window.
+
+        The request body is NDJSON — one ``{"values": [...], "label": n?}``
+        object per line, chunked transfer encoding or a plain
+        ``Content-Length`` body.  The response is NDJSON too, streamed in
+        chunked encoding: one ``{"kind": "window", ...}`` line per scored
+        window *as it resolves*, then one ``{"kind": "summary", ...}``
+        line.  Failures after the 200 status has been committed are
+        reported in-band as a ``{"kind": "error", ...}`` line.
+        """
+        from ..streaming.scorer import StreamScorer  # deferred: avoids a cycle
+
+        scorer = None
+        try:
+            window = int(query.get("window", ["32"])[0])
+            hop = int(query.get("hop", [str(window)])[0])
+            version = query.get("version", [None])[0]
+            body_lines = self._open_body_lines()
+            scorer = StreamScorer(self.service, name, window=window, hop=hop,
+                                  version=version)
+        except ServingError as error:
+            if scorer is not None:
+                scorer.close()
+            self._reply(error.status, {"error": str(error)})
+            return
+        except ValueError as error:
+            self._reply(400, {"error": f"bad stream parameters: {error}"})
+            return
+
+        # From here on the stream is committed: errors go in-band.
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Transfer-Encoding", "chunked")
+        self.end_headers()
+        self.close_connection = True
+        sent = 0
+        try:
+            try:
+                for line in body_lines:
+                    if not line.strip():
+                        continue
+                    sample = json.loads(line)
+                    if not isinstance(sample, dict) or "values" not in sample:
+                        raise ValueError(
+                            'each stream line is {"values": [...]} with an '
+                            'optional "label"'
+                        )
+                    for result in scorer.feed(sample["values"],
+                                              sample.get("label")):
+                        sent += self._write_stream_line(result.as_dict())
+                for result in scorer.finish():
+                    sent += self._write_stream_line(result.as_dict())
+                sent += self._write_stream_line({
+                    "kind": "summary", "model": scorer.record.name,
+                    "version": scorer.record.version,
+                    "samples": scorer.samples, "windows": scorer.windows,
+                    "shifts": scorer.shifts,
+                })
+            except (json.JSONDecodeError, ValueError, ServingError) as error:
+                sent += self._write_stream_line(
+                    {"kind": "error", "error": str(error)})
+            # Close (idempotent) before the terminal chunk: when the client
+            # unblocks, the active-streams gauge has already dropped.
+            scorer.close()
+            self.wfile.write(b"0\r\n\r\n")  # terminate the chunked body
+        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+            pass  # client hung up mid-stream; nothing left to answer
+        finally:
+            scorer.close()
+        self.service.record_response(200)
+        if self.access_log:
+            self._log_access(200, sent)
+
+    def _write_stream_line(self, payload: dict) -> int:
+        """Write one NDJSON line as its own chunk; returns the byte count."""
+        data = json.dumps(payload).encode() + b"\n"
+        self.wfile.write(b"%x\r\n" % len(data) + data + b"\r\n")
+        self.wfile.flush()
+        return len(data)
+
+    def _open_body_lines(self):
+        """Validate the request framing and return the body line iterator."""
+        encoding = (self.headers.get("Transfer-Encoding") or "").lower()
+        if "chunked" in encoding:
+            return self._iter_lines(self._iter_chunked_body())
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            raise ServingError(
+                400, "a stream body needs chunked transfer encoding or a "
+                     "Content-Length"
+            )
+        if self.max_body_bytes and length > self.max_body_bytes:
+            # Same admission control as predict; see _read_json.
+            self.close_connection = True
+            self._discard_body(length)
+            raise ServingError(
+                413, f"request body of {length} bytes exceeds the "
+                     f"{self.max_body_bytes}-byte limit"
+            )
+        return self._iter_lines(self._iter_sized_body(length))
+
+    def _iter_chunked_body(self):
+        while True:
+            size_line = self.rfile.readline(1024)
+            try:
+                size = int(size_line.split(b";")[0].strip() or b"", 16)
+            except ValueError:
+                raise ServingError(400, "malformed chunked encoding") from None
+            if size == 0:
+                while True:  # trailer section, ends at the blank line
+                    trailer = self.rfile.readline(1024)
+                    if trailer in (b"\r\n", b"\n", b""):
+                        return
+            data = self.rfile.read(size)
+            self.rfile.read(2)  # the chunk's trailing CRLF
+            if len(data) < size:
+                return  # connection died mid-chunk
+            yield data
+
+    def _iter_sized_body(self, length: int):
+        remaining = length
+        while remaining > 0:
+            data = self.rfile.read(min(65536, remaining))
+            if not data:
+                return
+            remaining -= len(data)
+            yield data
+
+    def _iter_lines(self, chunks):
+        buffer = b""
+        for data in chunks:
+            buffer += data
+            while b"\n" in buffer:
+                line, buffer = buffer.split(b"\n", 1)
+                yield line
+            if len(buffer) > self._MAX_STREAM_LINE:
+                raise ServingError(
+                    400, f"stream line exceeds {self._MAX_STREAM_LINE} bytes")
+        if buffer.strip():
+            yield buffer
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,42 @@
+"""Streaming inference: score a live sample stream window by window.
+
+The batch serving stack (:mod:`repro.serving`) answers "classify this
+series"; this package answers the deployment shape that question usually
+arrives in — a continuous multivariate stream scored as data flows:
+
+* :mod:`repro.streaming.sources` — the :class:`StreamSource` protocol
+  with a dataset-replay source and a generator-driven synthetic source
+  (including mid-stream concept shift by prototype swap);
+* :mod:`repro.streaming.scorer` — a ring-buffer sliding windower and the
+  :class:`StreamScorer`, which pipelines completed windows through the
+  serving runtime's micro-batcher so streaming and batch traffic share
+  backpressure, metrics and the LRU model lifecycle;
+* :mod:`repro.streaming.drift` — a fast-vs-slow EWMA drift monitor
+  flagging concept shifts from accuracy (when truth labels ride along)
+  or from the predicted-label distribution (when they don't);
+* :mod:`repro.streaming.client` — the stdlib chunked-NDJSON client for
+  the server's ``POST /v1/models/<name>/stream`` endpoint.
+
+The CLI front-end is ``repro stream``; see the README's Streaming
+section for the wire format.
+"""
+
+from .drift import DriftMonitor, DriftState
+from .scorer import SlidingWindower, StreamScorer, WindowResult, expected_windows
+from .sources import ReplaySource, StreamSample, StreamSource, SyntheticSource
+from .client import StreamRequestError, stream_windows
+
+__all__ = [
+    "DriftMonitor",
+    "DriftState",
+    "ReplaySource",
+    "SlidingWindower",
+    "StreamRequestError",
+    "StreamSample",
+    "StreamScorer",
+    "StreamSource",
+    "SyntheticSource",
+    "WindowResult",
+    "expected_windows",
+    "stream_windows",
+]

@@ -1,0 +1,117 @@
+"""NDJSON streaming client for ``POST /v1/models/<name>/stream``.
+
+Stdlib only, like the server.  The request body is sent with chunked
+transfer encoding from a background thread while the main thread reads
+the chunked response — full duplex, so a long stream never deadlocks on
+socket buffers: the server emits a window line as soon as the window
+resolves, and the client consumes it while still sending samples.
+
+The one public entry point is :func:`stream_windows`, which yields the
+response lines (``window`` results, then a ``summary``; an ``error`` line
+on in-band failure) as parsed dictionaries::
+
+    for event in stream_windows("127.0.0.1", 8080, "demo",
+                                samples, window=32, hop=8):
+        if event["kind"] == "window":
+            ...
+
+*samples* is any iterable of ``(values, label_or_None)`` pairs or bare
+value vectors.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import urllib.parse
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["StreamRequestError", "stream_windows"]
+
+
+class StreamRequestError(RuntimeError):
+    """The server refused the stream before it started (non-200 status)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def _encode_sample(sample) -> bytes:
+    """One NDJSON line, framed as one HTTP chunk."""
+    if isinstance(sample, dict):
+        payload = sample
+    elif isinstance(sample, tuple) and len(sample) == 2:
+        values, label = sample
+        payload = {"values": np.asarray(values, dtype=float).tolist()}
+        if label is not None:
+            payload["label"] = int(label)
+    else:
+        payload = {"values": np.asarray(sample, dtype=float).tolist()}
+    data = json.dumps(payload).encode() + b"\n"
+    return b"%x\r\n" % len(data) + data + b"\r\n"
+
+
+def stream_windows(host: str, port: int, name: str, samples: Iterable, *,
+                   window: int, hop: int | None = None, version=None,
+                   timeout: float = 60.0) -> Iterator[dict]:
+    """Stream *samples* to a served model; yield its response lines.
+
+    Yields each ``{"kind": "window", ...}`` line as the server emits it,
+    then the ``{"kind": "summary", ...}`` line; an in-band server failure
+    surfaces as a ``{"kind": "error", ...}`` line (the generator ends
+    after it).  A refusal before the stream starts (unknown model, bad
+    parameters) raises :class:`StreamRequestError`.
+    """
+    query = {"window": int(window)}
+    if hop is not None:
+        query["hop"] = int(hop)
+    if version is not None:
+        query["version"] = version
+    path = (f"/v1/models/{urllib.parse.quote(name)}/stream?"
+            + urllib.parse.urlencode(query))
+
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.putrequest("POST", path)
+        connection.putheader("Content-Type", "application/x-ndjson")
+        connection.putheader("Transfer-Encoding", "chunked")
+        connection.endheaders()
+
+        send_error: list[BaseException] = []
+
+        def _send() -> None:
+            try:
+                for sample in samples:
+                    connection.send(_encode_sample(sample))
+                connection.send(b"0\r\n\r\n")
+            except BaseException as error:  # noqa: BLE001 - reported below
+                # The server may have torn the stream down mid-send (it
+                # answers in-band); keep the error for after the read loop.
+                send_error.append(error)
+
+        sender = threading.Thread(target=_send, daemon=True)
+        sender.start()
+        try:
+            response = connection.getresponse()
+            if response.status != 200:
+                body = response.read().decode(errors="replace")
+                try:
+                    message = json.loads(body).get("error", body)
+                except json.JSONDecodeError:
+                    message = body
+                raise StreamRequestError(response.status, message)
+            for raw in response:
+                line = raw.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            sender.join(timeout=timeout)
+        if send_error and not isinstance(send_error[0],
+                                         (BrokenPipeError, ConnectionError)):
+            raise send_error[0]
+    finally:
+        connection.close()

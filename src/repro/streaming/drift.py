@@ -1,0 +1,172 @@
+"""Rolling drift detection over per-window predictions.
+
+The monitor compares a **fast** and a **slow** exponentially weighted
+view of the same stream; when the recent past stops looking like the
+long-run past, the stream has shifted.  Two signals feed it, used
+according to what the stream provides:
+
+* **accuracy** — when ground-truth labels ride along (replayed panels,
+  synthetic sources), each window contributes a 0/1 correctness score;
+  a shift shows up as the fast accuracy EWMA falling below the slow one
+  by more than ``threshold``;
+* **prediction distribution** — always available: per-label frequency
+  EWMAs, compared by total-variation distance.  A concept shift that
+  changes which classes the model predicts is caught even with no truth
+  labels at all (the unsupervised deployment case).  The fast view can
+  move at most ``~0.66 x`` the true mix change before the slow view
+  catches up, so the default threshold targets *large* mix changes (a
+  class collapse); lower it for subtler shifts, at a false-positive
+  cost.  A shift that permutes the data without changing the predicted
+  mix (a symmetric rotation under a uniform class mix) is invisible to
+  this signal by construction — only the accuracy signal can see it.
+
+The slow view *mirrors* the fast view until ``warmup`` windows have
+passed — the long-run reference is a snapshot of a genuinely observed
+baseline, not a half-initialised average — so the divergence starts at
+zero and the ``shift`` flag cannot fire during warmup: a flag means the
+stream *changed*, not that the monitor just woke up.  The distribution
+signal additionally requires ``persistence`` consecutive above-threshold
+windows, because an EWMA of a noisy label mix wanders past any threshold
+occasionally; a real mix change stays there.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+__all__ = ["DriftMonitor", "DriftState"]
+
+
+@dataclass(frozen=True)
+class DriftState:
+    """The monitor's view after one window."""
+
+    windows: int  # windows observed so far
+    divergence: float  # total-variation distance, fast vs slow label mix
+    accuracy_fast: float | None  # None until a truth label is seen
+    accuracy_slow: float | None
+    shift: bool
+    signal: str | None  # "accuracy" | "distribution" when shift is set
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the NDJSON wire format."""
+        out = {"divergence": round(self.divergence, 4), "shift": self.shift}
+        if self.accuracy_fast is not None:
+            out["accuracy_fast"] = round(self.accuracy_fast, 4)
+            out["accuracy_slow"] = round(self.accuracy_slow, 4)
+        if self.signal is not None:
+            out["signal"] = self.signal
+        return out
+
+
+class DriftMonitor:
+    """Fast-vs-slow EWMA shift detector over window predictions.
+
+    Parameters
+    ----------
+    alpha_fast / alpha_slow:
+        EWMA rates of the recent and long-run views.  The defaults react
+        within ~10 windows and remember ~100.
+    threshold:
+        Flag a shift when the fast-vs-slow divergence exceeds this — an
+        accuracy drop (slow minus fast) or a total-variation distance
+        between predicted-label mixes, whichever signal trips first.
+    warmup:
+        Windows during which the slow view shadows the fast one and no
+        flag may fire.
+    persistence:
+        Consecutive above-threshold windows the *distribution* signal
+        needs before flagging (the accuracy signal flags immediately —
+        a genuine accuracy collapse is unambiguous).
+    """
+
+    def __init__(self, *, alpha_fast: float = 0.15, alpha_slow: float = 0.02,
+                 threshold: float = 0.35, warmup: int = 10,
+                 persistence: int = 5):
+        if not 0.0 < alpha_slow <= alpha_fast <= 1.0:
+            raise ValueError(
+                f"need 0 < alpha_slow <= alpha_fast <= 1; "
+                f"got {alpha_slow}, {alpha_fast}"
+            )
+        if threshold <= 0:
+            raise ValueError(f"threshold must be > 0; got {threshold}")
+        if warmup < 0:
+            raise ValueError(f"warmup must be >= 0; got {warmup}")
+        if persistence < 1:
+            raise ValueError(f"persistence must be >= 1; got {persistence}")
+        self.alpha_fast = float(alpha_fast)
+        self.alpha_slow = float(alpha_slow)
+        self.threshold = float(threshold)
+        self.warmup = int(warmup)
+        self.persistence = int(persistence)
+        self._windows = 0
+        self._diverging = 0  # consecutive windows past the threshold
+        self._freq_fast: dict[object, float] = {}
+        self._freq_slow: dict[object, float] = {}
+        self._acc_fast: float | None = None
+        self._acc_slow: float | None = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+
+    def update(self, predicted, truth=None) -> DriftState:
+        """Record one window's prediction (and truth, if known)."""
+        with self._lock:
+            self._windows += 1
+            self._update_distribution(predicted)
+            if truth is not None:
+                self._update_accuracy(float(predicted == truth))
+            if self._windows <= self.warmup:
+                # The long-run reference is the state of the observed
+                # baseline, not a half-initialised average.
+                self._freq_slow = dict(self._freq_fast)
+                self._acc_slow = self._acc_fast
+            divergence = 0.5 * sum(
+                abs(self._freq_fast.get(label, 0.0)
+                    - self._freq_slow.get(label, 0.0))
+                for label in set(self._freq_fast) | set(self._freq_slow)
+            )
+            drop = 0.0
+            if self._acc_fast is not None:
+                drop = max(0.0, self._acc_slow - self._acc_fast)
+            self._diverging = self._diverging + 1 \
+                if divergence > self.threshold else 0
+            signal = None
+            if self._windows > self.warmup:
+                if drop > self.threshold:
+                    signal = "accuracy"
+                elif self._diverging >= self.persistence:
+                    signal = "distribution"
+            return DriftState(
+                windows=self._windows, divergence=divergence,
+                accuracy_fast=self._acc_fast, accuracy_slow=self._acc_slow,
+                shift=signal is not None, signal=signal,
+            )
+
+    def _update_distribution(self, predicted) -> None:
+        predicted = _key(predicted)
+        for freq, alpha in ((self._freq_fast, self.alpha_fast),
+                            (self._freq_slow, self.alpha_slow)):
+            if not freq:
+                # Initialise both views to the first observation so the
+                # frequencies always sum to one and the divergence starts
+                # at zero — no warmup artifact from different alphas.
+                freq[predicted] = 1.0
+                continue
+            for label in list(freq):
+                freq[label] *= 1.0 - alpha
+            freq[predicted] = freq.get(predicted, 0.0) + alpha
+
+    def _update_accuracy(self, correct: float) -> None:
+        if self._acc_fast is None:
+            self._acc_fast = self._acc_slow = correct
+        else:
+            self._acc_fast += self.alpha_fast * (correct - self._acc_fast)
+            self._acc_slow += self.alpha_slow * (correct - self._acc_slow)
+
+
+def _key(label):
+    """Hashable, numpy-scalar-free form of a predicted label."""
+    item = getattr(label, "item", None)
+    return item() if callable(item) else label

@@ -1,0 +1,255 @@
+"""Sliding-window stream scoring on top of the serving runtime.
+
+The scorer turns *any* published model into an online classifier: samples
+are pushed one at a time, a ring buffer assembles ``(channels, window)``
+panels every ``hop`` steps, and each completed window is submitted to the
+model's :class:`~repro.serving.batcher.MicroBatcher` through
+:meth:`PredictionService.submit` — so streaming traffic shares the
+micro-batching, the bounded-queue backpressure, the metrics and the LRU
+model lifecycle with ordinary batch requests instead of sidestepping
+them.
+
+Windows are scored **pipelined**: up to ``max_inflight`` windows ride the
+batcher concurrently while results are handed back strictly in window
+order.  Backpressure composes in two layers — the submit blocks (bounded
+by ``queue_timeout``) while the shared queue is full, and the inflight
+cap makes one slow stream wait on its own oldest window rather than
+flooding the queue for everyone else.
+
+A :class:`~repro.streaming.drift.DriftMonitor` (optional but on by
+default) watches the per-window outcomes and flags concept shifts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..serving.server import ServingError
+from .drift import DriftMonitor, DriftState, _key
+
+__all__ = ["SlidingWindower", "StreamScorer", "WindowResult", "expected_windows"]
+
+
+def expected_windows(n_samples: int, window: int, hop: int) -> int:
+    """How many full windows a stream of *n_samples* yields."""
+    if n_samples < window:
+        return 0
+    return (n_samples - window) // hop + 1
+
+
+class SlidingWindower:
+    """A ring buffer emitting ``(channels, window)`` panels every *hop* steps.
+
+    Samples are written in place — pushing is O(channels) — and a
+    completed window is unrolled into a fresh contiguous copy, oldest
+    sample first.  Trailing samples that never complete a window are
+    simply never emitted.
+    """
+
+    def __init__(self, n_channels: int, window: int, hop: int):
+        if n_channels < 1:
+            raise ValueError(f"n_channels must be >= 1; got {n_channels}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1; got {window}")
+        if hop < 1:
+            raise ValueError(f"hop must be >= 1; got {hop}")
+        self.n_channels = int(n_channels)
+        self.window = int(window)
+        self.hop = int(hop)
+        self._buffer = np.zeros((self.n_channels, self.window))
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """Samples pushed so far."""
+        return self._seen
+
+    def push(self, values) -> np.ndarray | None:
+        """Add one sample; returns the completed window when one is due."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_channels,):
+            raise ValueError(
+                f"a sample has shape (n_channels,) = ({self.n_channels},); "
+                f"got {values.shape}"
+            )
+        self._buffer[:, self._seen % self.window] = values
+        self._seen += 1
+        if self._seen >= self.window \
+                and (self._seen - self.window) % self.hop == 0:
+            order = (np.arange(self.window) + self._seen) % self.window
+            return self._buffer[:, order].copy()
+        return None
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """One scored window, in stream order."""
+
+    index: int  # 0-based window number
+    start: int  # sample index of the window's first observation
+    end: int  # sample index of its last observation (inclusive)
+    label: object  # the model's prediction
+    truth: int | None  # ground truth of the freshest sample, when known
+    drift: DriftState | None
+
+    def as_dict(self) -> dict:
+        """JSON-ready form — the NDJSON wire format's ``window`` line."""
+        out = {"kind": "window", "index": self.index, "start": self.start,
+               "end": self.end, "label": self.label}
+        if self.truth is not None:
+            out["truth"] = self.truth
+        if self.drift is not None:
+            out["drift"] = self.drift.as_dict()
+        return out
+
+
+@dataclass(frozen=True)
+class _Pending:
+    index: int
+    start: int
+    end: int
+    truth: int | None
+    future: object
+
+
+class StreamScorer:
+    """Score a sample stream window by window through a prediction service.
+
+    Opens a stream on *service* (resolving the model — a missing name
+    fails here, before any sample is consumed) and must be closed again;
+    use it as a context manager.  ``feed`` returns the results that are
+    ready *so far* (possibly none, possibly several); ``finish`` drains
+    the rest.
+
+    The window's ground truth, when samples carry labels, is the label of
+    its **most recent** sample — windows straddling a concept boundary are
+    judged against the new concept, which is what makes the accuracy
+    signal drop promptly after a shift.
+    """
+
+    def __init__(self, service, name: str, *, window: int, hop: int | None = None,
+                 version=None, monitor: DriftMonitor | None = None,
+                 max_inflight: int = 32, queue_timeout: float = 5.0):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1; got {window}")
+        if hop is not None and hop < 1:
+            raise ValueError(f"hop must be >= 1; got {hop}")
+        self.service = service
+        self.version = version
+        self.window = int(window)
+        self.hop = int(hop) if hop is not None else self.window
+        self.monitor = monitor if monitor is not None else DriftMonitor()
+        self.max_inflight = int(max_inflight)
+        self.queue_timeout = float(queue_timeout)
+        self.record, self._stats = service.open_stream(name, version)
+        self._windower: SlidingWindower | None = None  # lazy: first sample
+        self._pending: deque[_Pending] = deque()
+        #: resolved ahead of collection (inflight-cap waits); always older
+        #: than anything still pending, so collection order is preserved
+        self._ready: list[WindowResult] = []
+        self._submitted = 0
+        self._samples = 0
+        self._shifts = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def samples(self) -> int:
+        return self._samples
+
+    @property
+    def windows(self) -> int:
+        """Windows submitted for scoring so far."""
+        return self._submitted
+
+    @property
+    def shifts(self) -> int:
+        """Windows flagged as shifted so far."""
+        return self._shifts
+
+    def feed(self, values, label=None) -> list[WindowResult]:
+        """Push one sample; returns whatever window results are now ready."""
+        if self._closed:
+            raise RuntimeError("cannot feed a closed StreamScorer")
+        values = np.asarray(values, dtype=np.float64)
+        if self._windower is None:
+            if values.ndim != 1:
+                raise ValueError(
+                    f"a sample is a 1-D (n_channels,) vector; got "
+                    f"ndim={values.ndim}"
+                )
+            self._windower = SlidingWindower(len(values), self.window, self.hop)
+        panel = self._windower.push(values)
+        self._samples += 1
+        if panel is not None:
+            self._submit(panel, label)
+        return self._collect()
+
+    def finish(self) -> list[WindowResult]:
+        """Wait for every outstanding window and return its result."""
+        return self._collect(drain=True)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.service.close_stream(self.record)
+
+    def __enter__(self) -> "StreamScorer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def _submit(self, panel: np.ndarray, truth) -> None:
+        if len(self._pending) >= self.max_inflight:
+            # This stream is ahead of its model: wait on our own oldest
+            # window instead of piling further onto the shared queue.
+            self._ready.append(self._resolve_head())
+        index = self._submitted
+        end = self._windower.seen - 1
+        _, futures = self.service.submit(
+            self.record.name, [panel], self.record.version,
+            queue_timeout=self.queue_timeout,
+        )
+        self._pending.append(_Pending(
+            index=index, start=end - self.window + 1, end=end,
+            truth=None if truth is None else int(truth), future=futures[0],
+        ))
+        self._submitted += 1
+
+    def _collect(self, drain: bool = False) -> list[WindowResult]:
+        out, self._ready = self._ready, []
+        while self._pending:
+            if not (drain or self._pending[0].future.done()):
+                break
+            out.append(self._resolve_head())
+        return out
+
+    def _resolve_head(self) -> WindowResult:
+        head = self._pending.popleft()
+        timeout = getattr(self.service, "predict_timeout", 30.0)
+        try:
+            label = _key(head.future.result(timeout=timeout))
+        except FutureTimeoutError as error:
+            # The same 503 the batch path answers; on 3.11+ the bare
+            # FutureTimeoutError aliases TimeoutError, which transports
+            # treat as a socket event — it must not escape looking like one.
+            raise ServingError(
+                503, f"window {head.index} prediction timed out after "
+                     f"{timeout}s"
+            ) from error
+        state = self.monitor.update(label, head.truth)
+        if state.shift:
+            self._shifts += 1
+        self._stats.record_window(shift=state.shift)
+        return WindowResult(index=head.index, start=head.start, end=head.end,
+                            label=label, truth=head.truth, drift=state)

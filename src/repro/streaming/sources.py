@@ -1,0 +1,159 @@
+"""Stream sources: turn stored panels and generators into sample streams.
+
+A *stream* is an iterable of :class:`StreamSample` — one multivariate
+observation per time step, optionally carrying the ground-truth label of
+the series it belongs to.  Anything that yields those samples can feed
+the sliding-window scorer; the two built-ins cover the common cases:
+
+* :class:`ReplaySource` — iterate a stored panel series by series, time
+  step by time step: the shape of re-scoring a recorded day of traffic;
+* :class:`SyntheticSource` — draw series from an
+  :class:`~repro.data.generators.MTSGenerator` forever, with an optional
+  mid-stream **concept shift**: after ``shift_at`` samples the class
+  prototypes are swapped (:meth:`MTSGenerator.swap_prototypes`), so the
+  nominal labels keep flowing while their generating process changes —
+  the canonical drift-detection scenario.
+
+Both sources are deterministic: iterating one twice yields bit-identical
+streams (``SyntheticSource`` rebuilds its generator per iteration so a
+consumed shift never leaks into the next replay).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple, Protocol, runtime_checkable
+
+import numpy as np
+
+from .._validation import check_panel, check_panel_labels
+from ..data.generators import MTSGenerator
+
+__all__ = ["ReplaySource", "StreamSample", "StreamSource", "SyntheticSource"]
+
+
+class StreamSample(NamedTuple):
+    """One time step of a multivariate stream."""
+
+    t: int  # sample index since the stream began
+    values: np.ndarray  # (n_channels,)
+    label: int | None  # ground truth of the owning series, when known
+
+
+@runtime_checkable
+class StreamSource(Protocol):
+    """Anything that yields a deterministic :class:`StreamSample` stream."""
+
+    n_channels: int
+
+    def __iter__(self) -> Iterator[StreamSample]: ...
+
+
+class ReplaySource:
+    """Replay a stored panel as a timestamped sample stream.
+
+    Series are emitted in panel order, each unrolled time step by time
+    step; every sample carries its series' label when *y* is given.  A
+    2-D univariate panel is promoted to one channel, as everywhere else.
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray | None = None):
+        if y is None:
+            self.X = check_panel(X)
+            self.y = None
+        else:
+            self.X, self.y = check_panel_labels(X, y)
+        self.n_channels = self.X.shape[1]
+
+    def __len__(self) -> int:
+        """Total samples the stream will emit."""
+        return self.X.shape[0] * self.X.shape[2]
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        t = 0
+        for index, series in enumerate(self.X):
+            label = int(self.y[index]) if self.y is not None else None
+            for step in range(series.shape[1]):
+                yield StreamSample(t, series[:, step], label)
+                t += 1
+
+
+class SyntheticSource:
+    """Generator-driven stream with an optional mid-stream concept shift.
+
+    Parameters
+    ----------
+    generator:
+        A prototype :class:`MTSGenerator`, or ``None`` to build one from
+        the shape keywords below.  The instance is treated as a template:
+        each iteration rebuilds an identical generator from *seed*, so
+        the shift never leaks between replays of the same source.
+    n_series:
+        How many series the stream emits (labels drawn uniformly).
+    shift_at:
+        Sample index after which the prototypes are swapped.  The swap is
+        applied at the next series boundary at or after this index — a
+        concept changes between series, not inside one observation — via
+        :meth:`MTSGenerator.swap_prototypes` with *shift_mapping*.
+    shift_mapping:
+        Optional permutation passed to ``swap_prototypes`` (default: the
+        rotate-by-one mapping).
+    """
+
+    def __init__(self, *, n_channels: int = 2, length: int = 32,
+                 n_classes: int = 2, difficulty: float = 0.2,
+                 n_series: int = 50, seed: int = 0,
+                 shift_at: int | None = None,
+                 shift_mapping: tuple[int, ...] | None = None,
+                 generator: MTSGenerator | None = None):
+        if n_series < 1:
+            raise ValueError(f"n_series must be >= 1; got {n_series}")
+        if shift_at is not None and shift_at < 0:
+            raise ValueError(f"shift_at must be >= 0; got {shift_at}")
+        if generator is not None:
+            n_channels = generator.n_channels
+            length = generator.length
+            n_classes = generator.n_classes
+            difficulty = generator.difficulty
+        self.n_channels = n_channels
+        self.length = length
+        self.n_classes = n_classes
+        self.difficulty = difficulty
+        self.n_series = int(n_series)
+        self.seed = int(seed)
+        self.shift_at = shift_at
+        self.shift_mapping = tuple(shift_mapping) if shift_mapping else None
+        self._template = generator
+
+    def __len__(self) -> int:
+        return self.n_series * self.length
+
+    def _build_generator(self) -> MTSGenerator:
+        generator = MTSGenerator(
+            n_channels=self.n_channels, length=self.length,
+            n_classes=self.n_classes, difficulty=self.difficulty,
+            seed=self.seed,
+        )
+        if self._template is not None:
+            # Adopt the template's latent process wholesale; the freshly
+            # drawn prototypes above only exist so swap_prototypes can
+            # mutate a private copy, never the caller's generator.
+            generator.prototypes = list(self._template.prototypes)
+            generator.background = self._template.background
+            generator.ar_coefficient = self._template.ar_coefficient
+            generator.noise_scale = self._template.noise_scale
+        return generator
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        generator = self._build_generator()
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 1]))
+        shifted = False
+        t = 0
+        for _ in range(self.n_series):
+            if self.shift_at is not None and not shifted and t >= self.shift_at:
+                generator.swap_prototypes(self.shift_mapping)
+                shifted = True
+            label = int(rng.integers(0, generator.n_classes))
+            series = generator.sample_class(label, 1, rng)[0]
+            for step in range(series.shape[1]):
+                yield StreamSample(t, series[:, step], label)
+                t += 1

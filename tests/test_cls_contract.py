@@ -1,0 +1,185 @@
+"""Registry-wide classifier contract sweep.
+
+Every classifier family exposed by the registry — the list comes from
+``available_classifiers()``, never a hardcoded subset — must honour the
+``Classifier`` contract:
+
+* fit+predict is deterministic under a fixed seed: two fresh instances
+  built identically produce bit-identical predictions;
+* relabelling the training classes (an order-preserving permutation of
+  the label *values*) permutes the predictions accordingly and leaves
+  the accuracy bit-identical;
+* predictions are always drawn from the training label set;
+* NaN/Inf panels are rejected with ``ValueError`` at fit and predict
+  (``Classifier._clean``), as are wrong-rank inputs;
+* a predict panel whose channel count or length disagrees with the fit
+  panel is rejected with ``ValueError`` (DTW's variable-length support
+  is the one documented exception);
+* families with serialization support survive save -> load -> predict
+  bit-identically; the others refuse ``save_model`` with ``TypeError``.
+
+Neural families run with reduced budgets (same classes, fewer epochs and
+filters) so the sweep stays CPU-cheap; the *names* swept are always the
+registry's full list.
+"""
+
+import functools
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    accuracy_score,
+    available_classifiers,
+    make_classifier,
+    save_model,
+)
+from repro.data import make_classification_panel
+
+N_TRAIN, N_TEST, N_CHANNELS, LENGTH, N_CLASSES = 18, 9, 2, 24, 3
+
+#: budget overrides keep neural families CPU-cheap without leaving the
+#: registry: the swept class and name stay the registry's own
+FAMILY_KWARGS = {
+    "rocket": dict(num_kernels=40, seed=0),
+    "minirocket": dict(num_features=84, seed=0),
+    "inceptiontime": dict(n_filters=4, depth=2, kernel_sizes=(5, 3),
+                          bottleneck=4, ensemble_size=1, max_epochs=3,
+                          patience=3, batch_size=8, lr=1e-3, seed=0),
+    "fcn": dict(filters=(4, 8, 4), max_epochs=3, patience=3, batch_size=8,
+                seed=0),
+    "resnet": dict(filters=(4, 8, 8), max_epochs=2, patience=2, batch_size=8,
+                   seed=0),
+    "knn_euclidean": dict(n_neighbors=1),
+    "knn_dtw": dict(n_neighbors=1, window=3),
+    "sax_dictionary": dict(word_length=3, alphabet_size=3),
+    "interval": dict(n_intervals=20, seed=0),
+    "shapelet": dict(n_shapelets=10, seed=0),
+}
+
+#: families covered by classifiers.serialization (save_model/load_model)
+SERIALIZABLE = ("rocket", "minirocket", "inceptiontime")
+
+#: an order-preserving permutation of the label values {0, 1, 2}: the
+#: classes keep their sort order, so every family's internal class
+#: indexing is untouched and predictions must map element-for-element
+VALUE_MAP = np.array([2, 5, 9])
+
+ALL_NAMES = available_classifiers()
+
+
+def _problem():
+    X, y = make_classification_panel(
+        n_series=N_TRAIN + N_TEST, n_channels=N_CHANNELS, length=LENGTH,
+        n_classes=N_CLASSES, difficulty=0.15, seed=3,
+    )
+    return X[:N_TRAIN], y[:N_TRAIN], X[N_TRAIN:], y[N_TRAIN:]
+
+
+def _instance(name):
+    return make_classifier(name, **FAMILY_KWARGS[name])
+
+
+@functools.lru_cache(maxsize=None)
+def _outputs(name: str) -> dict:
+    """Fit each family a few ways once; the contract tests share the results."""
+    X_tr, y_tr, X_te, _ = _problem()
+    first = _instance(name).fit(X_tr, y_tr)
+    second = _instance(name).fit(X_tr, y_tr)
+    remapped = _instance(name).fit(X_tr, VALUE_MAP[y_tr])
+    return {
+        "model": first,
+        "first": first.predict(X_te),
+        "second": second.predict(X_te),
+        "remapped": remapped.predict(X_te),
+    }
+
+
+def test_sweep_covers_whole_registry():
+    """The sweep parametrizes over the live registry, subset-free."""
+    assert ALL_NAMES == available_classifiers()
+    assert set(FAMILY_KWARGS) == set(ALL_NAMES)
+    for paper_family in ("rocket", "inceptiontime"):
+        assert paper_family in ALL_NAMES
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestRegistryContract:
+    def test_fixed_seed_determinism(self, name):
+        results = _outputs(name)
+        np.testing.assert_array_equal(results["first"], results["second"])
+
+    def test_label_value_permutation(self, name):
+        """Relabelled classes permute predictions and preserve accuracy."""
+        _, _, _, y_te = _problem()
+        results = _outputs(name)
+        np.testing.assert_array_equal(results["remapped"],
+                                      VALUE_MAP[results["first"]])
+        assert accuracy_score(VALUE_MAP[y_te], results["remapped"]) == \
+            accuracy_score(y_te, results["first"])
+
+    def test_predictions_from_training_label_set(self, name):
+        _, y_tr, _, _ = _problem()
+        assert set(np.asarray(_outputs(name)["remapped"]).tolist()) \
+            <= set(VALUE_MAP[y_tr].tolist())
+
+    def test_nonfinite_fit_rejected(self, name):
+        X_tr, y_tr, _, _ = _problem()
+        for poison in (np.nan, np.inf):
+            X_bad = X_tr.copy()
+            X_bad[0, 0, -3:] = poison
+            with pytest.raises(ValueError, match="non-finite"):
+                _instance(name).fit(X_bad, y_tr)
+
+    def test_nonfinite_predict_rejected(self, name):
+        _, _, X_te, _ = _problem()
+        X_bad = X_te.copy()
+        X_bad[-1, -1, 0] = -np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            _outputs(name)["model"].predict(X_bad)
+
+    def test_wrong_rank_rejected(self, name):
+        X_tr, y_tr, X_te, _ = _problem()
+        model = _outputs(name)["model"]
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(LENGTH))  # 1-D: not a panel
+        with pytest.raises(ValueError):
+            model.predict(X_te[:, :, :, None])  # 4-D
+        with pytest.raises(ValueError):
+            _instance(name).fit(np.zeros((N_TRAIN, 1, 1, LENGTH)), y_tr)
+
+    def test_channel_mismatch_rejected(self, name):
+        _, _, X_te, _ = _problem()
+        wider = np.concatenate([X_te, X_te[:, :1]], axis=1)
+        with pytest.raises(ValueError):
+            _outputs(name)["model"].predict(wider)
+
+    def test_length_mismatch(self, name):
+        _, y_tr, X_te, _ = _problem()
+        truncated = X_te[:, :, : LENGTH - 4]
+        model = _outputs(name)["model"]
+        if name == "knn_dtw":
+            # DTW aligns series of unequal length by design — the one
+            # variable-length family; it must still answer from the
+            # training label set rather than raise.
+            labels = model.predict(truncated)
+            assert set(np.asarray(labels).tolist()) <= set(y_tr.tolist())
+        else:
+            with pytest.raises(ValueError):
+                model.predict(truncated)
+
+    def test_save_load_predict_roundtrip(self, name, tmp_path):
+        results = _outputs(name)
+        if name not in SERIALIZABLE:
+            # Serialization exists for ROCKET/MiniRocket/ridge/Inception
+            # only; the other families must refuse loudly, not write a
+            # half-usable archive.
+            with pytest.raises(TypeError):
+                save_model(results["model"], tmp_path / "model.npz")
+            return
+        from repro.classifiers import load_model
+
+        _, _, X_te, _ = _problem()
+        path = save_model(results["model"], tmp_path / "model.npz")
+        restored = load_model(path)
+        np.testing.assert_array_equal(restored.predict(X_te), results["first"])

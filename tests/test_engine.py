@@ -195,6 +195,54 @@ class TestCheckpointResume:
         assert loaded == {job.key: 0.75}
 
 
+class TestCheckpointCorruption:
+    """A checkpoint that survived a crash must resume or refuse cleanly."""
+
+    JOB = GridJob("Epilepsy", "rocket", "noise1", 0, 11, 22)
+
+    def _fresh(self, tmp_path):
+        checkpoint = GridCheckpoint(tmp_path / "cells.jsonl")
+        checkpoint.start({"model": "rocket"})
+        return checkpoint
+
+    def test_duplicate_job_rows_keep_the_last(self, tmp_path):
+        """A cell re-run after a crash appends a fresh row; the newest
+        record wins and the job is not re-run a third time."""
+        checkpoint = self._fresh(tmp_path)
+        checkpoint.append(self.JOB, 0.25)
+        checkpoint.append(self.JOB, 0.75)
+        assert checkpoint.load({"model": "rocket"}) == {self.JOB.key: 0.75}
+
+    def test_corrupt_header_refused(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        path.write_text('{"kind": "grid-meta", "model": "roc\n')  # torn line 1
+        with pytest.raises(ValueError, match="corrupt or missing header"):
+            GridCheckpoint(path).load({"model": "rocket"})
+
+    def test_non_checkpoint_file_refused(self, tmp_path):
+        path = tmp_path / "cells.jsonl"
+        path.write_text('{"hello": "world"}\n')  # valid JSON, wrong kind
+        with pytest.raises(ValueError, match="corrupt or missing header"):
+            GridCheckpoint(path).load({"model": "rocket"})
+
+    def test_half_written_rows_are_rerun(self, tmp_path):
+        """Rows missing fields or carrying junk accuracies are skipped, so
+        their jobs re-run instead of poisoning the resumed grid."""
+        checkpoint = self._fresh(tmp_path)
+        checkpoint.append(self.JOB, 0.5)
+        with open(checkpoint.path, "a") as handle:
+            handle.write('{"kind": "cell", "dataset": "Epilepsy"}\n')
+            handle.write('{"kind": "cell", "dataset": "Epilepsy", '
+                         '"model": "rocket", "technique": "noise3", '
+                         '"run": 0, "accuracy": "oops"}\n')
+            handle.write('["kind", "cell"]\n')
+        assert checkpoint.load({"model": "rocket"}) == {self.JOB.key: 0.5}
+
+    def test_truncated_header_only_file_resumes_empty(self, tmp_path):
+        checkpoint = self._fresh(tmp_path)
+        assert checkpoint.load({"model": "rocket"}) == {}
+
+
 class TestExecuteJobs:
     def test_rejects_bad_job_count(self):
         with pytest.raises(ValueError):

@@ -335,3 +335,85 @@ def test_shared_stats_accumulate_across_batchers():
             batcher.predict(np.ones((1, 8)), timeout=10)
     assert stats.requests == 2
     assert stats.latency.count == 2
+
+
+def test_nonfinite_series_rejected_at_admission():
+    """A NaN/Inf series must fail its own submit, never a coalesced batch."""
+    with MicroBatcher(lambda p: np.zeros(len(p), dtype=int),
+                      max_latency=0.0) as batcher:
+        poisoned = np.ones((1, 8))
+        poisoned[0, 3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            batcher.submit(poisoned)
+        assert batcher.queue_depth == 0
+        # A clean series right after is unaffected.
+        assert batcher.predict(np.ones((1, 8)), timeout=10) == 0
+
+
+def test_blocking_submit_waits_for_space():
+    """submit(timeout=...) parks until the workers drain the queue instead
+    of failing fast — the streaming scorer's backpressure mode."""
+    release = threading.Event()
+
+    def slow(panel):
+        release.wait(timeout=30)
+        return np.zeros(len(panel), dtype=int)
+
+    with MicroBatcher(slow, max_queue=1, max_batch=1,
+                      max_latency=0.0) as batcher:
+        first = batcher.submit(np.ones((1, 8)))  # occupies the worker
+        time.sleep(0.05)
+        second = batcher.submit(np.ones((1, 8)))  # fills the queue
+        # Immediate submit fails fast; a blocking one waits it out.
+        with pytest.raises(QueueFullError):
+            batcher.submit(np.ones((1, 8)))
+
+        admitted = []
+
+        def blocking_submit():
+            admitted.append(batcher.submit(np.ones((1, 8)), timeout=20))
+
+        waiter = threading.Thread(target=blocking_submit)
+        waiter.start()
+        time.sleep(0.1)
+        assert not admitted  # still parked: the queue is still full
+        release.set()
+        waiter.join(timeout=20)
+        assert len(admitted) == 1
+        for future in (first, second, admitted[0]):
+            assert future.result(timeout=10) == 0
+
+
+def test_blocking_submit_times_out():
+    stall = threading.Event()
+
+    def stuck(panel):
+        stall.wait(timeout=30)
+        return np.zeros(len(panel), dtype=int)
+
+    batcher = MicroBatcher(stuck, max_queue=1, max_batch=1, max_latency=0.0)
+    try:
+        batcher.submit(np.ones((1, 8)))
+        time.sleep(0.05)
+        batcher.submit(np.ones((1, 8)))
+        start = time.monotonic()
+        with pytest.raises(QueueFullError):
+            batcher.submit(np.ones((1, 8)), timeout=0.2)
+        assert 0.1 <= time.monotonic() - start < 5.0
+        assert batcher.stats.rejected == 1
+    finally:
+        stall.set()
+        batcher.close(timeout=10)
+
+
+def test_admit_nan_mode_for_imputing_pipelines():
+    """Models whose predict_fn imputes may accept NaN; Inf never passes."""
+    with MicroBatcher(lambda p: np.zeros(len(p), dtype=int), max_latency=0.0,
+                      admit_nan=True) as batcher:
+        with_nan = np.ones((1, 8))
+        with_nan[0, 2] = np.nan
+        assert batcher.predict(with_nan, timeout=10) == 0
+        with_inf = np.ones((1, 8))
+        with_inf[0, 2] = np.inf
+        with pytest.raises(ValueError, match="infinite"):
+            batcher.submit(with_inf)

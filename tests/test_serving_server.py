@@ -271,3 +271,28 @@ class TestService:
             assert len(service._loaded) == 1
         finally:
             service.close()
+
+
+class TestNaNAdmission:
+    def test_nan_series_imputed_for_protocol_models(self, server, problem):
+        """A model published with protocol preprocessing imputes NaN, so a
+        NaN request must still be served (the archive models missingness)."""
+        X, _ = problem
+        series = X[0].copy()
+        series[0, -4:] = np.nan
+        status, body = _post(server, "/v1/models/demo/predict",
+                             {"series": np.where(np.isnan(series), None,
+                                                 series).tolist()})
+        assert status == 200
+        assert "label" in body
+
+    def test_inf_series_rejected_with_400(self, server, problem):
+        """Imputation cannot fix Inf; it is refused at admission so it can
+        never poison a coalesced batch."""
+        X, _ = problem
+        series = X[0].tolist()
+        series[0][0] = 1e400  # json serialises as Infinity
+        status, body = _post(server, "/v1/models/demo/predict",
+                             {"series": series})
+        assert status == 400
+        assert "infinite" in body["error"]
