@@ -1,0 +1,31 @@
+"""Online adaptation: turn drift flags into retrained, canaried models.
+
+The serving stack answers requests, the streaming stack scores windows
+and flags concept shifts; this package closes the loop:
+
+* :mod:`repro.adaptation.buffer` — a bounded :class:`ReplayBuffer` of
+  recent labelled windows, the training set a drift response learns
+  from;
+* :mod:`repro.adaptation.controller` — the
+  :class:`AdaptationController`: on a confirmed drift flag it retrains
+  the model family off-thread, publishes the result to the versioned
+  registry under a ``canary`` tag, shadow-scores the canary on live
+  windows alongside the stable version, and promotes (moves the
+  ``stable`` tag) or rolls back on a shadow-agreement/accuracy
+  criterion.
+
+Hook a controller into a :class:`~repro.streaming.StreamScorer` via its
+``adapter`` argument; drive the whole loop from the terminal with
+``repro adapt``.  Every transition is observable through ``/metrics``
+(see ``docs/operations.md``) and the ``decisions`` list.
+"""
+
+from .buffer import ReplayBuffer
+from .controller import AdaptationController, AdaptationDecision, family_trainer
+
+__all__ = [
+    "AdaptationController",
+    "AdaptationDecision",
+    "ReplayBuffer",
+    "family_trainer",
+]

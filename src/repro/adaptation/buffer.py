@@ -1,0 +1,99 @@
+"""Replay buffer: the recent windows a drift-triggered retrain learns from.
+
+A bounded FIFO of ``(window panel, label)`` pairs, fed by the adaptation
+controller with every resolved stream window.  When drift is confirmed
+the controller keeps feeding it through a *collecting* phase and then
+trains on the freshest ``n`` windows — all observed after the flag, so
+the canary learns the new concept, not a pre-shift mixture.
+
+Labels are whatever the stream provided: ground truth when it rides
+along, the stable model's own predictions otherwise (self-training — see
+:class:`~repro.adaptation.AdaptationController` for when that is and is
+not sound).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+import numpy as np
+
+__all__ = ["ReplayBuffer"]
+
+
+class ReplayBuffer:
+    """Bounded FIFO of labelled stream windows, snapshot-able as a panel.
+
+    Parameters
+    ----------
+    capacity:
+        Windows retained; the oldest is evicted when a new one arrives
+        at capacity.  Must cover at least one retrain's training set
+        (the controller's ``collect_windows``).
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1; got {capacity}")
+        self.capacity = int(capacity)
+        self._entries: deque[tuple[np.ndarray, int]] = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        """Windows currently held (≤ ``capacity``)."""
+        with self._lock:
+            return len(self._entries)
+
+    def add(self, panel: np.ndarray, label) -> None:
+        """Append one ``(channels, length)`` panel with its label.
+
+        At capacity the oldest window falls off — the buffer always
+        holds the freshest ``capacity`` windows of the stream.  Raises
+        ``ValueError`` for a non-2-D panel.
+        """
+        panel = np.asarray(panel, dtype=np.float64)
+        if panel.ndim != 2:
+            raise ValueError(
+                f"a buffered window is one (channels, length) panel; "
+                f"got ndim={panel.ndim}"
+            )
+        with self._lock:
+            self._entries.append((panel, int(label)))
+
+    def label_counts(self, *, last: int | None = None) -> dict[int, int]:
+        """Windows held per label, optionally over only the freshest
+        *last* — retrain preconditions (≥ 2 classes) read this."""
+        with self._lock:
+            entries = list(self._entries)
+        if last is not None:
+            entries = entries[-last:]
+        counts: dict[int, int] = {}
+        for _, label in entries:
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+    def snapshot(self, *, last: int | None = None
+                 ) -> tuple[np.ndarray, np.ndarray]:
+        """A stacked copy ``(X (n, channels, length), y (n,))``, oldest
+        first; *last* keeps only the freshest that many windows.
+
+        The copy is what the retrain thread consumes, so the stream can
+        keep appending while training runs.  Raises ``ValueError`` when
+        empty.
+        """
+        with self._lock:
+            entries = list(self._entries)
+        if last is not None:
+            entries = entries[-last:]
+        if not entries:
+            raise ValueError("cannot snapshot an empty replay buffer")
+        X = np.stack([panel for panel, _ in entries])
+        y = np.asarray([label for _, label in entries], dtype=np.int64)
+        return X, y
+
+    def clear(self) -> None:
+        """Drop every buffered window (used after a promotion: the stable
+        concept changed, so pre-promotion windows are stale)."""
+        with self._lock:
+            self._entries.clear()

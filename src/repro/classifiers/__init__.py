@@ -8,7 +8,7 @@ tests, the model-family ablation) enumerate the live list instead of a
 hardcoded subset.
 """
 
-from .base import Classifier, accuracy_score
+from .base import Classifier, RidgeFeatureClassifier, accuracy_score, softmax
 from .dictionary import SAXDictionaryClassifier, paa, sax_words
 from .inception_time import InceptionModule, InceptionNetwork, InceptionTimeClassifier
 from .interval import IntervalFeatureClassifier, interval_features
@@ -59,7 +59,9 @@ def make_classifier(name: str, **overrides) -> Classifier:
 
 __all__ = [
     "Classifier",
+    "RidgeFeatureClassifier",
     "accuracy_score",
+    "softmax",
     "available_classifiers",
     "make_classifier",
     "RocketTransform",

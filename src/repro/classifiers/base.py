@@ -13,7 +13,14 @@ uniformly:
 * the fit-time panel shape is remembered, and predict refuses a panel
   whose channel count (or, for fixed-length families, length) disagrees
   with it — mismatches fail with a clear ``ValueError`` instead of an
-  index error or, worse, silently wrong features.
+  index error or, worse, silently wrong features;
+* every family serves **probabilities**: ``predict_proba`` returns a
+  ``(n_series, n_classes)`` row-stochastic matrix whose columns follow
+  ``classes_`` (the sorted training label values) and whose row-wise
+  argmax agrees with ``predict`` exactly — the serving layer derives
+  labels from coalesced probability batches relying on that agreement.
+  Families without a native probabilistic output use a documented
+  softmax shim over their margin scores (:class:`RidgeFeatureClassifier`).
 """
 
 from __future__ import annotations
@@ -24,7 +31,23 @@ import numpy as np
 
 from .._validation import check_panel, check_panel_labels
 
-__all__ = ["Classifier", "accuracy_score"]
+__all__ = ["Classifier", "RidgeFeatureClassifier", "accuracy_score", "softmax"]
+
+
+def softmax(scores: np.ndarray) -> np.ndarray:
+    """Row-wise softmax of a ``(n_samples, n_classes)`` score matrix.
+
+    Numerically stable (the row maximum is subtracted before
+    exponentiation), and strictly order-preserving per row — the argmax
+    of the output equals the argmax of the input, which is what lets
+    ``predict`` and ``predict_proba`` agree bit-for-bit.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D; got ndim={scores.ndim}")
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
 
 
 def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
@@ -99,3 +122,62 @@ class Classifier(ABC):
                 f"panel length {X.shape[2]} differs from the fitted length "
                 f"{expected[1]}"
             )
+
+
+class RidgeFeatureClassifier(Classifier):
+    """Shared scoring head for feature-matrix + ridge classifier families.
+
+    ROCKET, MiniRocket, the SAX dictionary, the interval and the shapelet
+    families all reduce a panel to a feature matrix and hand it to a
+    :class:`~repro.classifiers.ridge.RidgeClassifierCV`.  Subclasses
+    implement only :meth:`_features` (validation + feature extraction);
+    ``predict``, ``decision_function`` and ``predict_proba`` are derived
+    here so every ridge-backed family exposes one identical confidence
+    surface.
+
+    The probabilities are a **softmax shim over the ridge margins** —
+    monotone in the per-class scores, so ``predict_proba(...).argmax``
+    always agrees with ``predict``, but not calibrated by a held-out set;
+    treat them as confidence ordering, not frequencies.
+    """
+
+    #: set by every subclass __init__; annotated for introspection
+    ridge: "object"
+
+    def _features(self, X: np.ndarray) -> np.ndarray:
+        """Validate *X* and return its ``(n_series, n_features)`` matrix.
+
+        Raises
+        ------
+        RuntimeError
+            When called before ``fit``.
+        ValueError
+            For non-finite values or a panel shape that disagrees with
+            the fit-time shape.
+        """
+        raise NotImplementedError
+
+    @property
+    def classes_(self) -> np.ndarray | None:
+        """Sorted training label values, or ``None`` before fit."""
+        return getattr(self.ridge, "classes_", None)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most-confident class per series (argmax of the ridge margins)."""
+        return self.ridge.predict(self._features(X))
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Per-class ridge margin scores ``(n_series, n_classes)``.
+
+        Columns follow ``classes_`` order; higher means more confident.
+        """
+        return self.ridge.decision_function(self._features(X))
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax of the ridge margins: ``(n_series, n_classes)``.
+
+        Row-stochastic, columns in ``classes_`` order, and row-wise
+        argmax identical to :meth:`predict` (see the class docstring for
+        the calibration caveat).
+        """
+        return softmax(self.decision_function(X))

@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 from scipy.stats import norm
 
-from .base import Classifier
+from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
 
 __all__ = ["paa", "sax_words", "SAXDictionaryClassifier"]
@@ -56,7 +56,7 @@ def sax_words(series: np.ndarray, *, window: int, word_length: int,
     return words
 
 
-class SAXDictionaryClassifier(Classifier):
+class SAXDictionaryClassifier(RidgeFeatureClassifier):
     """Bag-of-SAX-words + ridge, per channel.
 
     Parameters follow the usual BOSS-ish ranges: *window* defaults to a
@@ -119,9 +119,9 @@ class SAXDictionaryClassifier(Classifier):
         self.ridge.fit(self._histograms(X), y)
         return self
 
-    def predict(self, X):
+    def _features(self, X):
         if not hasattr(self, "_vocabulary"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
         self._check_shape(X)
-        return self.ridge.predict(self._histograms(X))
+        return self._histograms(X)

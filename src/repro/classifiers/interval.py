@@ -15,7 +15,7 @@ import numpy as np
 
 from .._rng import ensure_rng
 from .._validation import check_panel
-from .base import Classifier
+from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
 
 __all__ = ["IntervalFeatureClassifier", "interval_features"]
@@ -49,7 +49,7 @@ def interval_features(X: np.ndarray, intervals: np.ndarray) -> np.ndarray:
     return features
 
 
-class IntervalFeatureClassifier(Classifier):
+class IntervalFeatureClassifier(RidgeFeatureClassifier):
     """Random-interval statistics + ridge."""
 
     def __init__(self, n_intervals: int = 100, *, min_length: int = 3,
@@ -75,9 +75,9 @@ class IntervalFeatureClassifier(Classifier):
         self.ridge.fit(interval_features(X, self._intervals), np.asarray(y))
         return self
 
-    def predict(self, X):
+    def _features(self, X):
         if not hasattr(self, "_intervals"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
         self._check_shape(X)
-        return self.ridge.predict(interval_features(X, self._intervals))
+        return interval_features(X, self._intervals)

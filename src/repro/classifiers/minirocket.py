@@ -19,7 +19,7 @@ import numpy as np
 from .._rng import ensure_rng
 from .._validation import check_panel
 from ..cache import caching_enabled, digest_array, digest_rng, feature_cache
-from .base import Classifier
+from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
 
 __all__ = ["MiniRocketTransform", "MiniRocketClassifier"]
@@ -152,8 +152,12 @@ class MiniRocketTransform:
         return responses[:, :, 0, :]
 
 
-class MiniRocketClassifier(Classifier):
-    """MiniRocket transform + ridge classifier."""
+class MiniRocketClassifier(RidgeFeatureClassifier):
+    """MiniRocket transform + ridge classifier.
+
+    The scoring surface (``predict`` / ``decision_function`` /
+    ``predict_proba``) comes from :class:`RidgeFeatureClassifier`.
+    """
 
     def __init__(self, num_features: int = 2_000, *,
                  alphas: np.ndarray | None = None,
@@ -162,11 +166,12 @@ class MiniRocketClassifier(Classifier):
         self.ridge = RidgeClassifierCV(alphas)
 
     def fit(self, X, y):
+        """Fit the PPV feature plan and the ridge head on a labelled panel."""
         X = self._clean(X)
         self._remember_shape(X)
         self.ridge.fit(self.transformer.fit_transform(X), np.asarray(y))
         return self
 
-    def predict(self, X):
+    def _features(self, X):
         X = self._clean(X)
-        return self.ridge.predict(self.transformer.transform(X))
+        return self.transformer.transform(X)

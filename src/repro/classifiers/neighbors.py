@@ -61,20 +61,31 @@ class KNeighborsTimeSeriesClassifier(Classifier):
         self.window = window
 
     def fit(self, X, y):
+        """Memorise the labelled training panel (lazy learner)."""
         X, y = check_panel_labels(self._clean(X), y)
         self._remember_shape(X)
         self._X = X
         self._y = y
+        self.classes_ = np.unique(y)
+        #: dense class indices aligned with classes_, for vote counting
+        self._y_index = np.searchsorted(self.classes_, y)
         return self
 
-    def predict(self, X):
+    def _votes(self, X) -> np.ndarray:
+        """Neighbour vote counts ``(n_series, n_classes)`` in ``classes_``
+        order.
+
+        Ties between classes resolve to the lowest class value, both here
+        (argmax returns the first maximum) and in the pre-proba
+        ``np.bincount(...).argmax()`` implementation, so ``predict`` is
+        bit-compatible with the historical behaviour.
+        """
         if not hasattr(self, "_X"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
         # DTW aligns series of any length; Euclidean needs the fit length.
         self._check_shape(X, variable_length=self.metric == "dtw")
         k = min(self.n_neighbors, len(self._X))
-        predictions = np.empty(len(X), dtype=np.int64)
         if self.metric == "euclidean":
             train_flat = self._X.reshape(len(self._X), -1)
             test_flat = X.reshape(len(X), -1)
@@ -84,13 +95,33 @@ class KNeighborsTimeSeriesClassifier(Classifier):
                 + (train_flat**2).sum(axis=1)[None, :]
             )
             nearest = np.argsort(d2, axis=1)[:, :k]
-            for i, row in enumerate(nearest):
-                predictions[i] = np.bincount(self._y[row]).argmax()
         else:
-            for i, series in enumerate(X):
+            rows = []
+            for series in X:
                 distances = np.array([
                     dtw_distance(series, train, window=self.window) for train in self._X
                 ])
-                nearest = np.argsort(distances)[:k]
-                predictions[i] = np.bincount(self._y[nearest]).argmax()
-        return predictions
+                rows.append(np.argsort(distances)[:k])
+            nearest = np.stack(rows)
+        votes = np.zeros((len(X), len(self.classes_)))
+        for i, row in enumerate(nearest):
+            votes[i] = np.bincount(self._y_index[row],
+                                   minlength=len(self.classes_))
+        return votes
+
+    def predict(self, X):
+        """Majority label among the k nearest training series."""
+        votes = self._votes(X)  # first: raises RuntimeError before fit
+        return self.classes_[votes.argmax(axis=1)]
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Neighbour vote fractions ``(n_series, n_classes)``.
+
+        Columns follow ``classes_`` order and each row sums to one (the k
+        votes are split among the classes).  The row-wise argmax agrees
+        with :meth:`predict` exactly, including tie-breaking.  With the
+        default ``n_neighbors=1`` the rows are one-hot — coarse but
+        honest: 1-NN has no graded confidence to report.
+        """
+        votes = self._votes(X)
+        return votes / votes.sum(axis=1, keepdims=True)

@@ -22,7 +22,7 @@ from .. import nn
 from .._rng import ensure_rng
 from .._validation import check_panel_labels
 from ..data.splits import train_val_split
-from .base import Classifier
+from .base import Classifier, softmax
 
 __all__ = ["FCNNetwork", "ResNetNetwork", "ConvBlock", "ResNetClassifier", "FCNClassifier"]
 
@@ -147,18 +147,37 @@ class _ProtocolClassifier(Classifier):
         self.history_ = trainer.fit(X_tr, y_tr, X_val, y_val)
         return self
 
-    def predict(self, X):
+    def _logits(self, X) -> np.ndarray:
+        """Batched forward pass: raw class scores ``(n_series, n_classes)``."""
         if not hasattr(self, "network_"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
         self._check_shape(X)
         self.network_.eval()
-        predictions = []
+        parts = []
         with nn.no_grad():
             for start in range(0, len(X), self.batch_size):
                 logits = self.network_(nn.Tensor(X[start : start + self.batch_size]))
-                predictions.append(logits.data.argmax(axis=1))
-        return self.classes_[np.concatenate(predictions)]
+                parts.append(logits.data)
+        return np.concatenate(parts, axis=0)
+
+    def decision_function(self, X) -> np.ndarray:
+        """Raw network logits ``(n_series, n_classes)``, columns in
+        ``classes_`` order — the deep families' margin surface."""
+        return self._logits(X)
+
+    def predict_proba(self, X) -> np.ndarray:
+        """Softmax of the network logits ``(n_series, n_classes)``.
+
+        Columns follow ``classes_`` order; the softmax is monotone, so
+        the row-wise argmax agrees with :meth:`predict` exactly.
+        """
+        return softmax(self._logits(X))
+
+    def predict(self, X):
+        """Most-likely class per series (argmax of the logits)."""
+        logits = self._logits(X)  # first: raises RuntimeError before fit
+        return self.classes_[logits.argmax(axis=1)]
 
 
 class FCNClassifier(_ProtocolClassifier):

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .base import softmax
+
 __all__ = ["RidgeClassifierCV"]
 
 
@@ -111,6 +113,17 @@ class RidgeClassifierCV:
         """Most-confident class per sample."""
         scores = self.decision_function(features)
         return self.classes_[scores.argmax(axis=1)]
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Softmax of the per-class scores: ``(n_samples, n_classes)``.
+
+        A documented shim, not a calibrated posterior: the softmax is
+        monotone in the margins, so the row-wise argmax agrees with
+        :meth:`predict` exactly, but the magnitudes are a confidence
+        ordering rather than empirical frequencies.  Columns follow
+        ``classes_`` order.
+        """
+        return softmax(self.decision_function(features))
 
     def score(self, features: np.ndarray, y: np.ndarray) -> float:
         """Accuracy on a labelled feature matrix."""

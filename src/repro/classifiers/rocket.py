@@ -23,7 +23,7 @@ import numpy as np
 from .._rng import ensure_rng
 from .._validation import check_panel
 from ..cache import caching_enabled, digest_array, digest_rng, feature_cache
-from .base import Classifier
+from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
 
 __all__ = ["RocketTransform", "RocketClassifier"]
@@ -180,8 +180,12 @@ class RocketTransform:
         return responses + group.biases[None, :, None]
 
 
-class RocketClassifier(Classifier):
-    """ROCKET features + ridge classifier: the paper's 'ROCKET + RR' baseline."""
+class RocketClassifier(RidgeFeatureClassifier):
+    """ROCKET features + ridge classifier: the paper's 'ROCKET + RR' baseline.
+
+    The scoring surface (``predict`` / ``decision_function`` /
+    ``predict_proba``) comes from :class:`RidgeFeatureClassifier`.
+    """
 
     def __init__(self, num_kernels: int = 10_000, *,
                  alphas: np.ndarray | None = None,
@@ -190,12 +194,13 @@ class RocketClassifier(Classifier):
         self.ridge = RidgeClassifierCV(alphas)
 
     def fit(self, X, y):
+        """Fit the random kernels and the ridge head on a labelled panel."""
         X = self._clean(X)
         self._remember_shape(X)
         features = self.transformer.fit_transform(X)
         self.ridge.fit(features, np.asarray(y))
         return self
 
-    def predict(self, X):
+    def _features(self, X):
         X = self._clean(X)
-        return self.ridge.predict(self.transformer.transform(X))
+        return self.transformer.transform(X)

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .._rng import ensure_rng
-from .base import Classifier
+from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
 
 __all__ = ["ShapeletTransformClassifier", "min_shapelet_distance"]
@@ -48,7 +48,7 @@ def min_shapelet_distance(series: np.ndarray, shapelet: np.ndarray) -> float:
     return np.sqrt(best / window)
 
 
-class ShapeletTransformClassifier(Classifier):
+class ShapeletTransformClassifier(RidgeFeatureClassifier):
     """Random shapelet transform + ridge."""
 
     def __init__(self, n_shapelets: int = 60, *,
@@ -93,9 +93,9 @@ class ShapeletTransformClassifier(Classifier):
         self.ridge.fit(self._transform(X), np.asarray(y))
         return self
 
-    def predict(self, X):
+    def _features(self, X):
         if not hasattr(self, "_shapelets"):
             raise RuntimeError("predict called before fit")
         X = self._clean(X)
         self._check_shape(X)
-        return self.ridge.predict(self._transform(X))
+        return self._transform(X)

@@ -12,7 +12,8 @@ Regenerates any published artefact from the terminal without writing code:
 * ``train`` — fit a classifier and publish it to a model registry;
 * ``predict`` — classify series with a registry model, in process;
 * ``serve`` — start the HTTP prediction server over a registry;
-* ``stream`` — replay a sample stream against a served model (NDJSON).
+* ``stream`` — replay a sample stream against a served model (NDJSON);
+* ``adapt`` — run the drift→retrain→canary→promote loop on a stream.
 """
 
 from __future__ import annotations
@@ -177,6 +178,68 @@ def build_parser() -> argparse.ArgumentParser:
                              "falls back to the prediction distribution)")
     stream.add_argument("--quiet", action="store_true",
                         help="print only the summary line")
+
+    adapt = commands.add_parser(
+        "adapt", help="score a stream in process and run the full "
+                      "adaptation loop: drift flag -> retrain -> canary "
+                      "-> shadow -> promote/rollback"
+    )
+    adapt.add_argument("name", help="registry model name")
+    adapt.add_argument("--registry", required=True)
+    source = adapt.add_mutually_exclusive_group(required=True)
+    source.add_argument("--dataset", default=None,
+                        help="replay this archive dataset's test split")
+    source.add_argument("--input", default=None,
+                        help="JSON file: a panel, or one channels x length "
+                             "series, replayed sample by sample")
+    source.add_argument("--synthetic-like", default=None, metavar="DATASET",
+                        help="stream fresh series from the dataset's own "
+                             "generator (supports --shift-at)")
+    adapt.add_argument("--window", type=int, default=None,
+                       help="window length (default: the source's series "
+                            "length)")
+    adapt.add_argument("--hop", type=int, default=None,
+                       help="samples between windows (default: window)")
+    adapt.add_argument("--version", default=None,
+                       help="stable version number or tag to score with "
+                            "(default: latest)")
+    adapt.add_argument("--scale", choices=("small", "full"), default="small")
+    adapt.add_argument("--series", type=int, default=50,
+                       help="series count for --synthetic-like")
+    adapt.add_argument("--seed", type=int, default=0,
+                       help="stream seed for --synthetic-like")
+    adapt.add_argument("--shift-at", type=int, default=None,
+                       help="induce a concept shift (prototype swap) after "
+                            "this many samples (--synthetic-like only)")
+    adapt.add_argument("--limit", type=int, default=None,
+                       help="stop after this many samples")
+    adapt.add_argument("--no-labels", action="store_true",
+                       help="withhold ground-truth labels (drift uses the "
+                            "confidence EWMA; retraining self-trains on "
+                            "predictions; promotion uses the confidence "
+                            "criterion)")
+    adapt.add_argument("--drift-threshold", type=float, default=0.35,
+                       help="accuracy-drop / label-mix flag threshold")
+    adapt.add_argument("--confidence-threshold", type=float, default=0.08,
+                       help="confidence-drop flag threshold (unlabelled "
+                            "streams with probability-serving models)")
+    adapt.add_argument("--warmup", type=int, default=10,
+                       help="windows before the monitor may flag")
+    adapt.add_argument("--persistence", type=int, default=5,
+                       help="consecutive exceedances the confidence and "
+                            "label-mix signals need")
+    adapt.add_argument("--collect-windows", type=int, default=48,
+                       help="post-flag windows gathered before retraining")
+    adapt.add_argument("--shadow-windows", type=int, default=24,
+                       help="live comparisons before promote/rollback")
+    adapt.add_argument("--cooldown", type=int, default=50,
+                       help="windows to ignore flags after a decision")
+    adapt.add_argument("--background", action="store_true",
+                       help="retrain off-thread (production behavior); the "
+                            "default trains inline so short demo streams "
+                            "reach a decision deterministically")
+    adapt.add_argument("--quiet", action="store_true",
+                       help="print only decision and summary lines")
     return parser
 
 
@@ -195,6 +258,7 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "serve": _cmd_serve,
         "stream": _cmd_stream,
+        "adapt": _cmd_adapt,
     }[args.command]
     return handler(args)
 
@@ -507,6 +571,118 @@ def _cmd_stream(args) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     return 1 if failed else 0
+
+
+def _cmd_adapt(args) -> int:
+    """Drive the in-process adaptation loop over a replayed/synthetic stream.
+
+    The stream is scored exactly as ``repro stream`` scores it, with an
+    :class:`~repro.adaptation.AdaptationController` hooked into the
+    scorer: confirmed drift triggers a retrain, the canary is published
+    and shadow-scored, and the promote/rollback decision is printed as a
+    ``{"kind": "decision", ...}`` line.  After a promotion the scorer
+    reopens pinned to the promoted version — the rest of the stream is
+    scored by the adapted model (the self-healing path, end to end).
+    """
+    import json
+
+    from .adaptation import AdaptationController
+    from .serving import ModelRegistry, PredictionService, ServingError
+    from .streaming import DriftMonitor, StreamScorer
+
+    try:
+        source, default_window = _stream_source(args)
+    except (KeyError, OSError, json.JSONDecodeError, ValueError) as error:
+        message = error.args[0] if isinstance(error, KeyError) else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    window = args.window or default_window
+    service = PredictionService(ModelRegistry(args.registry), max_queue=1024)
+
+    def emit(payload: dict) -> None:
+        print(json.dumps(payload), flush=True)
+
+    def samples():
+        for sample in source:
+            if args.limit is not None and sample.t >= args.limit:
+                return
+            yield sample
+
+    version = args.version
+    windows = shifts = 0
+    errors: list[str] = []
+    try:
+        feed = samples()
+        while True:
+            controller = AdaptationController(
+                service, args.name, version=version,
+                collect_windows=args.collect_windows,
+                shadow_windows=args.shadow_windows,
+                cooldown_windows=args.cooldown,
+                background=args.background,
+            )
+            decisions_seen = 0  # per controller: each starts a fresh list
+            promoted = None
+            monitor = DriftMonitor(
+                threshold=args.drift_threshold,
+                confidence_threshold=args.confidence_threshold,
+                warmup=args.warmup, persistence=args.persistence,
+            )
+            with StreamScorer(service, args.name, window=window,
+                              hop=args.hop, version=version,
+                              monitor=monitor, adapter=controller) as scorer:
+
+                def handle(result) -> int | None:
+                    nonlocal windows, shifts, decisions_seen
+                    windows += 1
+                    shifts += int(result.drift.shift if result.drift else 0)
+                    if not args.quiet:
+                        emit(result.as_dict())
+                    switch = None
+                    while decisions_seen < len(controller.decisions):
+                        decision = controller.decisions[decisions_seen]
+                        decisions_seen += 1
+                        emit(decision.as_dict())
+                        if decision.action == "promote":
+                            switch = decision.canary_version
+                    return switch
+
+                for sample in feed:
+                    label = None if args.no_labels else sample.label
+                    for result in scorer.feed(sample.values, label):
+                        promoted = handle(result) or promoted
+                    if promoted is not None:
+                        break
+                if promoted is None:
+                    for result in scorer.finish():
+                        promoted = handle(result) or promoted
+            errors.extend(controller.errors)
+            if promoted is None:
+                break
+            # Reopen against the promoted version with a fresh baseline:
+            # from here the stream is scored by the adapted model.
+            version = promoted
+        controller.wait(timeout=60.0)
+        errors.extend(error for error in controller.errors
+                      if error not in errors)
+        stats = service.adaptation_stats(args.name)
+        emit({
+            "kind": "summary", "model": args.name, "windows": windows,
+            "shifts": shifts, "retrainings": stats.retrainings.value,
+            "promotions": stats.promotions.value,
+            "rollbacks": stats.rollbacks.value,
+            "serving_version": version,
+            "state": controller.state,
+        })
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 1 if errors else 0
+    except (KeyError, ServingError) as error:
+        message = error.args[0] if isinstance(error, KeyError) else error
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
 
 
 def _cmd_serve(args) -> int:

@@ -19,11 +19,12 @@ The CLI front-ends are ``repro train``, ``repro predict`` and
 scenario on top of this stack (``repro stream``, NDJSON endpoint).
 """
 
-from .batcher import BatcherStats, MicroBatcher, QueueFullError
+from .batcher import BatcherStats, MicroBatcher, Prediction, QueueFullError
 from .metrics import Histogram
 from .registry import ModelRecord, ModelRegistry, model_metadata, validate_reference
 from .server import (
     PROTOCOL_PREPROCESSING,
+    AdaptationStats,
     PredictionServer,
     PredictionService,
     ServingError,
@@ -33,9 +34,11 @@ from .server import (
 )
 
 __all__ = [
+    "AdaptationStats",
     "BatcherStats",
     "Histogram",
     "MicroBatcher",
+    "Prediction",
     "QueueFullError",
     "ModelRecord",
     "ModelRegistry",

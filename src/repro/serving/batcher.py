@@ -22,14 +22,28 @@ import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from .metrics import BATCH_SIZE_BUCKETS, LATENCY_BUCKETS, Histogram
 
-__all__ = ["BatcherStats", "MicroBatcher", "QueueFullError"]
+__all__ = ["BatcherStats", "MicroBatcher", "Prediction", "QueueFullError"]
 
 _SHUTDOWN = object()
+
+
+class Prediction(NamedTuple):
+    """The result of a ``return_proba`` submission.
+
+    ``label`` is what a plain submission would have returned; ``proba``
+    is the model's probability vector for this series, columns in the
+    batcher's ``classes`` order.  Plain submissions keep resolving to the
+    bare label, so existing callers never see this type.
+    """
+
+    label: object
+    proba: np.ndarray
 
 
 class QueueFullError(RuntimeError):
@@ -66,6 +80,7 @@ class BatcherStats:
 
     @property
     def mean_batch_size(self) -> float:
+        """Average coalesced panel size (0.0 before any batch ran)."""
         return self.requests / self.batches if self.batches else 0.0
 
     def _record_batch(self, size: int) -> None:
@@ -117,13 +132,26 @@ class MicroBatcher:
         Optional pre-existing :class:`BatcherStats` to accumulate into —
         the serving layer passes the same object across model reloads so
         ``/metrics`` counters survive LRU eviction.
+    proba_fn:
+        Optional probability head: called with the same coalesced panel
+        as ``predict_fn`` and must return a row-stochastic ``(n,
+        n_classes)`` matrix.  When any request in a batch asked for
+        probabilities (``submit(..., return_proba=True)``), the batch is
+        predicted through ``proba_fn`` **once** and labels are derived as
+        ``classes[argmax]`` — one pass serves both kinds of request,
+        relying on the classifier contract that ``argmax(predict_proba)
+        == predict`` exactly.
+    classes:
+        Label values aligned with ``proba_fn``'s columns; required
+        whenever ``proba_fn`` is given.
     """
 
     def __init__(self, predict_fn, *, input_shape: tuple[int, int] | None = None,
                  max_batch: int = 64, max_latency: float = 0.005,
                  workers: int = 1, max_queue: int = 0,
                  admit_nan: bool = False,
-                 stats: BatcherStats | None = None):
+                 stats: BatcherStats | None = None,
+                 proba_fn=None, classes=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
         if max_latency < 0:
@@ -132,7 +160,11 @@ class MicroBatcher:
             raise ValueError(f"workers must be >= 1; got {workers}")
         if max_queue < 0:
             raise ValueError(f"max_queue must be >= 0; got {max_queue}")
+        if proba_fn is not None and classes is None:
+            raise ValueError("proba_fn requires classes (its column labels)")
         self._predict_fn = predict_fn
+        self._proba_fn = proba_fn
+        self.classes = np.asarray(classes) if classes is not None else None
         self.input_shape = tuple(input_shape) if input_shape is not None else None
         self.max_batch = int(max_batch)
         self.max_latency = float(max_latency)
@@ -158,11 +190,24 @@ class MicroBatcher:
     # client side
     # ------------------------------------------------------------------ #
 
-    def submit(self, series, *, timeout: float | None = None) -> Future:
-        """Enqueue one series ``(channels, length)``; returns its future."""
-        return self.submit_many([series], timeout=timeout)[0]
+    @property
+    def serves_proba(self) -> bool:
+        """Whether ``return_proba`` submissions are accepted."""
+        return self._proba_fn is not None
 
-    def submit_many(self, series_list, *, timeout: float | None = None) -> list[Future]:
+    def submit(self, series, *, timeout: float | None = None,
+               return_proba: bool = False) -> Future:
+        """Enqueue one series ``(channels, length)``; returns its future.
+
+        With ``return_proba`` the future resolves to a
+        :class:`Prediction` (label + probability vector) instead of a
+        bare label; requires a ``proba_fn``.
+        """
+        return self.submit_many([series], timeout=timeout,
+                                return_proba=return_proba)[0]
+
+    def submit_many(self, series_list, *, timeout: float | None = None,
+                    return_proba: bool = False) -> list[Future]:
         """Enqueue several series atomically: either every series is
         admitted or none is (``QueueFullError``), so an over-quota
         multi-series request never leaves orphaned work behind its 429 —
@@ -179,7 +224,16 @@ class MicroBatcher:
         backpressure mode of the streaming scorer, which has nowhere to
         bounce a 429 mid-stream.  ``QueueFullError`` is still raised when
         the queue stays full past the deadline.
+
+        With ``return_proba`` each future resolves to a
+        :class:`Prediction`; a batcher built without a ``proba_fn``
+        refuses with ``ValueError`` here, before anything is enqueued.
         """
+        if return_proba and self._proba_fn is None:
+            raise ValueError(
+                "this model does not serve probabilities "
+                "(no predict_proba / proba_fn)"
+            )
         prepared = [self._validate(series) for series in series_list]
         futures: list[Future] = [Future() for _ in prepared]
         deadline = None if not timeout else time.monotonic() + timeout
@@ -203,7 +257,7 @@ class MicroBatcher:
                 self._space.wait(remaining)
             now = time.monotonic()
             for series, future in zip(prepared, futures):
-                self._queue.put((series, future, now))
+                self._queue.put((series, future, now, return_proba))
         return futures
 
     def _validate(self, series) -> np.ndarray:
@@ -312,31 +366,44 @@ class MicroBatcher:
             if stop:
                 return
 
-    def _run_batch(self, batch: list[tuple[np.ndarray, Future, float]]) -> None:
+    def _run_batch(self, batch: list[tuple[np.ndarray, Future, float, bool]]) -> None:
         self.stats._record_batch(len(batch))
+        want_proba = any(proba for _, _, _, proba in batch)
+        probas = None
         try:
             # stack stays inside the try: without an input_shape the series
             # in one batch may disagree, and that must fail the requests,
             # not kill the worker thread.
-            panel = np.stack([series for series, _, _ in batch])
-            predictions = self._predict_fn(panel)
+            panel = np.stack([series for series, _, _, _ in batch])
+            if want_proba:
+                # One pass serves the whole mixed batch: labels derive from
+                # the probability rows (classes[argmax] == predict is part
+                # of the classifier contract), so a batch that coalesced
+                # proba and plain requests never predicts twice.
+                probas = np.asarray(self._proba_fn(panel))
+                predictions = self.classes[probas.argmax(axis=1)]
+            else:
+                predictions = self._predict_fn(panel)
         except Exception as error:  # noqa: BLE001 - forwarded to every caller
             self._finish(batch, error=error)
             return
-        if len(predictions) != len(batch):
+        if len(predictions) != len(batch) or \
+                (probas is not None and probas.shape[0] != len(batch)):
             self._finish(batch, error=RuntimeError(
                 f"predict_fn returned {len(predictions)} predictions "
                 f"for a batch of {len(batch)}"
             ))
             return
-        self._finish(batch, results=predictions)
+        self._finish(batch, results=predictions, probas=probas)
 
-    def _finish(self, batch, results=None, error=None) -> None:
+    def _finish(self, batch, results=None, error=None, probas=None) -> None:
         """Complete every future in *batch*, recording observed latency."""
         now = time.monotonic()
-        for index, (_, future, submitted) in enumerate(batch):
+        for index, (_, future, submitted, want_proba) in enumerate(batch):
             self.stats.latency.observe(now - submitted)
             if error is not None:
                 future.set_exception(error)
+            elif want_proba:
+                future.set_result(Prediction(results[index], probas[index]))
             else:
                 future.set_result(results[index])

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 __all__ = [
     "BATCH_SIZE_BUCKETS",
+    "CONFIDENCE_BUCKETS",
     "LATENCY_BUCKETS",
     "Counter",
     "Gauge",
@@ -42,6 +43,10 @@ LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 #: micro-batch panel sizes; powers of two up to the default max_batch
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
+#: per-window top-1 confidence: dense near 1.0 where healthy models live,
+#: so a drift-induced slide out of the top buckets is visible at a glance
+CONFIDENCE_BUCKETS = (0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1.0)
+
 
 class Counter:
     """A thread-safe monotone counter.
@@ -59,6 +64,7 @@ class Counter:
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
+        """Add *amount* (≥ 0; a negative step raises ``ValueError``)."""
         if amount < 0:
             raise ValueError(f"a Counter only grows; got {amount}")
         with self._lock:
@@ -66,6 +72,7 @@ class Counter:
 
     @property
     def value(self) -> int:
+        """The current running total."""
         with self._lock:
             return self._value
 
@@ -84,15 +91,24 @@ class Gauge:
         self._lock = threading.Lock()
 
     def inc(self, amount: int = 1) -> None:
+        """Raise the level by *amount* (default one)."""
         with self._lock:
             self._value += amount
 
     def dec(self, amount: int = 1) -> None:
+        """Lower the level by *amount* (default one)."""
         with self._lock:
             self._value -= amount
 
+    def set(self, value: int) -> None:
+        """Overwrite the level — for gauges that track an identity (the
+        live canary version) rather than a running delta."""
+        with self._lock:
+            self._value = int(value)
+
     @property
     def value(self) -> int:
+        """The gauge's current level (may be negative)."""
         with self._lock:
             return self._value
 
@@ -107,6 +123,7 @@ class HistogramSnapshot:
 
     @property
     def count(self) -> int:
+        """Total observations across every bucket (incl. +Inf)."""
         return sum(self.counts)
 
     def cumulative(self) -> list[int]:
@@ -139,6 +156,7 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value) -> None:
+        """Record one observation into its ``le``-inclusive bucket."""
         value = float(value)
         index = bisect_left(self.bounds, value)
         with self._lock:
@@ -147,10 +165,12 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Total observations recorded so far."""
         with self._lock:
             return sum(self._counts)
 
     def snapshot(self) -> HistogramSnapshot:
+        """A consistent point-in-time :class:`HistogramSnapshot` copy."""
         with self._lock:
             return HistogramSnapshot(self.bounds, tuple(self._counts), self._sum)
 

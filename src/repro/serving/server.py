@@ -55,12 +55,19 @@ import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
 from ..experiments.protocol import _prepare as _protocol_prepare
-from .batcher import BatcherStats, MicroBatcher, QueueFullError
-from .metrics import Counter, Gauge, format_sample, render_histogram
+from .batcher import BatcherStats, MicroBatcher, Prediction, QueueFullError
+from .metrics import (
+    CONFIDENCE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    format_sample,
+    render_histogram,
+)
 from .registry import ModelRecord, ModelRegistry
 
-__all__ = ["PredictionService", "PredictionServer", "ServingError",
-           "StreamStats", "create_server", "prepare_panel",
+__all__ = ["AdaptationStats", "PredictionService", "PredictionServer",
+           "ServingError", "StreamStats", "create_server", "prepare_panel",
            "PROTOCOL_PREPROCESSING"]
 
 #: metadata value written by ``repro train`` — the training-protocol
@@ -106,11 +113,46 @@ class StreamStats:
     active: Gauge = field(default_factory=Gauge)
     windows: Counter = field(default_factory=Counter)
     shifts: Counter = field(default_factory=Counter)
+    #: top-1 confidence per scored window (only when the model serves
+    #: probabilities) — the live distribution the drift monitor watches
+    confidence: Histogram = field(
+        default_factory=lambda: Histogram(CONFIDENCE_BUCKETS))
 
-    def record_window(self, *, shift: bool = False) -> None:
+    def record_window(self, *, shift: bool = False,
+                      confidence: float | None = None) -> None:
+        """Count one scored window (and its confidence, when known)."""
         self.windows.inc()
         if shift:
             self.shifts.inc()
+        if confidence is not None:
+            self.confidence.observe(confidence)
+
+
+@dataclass
+class AdaptationStats:
+    """Per-model-*name* adaptation counters for ``/metrics``.
+
+    Adaptation is a property of a model's lineage, not of one version —
+    retraining mints new versions — so these live one per name for the
+    process lifetime, updated by the
+    :class:`~repro.adaptation.AdaptationController` driving that name.
+    """
+
+    retrainings: Counter = field(default_factory=Counter)
+    promotions: Counter = field(default_factory=Counter)
+    rollbacks: Counter = field(default_factory=Counter)
+    shadow_windows: Counter = field(default_factory=Counter)
+    shadow_agreements: Counter = field(default_factory=Counter)
+    #: version currently tagged canary (0 = no live canary)
+    canary_version: Gauge = field(default_factory=Gauge)
+    #: live windows scored since the current canary was published
+    canary_age: Gauge = field(default_factory=Gauge)
+
+    def record_shadow(self, *, agreed: bool) -> None:
+        """Count one shadow-scored window (and whether the models agreed)."""
+        self.shadow_windows.inc()
+        if agreed:
+            self.shadow_agreements.inc()
 
 
 class PredictionService:
@@ -162,6 +204,8 @@ class PredictionService:
         self._stats: dict[tuple[str, int], BatcherStats] = {}
         #: per-version streaming stats (same lifetime rules)
         self._streams: dict[tuple[str, int], StreamStats] = {}
+        #: per-*name* adaptation stats (retraining is a lineage property)
+        self._adaptation: dict[str, AdaptationStats] = {}
         self._http_responses: dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -181,7 +225,8 @@ class PredictionService:
         health-check loop never hammers the filesystem."""
         return {"status": "ok", "models": len(self.registry.list_models())}
 
-    def predict(self, name: str, instances, version=None) -> dict:
+    def predict(self, name: str, instances, version=None, *,
+                return_proba: bool = False) -> dict:
         """Classify *instances* — a sequence of series, each ``(channels,
         length)`` or 1-D univariate.  A single 2-D array is accepted as a
         one-series convenience; everything else is validated per series,
@@ -189,26 +234,43 @@ class PredictionService:
         rather than being misread as one multivariate series.
 
         Returns ``{"model", "version", "labels"}``; labels come back in
-        request order whatever batches the series landed in.  Raises
-        :class:`ServingError` 429 under backpressure, 503 on shutdown.
+        request order whatever batches the series landed in.  With
+        ``return_proba`` the result additionally carries ``"probas"``
+        (one row-stochastic vector per instance), ``"confidences"`` (its
+        per-instance maximum) and ``"classes"`` (the label values the
+        probability columns refer to); a model without a probability
+        head answers 400.  Raises :class:`ServingError` 429 under
+        backpressure, 503 on shutdown.
         """
         with self._idle:
             if self._closed:
                 raise ServingError(503, "service is shutting down")
             self._active += 1
         try:
-            record, futures = self._admit(name, instances, version, None)
+            record, futures = self._admit(name, instances, version, None,
+                                          return_proba)
             try:
-                labels = [_jsonable(future.result(timeout=self.predict_timeout))
-                          for future in futures]
+                results = [future.result(timeout=self.predict_timeout)
+                           for future in futures]
             except FutureTimeoutError as error:
                 # Fail fast instead of parking a handler thread forever on
                 # a stalled batcher.
                 raise ServingError(
                     503, f"prediction timed out after {self.predict_timeout}s"
                 ) from error
-            return {"model": record.name, "version": record.version,
-                    "labels": labels}
+            if not return_proba:
+                return {"model": record.name, "version": record.version,
+                        "labels": [_jsonable(label) for label in results]}
+            classes = self._classes(record)
+            return {
+                "model": record.name, "version": record.version,
+                "labels": [_jsonable(result.label) for result in results],
+                "probas": [[float(p) for p in result.proba]
+                           for result in results],
+                "confidences": [float(result.proba.max())
+                                for result in results],
+                "classes": classes,
+            }
         finally:
             with self._idle:
                 self._active -= 1
@@ -216,7 +278,8 @@ class PredictionService:
                     self._idle.notify_all()
 
     def submit(self, name: str, instances, version=None, *,
-               queue_timeout: float | None = None
+               queue_timeout: float | None = None,
+               return_proba: bool = False
                ) -> tuple[ModelRecord, list[Future]]:
         """Admit *instances* to the model's batcher without waiting.
 
@@ -224,7 +287,10 @@ class PredictionService:
         keeps many windows in flight and collects their futures in its
         own order.  With *queue_timeout*, a full queue blocks (bounded)
         instead of answering 429 immediately — mid-stream there is no
-        client to bounce, so waiting *is* the backpressure.
+        client to bounce, so waiting *is* the backpressure.  With
+        ``return_proba`` each future resolves to a
+        :class:`~repro.serving.batcher.Prediction` (label + probability
+        vector) instead of a bare label.
 
         Raises the same :class:`ServingError` family as :meth:`predict`.
         """
@@ -233,15 +299,36 @@ class PredictionService:
                 raise ServingError(503, "service is shutting down")
             self._active += 1
         try:
-            return self._admit(name, instances, version, queue_timeout)
+            return self._admit(name, instances, version, queue_timeout,
+                               return_proba)
         finally:
             with self._idle:
                 self._active -= 1
                 if not self._active:
                     self._idle.notify_all()
 
-    def _admit(self, name: str, instances, version,
-               queue_timeout) -> tuple[ModelRecord, list[Future]]:
+    def serves_proba(self, name: str, version=None) -> bool:
+        """Whether ``name[:version]`` can answer ``return_proba`` requests.
+
+        Resolving loads the model (memoised) — callers that stream ask
+        once at stream-open, not per window.  Raises ``ServingError`` 404
+        for an unknown model, 503 on shutdown.
+        """
+        _, batcher = self._resolve(name, version)
+        return batcher.serves_proba
+
+    def _classes(self, record: ModelRecord) -> list:
+        """JSON-ready label values aligned with the model's proba columns."""
+        key = (record.name, record.version)
+        with self._lock:
+            entry = self._loaded.get(key)
+        classes = entry[1].classes if entry is not None else None
+        if classes is None:
+            return record.metadata.get("labels") or []
+        return [_jsonable(value) for value in classes]
+
+    def _admit(self, name: str, instances, version, queue_timeout,
+               return_proba: bool = False) -> tuple[ModelRecord, list[Future]]:
         if isinstance(instances, np.ndarray):
             if instances.ndim in (1, 2):
                 instances = instances[None]
@@ -253,7 +340,8 @@ class PredictionService:
             try:
                 # All-or-nothing admission: a 429 never leaves already-
                 # submitted series computing for a client that will retry.
-                futures = batcher.submit_many(instances, timeout=queue_timeout)
+                futures = batcher.submit_many(instances, timeout=queue_timeout,
+                                              return_proba=return_proba)
                 return record, futures
             except QueueFullError as error:
                 raise ServingError(429, str(error), retry_after=1) from error
@@ -298,7 +386,14 @@ class PredictionService:
         stats.active.inc()
         return record, stats
 
+    def adaptation_stats(self, name: str) -> AdaptationStats:
+        """The per-name :class:`AdaptationStats`, created on first use."""
+        with self._lock:
+            return self._adaptation.setdefault(name, AdaptationStats())
+
     def close_stream(self, record: ModelRecord) -> None:
+        """Count the stream on *record* as closed (active-gauge pair of
+        :meth:`open_stream`; idempotence is the scorer's job)."""
         with self._lock:
             stats = self._streams.get((record.name, record.version))
         if stats is not None:
@@ -339,6 +434,7 @@ class PredictionService:
         with self._lock:
             stats = list(self._stats.items())
             streams = sorted(self._streams.items())
+            adaptation = sorted(self._adaptation.items())
             depths = {key: batcher.queue_depth
                       for key, (_, batcher) in self._loaded.items()}
             responses = sorted(self._http_responses.items())
@@ -391,6 +487,53 @@ class PredictionService:
                "Windows the drift monitor flagged as shifted.",
                (format_sample("repro_serving_stream_shifts_total", labels(key),
                               stream.shifts.value) for key, stream in streams))
+        def name_labels(name):
+            return {"model": name}
+
+        family("repro_serving_adaptation_retrainings_total", "counter",
+               "Canary retrainings triggered by confirmed drift flags.",
+               (format_sample("repro_serving_adaptation_retrainings_total",
+                              name_labels(name), stat.retrainings.value)
+                for name, stat in adaptation))
+        family("repro_serving_adaptation_promotions_total", "counter",
+               "Canaries promoted to the stable tag.",
+               (format_sample("repro_serving_adaptation_promotions_total",
+                              name_labels(name), stat.promotions.value)
+                for name, stat in adaptation))
+        family("repro_serving_adaptation_rollbacks_total", "counter",
+               "Canaries rolled back after shadow scoring.",
+               (format_sample("repro_serving_adaptation_rollbacks_total",
+                              name_labels(name), stat.rollbacks.value)
+                for name, stat in adaptation))
+        family("repro_serving_shadow_windows_total", "counter",
+               "Live windows shadow-scored against a canary.",
+               (format_sample("repro_serving_shadow_windows_total",
+                              name_labels(name), stat.shadow_windows.value)
+                for name, stat in adaptation))
+        family("repro_serving_shadow_agreements_total", "counter",
+               "Shadow windows where canary and stable predicted alike.",
+               (format_sample("repro_serving_shadow_agreements_total",
+                              name_labels(name), stat.shadow_agreements.value)
+                for name, stat in adaptation))
+        family("repro_serving_canary_version", "gauge",
+               "Version currently under canary evaluation (0 = none).",
+               (format_sample("repro_serving_canary_version",
+                              name_labels(name), stat.canary_version.value)
+                for name, stat in adaptation))
+        family("repro_serving_canary_age_windows", "gauge",
+               "Live windows scored since the current canary was published.",
+               (format_sample("repro_serving_canary_age_windows",
+                              name_labels(name), stat.canary_age.value)
+                for name, stat in adaptation))
+        confidence_lines: list[str] = []
+        for key, stream in streams:
+            if stream.confidence.count:
+                confidence_lines.extend(render_histogram(
+                    "repro_serving_stream_confidence", labels(key),
+                    stream.confidence.snapshot()))
+        family("repro_serving_stream_confidence", "histogram",
+               "Top-1 probability per scored window (proba-serving models).",
+               confidence_lines)
         batch_lines: list[str] = []
         latency_lines: list[str] = []
         for key, stat in stats:
@@ -441,6 +584,17 @@ class PredictionService:
                 == PROTOCOL_PREPROCESSING
             if preprocessed:
                 predict_fn = lambda panel, _m=model: _m.predict(prepare_panel(panel))  # noqa: E731
+            # Probability head: enabled whenever the model serves
+            # predict_proba *and* exposes its class order — the batcher
+            # derives labels from probability rows, so the column labels
+            # are not optional.
+            proba_fn = getattr(model, "predict_proba", None)
+            classes = getattr(model, "classes_", None)
+            if proba_fn is not None and classes is not None:
+                if preprocessed:
+                    proba_fn = lambda panel, _m=model: _m.predict_proba(prepare_panel(panel))  # noqa: E731
+            else:
+                proba_fn = classes = None
             shape = record.metadata.get("input_shape")
             with self._lock:
                 stats = self._stats.setdefault(key, BatcherStats())
@@ -453,6 +607,7 @@ class PredictionService:
                 # and must stay so (missing values are a modelled archive
                 # characteristic).
                 admit_nan=preprocessed, stats=stats,
+                proba_fn=proba_fn, classes=classes,
             ))
             evicted = []
             with self._lock:
@@ -544,12 +699,17 @@ class _Handler(BaseHTTPRequestHandler):
         if single == ("instances" in body):
             raise ServingError(400, "provide exactly one of 'series' or 'instances'")
         instances = [body["series"]] if single else body["instances"]
+        want_proba = bool(body.get("proba", False))
         try:
-            result = self.service.predict(name, instances, body.get("version"))
+            result = self.service.predict(name, instances, body.get("version"),
+                                          return_proba=want_proba)
         except ValueError as error:
             raise ServingError(400, str(error)) from error
         if single:
             result["label"] = result.pop("labels")[0]
+            if want_proba:
+                result["proba"] = result.pop("probas")[0]
+                result["confidence"] = result.pop("confidences")[0]
         return result
 
     # ------------------------------------------------------------------ #
@@ -568,8 +728,11 @@ class _Handler(BaseHTTPRequestHandler):
         ``Content-Length`` body.  The response is NDJSON too, streamed in
         chunked encoding: one ``{"kind": "window", ...}`` line per scored
         window *as it resolves*, then one ``{"kind": "summary", ...}``
-        line.  Failures after the 200 status has been committed are
-        reported in-band as a ``{"kind": "error", ...}`` line.
+        line.  Window lines carry ``confidence`` whenever the model
+        serves probabilities; ``?proba=1`` additionally inlines each
+        window's full probability vector.  Failures after the 200 status
+        has been committed are reported in-band as a
+        ``{"kind": "error", ...}`` line.
         """
         from ..streaming.scorer import StreamScorer  # deferred: avoids a cycle
 
@@ -578,6 +741,8 @@ class _Handler(BaseHTTPRequestHandler):
             window = int(query.get("window", ["32"])[0])
             hop = int(query.get("hop", [str(window)])[0])
             version = query.get("version", [None])[0]
+            with_proba = query.get("proba", ["0"])[0].lower() \
+                not in ("", "0", "false")
             body_lines = self._open_body_lines()
             scorer = StreamScorer(self.service, name, window=window, hop=hop,
                                   version=version)
@@ -610,9 +775,11 @@ class _Handler(BaseHTTPRequestHandler):
                         )
                     for result in scorer.feed(sample["values"],
                                               sample.get("label")):
-                        sent += self._write_stream_line(result.as_dict())
+                        sent += self._write_stream_line(
+                            result.as_dict(with_proba=with_proba))
                 for result in scorer.finish():
-                    sent += self._write_stream_line(result.as_dict())
+                    sent += self._write_stream_line(
+                        result.as_dict(with_proba=with_proba))
                 sent += self._write_stream_line({
                     "kind": "summary", "model": scorer.record.name,
                     "version": scorer.record.version,
@@ -790,14 +957,15 @@ class PredictionServer(ThreadingHTTPServer):
         self.service = service
 
     def server_close(self) -> None:
-        # Drain first: in-flight predicts finish and every batcher empties
-        # before the listening socket is torn down, so a graceful stop
-        # never abandons an admitted request.
+        """Graceful stop: drain in-flight predicts and every batcher
+        queue before the listening socket is torn down, so a stop never
+        abandons an admitted request."""
         self.service.close()
         super().server_close()
 
     @property
     def port(self) -> int:
+        """The bound TCP port (useful with ``port=0`` ephemeral binds)."""
         return self.server_address[1]
 
 

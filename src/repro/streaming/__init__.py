@@ -12,13 +12,16 @@ arrives in — a continuous multivariate stream scored as data flows:
   serving runtime's micro-batcher so streaming and batch traffic share
   backpressure, metrics and the LRU model lifecycle;
 * :mod:`repro.streaming.drift` — a fast-vs-slow EWMA drift monitor
-  flagging concept shifts from accuracy (when truth labels ride along)
-  or from the predicted-label distribution (when they don't);
+  flagging concept shifts from accuracy (when truth labels ride along),
+  from the model's top-1 confidence (when the serving path carries
+  probabilities — every registry family does), or from the
+  predicted-label distribution as a last resort;
 * :mod:`repro.streaming.client` — the stdlib chunked-NDJSON client for
   the server's ``POST /v1/models/<name>/stream`` endpoint.
 
-The CLI front-end is ``repro stream``; see the README's Streaming
-section for the wire format.
+:mod:`repro.adaptation` closes the loop on the drift flags this package
+raises (retrain → canary → promote).  The CLI front-end is ``repro
+stream``; wire format: ``docs/http-api.md``.
 """
 
 from .drift import DriftMonitor, DriftState

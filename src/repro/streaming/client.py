@@ -57,7 +57,7 @@ def _encode_sample(sample) -> bytes:
 
 def stream_windows(host: str, port: int, name: str, samples: Iterable, *,
                    window: int, hop: int | None = None, version=None,
-                   timeout: float = 60.0) -> Iterator[dict]:
+                   proba: bool = False, timeout: float = 60.0) -> Iterator[dict]:
     """Stream *samples* to a served model; yield its response lines.
 
     Yields each ``{"kind": "window", ...}`` line as the server emits it,
@@ -65,12 +65,18 @@ def stream_windows(host: str, port: int, name: str, samples: Iterable, *,
     surfaces as a ``{"kind": "error", ...}`` line (the generator ends
     after it).  A refusal before the stream starts (unknown model, bad
     parameters) raises :class:`StreamRequestError`.
+
+    Window lines carry a ``confidence`` field whenever the served model
+    provides probabilities; *proba* additionally requests each window's
+    full probability vector (``?proba=1``).
     """
     query = {"window": int(window)}
     if hop is not None:
         query["hop"] = int(hop)
     if version is not None:
         query["version"] = version
+    if proba:
+        query["proba"] = 1
     path = (f"/v1/models/{urllib.parse.quote(name)}/stream?"
             + urllib.parse.urlencode(query))
 

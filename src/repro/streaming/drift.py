@@ -2,32 +2,43 @@
 
 The monitor compares a **fast** and a **slow** exponentially weighted
 view of the same stream; when the recent past stops looking like the
-long-run past, the stream has shifted.  Two signals feed it, used
+long-run past, the stream has shifted.  Three signals feed it, used
 according to what the stream provides:
 
 * **accuracy** — when ground-truth labels ride along (replayed panels,
   synthetic sources), each window contributes a 0/1 correctness score;
   a shift shows up as the fast accuracy EWMA falling below the slow one
   by more than ``threshold``;
-* **prediction distribution** — always available: per-label frequency
-  EWMAs, compared by total-variation distance.  A concept shift that
-  changes which classes the model predicts is caught even with no truth
-  labels at all (the unsupervised deployment case).  The fast view can
-  move at most ``~0.66 x`` the true mix change before the slow view
+* **confidence** — when the serving path carries probabilities (every
+  registry family does), each window contributes its top-1 probability;
+  a shift shows up as the fast confidence EWMA falling below the slow
+  one by more than ``confidence_threshold``.  This is the unlabelled
+  deployment signal of choice: a model scoring data its training
+  distribution never produced is *less sure*, even when the labels it
+  emits keep the same mix.  Its blind spot is the complement of its
+  strength: a shift that swaps inputs among *known* concepts (a clean
+  prototype permutation) keeps the model confidently wrong — only the
+  accuracy signal can see that one;
+* **prediction distribution** — the no-probability fallback: per-label
+  frequency EWMAs, compared by total-variation distance.  Once any
+  confidence observation has arrived this signal is **retired** — the
+  confidence EWMA supersedes the label-mix heuristic, which stays only
+  for models that genuinely cannot serve probabilities.  The fast view
+  can move at most ``~0.66 x`` the true mix change before the slow view
   catches up, so the default threshold targets *large* mix changes (a
   class collapse); lower it for subtler shifts, at a false-positive
   cost.  A shift that permutes the data without changing the predicted
   mix (a symmetric rotation under a uniform class mix) is invisible to
-  this signal by construction — only the accuracy signal can see it.
+  this signal by construction.
 
 The slow view *mirrors* the fast view until ``warmup`` windows have
 passed — the long-run reference is a snapshot of a genuinely observed
 baseline, not a half-initialised average — so the divergence starts at
 zero and the ``shift`` flag cannot fire during warmup: a flag means the
-stream *changed*, not that the monitor just woke up.  The distribution
-signal additionally requires ``persistence`` consecutive above-threshold
-windows, because an EWMA of a noisy label mix wanders past any threshold
-occasionally; a real mix change stays there.
+stream *changed*, not that the monitor just woke up.  The confidence and
+distribution signals additionally require ``persistence`` consecutive
+above-threshold windows, because an EWMA of a noisy per-window statistic
+wanders past any threshold occasionally; a real change stays there.
 """
 
 from __future__ import annotations
@@ -47,7 +58,9 @@ class DriftState:
     accuracy_fast: float | None  # None until a truth label is seen
     accuracy_slow: float | None
     shift: bool
-    signal: str | None  # "accuracy" | "distribution" when shift is set
+    signal: str | None  # "accuracy" | "confidence" | "distribution"
+    confidence_fast: float | None = None  # None until a confidence is seen
+    confidence_slow: float | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready form for the NDJSON wire format."""
@@ -55,6 +68,9 @@ class DriftState:
         if self.accuracy_fast is not None:
             out["accuracy_fast"] = round(self.accuracy_fast, 4)
             out["accuracy_slow"] = round(self.accuracy_slow, 4)
+        if self.confidence_fast is not None:
+            out["confidence_fast"] = round(self.confidence_fast, 4)
+            out["confidence_slow"] = round(self.confidence_slow, 4)
         if self.signal is not None:
             out["signal"] = self.signal
         return out
@@ -72,18 +88,28 @@ class DriftMonitor:
         Flag a shift when the fast-vs-slow divergence exceeds this — an
         accuracy drop (slow minus fast) or a total-variation distance
         between predicted-label mixes, whichever signal trips first.
+    confidence_threshold:
+        Flag threshold of the confidence signal: the fast mean top-1
+        confidence falling this far below the slow one.  Confidence
+        erodes more subtly than accuracy collapses (a drifted model is
+        often still *fairly* sure of its wrong answers), and the
+        fast-vs-slow geometry caps the observable gap at roughly 0.6x
+        the true level drop (the slow view decays toward the new level
+        while the fast view falls), so the default is much smaller than
+        ``threshold``: 0.08 detects sustained erosions of ~0.15 while
+        ``persistence`` keeps stationary noise from flagging.
     warmup:
         Windows during which the slow view shadows the fast one and no
         flag may fire.
     persistence:
-        Consecutive above-threshold windows the *distribution* signal
-        needs before flagging (the accuracy signal flags immediately —
-        a genuine accuracy collapse is unambiguous).
+        Consecutive above-threshold windows the *confidence* and
+        *distribution* signals need before flagging (the accuracy signal
+        flags immediately — a genuine accuracy collapse is unambiguous).
     """
 
     def __init__(self, *, alpha_fast: float = 0.15, alpha_slow: float = 0.02,
-                 threshold: float = 0.35, warmup: int = 10,
-                 persistence: int = 5):
+                 threshold: float = 0.35, confidence_threshold: float = 0.08,
+                 warmup: int = 10, persistence: int = 5):
         if not 0.0 < alpha_slow <= alpha_fast <= 1.0:
             raise ValueError(
                 f"need 0 < alpha_slow <= alpha_fast <= 1; "
@@ -91,6 +117,10 @@ class DriftMonitor:
             )
         if threshold <= 0:
             raise ValueError(f"threshold must be > 0; got {threshold}")
+        if confidence_threshold <= 0:
+            raise ValueError(
+                f"confidence_threshold must be > 0; got {confidence_threshold}"
+            )
         if warmup < 0:
             raise ValueError(f"warmup must be >= 0; got {warmup}")
         if persistence < 1:
@@ -98,30 +128,56 @@ class DriftMonitor:
         self.alpha_fast = float(alpha_fast)
         self.alpha_slow = float(alpha_slow)
         self.threshold = float(threshold)
+        self.confidence_threshold = float(confidence_threshold)
         self.warmup = int(warmup)
         self.persistence = int(persistence)
         self._windows = 0
         self._diverging = 0  # consecutive windows past the threshold
+        self._conf_diverging = 0  # consecutive confidence drops past threshold
         self._freq_fast: dict[object, float] = {}
         self._freq_slow: dict[object, float] = {}
         self._acc_fast: float | None = None
         self._acc_slow: float | None = None
+        self._conf_fast: float | None = None
+        self._conf_slow: float | None = None
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
 
-    def update(self, predicted, truth=None) -> DriftState:
-        """Record one window's prediction (and truth, if known)."""
+    def update(self, predicted, truth=None, confidence=None) -> DriftState:
+        """Record one window's prediction (plus truth and top-1
+        confidence when known) and return the monitor's updated view.
+
+        Parameters
+        ----------
+        predicted:
+            The window's predicted label (any hashable / numpy scalar).
+        truth:
+            Optional ground-truth label; feeds the accuracy signal.
+        confidence:
+            Optional top-1 probability of the prediction; feeds the
+            confidence signal and permanently retires the label-mix
+            fallback from the first observation on.
+
+        Returns
+        -------
+        DriftState
+            Frozen snapshot; ``shift`` is ``True`` when any enabled
+            signal fired this window.
+        """
         with self._lock:
             self._windows += 1
             self._update_distribution(predicted)
             if truth is not None:
                 self._update_accuracy(float(predicted == truth))
+            if confidence is not None:
+                self._update_confidence(float(confidence))
             if self._windows <= self.warmup:
                 # The long-run reference is the state of the observed
                 # baseline, not a half-initialised average.
                 self._freq_slow = dict(self._freq_fast)
                 self._acc_slow = self._acc_fast
+                self._conf_slow = self._conf_fast
             divergence = 0.5 * sum(
                 abs(self._freq_fast.get(label, 0.0)
                     - self._freq_slow.get(label, 0.0))
@@ -130,17 +186,29 @@ class DriftMonitor:
             drop = 0.0
             if self._acc_fast is not None:
                 drop = max(0.0, self._acc_slow - self._acc_fast)
+            conf_drop = 0.0
+            if self._conf_fast is not None:
+                conf_drop = max(0.0, self._conf_slow - self._conf_fast)
             self._diverging = self._diverging + 1 \
                 if divergence > self.threshold else 0
+            self._conf_diverging = self._conf_diverging + 1 \
+                if conf_drop > self.confidence_threshold else 0
             signal = None
             if self._windows > self.warmup:
                 if drop > self.threshold:
                     signal = "accuracy"
-                elif self._diverging >= self.persistence:
+                elif self._conf_diverging >= self.persistence:
+                    signal = "confidence"
+                elif self._conf_fast is None \
+                        and self._diverging >= self.persistence:
+                    # The label-mix heuristic serves only streams whose
+                    # model cannot report how sure it is.
                     signal = "distribution"
             return DriftState(
                 windows=self._windows, divergence=divergence,
                 accuracy_fast=self._acc_fast, accuracy_slow=self._acc_slow,
+                confidence_fast=self._conf_fast,
+                confidence_slow=self._conf_slow,
                 shift=signal is not None, signal=signal,
             )
 
@@ -164,6 +232,13 @@ class DriftMonitor:
         else:
             self._acc_fast += self.alpha_fast * (correct - self._acc_fast)
             self._acc_slow += self.alpha_slow * (correct - self._acc_slow)
+
+    def _update_confidence(self, confidence: float) -> None:
+        if self._conf_fast is None:
+            self._conf_fast = self._conf_slow = confidence
+        else:
+            self._conf_fast += self.alpha_fast * (confidence - self._conf_fast)
+            self._conf_slow += self.alpha_slow * (confidence - self._conf_slow)
 
 
 def _key(label):

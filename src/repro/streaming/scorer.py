@@ -95,13 +95,24 @@ class WindowResult:
     label: object  # the model's prediction
     truth: int | None  # ground truth of the freshest sample, when known
     drift: DriftState | None
+    confidence: float | None = None  # top-1 probability, when served
+    proba: np.ndarray | None = None  # full probability vector, when served
 
-    def as_dict(self) -> dict:
-        """JSON-ready form — the NDJSON wire format's ``window`` line."""
+    def as_dict(self, *, with_proba: bool = False) -> dict:
+        """JSON-ready form — the NDJSON wire format's ``window`` line.
+
+        ``confidence`` rides along whenever the model served it;
+        *with_proba* additionally inlines the full probability vector
+        (off by default: it multiplies the line size by the class count).
+        """
         out = {"kind": "window", "index": self.index, "start": self.start,
                "end": self.end, "label": self.label}
         if self.truth is not None:
             out["truth"] = self.truth
+        if self.confidence is not None:
+            out["confidence"] = round(self.confidence, 4)
+        if with_proba and self.proba is not None:
+            out["proba"] = [round(float(p), 6) for p in self.proba]
         if self.drift is not None:
             out["drift"] = self.drift.as_dict()
         return out
@@ -114,6 +125,7 @@ class _Pending:
     end: int
     truth: int | None
     future: object
+    panel: np.ndarray  # kept until resolution for adapter replay buffers
 
 
 class StreamScorer:
@@ -129,11 +141,25 @@ class StreamScorer:
     its **most recent** sample — windows straddling a concept boundary are
     judged against the new concept, which is what makes the accuracy
     signal drop promptly after a shift.
+
+    When the model serves probabilities (every registry family does),
+    windows are scored through the batcher's probability path: each
+    result carries the top-1 ``confidence`` (and the full ``proba``
+    vector), and the drift monitor runs its confidence EWMA instead of
+    the label-mix fallback.  *use_proba* forces the choice; the default
+    asks the service once at stream open.
+
+    An optional *adapter* (an
+    :class:`~repro.adaptation.AdaptationController` or anything with its
+    ``observe(panel, result)`` method) sees every resolved window along
+    with the panel that produced it — the hook the drift-triggered
+    canary retraining loop hangs off.
     """
 
     def __init__(self, service, name: str, *, window: int, hop: int | None = None,
                  version=None, monitor: DriftMonitor | None = None,
-                 max_inflight: int = 32, queue_timeout: float = 5.0):
+                 max_inflight: int = 32, queue_timeout: float = 5.0,
+                 use_proba: bool | None = None, adapter=None):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
         if window < 1:
@@ -147,7 +173,17 @@ class StreamScorer:
         self.monitor = monitor if monitor is not None else DriftMonitor()
         self.max_inflight = int(max_inflight)
         self.queue_timeout = float(queue_timeout)
+        self.adapter = adapter
         self.record, self._stats = service.open_stream(name, version)
+        try:
+            if use_proba is None:
+                probe = getattr(service, "serves_proba", None)
+                use_proba = bool(probe(name, version)) if probe else False
+            self.use_proba = bool(use_proba)
+        except BaseException:
+            # The stream was counted as open above; don't leak the gauge.
+            service.close_stream(self.record)
+            raise
         self._windower: SlidingWindower | None = None  # lazy: first sample
         self._pending: deque[_Pending] = deque()
         #: resolved ahead of collection (inflight-cap waits); always older
@@ -162,6 +198,7 @@ class StreamScorer:
 
     @property
     def samples(self) -> int:
+        """Samples fed so far (window-complete or not)."""
         return self._samples
 
     @property
@@ -197,6 +234,8 @@ class StreamScorer:
         return self._collect(drain=True)
 
     def close(self) -> None:
+        """Release the stream (idempotent): drops the active-streams
+        gauge and makes further ``feed`` calls fail."""
         if not self._closed:
             self._closed = True
             self.service.close_stream(self.record)
@@ -218,11 +257,12 @@ class StreamScorer:
         end = self._windower.seen - 1
         _, futures = self.service.submit(
             self.record.name, [panel], self.record.version,
-            queue_timeout=self.queue_timeout,
+            queue_timeout=self.queue_timeout, return_proba=self.use_proba,
         )
         self._pending.append(_Pending(
             index=index, start=end - self.window + 1, end=end,
             truth=None if truth is None else int(truth), future=futures[0],
+            panel=panel,
         ))
         self._submitted += 1
 
@@ -238,7 +278,7 @@ class StreamScorer:
         head = self._pending.popleft()
         timeout = getattr(self.service, "predict_timeout", 30.0)
         try:
-            label = _key(head.future.result(timeout=timeout))
+            outcome = head.future.result(timeout=timeout)
         except FutureTimeoutError as error:
             # The same 503 the batch path answers; on 3.11+ the bare
             # FutureTimeoutError aliases TimeoutError, which transports
@@ -247,9 +287,20 @@ class StreamScorer:
                 503, f"window {head.index} prediction timed out after "
                      f"{timeout}s"
             ) from error
-        state = self.monitor.update(label, head.truth)
+        proba = confidence = None
+        if self.use_proba:
+            label = _key(outcome.label)
+            proba = np.asarray(outcome.proba)
+            confidence = float(proba.max())
+        else:
+            label = _key(outcome)
+        state = self.monitor.update(label, head.truth, confidence)
         if state.shift:
             self._shifts += 1
-        self._stats.record_window(shift=state.shift)
-        return WindowResult(index=head.index, start=head.start, end=head.end,
-                            label=label, truth=head.truth, drift=state)
+        self._stats.record_window(shift=state.shift, confidence=confidence)
+        result = WindowResult(index=head.index, start=head.start, end=head.end,
+                              label=label, truth=head.truth, drift=state,
+                              confidence=confidence, proba=proba)
+        if self.adapter is not None:
+            self.adapter.observe(head.panel, result)
+        return result

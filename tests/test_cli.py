@@ -247,6 +247,53 @@ def test_serve_end_to_end(tmp_path):
         thread.join(timeout=10)
 
 
+def test_adapt_end_to_end_promotes(tmp_path, capsys):
+    """`repro adapt` on a shifted synthetic stream: the decision line and
+    the summary record a published canary and its promotion."""
+    import json
+
+    registry = tmp_path / "registry"
+    assert main(["train", "RacketSports", "--registry", str(registry),
+                 "--kernels", "150", "--tag", "stable"]) == 0
+    capsys.readouterr()
+    code = main(["adapt", "RacketSports-rocket", "--registry", str(registry),
+                 "--synthetic-like", "RacketSports", "--series", "150",
+                 "--shift-at", "2000", "--collect-windows", "30",
+                 "--shadow-windows", "16", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = [json.loads(line) for line in out.splitlines()]
+    decisions = [line for line in lines if line["kind"] == "decision"]
+    summary = lines[-1]
+    assert len(decisions) == 1
+    assert decisions[0]["action"] == "promote"
+    assert decisions[0]["canary_version"] == 2
+    assert summary["kind"] == "summary"
+    assert summary["retrainings"] == 1 and summary["promotions"] == 1
+    assert summary["serving_version"] == 2  # the stream switched models
+
+    from repro.serving import ModelRegistry
+
+    assert ModelRegistry(registry).record("RacketSports-rocket",
+                                          "stable").version == 2
+
+
+def test_adapt_unknown_model_is_user_error(tmp_path, capsys):
+    assert main(["adapt", "missing", "--registry", str(tmp_path / "registry"),
+                 "--synthetic-like", "RacketSports"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_adapt_parser_defaults():
+    args = build_parser().parse_args(
+        ["adapt", "demo", "--registry", "r", "--synthetic-like", "Epilepsy"])
+    assert args.collect_windows == 48
+    assert args.shadow_windows == 24
+    assert args.cooldown == 50
+    assert args.confidence_threshold == 0.08
+    assert args.background is False  # inline by default: deterministic demos
+
+
 def test_serve_parser_defaults():
     args = build_parser().parse_args(["serve", "--registry", "r"])
     assert args.port == 8080

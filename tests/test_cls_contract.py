@@ -16,7 +16,12 @@ Every classifier family exposed by the registry — the list comes from
   panel is rejected with ``ValueError`` (DTW's variable-length support
   is the one documented exception);
 * families with serialization support survive save -> load -> predict
-  bit-identically; the others refuse ``save_model`` with ``TypeError``.
+  bit-identically; the others refuse ``save_model`` with ``TypeError``;
+* every family serves probabilities: ``predict_proba`` returns a
+  row-stochastic ``(n_series, n_classes)`` matrix, columns in sorted
+  ``classes_`` order, whose row-wise argmax agrees with ``predict``
+  exactly — the agreement the serving layer relies on when it derives
+  labels from coalesced probability batches.
 
 Neural families run with reduced budgets (same classes, fewer epochs and
 filters) so the sweep stays CPU-cheap; the *names* swept are always the
@@ -92,6 +97,9 @@ def _outputs(name: str) -> dict:
         "first": first.predict(X_te),
         "second": second.predict(X_te),
         "remapped": remapped.predict(X_te),
+        "proba": first.predict_proba(X_te),
+        "proba_second": second.predict_proba(X_te),
+        "proba_remapped": remapped.predict_proba(X_te),
     }
 
 
@@ -168,6 +176,39 @@ class TestRegistryContract:
             with pytest.raises(ValueError):
                 model.predict(truncated)
 
+    def test_proba_is_row_stochastic(self, name):
+        """predict_proba is (n, n_classes), non-negative, rows sum to 1."""
+        proba = _outputs(name)["proba"]
+        assert proba.shape == (N_TEST, N_CLASSES)
+        assert (proba >= 0.0).all() and (proba <= 1.0).all()
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_proba_argmax_agrees_with_predict(self, name):
+        """The serving layer derives labels from probability batches; that
+        only works because argmax(proba) == predict for every family."""
+        results = _outputs(name)
+        classes = np.asarray(results["model"].classes_)
+        np.testing.assert_array_equal(
+            classes[results["proba"].argmax(axis=1)], results["first"])
+
+    def test_proba_deterministic(self, name):
+        results = _outputs(name)
+        np.testing.assert_array_equal(results["proba"],
+                                      results["proba_second"])
+
+    def test_classes_are_sorted_training_values(self, name):
+        _, y_tr, _, _ = _problem()
+        results = _outputs(name)
+        np.testing.assert_array_equal(np.asarray(results["model"].classes_),
+                                      np.unique(y_tr))
+
+    def test_proba_invariant_under_label_values(self, name):
+        """Probabilities depend on the data and class *order*, never on the
+        label values: remapping {0,1,2}->{2,5,9} leaves them bit-identical."""
+        results = _outputs(name)
+        np.testing.assert_array_equal(results["proba_remapped"],
+                                      results["proba"])
+
     def test_save_load_predict_roundtrip(self, name, tmp_path):
         results = _outputs(name)
         if name not in SERIALIZABLE:
@@ -183,3 +224,7 @@ class TestRegistryContract:
         path = save_model(results["model"], tmp_path / "model.npz")
         restored = load_model(path)
         np.testing.assert_array_equal(restored.predict(X_te), results["first"])
+        # Probabilities survive the round trip too: the restored ridge (or
+        # ensemble) state is complete, not just enough for labels.
+        np.testing.assert_allclose(restored.predict_proba(X_te),
+                                   results["proba"], atol=1e-12)

@@ -1,0 +1,55 @@
+"""Intra-repo link integrity for the docs tree and README.
+
+Every relative markdown link in ``docs/*.md`` and ``README.md`` must
+point at a file that exists (anchors are checked against the target's
+headings), so a rename can never silently strand the documentation.
+The CI docs job runs this same module standalone.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+DOCS = sorted((ROOT / "docs").glob("*.md")) + [ROOT / "README.md"]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _heading_anchors(path: Path) -> set[str]:
+    """GitHub-style anchors for every heading in *path*."""
+    anchors = set()
+    for line in path.read_text().splitlines():
+        if line.startswith("#"):
+            text = line.lstrip("#").strip().lower()
+            text = re.sub(r"[^\w\s-]", "", text)
+            anchors.add(re.sub(r"\s+", "-", text))
+    return anchors
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_relative_links_resolve(path):
+    broken = []
+    for target in _LINK.findall(path.read_text()):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        name, _, anchor = target.partition("#")
+        resolved = (path.parent / name).resolve() if name else path
+        if name and not resolved.exists():
+            broken.append(target)
+        elif anchor and resolved.suffix == ".md" \
+                and anchor not in _heading_anchors(resolved):
+            broken.append(target)
+    assert not broken, f"{path.name}: broken intra-repo links: {broken}"
+
+
+def test_docs_tree_is_complete():
+    """The three documents the README promises all exist and interlink."""
+    names = {path.name for path in DOCS}
+    assert {"architecture.md", "http-api.md", "operations.md"} <= names
+    readme = (ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/http-api.md",
+                 "docs/operations.md"):
+        assert name in readme, f"README does not link {name}"

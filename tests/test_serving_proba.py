@@ -1,0 +1,227 @@
+"""Probabilities on the wire: batcher proba path, service fields, HTTP.
+
+The agreement contract (``argmax(predict_proba) == predict``) is swept
+per classifier family in ``test_cls_contract.py``; here the serving
+layers are checked to *carry* those probabilities faithfully — through
+coalesced mixed batches, the service's ``return_proba`` surface, the
+HTTP predict body flag and the NDJSON stream's confidence fields.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import (
+    MicroBatcher,
+    ModelRegistry,
+    Prediction,
+    PredictionService,
+    ServingError,
+    create_server,
+    model_metadata,
+    prepare_panel,
+)
+from repro.streaming import stream_windows
+
+WINDOW = 32
+
+
+@pytest.fixture(scope="module")
+def problem():
+    X, y = make_classification_panel(
+        n_series=40, n_channels=2, length=WINDOW, n_classes=3,
+        difficulty=0.2, seed=0,
+    )
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def model(problem):
+    X, y = problem
+    return RocketClassifier(num_kernels=60, seed=0).fit(prepare_panel(X), y)
+
+
+@pytest.fixture
+def registry(tmp_path, problem, model):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(model, "demo", metadata=model_metadata(
+        model, dataset="synthetic", preprocessing="znormalize+impute"))
+    return registry
+
+
+@pytest.fixture
+def service(registry):
+    service = PredictionService(registry, max_queue=256)
+    yield service
+    service.close()
+
+
+class TestBatcherProba:
+    def test_proba_fn_requires_classes(self, model):
+        with pytest.raises(ValueError, match="classes"):
+            MicroBatcher(model.predict, proba_fn=model.predict_proba)
+
+    def test_return_proba_without_proba_fn_refused_at_submit(self, model):
+        with MicroBatcher(model.predict) as batcher:
+            assert not batcher.serves_proba
+            with pytest.raises(ValueError, match="probabilities"):
+                batcher.submit(np.zeros((2, WINDOW)), return_proba=True)
+
+    def test_mixed_batch_one_pass(self, problem, model):
+        """Proba and plain requests coalesce into one panel predicted
+        once through the probability head; labels agree with predict."""
+        X, _ = problem
+        calls = {"predict": 0, "proba": 0}
+
+        def predict_fn(panel):
+            calls["predict"] += 1
+            return model.predict(panel)
+
+        def proba_fn(panel):
+            calls["proba"] += 1
+            return model.predict_proba(panel)
+
+        prepared = prepare_panel(X[:8])
+        with MicroBatcher(predict_fn, proba_fn=proba_fn,
+                          classes=model.classes_, max_batch=64,
+                          max_latency=0.2) as batcher:
+            assert batcher.serves_proba
+            futures = [
+                batcher.submit(prepared[i], return_proba=bool(i % 2))
+                for i in range(8)
+            ]
+            results = [future.result(timeout=10) for future in futures]
+        assert calls["proba"] >= 1 and calls["predict"] == 0
+        expected_labels = model.predict(prepared)
+        expected_probas = model.predict_proba(prepared)
+        for i, result in enumerate(results):
+            if i % 2:
+                assert isinstance(result, Prediction)
+                assert result.label == expected_labels[i]
+                np.testing.assert_allclose(result.proba, expected_probas[i])
+            else:
+                assert result == expected_labels[i]
+
+
+class TestServiceProba:
+    def test_predict_return_proba_fields(self, service, problem, model):
+        X, _ = problem
+        out = service.predict("demo", X[:5], return_proba=True)
+        assert out["classes"] == [int(c) for c in model.classes_]
+        assert len(out["probas"]) == len(out["labels"]) == 5
+        assert len(out["confidences"]) == 5
+        for label, proba, confidence in zip(out["labels"], out["probas"],
+                                            out["confidences"]):
+            assert confidence == pytest.approx(max(proba))
+            assert out["classes"][int(np.argmax(proba))] == label
+            assert sum(proba) == pytest.approx(1.0)
+        # The labels equal the plain path's labels exactly.
+        assert out["labels"] == service.predict("demo", X[:5])["labels"]
+
+    def test_serves_proba(self, service):
+        assert service.serves_proba("demo") is True
+        with pytest.raises(ServingError):
+            service.serves_proba("missing")
+
+    def test_submit_return_proba_futures(self, service, problem):
+        X, _ = problem
+        record, futures = service.submit("demo", X[:3], return_proba=True)
+        results = [future.result(timeout=10) for future in futures]
+        assert all(isinstance(result, Prediction) for result in results)
+        assert all(result.proba.shape == (3,) for result in results)
+
+
+class TestHTTPProba:
+    @pytest.fixture
+    def server(self, registry):
+        server = create_server(registry, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        yield server
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+    def _post(self, server, path, payload):
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{server.port}{path}",
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            return error.code, json.load(error)
+
+    def test_single_series_proba(self, server, problem):
+        X, _ = problem
+        status, body = self._post(
+            server, "/v1/models/demo/predict",
+            {"series": X[0].tolist(), "proba": True})
+        assert status == 200
+        assert body["confidence"] == pytest.approx(max(body["proba"]))
+        assert body["classes"][int(np.argmax(body["proba"]))] == body["label"]
+        assert "labels" not in body and "probas" not in body
+
+    def test_instances_probas(self, server, problem):
+        X, _ = problem
+        status, body = self._post(
+            server, "/v1/models/demo/predict",
+            {"instances": [series.tolist() for series in X[:3]],
+             "proba": True})
+        assert status == 200
+        assert len(body["probas"]) == len(body["labels"]) == 3
+        assert body["confidences"] == [pytest.approx(max(p))
+                                       for p in body["probas"]]
+
+    def test_plain_request_has_no_proba_fields(self, server, problem):
+        X, _ = problem
+        status, body = self._post(server, "/v1/models/demo/predict",
+                                  {"series": X[0].tolist()})
+        assert status == 200
+        assert "proba" not in body and "confidence" not in body
+
+    def test_stream_lines_carry_confidence(self, server, problem):
+        X, y = problem
+
+        def samples():
+            for series, label in zip(X[:4], y[:4]):
+                for step in range(series.shape[1]):
+                    yield (series[:, step], int(label))
+
+        events = list(stream_windows("127.0.0.1", server.port, "demo",
+                                     samples(), window=WINDOW))
+        windows = [e for e in events if e["kind"] == "window"]
+        assert len(windows) == 4
+        assert all(0.0 <= e["confidence"] <= 1.0 for e in windows)
+        assert all("proba" not in e for e in windows)  # opt-in only
+        assert all("confidence_fast" in e["drift"] for e in windows)
+
+    def test_stream_proba_opt_in_and_metrics(self, server, problem):
+        X, y = problem
+
+        def samples():
+            for series in X[:3]:
+                for step in range(series.shape[1]):
+                    yield series[:, step]
+
+        events = list(stream_windows("127.0.0.1", server.port, "demo",
+                                     samples(), window=WINDOW, proba=True))
+        windows = [e for e in events if e["kind"] == "window"]
+        assert windows and all(len(e["proba"]) == 3 for e in windows)
+        for event in windows:
+            assert event["confidence"] == pytest.approx(max(event["proba"]),
+                                                        abs=1e-3)
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/metrics") as response:
+            text = response.read().decode()
+        assert "repro_serving_stream_confidence_bucket" in text
+        assert 'repro_serving_stream_confidence_count{model="demo",version="1"}' \
+            in text

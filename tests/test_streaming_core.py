@@ -88,6 +88,44 @@ class TestDriftMonitor:
         assert flagged.signal == "distribution"
         assert flagged.accuracy_fast is None  # no truth ever arrived
 
+    def test_confidence_erosion_flags_without_truth(self):
+        """Unlabelled + probabilities: a sustained confidence drop flags
+        with signal "confidence" after ``persistence`` windows."""
+        monitor = DriftMonitor(warmup=10, persistence=3)
+        states = [monitor.update(i % 2, confidence=0.9) for i in range(40)]
+        assert not any(state.shift for state in states)
+        eroded = [monitor.update(i % 2, confidence=0.55) for i in range(10)]
+        assert any(state.shift for state in eroded)
+        flagged = next(state for state in eroded if state.shift)
+        assert flagged.signal == "confidence"
+        assert flagged.accuracy_fast is None
+        assert flagged.confidence_fast < flagged.confidence_slow
+
+    def test_confidence_retires_label_mix_fallback(self):
+        """Once confidences flow, a mix collapse alone must NOT fire the
+        distribution signal — the confidence EWMA supersedes it."""
+        monitor = DriftMonitor(warmup=10)
+        for i in range(60):
+            monitor.update(i % 3, confidence=0.9)
+        shifted = [monitor.update(0, confidence=0.9) for _ in range(40)]
+        assert not any(state.shift for state in shifted)
+
+    def test_confidence_single_dip_does_not_flag(self):
+        """One low-confidence window is noise, not drift (persistence)."""
+        monitor = DriftMonitor(warmup=5, persistence=5)
+        for _ in range(30):
+            monitor.update(0, confidence=0.9)
+        state = monitor.update(0, confidence=0.1)
+        assert not state.shift
+
+    def test_confidence_state_on_the_wire(self):
+        monitor = DriftMonitor(warmup=2)
+        state = monitor.update(1, confidence=0.8)
+        payload = state.as_dict()
+        assert payload["confidence_fast"] == 0.8
+        assert payload["confidence_slow"] == 0.8
+        assert "accuracy_fast" not in payload
+
     def test_stable_noisy_mix_does_not_flag(self):
         """EWMA wander on a stationary mix must not trip the flag."""
         rng = np.random.default_rng(5)
@@ -109,6 +147,8 @@ class TestDriftMonitor:
             DriftMonitor(warmup=-1)
         with pytest.raises(ValueError):
             DriftMonitor(persistence=0)
+        with pytest.raises(ValueError):
+            DriftMonitor(confidence_threshold=0.0)
 
 
 class TestReplaySource:

@@ -110,17 +110,20 @@ class TestStreamScorer:
 
     def test_custom_monitor_and_shift_counting(self, service, problem):
         X, y = problem
-        monitor = DriftMonitor(warmup=2, threshold=0.05, persistence=1)
+        monitor = DriftMonitor(warmup=2, threshold=0.3, persistence=1)
         with StreamScorer(service, "demo", window=WINDOW, hop=WINDOW,
                           monitor=monitor) as scorer:
-            # Feed real windows but lie about the truth: an immediate
-            # accuracy collapse the monitor must flag.
+            # Establish an honest accuracy baseline, then lie about the
+            # truth: the accuracy EWMA collapses and the monitor flags it.
             results = []
+            for sample in ReplaySource(X[:8], y[:8]):
+                results.extend(scorer.feed(sample.values, sample.label))
             for sample in ReplaySource(X[:8], 1 - y[:8]):
                 results.extend(scorer.feed(sample.values, sample.label))
             results.extend(scorer.finish())
         assert scorer.shifts > 0
         assert scorer.shifts == sum(r.drift.shift for r in results)
+        assert any(r.drift.signal == "accuracy" for r in results if r.drift.shift)
 
 
 class TestStreamStats:
