@@ -1,0 +1,100 @@
+"""Scenario-world regression bench: the adaptation loop, measured.
+
+Replays every registered scenario world (``repro.data.scenarios``)
+through the full ``StreamScorer → DriftMonitor → AdaptationController``
+loop and scores detection delay, false-flag rate and post-adaptation
+accuracy against each world's budget — the drift→canary stack's claims,
+as numbers instead of assertions.  The per-world reports are archived as
+JSON under ``benchmarks/results/`` so regressions show up as diffs.
+
+Hard assertions (the regression contract):
+
+* every world stays within its own budget;
+* the drift-free worlds (stationary, seasonal, DBA-smooth, gappy,
+  label-noise) raise **zero** flags;
+* at least one gradual-drift and one recurring-drift world detect
+  within budget and end with a net promotion.
+
+Run directly (``python benchmarks/bench_scenarios.py``) or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+
+from _shared import RESULTS_DIR, publish
+
+from repro.data.scenarios import available_worlds, make_world
+from repro.experiments import run_scenario
+
+SEED = 0
+
+#: worlds with an empty drift_points tuple must never flag
+DRIFT_FREE = tuple(name for name in available_worlds()
+                   if not make_world(name).drift_points)
+
+
+def test_scenario_suite():
+    """Replay all worlds; assert budgets; archive the JSON report."""
+    names = available_worlds()
+    assert len(names) >= 8, f"world library shrank to {len(names)}"
+    reports = [run_scenario(name, seed=SEED) for name in names]
+    by_name = {report.world: report for report in reports}
+
+    lines = [
+        f"{len(reports)} worlds, seed {SEED}: stream -> drift -> canary "
+        f"loop, budgets per world",
+        "",
+        f"{'world':26s} {'kind':10s} {'win':>4s} {'delay':>5s} "
+        f"{'ff':>3s} {'promo':>5s} {'final':>6s}  verdict",
+    ]
+    for report in reports:
+        delay = "-" if report.detection_delay is None \
+            else str(report.detection_delay)
+        final = "-" if report.final_accuracy is None \
+            else f"{report.final_accuracy:.3f}"
+        lines.append(
+            f"{report.world:26s} {report.kind:10s} {report.windows:4d} "
+            f"{delay:>5s} {report.false_flags:3d} {report.promotions:5d} "
+            f"{final:>6s}  {'PASS' if report.passed else 'FAIL'}")
+
+    suite = {
+        "seed": SEED,
+        "worlds": [report.as_dict() for report in reports],
+        "failures": [r.world for r in reports if not r.passed],
+        "passed": all(r.passed for r in reports),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "scenarios.json").write_text(
+        json.dumps(suite, indent=2) + "\n")
+    publish("scenarios", "\n".join(lines))
+
+    failures = suite["failures"]
+    assert not failures, f"worlds over budget: {failures}"
+
+    for name in DRIFT_FREE:
+        report = by_name[name]
+        assert report.false_flags == 0, (
+            f"drift-free world {name} raised {report.false_flags} "
+            f"false flag(s) at windows {report.flags}")
+
+    gradual = by_name["gradual-morph"]
+    assert gradual.detected and gradual.delay_ok, (
+        f"gradual drift not detected within budget "
+        f"(delay={gradual.detection_delay})")
+    assert gradual.promotions >= 1, "gradual drift never promoted a canary"
+
+    recurring = by_name["recurring-regimes"]
+    assert recurring.detected and recurring.delay_ok, (
+        f"recurring drift not detected within budget "
+        f"(delay={recurring.detection_delay})")
+    assert recurring.retrainings >= 1, "recurring drift never retrained"
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    test_scenario_suite()
+    print((Path(__file__).parent / "results" / "scenarios.txt").read_text())
+    sys.exit(0)

@@ -9,7 +9,11 @@ the canary learns the new concept, not a pre-shift mixture.
 Labels are whatever the stream provided: ground truth when it rides
 along, the stable model's own predictions otherwise (self-training — see
 :class:`~repro.adaptation.AdaptationController` for when that is and is
-not sound).
+not sound).  When truth arrives *late* — labelling pipelines lag the
+stream in every real deployment — :meth:`ReplayBuffer.relabel` upgrades
+a buffered window's label in place by its stream index, so a retrain
+that fires after the labels land trains on truth rather than on the
+stale model's guesses.
 """
 
 from __future__ import annotations
@@ -37,7 +41,9 @@ class ReplayBuffer:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1; got {capacity}")
         self.capacity = int(capacity)
-        self._entries: deque[tuple[np.ndarray, int]] = deque(maxlen=self.capacity)
+        #: (panel, label, stream window index or None)
+        self._entries: deque[tuple[np.ndarray, int, int | None]] = deque(
+            maxlen=self.capacity)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -45,12 +51,15 @@ class ReplayBuffer:
         with self._lock:
             return len(self._entries)
 
-    def add(self, panel: np.ndarray, label) -> None:
+    def add(self, panel: np.ndarray, label, index: int | None = None) -> None:
         """Append one ``(channels, length)`` panel with its label.
 
         At capacity the oldest window falls off — the buffer always
-        holds the freshest ``capacity`` windows of the stream.  Raises
-        ``ValueError`` for a non-2-D panel.
+        holds the freshest ``capacity`` windows of the stream.  *index*
+        is the window's position in the stream (the scorer's
+        ``WindowResult.index``); recording it is what makes the window
+        addressable by :meth:`relabel` when its truth arrives late.
+        Raises ``ValueError`` for a non-2-D panel.
         """
         panel = np.asarray(panel, dtype=np.float64)
         if panel.ndim != 2:
@@ -59,7 +68,27 @@ class ReplayBuffer:
                 f"got ndim={panel.ndim}"
             )
         with self._lock:
-            self._entries.append((panel, int(label)))
+            self._entries.append(
+                (panel, int(label), None if index is None else int(index)))
+
+    def relabel(self, index: int, label) -> bool:
+        """Replace the label of the buffered window with stream *index*.
+
+        The late-label hook: when ground truth for an already-scored
+        window arrives after the fact, the buffered copy is upgraded in
+        place so subsequent retrain snapshots train on truth.  Returns
+        ``False`` when the window has already been evicted (or was
+        buffered without an index) — late labels for long-gone windows
+        are simply dropped.
+        """
+        with self._lock:
+            # Late labels chase recent windows; search newest-first.
+            for position in range(len(self._entries) - 1, -1, -1):
+                panel, _, entry_index = self._entries[position]
+                if entry_index == int(index):
+                    self._entries[position] = (panel, int(label), entry_index)
+                    return True
+        return False
 
     def label_counts(self, *, last: int | None = None) -> dict[int, int]:
         """Windows held per label, optionally over only the freshest
@@ -69,7 +98,7 @@ class ReplayBuffer:
         if last is not None:
             entries = entries[-last:]
         counts: dict[int, int] = {}
-        for _, label in entries:
+        for _, label, _ in entries:
             counts[label] = counts.get(label, 0) + 1
         return counts
 
@@ -88,8 +117,8 @@ class ReplayBuffer:
             entries = entries[-last:]
         if not entries:
             raise ValueError("cannot snapshot an empty replay buffer")
-        X = np.stack([panel for panel, _ in entries])
-        y = np.asarray([label for _, label in entries], dtype=np.int64)
+        X = np.stack([panel for panel, _, _ in entries])
+        y = np.asarray([label for _, label, _ in entries], dtype=np.int64)
         return X, y
 
     def clear(self) -> None:

@@ -294,7 +294,7 @@ class AdaptationController:
         machinery, not vice versa).
         """
         label = result.truth if result.truth is not None else result.label
-        self.buffer.add(panel, label)
+        self.buffer.add(panel, label, index=getattr(result, "index", None))
         with self._lock:
             if self._cooldown > 0:
                 self._cooldown -= 1
@@ -322,6 +322,21 @@ class AdaptationController:
             self._state = "collecting"
             self._collected = 0
             self._trigger_signal = drift.signal
+
+    def deliver_label(self, index: int, truth) -> bool:
+        """Deliver a late-arriving ground-truth label for window *index*.
+
+        Labelling pipelines lag streams: a window is scored (and
+        buffered with the model's own prediction) long before a human
+        or downstream system confirms its truth.  This hook upgrades the
+        buffered copy in place, so a retrain that fires after the
+        labels land trains on truth instead of on self-training guesses
+        — which is what makes unlabelled-stream adaptation sound under
+        a real concept flip, not just covariate shift.  Returns ``False``
+        when the window has already been evicted from the replay buffer
+        (the label arrived too late to matter).
+        """
+        return self.buffer.relabel(int(index), truth)
 
     def wait(self, timeout: float | None = None) -> bool:
         """Join an in-flight background retrain; ``True`` when none is

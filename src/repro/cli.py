@@ -240,6 +240,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "reach a decision deterministically")
     adapt.add_argument("--quiet", action="store_true",
                        help="print only decision and summary lines")
+
+    scenarios = commands.add_parser(
+        "scenarios", help="replay scenario worlds through the full "
+                          "stream -> drift -> canary loop and score "
+                          "detection delay, false flags and recovery "
+                          "against each world's budget"
+    )
+    scenarios.add_argument("--list", action="store_true", dest="list_worlds",
+                           help="list registered worlds and exit")
+    scenarios.add_argument("--worlds", nargs="+", default=None,
+                           metavar="WORLD",
+                           help="world names to replay (default: all)")
+    scenarios.add_argument("--seed", type=int, default=0,
+                           help="master seed (worlds are bit-deterministic "
+                                "per seed)")
+    scenarios.add_argument("--series", type=int, default=None,
+                           help="stream length override, in series")
+    scenarios.add_argument("--json", default=None, metavar="PATH",
+                           help="also write the suite report to this file")
+    scenarios.add_argument("--quiet", action="store_true",
+                           help="print only the per-world verdict lines")
     return parser
 
 
@@ -259,6 +280,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "stream": _cmd_stream,
         "adapt": _cmd_adapt,
+        "scenarios": _cmd_scenarios,
     }[args.command]
     return handler(args)
 
@@ -683,6 +705,66 @@ def _cmd_adapt(args) -> int:
         return 2
     finally:
         service.close()
+
+
+def _cmd_scenarios(args) -> int:
+    """Replay scenario worlds and score the loop against their budgets.
+
+    Each world is a deterministic stream universe with known truth (see
+    ``docs/scenarios.md``); the harness replays it through the real
+    ``StreamScorer -> DriftMonitor -> AdaptationController`` loop and
+    prints one verdict line per world plus a suite summary.  Exits 1
+    when any world blows its budget — the CI regression contract.
+    """
+    import json
+    from pathlib import Path
+
+    from .data.scenarios import available_worlds, make_world
+    from .experiments import run_scenario
+
+    if args.list_worlds:
+        for name in available_worlds():
+            world = make_world(name)
+            print(f"{name:26s} {world.kind:10s} {world.description}")
+        return 0
+    names = args.worlds if args.worlds is not None else available_worlds()
+    unknown = sorted(set(names) - set(available_worlds()))
+    if unknown:
+        print(f"error: unknown world(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    reports = []
+    for name in names:
+        report = run_scenario(name, seed=args.seed, n_series=args.series)
+        reports.append(report)
+        verdict = "PASS" if report.passed else "FAIL"
+        detail = [f"windows={report.windows}"]
+        if report.detected is not None:
+            delay = report.detection_delay
+            detail.append("delay=" + ("miss" if delay is None else str(delay)))
+        detail.append(f"false_flags={report.false_flags}")
+        if report.final_accuracy is not None:
+            detail.append(f"final_acc={report.final_accuracy:.3f}")
+        if report.promotions or report.rollbacks:
+            detail.append(f"promotions={report.promotions}")
+            detail.append(f"rollbacks={report.rollbacks}")
+        print(f"{verdict} {name:26s} " + " ".join(detail), flush=True)
+        if not args.quiet:
+            print(json.dumps(report.as_dict()), flush=True)
+    suite = {
+        "seed": args.seed,
+        "worlds": [report.as_dict() for report in reports],
+        "failures": [report.world for report in reports if not report.passed],
+        "passed": all(report.passed for report in reports),
+    }
+    if args.json:
+        path = Path(args.json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(suite, indent=2) + "\n", encoding="utf-8")
+    print(f"{'ok' if suite['passed'] else 'FAILED'}: "
+          f"{len(reports) - len(suite['failures'])}/{len(reports)} worlds "
+          f"within budget", flush=True)
+    return 0 if suite["passed"] else 1
 
 
 def _cmd_serve(args) -> int:

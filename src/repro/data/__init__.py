@@ -26,6 +26,21 @@ from .generators import ClassPrototype, MTSGenerator, make_classification_panel
 from .splits import stratified_split, train_val_split
 from .ts_io import read_ts, write_ts
 
+# Imported last: scenarios reaches back into repro.streaming (whose
+# sources module imports repro.data.generators), so it must not run
+# before the submodules above are bound.
+from .scenarios import (
+    DBASampler,
+    KernelSynthGenerator,
+    MixupSampler,
+    MorphSource,
+    Scenario,
+    ScenarioBudget,
+    SeasonalModulation,
+    available_worlds,
+    make_world,
+)
+
 __all__ = [
     "TimeSeriesDataset",
     "MTSGenerator",
@@ -47,4 +62,13 @@ __all__ = [
     "train_val_split",
     "read_ts",
     "write_ts",
+    "DBASampler",
+    "KernelSynthGenerator",
+    "MixupSampler",
+    "MorphSource",
+    "Scenario",
+    "ScenarioBudget",
+    "SeasonalModulation",
+    "available_worlds",
+    "make_world",
 ]

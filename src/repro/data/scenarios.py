@@ -1,0 +1,1017 @@
+"""Scenario worlds: deterministic stream universes for the adaptation loop.
+
+The drift→retrain→canary stack (:mod:`repro.streaming`,
+:mod:`repro.adaptation`) shipped tested on exactly one world — abrupt
+prototype swaps over fixed-length, gap-free panels — so its
+detection-delay, false-flag and recovery claims were assertions, not
+measurements.  This module is the world *library* that turns them into
+measurements: every world is a :class:`Scenario` bundling
+
+* a **training panel** — what the served model learns before the stream
+  starts (the pre-drift concept);
+* a **sample stream** — a deterministic, seedable
+  :class:`~repro.streaming.sources.StreamSource` the harness replays
+  through the full ``StreamScorer → DriftMonitor →
+  AdaptationController`` loop;
+* **ground truth about the world itself** — where concept drift really
+  happens (``drift_points``), whether labels are visible at scoring
+  time (``feed_labels``) or arrive late (``label_delay``);
+* a :class:`ScenarioBudget` — the per-world acceptance bar (maximum
+  detection delay, maximum false flags, minimum tail accuracy) the
+  harness scores against.
+
+Three world families, following the metaforecast synthetic-generation
+taxonomy (pure synthetic / semi-synthetic generation / semi-synthetic
+transformation):
+
+* **synthetic** — :class:`KernelSynthGenerator` composes trend,
+  seasonal, sawtooth, bump and step kernels into class-conditional
+  processes (KernelSynth-style sums and products); drift is produced by
+  morphing between two kernel universes (:class:`MorphSource`) —
+  abruptly, gradually, or in recurring regime cycles;
+* **blend** — semi-synthetic worlds built from the UEA archive panels:
+  :class:`MixupSampler` draws TSMixup-style convex combinations of
+  stored series (its ``partner_weight`` dial contaminates a class with
+  its neighbour — a genuine concept shift), :class:`DBASampler` serves
+  jittered DTW-barycentric prototypes (class-faithful smoothing that a
+  sound monitor must *not* flag);
+* **pathology** — stream malformations layered on the above with the
+  wrappers in :mod:`repro.streaming.sources`: outages and dropouts
+  (:class:`~repro.streaming.sources.GapSource`), ragged variable-length
+  series (:class:`~repro.streaming.sources.RaggedSource`), label noise
+  (:class:`~repro.streaming.sources.LabelNoiseSource`), and
+  adversarially-late labels (``label_delay``).
+
+Worlds are registered by name — :func:`available_worlds` /
+:func:`make_world` mirror the classifier and augmenter registries — and
+every world is **bit-deterministic**: two constructions with the same
+seed yield identical training panels and identical streams, so harness
+runs are reproducible and diffable.  The replay harness itself lives in
+:mod:`repro.experiments.scenario_harness`; ``repro scenarios`` is the
+CLI front-end and ``benchmarks/bench_scenarios.py`` the regression
+suite.  See ``docs/scenarios.md`` for the taxonomy table and budget
+tuning guidance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+import numpy as np
+
+from .._rng import ensure_rng
+from .._validation import check_positive
+from .generators import MTSGenerator
+
+if TYPE_CHECKING:  # imported lazily at runtime: streaming pulls in the
+    # serving/experiments stack, which reaches back into repro.data
+    from ..streaming.sources import StreamSample, StreamSource
+
+__all__ = [
+    "DBASampler",
+    "KernelSynthGenerator",
+    "MixupSampler",
+    "MorphSource",
+    "Scenario",
+    "ScenarioBudget",
+    "SeasonalModulation",
+    "available_worlds",
+    "make_world",
+]
+
+
+# --------------------------------------------------------------------- #
+# KernelSynth-style pure-synthetic generator
+# --------------------------------------------------------------------- #
+
+#: kernel vocabulary a class composition draws from
+_KERNEL_KINDS = ("trend", "sine", "sawtooth", "bump", "step")
+
+
+class KernelSynthGenerator:
+    """Class-conditional kernel-composition generator (KernelSynth-style).
+
+    Each class is a random composition of primitive kernels — linear
+    trend, sinusoid, sawtooth, localised Gaussian bump, level step —
+    combined by sums and products, the way KernelSynth builds synthetic
+    series from a kernel bank.  Compositions are drawn deterministically
+    from *seed*; per-series realisations add phase/amplitude jitter and
+    shared AR(1) noise (shared across classes, so noise colour never
+    leaks the label).
+
+    The API mirrors :class:`~repro.data.generators.MTSGenerator`
+    (``sample_class`` / ``sample``), so the two are interchangeable as
+    concept samplers for :class:`MorphSource`.
+
+    Parameters
+    ----------
+    n_channels, length, n_classes:
+        Shape of the problem.
+    n_kernels:
+        Primitive kernels per class composition.
+    difficulty:
+        In ``(0, 1]``: attenuates the class signal and raises the noise
+        floor, like the archive generator's dial.
+    seed:
+        Determines the per-class compositions.
+    """
+
+    def __init__(self, *, n_channels: int, length: int, n_classes: int,
+                 n_kernels: int = 3, difficulty: float = 0.2,
+                 seed: int | np.random.Generator | None = None):
+        check_positive(n_channels, name="n_channels")
+        check_positive(length, name="length")
+        check_positive(n_classes, name="n_classes")
+        check_positive(n_kernels, name="n_kernels")
+        if not 0.0 < difficulty <= 1.0:
+            raise ValueError(f"difficulty must be in (0, 1]; got {difficulty}")
+        self.n_channels = int(n_channels)
+        self.length = int(length)
+        self.n_classes = int(n_classes)
+        self.n_kernels = int(n_kernels)
+        self.difficulty = float(difficulty)
+        rng = ensure_rng(seed)
+        self.compositions = [self._draw_composition(rng)
+                             for _ in range(self.n_classes)]
+        self.noise_scale = float(0.2 + 0.7 * self.difficulty)
+        self.ar_coefficient = float(rng.uniform(0.4, 0.8))
+        self.signal_strength = float(1.0 - 0.35 * self.difficulty)
+
+    def _draw_composition(self, rng: np.random.Generator) -> list[dict]:
+        """One class = ``n_kernels`` primitives, each additive or
+        multiplicative, with per-channel phases and a channel mixer."""
+        kinds = rng.choice(len(_KERNEL_KINDS),
+                           size=min(self.n_kernels, len(_KERNEL_KINDS)),
+                           replace=False)
+        terms = []
+        nyquist_cap = max(1.5, 0.35 * self.length)
+        for kind_index in kinds:
+            terms.append({
+                "kind": _KERNEL_KINDS[int(kind_index)],
+                "multiplicative": bool(rng.random() < 0.3),
+                "frequency": float(rng.uniform(0.5, nyquist_cap)),
+                "phases": rng.uniform(0, 2 * np.pi, size=self.n_channels),
+                "amplitude": float(rng.uniform(0.6, 1.4)),
+                "position": float(rng.uniform(0.2, 0.8)),
+                "width": float(max(2.0 / self.length,
+                                   rng.uniform(0.05, 0.18))),
+                "slope": float(rng.uniform(-2.0, 2.0)),
+                "mixing": np.eye(self.n_channels)
+                + 0.25 * rng.standard_normal((self.n_channels,
+                                              self.n_channels)),
+            })
+        return terms
+
+    def _term_signal(self, term: dict, n: int,
+                     rng: np.random.Generator) -> np.ndarray:
+        """Realise one kernel term with per-series jitter: ``(n, C, T)``."""
+        t = np.linspace(0.0, 1.0, self.length)[None, None, :]
+        amp = term["amplitude"] * rng.uniform(0.85, 1.15, size=(n, 1, 1))
+        kind = term["kind"]
+        if kind == "trend":
+            shape = term["slope"] * (t - 0.5) \
+                * rng.uniform(0.9, 1.1, size=(n, 1, 1))
+        elif kind == "sine":
+            jitter = rng.normal(0.0, 0.02, size=(n, 1, 1))
+            angles = 2 * np.pi * term["frequency"] * (t + jitter) \
+                + term["phases"][None, :, None]
+            shape = np.sin(angles)
+        elif kind == "sawtooth":
+            jitter = rng.normal(0.0, 0.02, size=(n, 1, 1))
+            phase = term["phases"][None, :, None] / (2 * np.pi)
+            shape = 2.0 * np.mod(term["frequency"] * (t + jitter) + phase,
+                                 1.0) - 1.0
+        elif kind == "bump":
+            centers = term["position"] + rng.normal(0.0, 0.03, size=(n, 1, 1))
+            widths = term["width"] * rng.uniform(0.8, 1.2, size=(n, 1, 1))
+            shape = np.exp(-0.5 * ((t - centers) / widths) ** 2) \
+                * np.ones((1, self.n_channels, 1))
+        else:  # step
+            positions = term["position"] \
+                + rng.normal(0.0, 0.02, size=(n, 1, 1))
+            shape = np.tanh((t - positions) / 0.04) \
+                * np.ones((1, self.n_channels, 1))
+        signal = amp * shape * np.ones((1, self.n_channels, 1))
+        return np.einsum("cd,ndt->nct", term["mixing"], signal)
+
+    def sample_class(self, label: int, n: int,
+                     rng: int | np.random.Generator | None = None
+                     ) -> np.ndarray:
+        """Draw *n* series of class *label*: ``(n, n_channels, length)``.
+
+        Additive terms sum; multiplicative terms modulate the running
+        sum by ``1 + 0.5 * component`` (a KernelSynth product kernel),
+        then shared AR(1) noise rides on top.
+        """
+        if not 0 <= label < self.n_classes:
+            raise ValueError(f"label {label} outside [0, {self.n_classes})")
+        if n == 0:
+            return np.empty((0, self.n_channels, self.length))
+        rng = ensure_rng(rng)
+        signal = np.zeros((n, self.n_channels, self.length))
+        for term in self.compositions[label]:
+            component = self._term_signal(term, n, rng)
+            if term["multiplicative"]:
+                signal = signal * (1.0 + 0.5 * component)
+            else:
+                signal = signal + component
+        return self.signal_strength * signal + self._ar1_noise(n, rng)
+
+    def _ar1_noise(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        shocks = rng.standard_normal(
+            (n, self.n_channels, self.length)) * self.noise_scale
+        noise = np.empty_like(shocks)
+        noise[:, :, 0] = shocks[:, :, 0]
+        phi = self.ar_coefficient
+        for step in range(1, self.length):
+            noise[:, :, step] = phi * noise[:, :, step - 1] + shocks[:, :, step]
+        return noise * np.sqrt(1 - phi**2)
+
+    def sample(self, counts: np.ndarray,
+               rng: int | np.random.Generator | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw ``counts[c]`` series per class; returns shuffled (X, y)."""
+        counts = np.asarray(counts, dtype=np.int64)
+        if counts.shape != (self.n_classes,):
+            raise ValueError(
+                f"counts must have shape ({self.n_classes},); "
+                f"got {counts.shape}")
+        rng = ensure_rng(rng)
+        panels = [self.sample_class(c, int(k), rng)
+                  for c, k in enumerate(counts)]
+        X = np.concatenate(panels, axis=0)
+        y = np.repeat(np.arange(self.n_classes), counts)
+        order = rng.permutation(len(y))
+        return X[order], y[order]
+
+
+# --------------------------------------------------------------------- #
+# semi-synthetic samplers over stored panels (DBA / TSMixup style)
+# --------------------------------------------------------------------- #
+
+
+class MixupSampler:
+    """TSMixup-style sampler: convex combinations of stored series.
+
+    ``sample_class(c)`` draws *k* same-class series from the stored
+    panel and mixes them with Dirichlet weights — the semi-synthetic
+    generation mode of the metaforecast taxonomy.  With
+    ``partner_weight > 0`` each draw is additionally blended with a
+    random series of class ``(c + partner_shift) % n_classes``: the
+    nominal label keeps flowing while its generating process leans into
+    the neighbouring class — a measurable concept shift dial.
+
+    Parameters
+    ----------
+    X, y:
+        The source panel ``(n, channels, length)`` and its labels.
+    k:
+        Same-class series per mix.
+    partner_weight:
+        In ``[0, 1)``: fraction of the mix contributed by the partner
+        class (0 = class-faithful TSMixup).
+    partner_shift:
+        Which neighbour contaminates (label offset, mod ``n_classes``).
+    jitter:
+        Scale of white noise added per draw, in units of the panel's
+        per-channel standard deviation.
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, *, k: int = 3,
+                 partner_weight: float = 0.0, partner_shift: int = 1,
+                 jitter: float = 0.02):
+        if not 0.0 <= partner_weight < 1.0:
+            raise ValueError(
+                f"partner_weight must be in [0, 1); got {partner_weight}")
+        check_positive(k, name="k")
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.int64)
+        self.k = int(k)
+        self.partner_weight = float(partner_weight)
+        self.partner_shift = int(partner_shift)
+        self.jitter = float(jitter)
+        self.classes = np.unique(self.y)
+        self.n_classes = len(self.classes)
+        self.n_channels = self.X.shape[1]
+        self.length = self.X.shape[2]
+        self._by_class = {int(c): np.flatnonzero(self.y == c)
+                          for c in self.classes}
+        self._scale = float(np.nanstd(self.X))
+
+    def sample_class(self, label: int, n: int,
+                     rng: int | np.random.Generator | None = None
+                     ) -> np.ndarray:
+        """Draw *n* mixed series of class *label*: ``(n, C, T)``."""
+        rng = ensure_rng(rng)
+        own = self._by_class[int(label)]
+        out = np.empty((n, self.n_channels, self.length))
+        for i in range(n):
+            picks = rng.choice(own, size=min(self.k, len(own)), replace=False)
+            weights = rng.dirichlet(np.ones(len(picks)))
+            mixed = np.einsum("k,kct->ct",
+                              weights, np.nan_to_num(self.X[picks], nan=0.0))
+            if self.partner_weight > 0.0:
+                partner_label = int(
+                    (label + self.partner_shift) % self.n_classes)
+                partner = self._by_class[int(self.classes[partner_label])]
+                other = np.nan_to_num(
+                    self.X[int(rng.choice(partner))], nan=0.0)
+                mixed = (1.0 - self.partner_weight) * mixed \
+                    + self.partner_weight * other
+            if self.jitter > 0.0:
+                mixed = mixed + self.jitter * self._scale \
+                    * rng.standard_normal(mixed.shape)
+            out[i] = mixed
+        return out
+
+
+class DBASampler:
+    """Jittered DTW-barycentric prototypes of a stored panel.
+
+    Precomputes one DBA barycenter per class (Petitjean averaging, via
+    :func:`repro.augmentation.dba_average`) and serves noisy copies of
+    it — class-faithful semi-synthetic smoothing.  A model trained on
+    the raw panel should classify these *more* confidently than real
+    data, which makes this sampler the benign-blend world: any drift
+    flag on it is a false flag.
+
+    Parameters
+    ----------
+    X, y:
+        Source panel and labels.
+    max_series:
+        Series per class entering the barycenter (caps the DTW cost).
+    iterations:
+        DBA refinement passes.
+    jitter:
+        White-noise scale per draw, in units of the panel's std.
+    """
+
+    def __init__(self, X: np.ndarray, y: np.ndarray, *, max_series: int = 8,
+                 iterations: int = 3, jitter: float = 0.08):
+        from ..augmentation import dba_average  # heavy import, local
+
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.int64)
+        self.classes = np.unique(self.y)
+        self.n_channels = self.X.shape[1]
+        self.length = self.X.shape[2]
+        self.jitter = float(jitter)
+        self._scale = float(np.nanstd(self.X))
+        self._barycenters: dict[int, np.ndarray] = {}
+        for c in self.classes:
+            members = np.flatnonzero(self.y == c)[:max_series]
+            self._barycenters[int(c)] = dba_average(
+                self.X[members], iterations=iterations)
+
+    def sample_class(self, label: int, n: int,
+                     rng: int | np.random.Generator | None = None
+                     ) -> np.ndarray:
+        """Draw *n* jittered copies of the class barycenter: ``(n, C, T)``."""
+        rng = ensure_rng(rng)
+        base = self._barycenters[int(label)]
+        noise = rng.standard_normal((n,) + base.shape)
+        return base[None] + self.jitter * self._scale * noise
+
+
+# --------------------------------------------------------------------- #
+# morphing stream source (abrupt / gradual / recurring drift)
+# --------------------------------------------------------------------- #
+
+
+class MorphSource:
+    """Stream whose generating process morphs from concept A to concept B.
+
+    Series are drawn label-uniform from two *concept samplers* (anything
+    with ``sample_class(label, n, rng)`` — :class:`MTSGenerator`,
+    :class:`KernelSynthGenerator`, :class:`MixupSampler`,
+    :class:`DBASampler`) and mixed per series as ``(1 - w) * A + w * B``
+    where the weight *w* follows the drift schedule:
+
+    * ``ramp=(start, end)`` — *w* climbs linearly from 0 to 1 between
+      those sample indices: **gradual drift** (equal indices = abrupt);
+    * ``cycle=k`` — *w* alternates 0 and 1 every *k* series:
+      **recurring regimes**;
+    * neither — *w* stays 0: a stationary world (sampler B unused).
+
+    The nominal labels keep flowing throughout — only the generating
+    process changes, which is precisely the concept-drift shape the
+    monitor exists to catch.  Iterating twice yields bit-identical
+    streams (the RNG is rebuilt from *seed* per iteration).
+    """
+
+    def __init__(self, sampler_a, sampler_b=None, *, n_channels: int,
+                 length: int, n_classes: int, n_series: int = 50,
+                 seed: int = 0, ramp: tuple[int, int] | None = None,
+                 cycle: int | None = None):
+        if n_series < 1:
+            raise ValueError(f"n_series must be >= 1; got {n_series}")
+        if ramp is not None and cycle is not None:
+            raise ValueError("ramp and cycle are mutually exclusive")
+        if ramp is not None:
+            start, end = (int(ramp[0]), int(ramp[1]))
+            if start < 0 or end < start:
+                raise ValueError(
+                    f"ramp must be (start >= 0, end >= start); got {ramp}")
+            ramp = (start, end)
+        if cycle is not None and cycle < 1:
+            raise ValueError(f"cycle must be >= 1 series; got {cycle}")
+        if sampler_b is None and (ramp is not None or cycle is not None):
+            raise ValueError("a drift schedule needs sampler_b")
+        self.sampler_a = sampler_a
+        self.sampler_b = sampler_b
+        self.n_channels = int(n_channels)
+        self.length = int(length)
+        self.n_classes = int(n_classes)
+        self.n_series = int(n_series)
+        self.seed = int(seed)
+        self.ramp = ramp
+        self.cycle = int(cycle) if cycle is not None else None
+
+    def __len__(self) -> int:
+        """Total samples the stream will emit."""
+        return self.n_series * self.length
+
+    def _weight(self, series_index: int, t: int) -> float:
+        """Concept-B weight of the series starting at sample *t*."""
+        if self.cycle is not None:
+            return float((series_index // self.cycle) % 2)
+        if self.ramp is None:
+            return 0.0
+        start, end = self.ramp
+        if t < start:
+            return 0.0
+        if t >= end:
+            return 1.0
+        return (t - start) / float(end - start)
+
+    def __iter__(self) -> Iterator["StreamSample"]:
+        from ..streaming.sources import StreamSample
+
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 5]))
+        t = 0
+        for index in range(self.n_series):
+            label = int(rng.integers(0, self.n_classes))
+            weight = self._weight(index, t)
+            series = self.sampler_a.sample_class(label, 1, rng)[0]
+            if weight > 0.0:
+                other = self.sampler_b.sample_class(label, 1, rng)[0]
+                series = (1.0 - weight) * series + weight * other
+            for step in range(series.shape[1]):
+                yield StreamSample(t, series[:, step], label)
+                t += 1
+
+
+class SeasonalModulation:
+    """Benign seasonal gain riding on a wrapped stream.
+
+    Scales every sample by ``1 + depth * sin(2π t / period)`` — a slow
+    seasonal amplitude swell (daily load, temperature).  With a period
+    much longer than one series the gain is nearly constant within each
+    window, and the serving protocol's per-series z-normalisation
+    removes constant gains — so the *concept* is stable and a monitor
+    that flags this world is false-flagging on seasonality.
+    """
+
+    def __init__(self, source: StreamSource, *, period: int,
+                 depth: float = 0.25):
+        check_positive(period, name="period")
+        if not 0.0 <= depth < 1.0:
+            raise ValueError(f"depth must be in [0, 1); got {depth}")
+        self.source = source
+        self.period = int(period)
+        self.depth = float(depth)
+        self.n_channels = source.n_channels
+
+    def __iter__(self) -> Iterator["StreamSample"]:
+        from ..streaming.sources import StreamSample
+
+        for sample in self.source:
+            gain = 1.0 + self.depth * np.sin(
+                2 * np.pi * sample.t / self.period)
+            yield StreamSample(sample.t, sample.values * gain, sample.label)
+
+
+# --------------------------------------------------------------------- #
+# scenario worlds: budgets, registry
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScenarioBudget:
+    """The acceptance bar one world holds the adaptation loop to.
+
+    ``max_detection_delay`` is in windows, measured from the first
+    window whose data contains post-drift samples to the first drift
+    flag; ``None`` means the world is drift-free and no flag is
+    expected.  ``max_false_flags`` bounds flags raised while the
+    concept is still the training concept (before any true drift
+    point; for a drift-free world, every flag).
+    ``min_final_accuracy`` is scored over the stream's final quarter —
+    after adaptation had its chance — against the world's own truth.
+    """
+
+    max_detection_delay: int | None = None
+    max_false_flags: int = 0
+    min_final_accuracy: float | None = None
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One replayable world: training panel + stream + truth + budget.
+
+    Instances come from :func:`make_world`; two constructions with the
+    same arguments produce bit-identical panels and streams.  The
+    callables are private plumbing — use :meth:`training_panel` and
+    :meth:`source`.
+    """
+
+    name: str
+    kind: str  # "synthetic" | "blend" | "pathology"
+    description: str
+    window: int
+    hop: int
+    n_channels: int
+    n_classes: int
+    n_series: int
+    feed_labels: bool
+    label_delay: int  # windows; > 0 delivers truth late (adaptation hook)
+    drift_points: tuple[int, ...]  # sample indices of true concept changes
+    budget: ScenarioBudget
+    _train: Callable[[], tuple[np.ndarray, np.ndarray]] = field(repr=False)
+    _source: Callable[[], StreamSource] = field(repr=False)
+
+    def training_panel(self) -> tuple[np.ndarray, np.ndarray]:
+        """The pre-drift concept's labelled panel ``(X, y)`` — what the
+        served model trains on before the stream begins."""
+        return self._train()
+
+    def source(self) -> StreamSource:
+        """A fresh deterministic sample stream over this world."""
+        return self._source()
+
+
+def _world(name: str, kind: str, description: str):
+    """Register one world builder under *name* (decorator)."""
+
+    def register(builder):
+        _WORLDS[name] = (kind, description, builder)
+        return builder
+
+    return register
+
+
+_WORLDS: dict[str, tuple[str, str, Callable]] = {}
+
+
+def available_worlds() -> list[str]:
+    """Registered scenario world names, sorted — the harness's universe."""
+    return sorted(_WORLDS)
+
+
+def make_world(name: str, *, seed: int = 0,
+               n_series: int | None = None) -> Scenario:
+    """Build one scenario world by registry name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_worlds`.
+    seed:
+        Master seed: prototypes, stream order and pathology draws all
+        derive from it.  Same seed ⇒ bit-identical world.
+    n_series:
+        Stream length override in series (each ``length`` samples
+        long); defaults to the world's own size, chosen so drift
+        points leave room for detection *and* adaptation.  Drift
+        points scale with the default proportions when overridden.
+    """
+    try:
+        kind, description, builder = _WORLDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario world {name!r}; see available_worlds()"
+        ) from None
+    return builder(kind=kind, description=description, seed=int(seed),
+                   n_series=n_series)
+
+
+def _seeds(seed: int, *salts: int) -> list[int]:
+    """Derive independent child seeds from a master seed."""
+    sequence = np.random.SeedSequence([seed, *salts])
+    return [int(s) for s in sequence.generate_state(4)]
+
+
+def _balanced_panel(sampler, n_classes: int, per_class: int,
+                    seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """A balanced, shuffled training panel drawn from a concept sampler."""
+    rng = ensure_rng(seed)
+    panels = [sampler.sample_class(c, per_class, rng)
+              for c in range(n_classes)]
+    X = np.concatenate(panels, axis=0)
+    y = np.repeat(np.arange(n_classes), per_class)
+    order = rng.permutation(len(y))
+    return X[order], y[order]
+
+
+# ------------------------- synthetic worlds -------------------------- #
+
+_KS_SHAPE = {"n_channels": 2, "length": 32, "n_classes": 3}
+
+
+@_world("stationary-kernelsynth", "synthetic",
+        "stationary kernel compositions; any flag is false")
+def _build_stationary(*, kind, description, seed, n_series):
+    """Drift-free pure-synthetic world: the false-flag baseline."""
+    n_series = n_series or 220
+    train_seed, stream_seed, _, _ = _seeds(seed, 11)
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return MorphSource(generator, n_series=n_series, seed=stream_seed,
+                           **_KS_SHAPE)
+
+    return Scenario(
+        name="stationary-kernelsynth", kind=kind, description=description,
+        window=32, hop=32, n_channels=2, n_classes=3, n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(),
+        budget=ScenarioBudget(max_detection_delay=None, max_false_flags=0,
+                              min_final_accuracy=0.75),
+        _train=train, _source=source,
+    )
+
+
+@_world("seasonal-stable", "synthetic",
+        "stable concept under a benign seasonal gain swell")
+def _build_seasonal(*, kind, description, seed, n_series):
+    """Seasonal-but-stable world: amplitude seasonality is not drift."""
+    n_series = n_series or 220
+    train_seed, stream_seed, _, _ = _seeds(seed, 12)
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        inner = MorphSource(generator, n_series=n_series, seed=stream_seed,
+                            **_KS_SHAPE)
+        return SeasonalModulation(inner, period=20 * _KS_SHAPE["length"],
+                                  depth=0.25)
+
+    return Scenario(
+        name="seasonal-stable", kind=kind, description=description,
+        window=32, hop=32, n_channels=2, n_classes=3, n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(),
+        budget=ScenarioBudget(max_detection_delay=None, max_false_flags=0,
+                              min_final_accuracy=0.75),
+        _train=train, _source=source,
+    )
+
+
+@_world("abrupt-prototype-swap", "synthetic",
+        "classic mid-stream prototype permutation (labels keep flowing)")
+def _build_abrupt(*, kind, description, seed, n_series):
+    """The canonical abrupt shift: class prototypes permute at one point."""
+    n_series = n_series or 170
+    shift_series = max(2, int(n_series * 0.30))
+    train_seed, stream_seed, _, _ = _seeds(seed, 13)
+    length = 32
+
+    def train():
+        generator = MTSGenerator(n_channels=2, length=length, n_classes=2,
+                                 difficulty=0.2, seed=train_seed)
+        return generator.sample(np.array([32, 32]), ensure_rng(train_seed + 1))
+
+    def source():
+        from ..streaming.sources import SyntheticSource
+
+        generator = MTSGenerator(n_channels=2, length=length, n_classes=2,
+                                 difficulty=0.2, seed=train_seed)
+        return SyntheticSource(generator=generator, n_series=n_series,
+                               seed=stream_seed,
+                               shift_at=shift_series * length)
+
+    return Scenario(
+        name="abrupt-prototype-swap", kind=kind, description=description,
+        window=length, hop=length, n_channels=2, n_classes=2,
+        n_series=n_series, feed_labels=True, label_delay=0,
+        drift_points=(shift_series * length,),
+        budget=ScenarioBudget(max_detection_delay=12, max_false_flags=0,
+                              min_final_accuracy=0.55),
+        _train=train, _source=source,
+    )
+
+
+@_world("gradual-morph", "synthetic",
+        "kernel universe A morphs into universe B over a long ramp")
+def _build_gradual(*, kind, description, seed, n_series):
+    """Gradual drift: per-series concept blends shift 0 → 1 over a ramp."""
+    n_series = n_series or 220
+    length = _KS_SHAPE["length"]
+    ramp_start = max(2, int(n_series * 0.25)) * length
+    ramp_end = max(3, int(n_series * 0.45)) * length
+    train_seed, stream_seed, b_seed, _ = _seeds(seed, 14)
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        concept_a = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        concept_b = KernelSynthGenerator(seed=b_seed, **_KS_SHAPE)
+        return MorphSource(concept_a, concept_b, n_series=n_series,
+                           seed=stream_seed, ramp=(ramp_start, ramp_end),
+                           **_KS_SHAPE)
+
+    return Scenario(
+        name="gradual-morph", kind=kind, description=description,
+        window=length, hop=length, n_channels=2,
+        n_classes=_KS_SHAPE["n_classes"], n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(ramp_start,),
+        budget=ScenarioBudget(
+            max_detection_delay=(ramp_end - ramp_start) // length + 25,
+            max_false_flags=0, min_final_accuracy=0.55),
+        _train=train, _source=source,
+    )
+
+
+@_world("recurring-regimes", "synthetic",
+        "two kernel universes alternate in seasonal regime blocks")
+def _build_recurring(*, kind, description, seed, n_series):
+    """Recurring drift: regimes A and B alternate every ``cycle`` series."""
+    n_series = n_series or 220
+    length = _KS_SHAPE["length"]
+    cycle = max(2, int(n_series * 0.22))
+    train_seed, stream_seed, b_seed, _ = _seeds(seed, 15)
+    drift_points = tuple(boundary * length
+                         for boundary in range(cycle, n_series, cycle))
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        regime_a = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        regime_b = KernelSynthGenerator(seed=b_seed, **_KS_SHAPE)
+        return MorphSource(regime_a, regime_b, n_series=n_series,
+                           seed=stream_seed, cycle=cycle, **_KS_SHAPE)
+
+    return Scenario(
+        name="recurring-regimes", kind=kind, description=description,
+        window=length, hop=length, n_channels=2,
+        n_classes=_KS_SHAPE["n_classes"], n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=drift_points,
+        budget=ScenarioBudget(max_detection_delay=12, max_false_flags=0,
+                              min_final_accuracy=0.45),
+        _train=train, _source=source,
+    )
+
+
+# --------------------------- blend worlds ---------------------------- #
+
+_BLEND_DATASET = "RacketSports"
+
+
+def _blend_panel(seed: int) -> tuple[np.ndarray, np.ndarray]:
+    """The UEA panel blend worlds draw from (small scale, NaN-free)."""
+    from .archive import load_dataset  # local: archive solve is not free
+
+    train, _ = load_dataset(_BLEND_DATASET, scale="small")
+    return np.nan_to_num(train.X, nan=0.0), train.y
+
+
+@_world("mixup-blend-shift", "blend",
+        "TSMixup blends of a UEA panel drift into cross-class mixes")
+def _build_mixup(*, kind, description, seed, n_series):
+    """Semi-synthetic shift: within-class mixup leans into the next class."""
+    n_series = n_series or 180
+    shift_series = max(2, int(n_series * 0.30))
+    train_seed, stream_seed, _, _ = _seeds(seed, 16)
+
+    def train():
+        X, y = _blend_panel(train_seed)
+        sampler = MixupSampler(X, y, k=3, jitter=0.02)
+        return _balanced_panel(sampler, len(sampler.classes), 16,
+                               train_seed + 1)
+
+    def source():
+        X, y = _blend_panel(train_seed)
+        faithful = MixupSampler(X, y, k=3, jitter=0.02)
+        contaminated = MixupSampler(X, y, k=3, jitter=0.02,
+                                    partner_weight=0.6)
+        length = X.shape[2]
+        boundary = shift_series * length
+        return MorphSource(faithful, contaminated,
+                           n_channels=X.shape[1], length=length,
+                           n_classes=len(faithful.classes),
+                           n_series=n_series, seed=stream_seed,
+                           ramp=(boundary, boundary))
+
+    X, y = _blend_panel(train_seed)
+    length = X.shape[2]
+    return Scenario(
+        name="mixup-blend-shift", kind=kind, description=description,
+        window=length, hop=length, n_channels=X.shape[1],
+        n_classes=len(np.unique(y)), n_series=n_series,
+        feed_labels=True, label_delay=0,
+        drift_points=(shift_series * length,),
+        budget=ScenarioBudget(max_detection_delay=15, max_false_flags=0,
+                              min_final_accuracy=0.40),
+        _train=train, _source=source,
+    )
+
+
+@_world("dba-smooth-stable", "blend",
+        "jittered DBA barycenters of a UEA panel; class-faithful, no drift")
+def _build_dba(*, kind, description, seed, n_series):
+    """Benign blend world: barycentric smoothing must not flag."""
+    n_series = n_series or 180
+    train_seed, stream_seed, _, _ = _seeds(seed, 17)
+
+    def train():
+        return _blend_panel(train_seed)
+
+    def source():
+        X, y = _blend_panel(train_seed)
+        sampler = DBASampler(X, y, max_series=8, iterations=3, jitter=0.08)
+        return MorphSource(sampler, n_channels=X.shape[1],
+                           length=X.shape[2],
+                           n_classes=len(sampler.classes),
+                           n_series=n_series, seed=stream_seed)
+
+    X, y = _blend_panel(train_seed)
+    return Scenario(
+        name="dba-smooth-stable", kind=kind, description=description,
+        window=X.shape[2], hop=X.shape[2], n_channels=X.shape[1],
+        n_classes=len(np.unique(y)), n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(),
+        budget=ScenarioBudget(max_detection_delay=None, max_false_flags=0,
+                              min_final_accuracy=0.70),
+        _train=train, _source=source,
+    )
+
+
+# ------------------------- pathology worlds -------------------------- #
+
+
+@_world("gappy-stream", "pathology",
+        "stationary stream with outages and dropouts; windows must not "
+        "mix across gaps")
+def _build_gappy(*, kind, description, seed, n_series):
+    """Gap/missing-sample pathology over a stationary concept."""
+    n_series = n_series or 220
+    length = _KS_SHAPE["length"]
+    train_seed, stream_seed, gap_seed, _ = _seeds(seed, 18)
+    total = n_series * length
+    outages = (
+        (int(total * 0.25), length // 2),
+        (int(total * 0.55), 2 * length),
+        (int(total * 0.80), 7),
+    )
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        from ..streaming.sources import GapSource
+
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        inner = MorphSource(generator, n_series=n_series, seed=stream_seed,
+                            **_KS_SHAPE)
+        return GapSource(inner, gaps=outages, drop_probability=0.004,
+                         seed=gap_seed, series_length=length)
+
+    return Scenario(
+        name="gappy-stream", kind=kind, description=description,
+        window=length, hop=length, n_channels=2,
+        n_classes=_KS_SHAPE["n_classes"], n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(),
+        budget=ScenarioBudget(max_detection_delay=None, max_false_flags=0,
+                              min_final_accuracy=0.75),
+        _train=train, _source=source,
+    )
+
+
+@_world("ragged-shift", "pathology",
+        "variable-length series with an abrupt shift; sub-series windows")
+def _build_ragged(*, kind, description, seed, n_series):
+    """Ragged variable-length sources, scored with sub-series windows."""
+    n_series = n_series or 200
+    length = 32
+    window = 16
+    shift_series = max(2, int(n_series * 0.30))
+    train_seed, stream_seed, ragged_seed, _ = _seeds(seed, 19)
+
+    def train():
+        generator = MTSGenerator(n_channels=2, length=length, n_classes=2,
+                                 difficulty=0.15, seed=train_seed)
+        X, y = generator.sample(np.array([36, 36]),
+                                ensure_rng(train_seed + 1))
+        # The stream is scored in window-sized slices, so the model
+        # trains on the same slices: both halves of every series.
+        X_sliced = np.concatenate([X[:, :, :window], X[:, :, window:]],
+                                  axis=0)
+        return X_sliced, np.concatenate([y, y])
+
+    def source():
+        from ..streaming.sources import RaggedSource, SyntheticSource
+
+        generator = MTSGenerator(n_channels=2, length=length, n_classes=2,
+                                 difficulty=0.15, seed=train_seed)
+        inner = SyntheticSource(generator=generator, n_series=n_series,
+                                seed=stream_seed,
+                                shift_at=shift_series * length)
+        return RaggedSource(inner, series_length=length, min_fraction=0.55,
+                            seed=ragged_seed)
+
+    return Scenario(
+        name="ragged-shift", kind=kind, description=description,
+        window=window, hop=window, n_channels=2, n_classes=2,
+        n_series=n_series, feed_labels=True, label_delay=0,
+        drift_points=(shift_series * length,),
+        budget=ScenarioBudget(max_detection_delay=20, max_false_flags=1,
+                              min_final_accuracy=0.50),
+        _train=train, _source=source,
+    )
+
+
+@_world("label-noise", "pathology",
+        "stationary concept under 10% flipped labels; noise is not drift")
+def _build_label_noise(*, kind, description, seed, n_series):
+    """Annotation-noise pathology: flipped labels must not flag."""
+    n_series = n_series or 220
+    length = _KS_SHAPE["length"]
+    train_seed, stream_seed, noise_seed, _ = _seeds(seed, 20)
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        inner = MorphSource(generator, n_series=n_series, seed=stream_seed,
+                            **_KS_SHAPE)
+        from ..streaming.sources import LabelNoiseSource
+
+        return LabelNoiseSource(inner, n_classes=_KS_SHAPE["n_classes"],
+                                series_length=length, flip_probability=0.10,
+                                seed=noise_seed)
+
+    return Scenario(
+        name="label-noise", kind=kind, description=description,
+        window=length, hop=length, n_channels=2,
+        n_classes=_KS_SHAPE["n_classes"], n_series=n_series,
+        feed_labels=True, label_delay=0, drift_points=(),
+        # Accuracy is measured against the noisy labels the world emits,
+        # so the floor discounts the flip rate.
+        budget=ScenarioBudget(max_detection_delay=None, max_false_flags=0,
+                              min_final_accuracy=0.65),
+        _train=train, _source=source,
+    )
+
+
+@_world("late-labels", "pathology",
+        "abrupt OOD shift with labels arriving six windows late")
+def _build_late_labels(*, kind, description, seed, n_series):
+    """Adversarially-late labels: drift must be caught unlabelled (the
+    confidence EWMA), while the retrain uses truth delivered late."""
+    n_series = n_series or 220
+    length = _KS_SHAPE["length"]
+    shift_series = max(2, int(n_series * 0.30))
+    boundary = shift_series * length
+    train_seed, stream_seed, b_seed, _ = _seeds(seed, 21)
+
+    def train():
+        generator = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        return _balanced_panel(generator, _KS_SHAPE["n_classes"], 30,
+                               train_seed + 1)
+
+    def source():
+        concept_a = KernelSynthGenerator(seed=train_seed, **_KS_SHAPE)
+        concept_b = KernelSynthGenerator(seed=b_seed, **_KS_SHAPE)
+        return MorphSource(concept_a, concept_b, n_series=n_series,
+                           seed=stream_seed, ramp=(boundary, boundary),
+                           **_KS_SHAPE)
+
+    return Scenario(
+        name="late-labels", kind=kind, description=description,
+        window=length, hop=length, n_channels=2,
+        n_classes=_KS_SHAPE["n_classes"], n_series=n_series,
+        feed_labels=False, label_delay=6, drift_points=(boundary,),
+        budget=ScenarioBudget(max_detection_delay=40, max_false_flags=1,
+                              min_final_accuracy=0.45),
+        _train=train, _source=source,
+    )

@@ -46,6 +46,7 @@ from .protocol import (
     run_single,
 )
 from .runner import GridResult, run_grid
+from .scenario_harness import ScenarioReport, run_scenario, run_suite
 from .tables import (
     render_accuracy_table,
     render_table1_roles,
@@ -67,6 +68,9 @@ __all__ = [
     "inceptiontime_spec",
     "GridResult",
     "run_grid",
+    "ScenarioReport",
+    "run_scenario",
+    "run_suite",
     "BASELINE",
     "GridJob",
     "GridCheckpoint",

@@ -1,0 +1,389 @@
+"""Replay scenario worlds through the full adaptation loop and score it.
+
+The scenario library (:mod:`repro.data.scenarios`) supplies deterministic
+stream worlds with known ground truth — where drift really happens,
+which worlds are drift-free, what accuracy a healthy loop should hold at
+the end.  This harness is the measuring instrument: for each world it
+
+1. trains a serving model on the world's pre-drift training panel and
+   publishes it to a fresh registry under the serving protocol's
+   metadata (so the stream path z-normalises exactly like batch);
+2. replays the world's sample stream through ``StreamScorer →
+   DriftMonitor → AdaptationController`` — the real production loop,
+   adaptation inline for determinism — reopening the scorer pinned to
+   every promoted version, exactly like ``repro adapt``;
+3. scores what happened against the world's own truth:
+   **detection delay** (windows from the first drift-affected window to
+   the first flag), **false flags** (flags raised while the concept was
+   still the training concept), and **accuracy segments** (pre-drift /
+   overall / final quarter — the last one is what the budget's
+   ``min_final_accuracy`` bounds, because by then adaptation has had
+   its chance);
+4. compares the measurements to the world's
+   :class:`~repro.data.scenarios.ScenarioBudget` and reports pass/fail
+   per axis.
+
+Late labels: worlds with ``feed_labels=False`` are scored unlabelled
+(drift must be caught by the confidence EWMA) while the harness delivers
+each window's truth ``label_delay`` windows later through
+:meth:`~repro.adaptation.AdaptationController.deliver_label` — the
+replay buffer upgrades in place, so retrains use truth even though the
+stream never carried it.
+
+Everything is JSON-serialisable: :func:`run_suite` returns (and
+optionally persists) one report per world plus a suite verdict, which is
+what ``repro scenarios`` prints and ``benchmarks/bench_scenarios.py``
+checks in.  See ``docs/scenarios.md`` for the world taxonomy and budget
+tuning guidance.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+from ..adaptation import AdaptationController
+from ..classifiers import make_classifier
+from ..data.scenarios import Scenario, make_world
+from ..serving import ModelRegistry, PredictionService
+from ..serving.registry import model_metadata
+from ..serving.server import PROTOCOL_PREPROCESSING, prepare_panel
+from ..streaming import DriftMonitor, StreamScorer
+
+__all__ = ["ScenarioReport", "run_scenario", "run_suite"]
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """What one world's replay measured, against its budget.
+
+    ``detection_delay`` is ``None`` when the world is drift-free or the
+    shift was never flagged (``detected`` disambiguates); accuracies are
+    ``None`` when their segment holds no windows.  The ``*_ok`` fields
+    are the per-axis budget verdicts and ``passed`` their conjunction.
+    """
+
+    world: str
+    kind: str
+    seed: int
+    windows: int
+    gaps: int
+    flags: tuple[int, ...]  # global window indices that raised a flag
+    first_affected: int | None  # first window holding post-drift samples
+    detected: bool | None  # None: drift-free world (nothing to detect)
+    detection_delay: int | None
+    false_flags: int
+    retrainings: int
+    promotions: int
+    rollbacks: int
+    pre_drift_accuracy: float | None
+    overall_accuracy: float | None
+    final_accuracy: float | None  # final quarter: post-adaptation regime
+    late_labels_delivered: int
+    late_labels_dropped: int
+    delay_ok: bool
+    false_flags_ok: bool
+    accuracy_ok: bool
+    passed: bool
+
+    def as_dict(self) -> dict:
+        """JSON-ready form — one entry of the suite report."""
+        out = {
+            "world": self.world, "kind": self.kind, "seed": self.seed,
+            "windows": self.windows, "gaps": self.gaps,
+            "flags": list(self.flags),
+            "false_flags": self.false_flags,
+            "retrainings": self.retrainings,
+            "promotions": self.promotions, "rollbacks": self.rollbacks,
+            "late_labels_delivered": self.late_labels_delivered,
+            "late_labels_dropped": self.late_labels_dropped,
+            "budget": {"delay_ok": self.delay_ok,
+                       "false_flags_ok": self.false_flags_ok,
+                       "accuracy_ok": self.accuracy_ok},
+            "passed": self.passed,
+        }
+        if self.first_affected is not None:
+            out["first_affected"] = self.first_affected
+        if self.detected is not None:
+            out["detected"] = self.detected
+        if self.detection_delay is not None:
+            out["detection_delay"] = self.detection_delay
+        for key in ("pre_drift_accuracy", "overall_accuracy",
+                    "final_accuracy"):
+            value = getattr(self, key)
+            if value is not None:
+                out[key] = round(value, 4)
+        return out
+
+
+def _train_and_publish(scenario: Scenario, registry: ModelRegistry,
+                       *, seed: int, num_kernels: int):
+    """Fit the serving model on the world's panel and publish it stable."""
+    X, y = scenario.training_panel()
+    model = make_classifier("rocket", num_kernels=num_kernels,
+                            seed=seed).fit(prepare_panel(X), y)
+    metadata = model_metadata(
+        model, dataset=f"scenario:{scenario.name}",
+        preprocessing=PROTOCOL_PREPROCESSING,
+        input_shape=[scenario.n_channels, scenario.window], seed=seed,
+    )
+    return registry.publish(model, f"scenario-{scenario.name}",
+                            metadata=metadata, tags=("stable",))
+
+
+def run_scenario(scenario: Scenario | str, *, seed: int = 0,
+                 n_series: int | None = None, num_kernels: int = 300,
+                 collect_windows: int = 24, shadow_windows: int = 12,
+                 cooldown_windows: int = 30,
+                 registry_dir: str | Path | None = None) -> ScenarioReport:
+    """Replay one world through the adaptation loop and score the outcome.
+
+    Parameters
+    ----------
+    scenario:
+        A :class:`~repro.data.scenarios.Scenario` or a world name
+        (resolved via :func:`~repro.data.scenarios.make_world` with
+        *seed*/*n_series*).
+    seed:
+        Master seed — world construction, model fit and retrains all
+        derive from it; two runs with the same arguments produce the
+        same report.
+    n_series:
+        Stream length override, forwarded to ``make_world``.
+    num_kernels:
+        Serving model budget (ROCKET kernels).
+    collect_windows / shadow_windows / cooldown_windows:
+        Adaptation loop pacing — smaller than the production defaults
+        because scenario streams are a few hundred windows long and the
+        loop must finish adapting inside them.
+    registry_dir:
+        Existing directory for the throwaway registry; default is a
+        temporary directory cleaned up on return.
+    """
+    if isinstance(scenario, str):
+        scenario = make_world(scenario, seed=seed, n_series=n_series)
+    if registry_dir is None:
+        with tempfile.TemporaryDirectory() as tmp:
+            return run_scenario(scenario, seed=seed, n_series=n_series,
+                                num_kernels=num_kernels,
+                                collect_windows=collect_windows,
+                                shadow_windows=shadow_windows,
+                                cooldown_windows=cooldown_windows,
+                                registry_dir=tmp)
+
+    registry = ModelRegistry(registry_dir)
+    record = _train_and_publish(scenario, registry, seed=seed,
+                                num_kernels=num_kernels)
+    service = PredictionService(registry, max_queue=1024)
+    try:
+        return _replay(scenario, service, record.name, seed=seed,
+                       collect_windows=collect_windows,
+                       shadow_windows=shadow_windows,
+                       cooldown_windows=cooldown_windows)
+    finally:
+        service.close()
+
+
+def _replay(scenario: Scenario, service, name: str, *, seed: int,
+            collect_windows: int, shadow_windows: int,
+            cooldown_windows: int) -> ScenarioReport:
+    """The measurement loop proper: stream → score → adapt → tally."""
+    first_drift = scenario.drift_points[0] if scenario.drift_points else None
+    truths: dict[int, int] = {}  # sample clock -> label (the world's truth)
+    flags: list[int] = []
+    outcomes: list[tuple[int, int, bool]] = []  # (window, end, correct)
+    first_affected: int | None = None
+    window_count = gap_count = 0
+    delivered = dropped = 0
+    version = None
+    retrainings = promotions = rollbacks = 0
+
+    feed = iter(scenario.source())
+    exhausted = False
+    while not exhausted:
+        controller = AdaptationController(
+            service, name, version=version,
+            collect_windows=collect_windows,
+            shadow_windows=shadow_windows,
+            cooldown_windows=cooldown_windows,
+            background=False,
+        )
+        decisions_seen = 0
+        promoted = None
+        #: late-label queue for THIS controller: (due window, local window
+        #: index, truth) — indices are per-scorer, so a promotion drops it
+        late: deque[tuple[int, int, int]] = deque()
+        segment_base = window_count
+        monitor = DriftMonitor()
+        # max_inflight=1 keeps the replay deterministic: each window
+        # resolves exactly one window behind its submission, so drift
+        # flags, decisions and the promotion break-point land on the
+        # same sample every run (pipelined scoring resolves whenever the
+        # batcher's worker happens to finish — timing-dependent).
+        with StreamScorer(service, name, window=scenario.window,
+                          hop=scenario.hop, version=version,
+                          monitor=monitor, adapter=controller,
+                          max_inflight=1) as scorer:
+
+            def handle(result) -> int | None:
+                nonlocal window_count, first_affected, delivered, dropped, \
+                    decisions_seen
+                index = segment_base + result.index
+                window_count += 1
+                truth = truths.get(result.end)
+                if truth is not None:
+                    outcomes.append((index, result.end, result.label == truth))
+                if result.drift is not None and result.drift.shift:
+                    flags.append(index)
+                if first_drift is not None and first_affected is None \
+                        and result.end >= first_drift:
+                    first_affected = index
+                if scenario.label_delay > 0 and truth is not None:
+                    late.append((index + scenario.label_delay,
+                                 result.index, truth))
+                while late and late[0][0] <= index:
+                    _, local_index, late_truth = late.popleft()
+                    if controller.deliver_label(local_index, late_truth):
+                        delivered += 1
+                    else:
+                        dropped += 1
+                switch = None
+                while decisions_seen < len(controller.decisions):
+                    decision = controller.decisions[decisions_seen]
+                    decisions_seen += 1
+                    if decision.action == "promote":
+                        switch = decision.canary_version
+                return switch
+
+            for sample in feed:
+                if sample.label is not None:
+                    truths[sample.t] = int(sample.label)
+                label = sample.label if scenario.feed_labels else None
+                for result in scorer.feed(sample.values, label, t=sample.t):
+                    promoted = handle(result) or promoted
+                if promoted is not None:
+                    break
+            else:
+                exhausted = True
+                for result in scorer.finish():
+                    promoted = handle(result) or promoted
+            gap_count += scorer.gaps
+        stats = service.adaptation_stats(name)
+        retrainings = stats.retrainings.value
+        promotions = stats.promotions.value
+        rollbacks = stats.rollbacks.value
+        if promoted is not None:
+            # Reopen against the promoted version: the rest of the
+            # stream is scored by the adapted model.
+            version = promoted
+
+    return _score(scenario, seed=seed, windows=window_count, gaps=gap_count,
+                  flags=flags, outcomes=outcomes,
+                  first_affected=first_affected, retrainings=retrainings,
+                  promotions=promotions, rollbacks=rollbacks,
+                  delivered=delivered, dropped=dropped)
+
+
+def _score(scenario: Scenario, *, seed: int, windows: int, gaps: int,
+           flags: list[int], outcomes: list[tuple[int, int, bool]],
+           first_affected: int | None, retrainings: int, promotions: int,
+           rollbacks: int, delivered: int, dropped: int) -> ScenarioReport:
+    """Fold the raw replay tallies into budget verdicts."""
+    budget = scenario.budget
+    drift_free = not scenario.drift_points
+
+    if drift_free:
+        detected = None
+        delay = None
+        false_flags = len(flags)
+    else:
+        hits = [f for f in flags
+                if first_affected is not None and f >= first_affected]
+        detected = bool(hits)
+        delay = (hits[0] - first_affected) if hits else None
+        false_flags = len(flags) - len(hits)
+
+    def accuracy(selector) -> float | None:
+        chosen = [correct for index, end, correct in outcomes
+                  if selector(index, end)]
+        return (sum(chosen) / len(chosen)) if chosen else None
+
+    pre_drift = None
+    if first_affected is not None:
+        pre_drift = accuracy(lambda index, end: index < first_affected)
+    overall = accuracy(lambda index, end: True)
+    tail_start = (3 * windows) // 4
+    final = accuracy(lambda index, end: index >= tail_start)
+
+    if budget.max_detection_delay is None:
+        delay_ok = True  # drift-free: nothing to detect
+    else:
+        delay_ok = detected is True and delay is not None \
+            and delay <= budget.max_detection_delay
+    false_flags_ok = false_flags <= budget.max_false_flags
+    if budget.min_final_accuracy is None:
+        accuracy_ok = True
+    else:
+        accuracy_ok = final is not None \
+            and final >= budget.min_final_accuracy
+
+    return ScenarioReport(
+        world=scenario.name, kind=scenario.kind, seed=seed,
+        windows=windows, gaps=gaps, flags=tuple(flags),
+        first_affected=first_affected, detected=detected,
+        detection_delay=delay, false_flags=false_flags,
+        retrainings=retrainings, promotions=promotions,
+        rollbacks=rollbacks, pre_drift_accuracy=pre_drift,
+        overall_accuracy=overall, final_accuracy=final,
+        late_labels_delivered=delivered, late_labels_dropped=dropped,
+        delay_ok=delay_ok, false_flags_ok=false_flags_ok,
+        accuracy_ok=accuracy_ok,
+        passed=delay_ok and false_flags_ok and accuracy_ok,
+    )
+
+
+def run_suite(worlds: Iterable[str] | None = None, *, seed: int = 0,
+              n_series: int | None = None, out_path: str | Path | None = None,
+              **overrides) -> dict:
+    """Replay a set of worlds and aggregate their reports.
+
+    Parameters
+    ----------
+    worlds:
+        World names (default: every registered world).
+    seed / n_series:
+        Forwarded to every :func:`run_scenario` call.
+    out_path:
+        When given, the suite report is written there as JSON.
+    overrides:
+        Extra :func:`run_scenario` keyword arguments (model budget,
+        adaptation pacing).
+
+    Returns
+    -------
+    dict
+        ``{"seed", "worlds": [per-world report dicts], "passed",
+        "failures": [world names]}`` — the shape ``repro scenarios``
+        prints and the benchmark archives.
+    """
+    from ..data.scenarios import available_worlds
+
+    names = list(worlds) if worlds is not None else available_worlds()
+    reports = [run_scenario(name, seed=seed, n_series=n_series, **overrides)
+               for name in names]
+    suite = {
+        "seed": int(seed),
+        "worlds": [report.as_dict() for report in reports],
+        "failures": [report.world for report in reports if not report.passed],
+        "passed": all(report.passed for report in reports),
+    }
+    if out_path is not None:
+        path = Path(out_path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(suite, indent=2) + "\n",
+                        encoding="utf-8")
+    return suite

@@ -26,12 +26,23 @@ stream``; wire format: ``docs/http-api.md``.
 
 from .drift import DriftMonitor, DriftState
 from .scorer import SlidingWindower, StreamScorer, WindowResult, expected_windows
-from .sources import ReplaySource, StreamSample, StreamSource, SyntheticSource
+from .sources import (
+    GapSource,
+    LabelNoiseSource,
+    RaggedSource,
+    ReplaySource,
+    StreamSample,
+    StreamSource,
+    SyntheticSource,
+)
 from .client import StreamRequestError, stream_windows
 
 __all__ = [
     "DriftMonitor",
     "DriftState",
+    "GapSource",
+    "LabelNoiseSource",
+    "RaggedSource",
     "ReplaySource",
     "SlidingWindower",
     "StreamRequestError",

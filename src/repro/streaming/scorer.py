@@ -65,8 +65,19 @@ class SlidingWindower:
 
     @property
     def seen(self) -> int:
-        """Samples pushed so far."""
+        """Samples pushed since construction (or the last :meth:`reset`)."""
         return self._seen
+
+    def reset(self) -> None:
+        """Forget every buffered sample: the next window completes only
+        after ``window`` *fresh* pushes.
+
+        The discontinuity hook: a stream gap (missing samples, a new
+        ragged series) must never let one window silently mix
+        observations from both sides of the break — the stale samples
+        still in the ring are dead, so the window count restarts.
+        """
+        self._seen = 0
 
     def push(self, values) -> np.ndarray | None:
         """Add one sample; returns the completed window when one is due."""
@@ -185,6 +196,8 @@ class StreamScorer:
             service.close_stream(self.record)
             raise
         self._windower: SlidingWindower | None = None  # lazy: first sample
+        self._last_t: int | None = None  # stream clock of the latest sample
+        self._gaps = 0
         self._pending: deque[_Pending] = deque()
         #: resolved ahead of collection (inflight-cap waits); always older
         #: than anything still pending, so collection order is preserved
@@ -211,8 +224,24 @@ class StreamScorer:
         """Windows flagged as shifted so far."""
         return self._shifts
 
-    def feed(self, values, label=None) -> list[WindowResult]:
-        """Push one sample; returns whatever window results are now ready."""
+    @property
+    def gaps(self) -> int:
+        """Stream discontinuities seen so far (non-consecutive ``t``)."""
+        return self._gaps
+
+    def feed(self, values, label=None, *, t: int | None = None
+             ) -> list[WindowResult]:
+        """Push one sample; returns whatever window results are now ready.
+
+        *t* is the sample's position on the source's own clock.  When
+        given, a jump (``t != previous t + 1``) is treated as a stream
+        **gap** — missing samples, a truncated ragged series — and the
+        window buffer is reset, so no window ever silently mixes
+        observations from both sides of the discontinuity; window
+        ``start``/``end`` indices are then reported on that clock.
+        Without *t* the stream is assumed contiguous (the historical
+        behaviour, bit-identical).
+        """
         if self._closed:
             raise RuntimeError("cannot feed a closed StreamScorer")
         values = np.asarray(values, dtype=np.float64)
@@ -223,10 +252,17 @@ class StreamScorer:
                     f"ndim={values.ndim}"
                 )
             self._windower = SlidingWindower(len(values), self.window, self.hop)
+        if t is not None:
+            t = int(t)
+            if self._last_t is not None and t != self._last_t + 1:
+                self._gaps += 1
+                self._windower.reset()
+            self._last_t = t
+        end = t if t is not None else self._samples
         panel = self._windower.push(values)
         self._samples += 1
         if panel is not None:
-            self._submit(panel, label)
+            self._submit(panel, label, end)
         return self._collect()
 
     def finish(self) -> list[WindowResult]:
@@ -248,13 +284,12 @@ class StreamScorer:
 
     # ------------------------------------------------------------------ #
 
-    def _submit(self, panel: np.ndarray, truth) -> None:
+    def _submit(self, panel: np.ndarray, truth, end: int) -> None:
         if len(self._pending) >= self.max_inflight:
             # This stream is ahead of its model: wait on our own oldest
             # window instead of piling further onto the shared queue.
             self._ready.append(self._resolve_head())
         index = self._submitted
-        end = self._windower.seen - 1
         _, futures = self.service.submit(
             self.record.name, [panel], self.record.version,
             queue_timeout=self.queue_timeout, return_proba=self.use_proba,

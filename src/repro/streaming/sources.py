@@ -14,9 +14,17 @@ the sliding-window scorer; the two built-ins cover the common cases:
   nominal labels keep flowing while their generating process changes —
   the canonical drift-detection scenario.
 
-Both sources are deterministic: iterating one twice yields bit-identical
+Three composable **pathology wrappers** distort any source the way real
+deployments do (the scenario worlds in :mod:`repro.data.scenarios` are
+built from them): :class:`GapSource` removes outage spans and random
+dropouts while preserving the clock, :class:`RaggedSource` truncates
+series to variable lengths, and :class:`LabelNoiseSource` flips a
+seeded fraction of the labels.
+
+Every source is deterministic: iterating one twice yields bit-identical
 streams (``SyntheticSource`` rebuilds its generator per iteration so a
-consumed shift never leaks into the next replay).
+consumed shift never leaks into the next replay; the wrappers rebuild
+their RNG the same way).
 """
 
 from __future__ import annotations
@@ -28,7 +36,15 @@ import numpy as np
 from .._validation import check_panel, check_panel_labels
 from ..data.generators import MTSGenerator
 
-__all__ = ["ReplaySource", "StreamSample", "StreamSource", "SyntheticSource"]
+__all__ = [
+    "GapSource",
+    "LabelNoiseSource",
+    "RaggedSource",
+    "ReplaySource",
+    "StreamSample",
+    "StreamSource",
+    "SyntheticSource",
+]
 
 
 class StreamSample(NamedTuple):
@@ -157,3 +173,157 @@ class SyntheticSource:
             for step in range(series.shape[1]):
                 yield StreamSample(t, series[:, step], label)
                 t += 1
+
+
+class GapSource:
+    """Drop samples from a wrapped stream, keeping the original clock.
+
+    Two pathologies, composable:
+
+    * **outages** — every ``(start, length)`` pair in *gaps* removes the
+      samples with ``start <= t < start + length`` (a sensor going dark
+      for a stretch);
+    * **dropouts** — each surviving sample is independently discarded
+      with *drop_probability* (lossy transport), drawn deterministically
+      from *seed* per iteration.
+
+    Surviving samples keep their **original** ``t``, so the removed
+    spans are visible to the consumer as jumps in the clock — exactly
+    what :meth:`~repro.streaming.StreamScorer.feed` turns into a window
+    reset when fed with ``t=sample.t``.  Iterating twice yields
+    bit-identical streams.
+
+    With *series_length* set, losing **any** sample invalidates the rest
+    of its series: the stream resumes at the next series boundary.  That
+    is how recording pipelines actually behave — a recording with a hole
+    in it is discarded, not stitched — and it keeps a window-aligned
+    consumer aligned after the gap (without it, a mid-series gap shifts
+    every later window across two series).
+    """
+
+    def __init__(self, source: StreamSource, *,
+                 gaps: tuple[tuple[int, int], ...] = (),
+                 drop_probability: float = 0.0, seed: int = 0,
+                 series_length: int | None = None):
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop_probability must be in [0, 1); got {drop_probability}")
+        if series_length is not None and series_length < 1:
+            raise ValueError(
+                f"series_length must be >= 1; got {series_length}")
+        self.source = source
+        self.gaps = tuple((int(start), int(length)) for start, length in gaps)
+        for start, length in self.gaps:
+            if start < 0 or length < 1:
+                raise ValueError(
+                    f"each gap is (start >= 0, length >= 1); "
+                    f"got ({start}, {length})")
+        self.drop_probability = float(drop_probability)
+        self.seed = int(seed)
+        self.series_length = None if series_length is None \
+            else int(series_length)
+        self.n_channels = source.n_channels
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 2]))
+        skip_until = 0
+        for sample in self.source:
+            if sample.t < skip_until:
+                continue
+            removed = any(start <= sample.t < start + length
+                          for start, length in self.gaps)
+            if not removed and self.drop_probability > 0.0:
+                removed = rng.random() < self.drop_probability
+            if removed:
+                if self.series_length is not None:
+                    # The rest of this recording is invalid too.
+                    skip_until = sample.t - sample.t % self.series_length \
+                        + self.series_length
+                continue
+            yield sample
+
+
+class RaggedSource:
+    """Truncate each series of a wrapped stream to a ragged length.
+
+    Wraps a source whose series are *series_length* samples long
+    (:class:`ReplaySource` over a fixed-length panel,
+    :class:`SyntheticSource`) and keeps only a seeded fraction in
+    ``[min_fraction, 1]`` of every series, dropping the tail — the
+    variable-length shape of real UEA sources (CharacterTrajectories,
+    SpokenArabicDigits), where short recordings simply end early.
+
+    The surviving samples keep their original clock, so a truncated
+    tail shows up as a jump in ``t`` at the next series boundary and a
+    ``t``-aware consumer never assembles a window that straddles two
+    series.  Iterating twice yields bit-identical streams.
+    """
+
+    def __init__(self, source: StreamSource, *, series_length: int,
+                 min_fraction: float = 0.5, seed: int = 0):
+        if series_length < 1:
+            raise ValueError(
+                f"series_length must be >= 1; got {series_length}")
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError(
+                f"min_fraction must be in (0, 1]; got {min_fraction}")
+        self.source = source
+        self.series_length = int(series_length)
+        self.min_fraction = float(min_fraction)
+        self.seed = int(seed)
+        self.n_channels = source.n_channels
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 3]))
+        keep = 0
+        for sample in self.source:
+            step = sample.t % self.series_length
+            if step == 0:
+                fraction = rng.uniform(self.min_fraction, 1.0)
+                keep = max(1, int(round(fraction * self.series_length)))
+            if step < keep:
+                yield sample
+
+
+class LabelNoiseSource:
+    """Flip a wrapped stream's labels with a seeded probability.
+
+    Each series' label survives with probability ``1 - flip_probability``
+    and is otherwise replaced by a uniformly drawn *different* label in
+    ``[0, n_classes)`` — annotation noise, applied consistently to every
+    sample of the same series (labels describe series, not samples; the
+    flip is redrawn at each *series_length* boundary of the clock).
+    Values and the clock pass through untouched; iterating twice yields
+    bit-identical streams.
+    """
+
+    def __init__(self, source: StreamSource, *, n_classes: int,
+                 series_length: int, flip_probability: float, seed: int = 0):
+        if n_classes < 2:
+            raise ValueError(f"n_classes must be >= 2; got {n_classes}")
+        if series_length < 1:
+            raise ValueError(
+                f"series_length must be >= 1; got {series_length}")
+        if not 0.0 <= flip_probability < 1.0:
+            raise ValueError(
+                f"flip_probability must be in [0, 1); got {flip_probability}")
+        self.source = source
+        self.n_classes = int(n_classes)
+        self.series_length = int(series_length)
+        self.flip_probability = float(flip_probability)
+        self.seed = int(seed)
+        self.n_channels = source.n_channels
+
+    def __iter__(self) -> Iterator[StreamSample]:
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, 4]))
+        offset: int | None = None
+        for sample in self.source:
+            if sample.t % self.series_length == 0 or offset is None:
+                offset = 0
+                if rng.random() < self.flip_probability:
+                    offset = int(rng.integers(1, self.n_classes))
+            if sample.label is None or offset == 0:
+                yield sample
+                continue
+            noisy = (int(sample.label) + offset) % self.n_classes
+            yield StreamSample(sample.t, sample.values, noisy)

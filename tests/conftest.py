@@ -6,6 +6,16 @@ import pytest
 from repro.data import TimeSeriesDataset, make_classification_panel
 
 
+def pytest_configure(config):
+    """Register the scenario marker (no pytest.ini/pyproject to hold it)."""
+    config.addinivalue_line(
+        "markers",
+        "scenario: end-to-end scenario-world replays through the full "
+        "stream -> drift -> canary loop (seconds each; CI runs a smoke "
+        "subset with `-m scenario`)",
+    )
+
+
 @pytest.fixture
 def rng():
     return np.random.default_rng(1234)

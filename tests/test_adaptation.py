@@ -102,6 +102,25 @@ class TestReplayBuffer:
         X2, _ = buffer.snapshot()
         assert X2.max() == 1.0
 
+    def test_relabel_upgrades_in_place(self):
+        buffer = ReplayBuffer(capacity=4)
+        for i in range(4):
+            buffer.add(np.full((1, 3), float(i)), 0, index=i)
+        assert buffer.relabel(2, 7)
+        _, y = buffer.snapshot()
+        np.testing.assert_array_equal(y, [0, 0, 7, 0])
+        assert buffer.label_counts() == {0: 3, 7: 1}
+
+    def test_relabel_misses_evicted_and_unindexed_windows(self):
+        buffer = ReplayBuffer(capacity=2)
+        buffer.add(np.zeros((1, 3)), 0, index=0)
+        buffer.add(np.zeros((1, 3)), 0, index=1)
+        buffer.add(np.zeros((1, 3)), 0, index=2)  # evicts index 0
+        assert not buffer.relabel(0, 9)  # already gone
+        buffer.add(np.zeros((1, 3)), 0)  # no index recorded
+        assert not buffer.relabel(99, 9)
+        assert buffer.relabel(2, 9)
+
 
 class TestControllerValidation:
     def test_parameter_validation(self, tmp_path):
