@@ -102,6 +102,20 @@ class ReplayBuffer:
             counts[label] = counts.get(label, 0) + 1
         return counts
 
+    def indices(self, *, last: int | None = None) -> list[int | None]:
+        """Stream window indices of the held entries, oldest first.
+
+        Mirrors :meth:`snapshot`'s selection (*last* keeps the freshest
+        that many), so the controller can record exactly which stream
+        windows a retrain trained on in its audit-journal event.
+        Entries buffered without an index appear as ``None``.
+        """
+        with self._lock:
+            entries = list(self._entries)
+        if last is not None:
+            entries = entries[-last:]
+        return [entry_index for _, _, entry_index in entries]
+
     def snapshot(self, *, last: int | None = None
                  ) -> tuple[np.ndarray, np.ndarray]:
         """A stacked copy ``(X (n, channels, length), y (n,))``, oldest

@@ -53,10 +53,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..classifiers import make_classifier
+from ..observability import get_tracer
 from ..serving.registry import model_metadata
 from ..serving.server import (
     PROTOCOL_PREPROCESSING,
     ServingError,
+    _jsonable,
     prepare_panel,
 )
 from .buffer import ReplayBuffer
@@ -212,6 +214,14 @@ class AdaptationController:
         benchmarks).  Off-thread, :meth:`wait` joins the retrain.
     queue_timeout:
         Bounded-blocking budget for shadow submits, like the scorer's.
+    journal:
+        Optional :class:`~repro.observability.AuditJournal`.  Every
+        consequential step — retrain (with the trained-on window indices
+        and model digests), skipped/failed retrains, each shadow
+        verdict, and the final promotion or rollback (carrying the full
+        :class:`AdaptationDecision` evidence verbatim) — is logged as
+        one schema-validated event, so any decision this controller
+        makes is reconstructable offline from the journal alone.
     """
 
     def __init__(self, service, name: str, *, version=None, trainer=None,
@@ -220,7 +230,8 @@ class AdaptationController:
                  shadow_batch: int = 8, agreement_threshold: float = 0.8,
                  cooldown_windows: int = 50,
                  canary_tag: str = "canary", promote_tag: str = "stable",
-                 background: bool = True, queue_timeout: float = 5.0):
+                 background: bool = True, queue_timeout: float = 5.0,
+                 journal=None):
         if collect_windows < 2:
             raise ValueError(
                 f"collect_windows must be >= 2; got {collect_windows}")
@@ -255,6 +266,8 @@ class AdaptationController:
         self.promote_tag = str(promote_tag)
         self.background = bool(background)
         self.queue_timeout = float(queue_timeout)
+        self.journal = journal
+        self.tracer = getattr(service, "tracer", None) or get_tracer()
         self.stats = service.adaptation_stats(name)
         #: every promote/rollback, oldest first
         self.decisions: list[AdaptationDecision] = []
@@ -362,46 +375,58 @@ class AdaptationController:
             if len(counts) < 2:
                 # A one-class training set cannot be fitted; stand down
                 # and let a later flag (with a more diverse buffer) retry.
-                self.errors.append(
+                reason = (
                     f"collected {self.collect_windows} windows with a "
                     f"single label {next(iter(counts))}; retrain skipped"
                 )
+                self.errors.append(reason)
                 self._state = "idle"
                 self._cooldown = self.cooldown_windows
+                if self.journal is not None:
+                    self.journal.log(
+                        "retrain_skipped", model=self.name, reason=reason,
+                        trigger_signal=self._trigger_signal,
+                        evidence={"label_counts": {str(k): int(v)
+                                                   for k, v in counts.items()}},
+                    )
                 return
             self._state = "retraining"
         self.stats.retrainings.inc()
         X, y = self.buffer.snapshot(last=self.collect_windows)
+        indices = self.buffer.indices(last=self.collect_windows)
         if self.background:
             self._thread = threading.Thread(
-                target=self._retrain, args=(X, y), daemon=True,
+                target=self._retrain, args=(X, y, indices), daemon=True,
                 name=f"adapt-{self.name}")
             self._thread.start()
         else:
-            self._retrain(X, y)
+            self._retrain(X, y, indices)
 
-    def _retrain(self, X: np.ndarray, y: np.ndarray) -> None:
+    def _retrain(self, X: np.ndarray, y: np.ndarray,
+                 indices: list | None = None) -> None:
         """Fit on the replay snapshot and publish the canary (worker side)."""
         try:
-            preprocessed = self.stable.metadata.get("preprocessing") \
-                == PROTOCOL_PREPROCESSING
-            X_fit = prepare_panel(X) if preprocessed else X
-            trainer = self.trainer if self.trainer is not None \
-                else self._default_trainer()
-            model = trainer(X_fit, y)
-            metadata = model_metadata(
-                model,
-                input_shape=list(X.shape[1:]),
-                adapted_from=self.stable.version,
-                trained_on_windows=int(len(y)),
-                trigger_signal=self._trigger_signal,
-                **{key: self.stable.metadata[key]
-                   for key in ("dataset", "technique", "preprocessing")
-                   if key in self.stable.metadata},
-            )
-            record = self.registry.publish(model, self.name,
-                                           metadata=metadata,
-                                           tags=(self.canary_tag,))
+            with self.tracer.span("adapt.retrain", model=self.name,
+                                  windows=int(len(y))):
+                preprocessed = self.stable.metadata.get("preprocessing") \
+                    == PROTOCOL_PREPROCESSING
+                X_fit = prepare_panel(X) if preprocessed else X
+                trainer = self.trainer if self.trainer is not None \
+                    else self._default_trainer()
+                model = trainer(X_fit, y)
+                metadata = model_metadata(
+                    model,
+                    input_shape=list(X.shape[1:]),
+                    adapted_from=self.stable.version,
+                    trained_on_windows=int(len(y)),
+                    trigger_signal=self._trigger_signal,
+                    **{key: self.stable.metadata[key]
+                       for key in ("dataset", "technique", "preprocessing")
+                       if key in self.stable.metadata},
+                )
+                record = self.registry.publish(model, self.name,
+                                               metadata=metadata,
+                                               tags=(self.canary_tag,))
             canary_proba = bool(self.service.serves_proba(self.name,
                                                           record.version))
         except Exception as error:  # noqa: BLE001 - the stream must survive
@@ -409,7 +434,24 @@ class AdaptationController:
             with self._lock:
                 self._state = "idle"
                 self._cooldown = self.cooldown_windows
+            if self.journal is not None:
+                self.journal.log(
+                    "retrain_failed", model=self.name,
+                    error=f"{type(error).__name__}: {error}",
+                    trigger_signal=self._trigger_signal,
+                )
             return
+        if self.journal is not None:
+            self.journal.log(
+                "retrain", model=self.name,
+                stable_version=self.stable.version,
+                canary_version=record.version,
+                stable_digest=self.stable.digest,
+                canary_digest=record.digest,
+                trigger_signal=self._trigger_signal,
+                trained_on_windows=[None if i is None else int(i)
+                                    for i in (indices or [])],
+            )
         with self._lock:
             self._canary = record
             self._canary_proba = canary_proba
@@ -504,6 +546,16 @@ class AdaptationController:
                 canary_label, canary_confidence = outcome, None
             agreed = canary_label == stable_result.label
             self.stats.record_shadow(agreed=agreed)
+            if self.journal is not None:
+                self.journal.log(
+                    "shadow_verdict", model=self.name,
+                    window=int(stable_result.index),
+                    stable_label=_jsonable(stable_result.label),
+                    canary_label=_jsonable(canary_label),
+                    agree=bool(agreed),
+                    stable_confidence=stable_result.confidence,
+                    canary_confidence=canary_confidence,
+                )
             with self._lock:
                 tally = self._tally
                 if tally is None:
@@ -580,6 +632,23 @@ class AdaptationController:
             self.buffer.clear()
         else:
             self.stats.rollbacks.inc()
+        if self.journal is not None:
+            self.journal.log(
+                "promotion" if promote else "rollback", model=self.name,
+                stable_version=self.stable.version,
+                canary_version=self._canary.version,
+                stable_digest=self.stable.digest,
+                canary_digest=self._canary.digest,
+                decision=decision.as_dict(),
+                evidence={
+                    "shadow_windows": tally.windows,
+                    "agreements": tally.agreements,
+                    "truths": tally.truths,
+                    "confidences": tally.confidences,
+                    "dropped_shadows": self._dropped_shadows,
+                    "shadow_indices": [int(i) for i in tally.indices],
+                },
+            )
         self.stats.canary_version.set(0)
         self.stats.canary_age.set(0)
         with self._lock:

@@ -13,7 +13,12 @@ Regenerates any published artefact from the terminal without writing code:
 * ``predict`` — classify series with a registry model, in process;
 * ``serve`` — start the HTTP prediction server over a registry;
 * ``stream`` — replay a sample stream against a served model (NDJSON);
-* ``adapt`` — run the drift→retrain→canary→promote loop on a stream.
+* ``adapt`` — run the drift→retrain→canary→promote loop on a stream;
+* ``scenarios`` — replay scenario worlds and score the loop's budgets;
+* ``trace`` — dump a running server's flight recorder (recent/slowest
+  request traces from ``GET /v1/debug/traces``);
+* ``audit`` — replay a decision-audit journal (JSONL) and print the
+  decisions it reconstructs.
 """
 
 from __future__ import annotations
@@ -133,6 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-body-bytes", type=int, default=10_000_000,
                        help="refuse request bodies above this with 413 "
                             "(0 = unlimited)")
+    serve.add_argument("--trace", action="store_true",
+                       help="enable request tracing: per-stage spans land "
+                            "in an in-memory flight recorder served at "
+                            "GET /v1/debug/traces (see 'repro trace')")
+    serve.add_argument("--trace-capacity", type=int, default=128,
+                       help="completed traces the flight recorder retains "
+                            "(plus the slowest 16; default 128)")
+    serve.add_argument("--trace-export", default=None, metavar="PATH",
+                       help="also append every finished span to this JSONL "
+                            "file (implies --trace)")
     serve.add_argument("--access-log", action="store_true",
                        help="write one structured JSON line per request "
                             "to stderr")
@@ -234,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="live comparisons before promote/rollback")
     adapt.add_argument("--cooldown", type=int, default=50,
                        help="windows to ignore flags after a decision")
+    adapt.add_argument("--audit-journal", default=None, metavar="PATH",
+                       help="append every drift flag, retrain, shadow "
+                            "verdict and promote/rollback decision (with "
+                            "evidence) to this JSONL journal; replay it "
+                            "with 'repro audit'")
     adapt.add_argument("--background", action="store_true",
                        help="retrain off-thread (production behavior); the "
                             "default trains inline so short demo streams "
@@ -259,8 +279,46 @@ def build_parser() -> argparse.ArgumentParser:
                            help="stream length override, in series")
     scenarios.add_argument("--json", default=None, metavar="PATH",
                            help="also write the suite report to this file")
+    scenarios.add_argument("--journal", default=None, metavar="PATH",
+                           help="append every replay's audit events (drift "
+                                "flags, retrains, shadow verdicts, "
+                                "decisions) to this JSONL journal")
     scenarios.add_argument("--quiet", action="store_true",
                            help="print only the per-world verdict lines")
+
+    trace = commands.add_parser(
+        "trace", help="dump a running server's flight recorder: the "
+                      "recent (or slowest) request traces with their "
+                      "per-stage spans, from GET /v1/debug/traces"
+    )
+    trace.add_argument("--url", default="http://127.0.0.1:8080",
+                       help="server base URL (default http://127.0.0.1:8080)")
+    trace.add_argument("--limit", type=int, default=10,
+                       help="traces to fetch (default 10)")
+    trace.add_argument("--slowest", action="store_true",
+                       help="fetch the slowest retained traces instead of "
+                            "the most recent")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the raw JSON payload instead of the "
+                            "span tree rendering")
+
+    audit = commands.add_parser(
+        "audit", help="replay a decision-audit journal (JSONL) offline "
+                      "and print the drift flags, retrains and "
+                      "promote/rollback decisions it reconstructs"
+    )
+    audit.add_argument("path", help="journal file written by "
+                                    "'repro adapt --audit-journal', "
+                                    "'repro scenarios --journal' or an "
+                                    "AuditJournal")
+    audit.add_argument("--kind", default=None,
+                       help="print only events of this kind (drift_flag, "
+                            "retrain, shadow_verdict, promotion, ...)")
+    audit.add_argument("--events", action="store_true",
+                       help="print every event line, not just the replay "
+                            "summary")
+    audit.add_argument("--json", action="store_true", dest="as_json",
+                       help="print the replay summary as one JSON object")
     return parser
 
 
@@ -281,6 +339,8 @@ def main(argv: list[str] | None = None) -> int:
         "stream": _cmd_stream,
         "adapt": _cmd_adapt,
         "scenarios": _cmd_scenarios,
+        "trace": _cmd_trace,
+        "audit": _cmd_audit,
     }[args.command]
     return handler(args)
 
@@ -609,6 +669,7 @@ def _cmd_adapt(args) -> int:
     import json
 
     from .adaptation import AdaptationController
+    from .observability import AuditJournal
     from .serving import ModelRegistry, PredictionService, ServingError
     from .streaming import DriftMonitor, StreamScorer
 
@@ -619,6 +680,7 @@ def _cmd_adapt(args) -> int:
         print(f"error: {message}", file=sys.stderr)
         return 2
     window = args.window or default_window
+    journal = AuditJournal(args.audit_journal) if args.audit_journal else None
     service = PredictionService(ModelRegistry(args.registry), max_queue=1024)
 
     def emit(payload: dict) -> None:
@@ -641,7 +703,7 @@ def _cmd_adapt(args) -> int:
                 collect_windows=args.collect_windows,
                 shadow_windows=args.shadow_windows,
                 cooldown_windows=args.cooldown,
-                background=args.background,
+                background=args.background, journal=journal,
             )
             decisions_seen = 0  # per controller: each starts a fresh list
             promoted = None
@@ -652,7 +714,8 @@ def _cmd_adapt(args) -> int:
             )
             with StreamScorer(service, args.name, window=window,
                               hop=args.hop, version=version,
-                              monitor=monitor, adapter=controller) as scorer:
+                              monitor=monitor, adapter=controller,
+                              journal=journal) as scorer:
 
                 def handle(result) -> int | None:
                     nonlocal windows, shifts, decisions_seen
@@ -705,6 +768,8 @@ def _cmd_adapt(args) -> int:
         return 2
     finally:
         service.close()
+        if journal is not None:
+            journal.close()
 
 
 def _cmd_scenarios(args) -> int:
@@ -733,9 +798,15 @@ def _cmd_scenarios(args) -> int:
         print(f"error: unknown world(s): {', '.join(unknown)}",
               file=sys.stderr)
         return 2
+    journal = None
+    if args.journal:
+        from .observability import AuditJournal
+
+        journal = AuditJournal(args.journal)
     reports = []
     for name in names:
-        report = run_scenario(name, seed=args.seed, n_series=args.series)
+        report = run_scenario(name, seed=args.seed, n_series=args.series,
+                              journal=journal)
         reports.append(report)
         verdict = "PASS" if report.passed else "FAIL"
         detail = [f"windows={report.windows}"]
@@ -757,6 +828,8 @@ def _cmd_scenarios(args) -> int:
         "failures": [report.world for report in reports if not report.passed],
         "passed": all(report.passed for report in reports),
     }
+    if journal is not None:
+        journal.close()
     if args.json:
         path = Path(args.json)
         path.parent.mkdir(parents=True, exist_ok=True)
@@ -770,6 +843,11 @@ def _cmd_scenarios(args) -> int:
 def _cmd_serve(args) -> int:
     from .serving import create_server
 
+    if args.trace or args.trace_export:
+        from .observability import configure_tracing
+
+        configure_tracing(enabled=True, capacity=args.trace_capacity,
+                          export_path=args.trace_export)
     server = create_server(
         args.registry, host=args.host, port=args.port,
         max_batch=args.max_batch, max_latency=args.max_latency_ms / 1000.0,
@@ -786,6 +864,120 @@ def _cmd_serve(args) -> int:
     finally:
         server.shutdown()
         server.server_close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Fetch and render a running server's flight-recorder traces.
+
+    Talks to ``GET /v1/debug/traces`` on the server started by ``repro
+    serve --trace`` and prints each retained trace as an indented span
+    tree (name, duration, attributes), newest first — or the slowest
+    retained ones with ``--slowest``.  ``--json`` dumps the raw payload
+    for scripts.
+    """
+    import json
+    import urllib.error
+    import urllib.parse
+    import urllib.request
+
+    base = urllib.parse.urlsplit(args.url)
+    if base.hostname is None or base.port is None:
+        print(f"error: --url needs the form http://host:port; got {args.url}",
+              file=sys.stderr)
+        return 2
+    query = f"limit={int(args.limit)}" + ("&slowest=1" if args.slowest else "")
+    url = f"http://{base.hostname}:{base.port}/v1/debug/traces?{query}"
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            payload = json.loads(response.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not payload.get("enabled"):
+        print("tracing is disabled on this server "
+              "(start it with 'repro serve --trace')")
+        return 1
+    stats = payload.get("stats", {})
+    print(f"traces: {stats.get('completed', 0)} completed, "
+          f"{stats.get('recent', 0)} retained, "
+          f"{stats.get('open', 0)} open")
+    for trace in payload.get("traces", []):
+        _print_trace(trace)
+    return 0
+
+
+def _print_trace(trace: dict) -> None:
+    """Render one flight-recorder trace entry as an indented span tree."""
+    print(f"\ntrace {trace['trace_id']}  {trace['root']}  "
+          f"{trace['duration_ms']:.2f}ms  ({len(trace['spans'])} spans)")
+    spans = trace["spans"]
+    children: dict[str | None, list[dict]] = {}
+    ids = {span["span_id"] for span in spans}
+    for span in spans:
+        # A parent outside the recorded set (evicted or cross-thread)
+        # renders its orphan subtree at the top level.
+        parent = span.get("parent_id")
+        children.setdefault(parent if parent in ids else None, []).append(span)
+
+    def render(parent: str | None, depth: int) -> None:
+        for span in sorted(children.get(parent, []),
+                           key=lambda item: item["start"]):
+            attributes = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(span.get("attributes", {}).items()))
+            print(f"  {'  ' * depth}{span['name']:24s} "
+                  f"{span['duration_ms']:9.3f}ms  {attributes}".rstrip())
+            render(span["span_id"], depth + 1)
+
+    render(None, 0)
+
+
+def _cmd_audit(args) -> int:
+    """Replay a decision-audit journal offline and print what it proves.
+
+    Reads the JSONL journal (schema-validating every line), folds it
+    back into the decision history via
+    :func:`~repro.observability.replay_decisions`, and prints the
+    summary plus each promote/rollback decision.  Exits 2 on a missing
+    or schema-invalid journal and 1 on an empty one — which is what the
+    CI smoke job asserts against.
+    """
+    import json
+
+    from .observability import read_journal, replay_decisions
+
+    try:
+        events = read_journal(args.path)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not events:
+        print(f"error: {args.path} holds no audit events", file=sys.stderr)
+        return 1
+    if args.kind or args.events:
+        for event in events:
+            if args.kind and event.get("kind") != args.kind:
+                continue
+            print(json.dumps(event))
+        return 0
+    replay = replay_decisions(events)
+    if args.as_json:
+        print(json.dumps(replay))
+        return 0
+    print(f"{replay['events']} events, models: "
+          f"{', '.join(replay['models']) or '-'}")
+    print(f"drift_flags={replay['drift_flags']} "
+          f"retrainings={replay['retrainings']} "
+          f"retrain_failures={replay['retrain_failures']} "
+          f"shadow_windows={replay['shadow_windows']} "
+          f"promotions={replay['promotions']} "
+          f"rollbacks={replay['rollbacks']}")
+    for decision in replay["decisions"]:
+        print(json.dumps(decision))
     return 0
 
 

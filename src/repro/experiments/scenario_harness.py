@@ -49,6 +49,7 @@ from typing import Iterable
 from ..adaptation import AdaptationController
 from ..classifiers import make_classifier
 from ..data.scenarios import Scenario, make_world
+from ..observability import AuditJournal
 from ..serving import ModelRegistry, PredictionService
 from ..serving.registry import model_metadata
 from ..serving.server import PROTOCOL_PREPROCESSING, prepare_panel
@@ -80,6 +81,7 @@ class ScenarioReport:
     retrainings: int
     promotions: int
     rollbacks: int
+    decisions: tuple[dict, ...]  # live promote/rollback dicts, in order
     pre_drift_accuracy: float | None
     overall_accuracy: float | None
     final_accuracy: float | None  # final quarter: post-adaptation regime
@@ -99,6 +101,7 @@ class ScenarioReport:
             "false_flags": self.false_flags,
             "retrainings": self.retrainings,
             "promotions": self.promotions, "rollbacks": self.rollbacks,
+            "decisions": [dict(decision) for decision in self.decisions],
             "late_labels_delivered": self.late_labels_delivered,
             "late_labels_dropped": self.late_labels_dropped,
             "budget": {"delay_ok": self.delay_ok,
@@ -139,7 +142,8 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0,
                  n_series: int | None = None, num_kernels: int = 300,
                  collect_windows: int = 24, shadow_windows: int = 12,
                  cooldown_windows: int = 30,
-                 registry_dir: str | Path | None = None) -> ScenarioReport:
+                 registry_dir: str | Path | None = None,
+                 journal=None) -> ScenarioReport:
     """Replay one world through the adaptation loop and score the outcome.
 
     Parameters
@@ -163,6 +167,14 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0,
     registry_dir:
         Existing directory for the throwaway registry; default is a
         temporary directory cleaned up on return.
+    journal:
+        Optional decision-audit sink: an
+        :class:`~repro.observability.AuditJournal` instance, or a path
+        to append JSONL events to (a journal is opened there and closed
+        on return).  Every drift flag, retrain, shadow verdict and
+        promote/rollback of the replay lands in it with its evidence,
+        so the run's decisions are reconstructable offline via
+        :func:`repro.observability.replay_decisions`.
     """
     if isinstance(scenario, str):
         scenario = make_world(scenario, seed=seed, n_series=n_series)
@@ -173,7 +185,10 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0,
                                 collect_windows=collect_windows,
                                 shadow_windows=shadow_windows,
                                 cooldown_windows=cooldown_windows,
-                                registry_dir=tmp)
+                                registry_dir=tmp, journal=journal)
+    own_journal = None
+    if isinstance(journal, (str, Path)):
+        journal = own_journal = AuditJournal(journal)
 
     registry = ModelRegistry(registry_dir)
     record = _train_and_publish(scenario, registry, seed=seed,
@@ -183,14 +198,16 @@ def run_scenario(scenario: Scenario | str, *, seed: int = 0,
         return _replay(scenario, service, record.name, seed=seed,
                        collect_windows=collect_windows,
                        shadow_windows=shadow_windows,
-                       cooldown_windows=cooldown_windows)
+                       cooldown_windows=cooldown_windows, journal=journal)
     finally:
         service.close()
+        if own_journal is not None:
+            own_journal.close()
 
 
 def _replay(scenario: Scenario, service, name: str, *, seed: int,
             collect_windows: int, shadow_windows: int,
-            cooldown_windows: int) -> ScenarioReport:
+            cooldown_windows: int, journal=None) -> ScenarioReport:
     """The measurement loop proper: stream → score → adapt → tally."""
     first_drift = scenario.drift_points[0] if scenario.drift_points else None
     truths: dict[int, int] = {}  # sample clock -> label (the world's truth)
@@ -201,6 +218,7 @@ def _replay(scenario: Scenario, service, name: str, *, seed: int,
     delivered = dropped = 0
     version = None
     retrainings = promotions = rollbacks = 0
+    decisions: list[dict] = []
 
     feed = iter(scenario.source())
     exhausted = False
@@ -210,7 +228,7 @@ def _replay(scenario: Scenario, service, name: str, *, seed: int,
             collect_windows=collect_windows,
             shadow_windows=shadow_windows,
             cooldown_windows=cooldown_windows,
-            background=False,
+            background=False, journal=journal,
         )
         decisions_seen = 0
         promoted = None
@@ -227,7 +245,7 @@ def _replay(scenario: Scenario, service, name: str, *, seed: int,
         with StreamScorer(service, name, window=scenario.window,
                           hop=scenario.hop, version=version,
                           monitor=monitor, adapter=controller,
-                          max_inflight=1) as scorer:
+                          max_inflight=1, journal=journal) as scorer:
 
             def handle(result) -> int | None:
                 nonlocal window_count, first_affected, delivered, dropped, \
@@ -272,6 +290,7 @@ def _replay(scenario: Scenario, service, name: str, *, seed: int,
                 for result in scorer.finish():
                     promoted = handle(result) or promoted
             gap_count += scorer.gaps
+        decisions.extend(d.as_dict() for d in controller.decisions)
         stats = service.adaptation_stats(name)
         retrainings = stats.retrainings.value
         promotions = stats.promotions.value
@@ -285,13 +304,14 @@ def _replay(scenario: Scenario, service, name: str, *, seed: int,
                   flags=flags, outcomes=outcomes,
                   first_affected=first_affected, retrainings=retrainings,
                   promotions=promotions, rollbacks=rollbacks,
-                  delivered=delivered, dropped=dropped)
+                  decisions=decisions, delivered=delivered, dropped=dropped)
 
 
 def _score(scenario: Scenario, *, seed: int, windows: int, gaps: int,
            flags: list[int], outcomes: list[tuple[int, int, bool]],
            first_affected: int | None, retrainings: int, promotions: int,
-           rollbacks: int, delivered: int, dropped: int) -> ScenarioReport:
+           rollbacks: int, decisions: list[dict], delivered: int,
+           dropped: int) -> ScenarioReport:
     """Fold the raw replay tallies into budget verdicts."""
     budget = scenario.budget
     drift_free = not scenario.drift_points
@@ -337,7 +357,8 @@ def _score(scenario: Scenario, *, seed: int, windows: int, gaps: int,
         first_affected=first_affected, detected=detected,
         detection_delay=delay, false_flags=false_flags,
         retrainings=retrainings, promotions=promotions,
-        rollbacks=rollbacks, pre_drift_accuracy=pre_drift,
+        rollbacks=rollbacks, decisions=tuple(decisions),
+        pre_drift_accuracy=pre_drift,
         overall_accuracy=overall, final_accuracy=final,
         late_labels_delivered=delivered, late_labels_dropped=dropped,
         delay_ok=delay_ok, false_flags_ok=false_flags_ok,

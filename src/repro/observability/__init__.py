@@ -1,0 +1,44 @@
+"""Observability layer: tracing, flight recorder, audit journal, logging.
+
+This package is the "what is the system doing, and why did it do that?"
+layer over the serving→streaming→adaptation stack:
+
+* :mod:`~repro.observability.trace` — stdlib trace contexts and
+  per-stage spans (queue-wait, batch assembly, predict, serialize,
+  window hops, retrains), contextvar-propagated, near-free when off;
+* :mod:`~repro.observability.flightrecorder` — a bounded in-memory ring
+  of recent traces with slowest-N retention, served at
+  ``/v1/debug/traces`` and via ``repro trace``;
+* :mod:`~repro.observability.audit` — the JSONL decision-audit journal:
+  every drift flag, retrain, shadow verdict, promotion, and rollback
+  with the evidence behind it, replayable offline via ``repro audit``;
+* :mod:`~repro.observability.logging` — the shared structured JSON
+  logger that the server's access log, scorer, and controller emit
+  through.
+
+Everything here is stdlib-only and dependency-free by design: the
+observability layer must run everywhere the serving layer runs.
+"""
+
+from .audit import (AuditJournal, EVENT_SCHEMA, read_journal,
+                    replay_decisions, validate_event)
+from .flightrecorder import FlightRecorder
+from .logging import StructuredLogger, get_logger
+from .trace import (Span, SpanContext, Tracer, configure_tracing,
+                    get_tracer)
+
+__all__ = [
+    "AuditJournal",
+    "EVENT_SCHEMA",
+    "FlightRecorder",
+    "Span",
+    "SpanContext",
+    "StructuredLogger",
+    "Tracer",
+    "configure_tracing",
+    "get_logger",
+    "get_tracer",
+    "read_journal",
+    "replay_decisions",
+    "validate_event",
+]

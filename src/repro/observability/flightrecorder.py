@@ -1,0 +1,146 @@
+"""Bounded in-memory flight recorder for recently completed traces.
+
+The flight recorder is the "what just happened?" tool: a ring buffer of
+the most recent completed traces plus a separate retention shelf for the
+slowest-N ever seen, so a p99 spike that happened two minutes ago is
+still inspectable after thousands of fast requests have flowed past it.
+It is the sink behind ``GET /v1/debug/traces`` and the ``repro trace``
+CLI.
+
+Spans arrive one at a time (from
+:class:`~repro.observability.trace.Tracer`) and are grouped by
+``trace_id`` in a bounded staging dict; a trace *completes* when its
+root span — the one with no parent — ends, which by construction is the
+last span of the request/stream it describes.  Completed traces move to
+the ring; open traces that never complete (a crashed stream, an
+abandoned id) are evicted oldest-first once the staging dict hits its
+cap, so memory stays bounded no matter what the traffic does.
+
+Everything is guarded by one lock; the recorder is shared by the HTTP
+handler threads and the batcher workers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+
+class FlightRecorder:
+    """Ring buffer of recent traces with slowest-N retention.
+
+    Parameters
+    ----------
+    capacity:
+        How many completed traces the recency ring keeps.  Oldest out
+        first.
+    slowest:
+        How many traces the slowest-shelf keeps, ranked by root-span
+        duration.  A trace slower than the current shelf minimum evicts
+        that minimum; the shelf is how rare slow requests survive being
+        pushed out of the recency ring.
+    max_open:
+        Cap on traces still being assembled (root span not yet ended).
+        Exceeding it drops the oldest open trace wholesale.
+    max_spans_per_trace:
+        Cap on spans collected for a single trace; later spans of an
+        over-budget trace are dropped (the trace itself survives).
+    """
+
+    def __init__(self, *, capacity: int = 128, slowest: int = 16,
+                 max_open: int = 256, max_spans_per_trace: int = 512):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.slowest = int(slowest)
+        self.max_open = int(max_open)
+        self.max_spans_per_trace = int(max_spans_per_trace)
+        self._lock = threading.Lock()
+        self._recent: deque = deque(maxlen=self.capacity)
+        self._slow: list = []          # completed traces, slowest-N
+        self._open: OrderedDict = OrderedDict()   # trace_id -> [spans]
+        self._completed = 0
+        self._dropped_open = 0
+
+    # ------------------------------------------------------------------ #
+    # ingest
+    # ------------------------------------------------------------------ #
+
+    def record(self, span) -> None:
+        """Add one completed :class:`~repro.observability.trace.Span`.
+
+        Root spans (``parent_id is None``) seal their trace: the
+        accumulated spans become a trace entry in the recency ring and,
+        if slow enough, on the slowest shelf.
+        """
+        with self._lock:
+            spans = self._open.get(span.trace_id)
+            if spans is None:
+                spans = []
+                self._open[span.trace_id] = spans
+                while len(self._open) > self.max_open:
+                    self._open.popitem(last=False)
+                    self._dropped_open += 1
+            if len(spans) < self.max_spans_per_trace:
+                spans.append(span)
+            if span.parent_id is None:
+                self._open.pop(span.trace_id, None)
+                self._complete(span, spans)
+
+    def _complete(self, root, spans) -> None:
+        entry = {
+            "trace_id": root.trace_id,
+            "root": root.name,
+            "start": round(root.start, 6),
+            "duration_ms": round(root.duration * 1000.0, 3),
+            "spans": [s.as_dict() for s in spans],
+        }
+        self._completed += 1
+        self._recent.append(entry)
+        if self.slowest > 0:
+            self._slow.append(entry)
+            if len(self._slow) > self.slowest:
+                self._slow.sort(key=lambda e: e["duration_ms"], reverse=True)
+                del self._slow[self.slowest:]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self, *, limit: int | None = None,
+                 slowest: bool = False) -> list:
+        """Completed traces, newest first (or slowest first).
+
+        ``slowest=True`` reads the slowest-N shelf instead of the
+        recency ring.  *limit* truncates the result.  Entries are plain
+        dicts (JSON-ready), already detached from recorder internals.
+        """
+        with self._lock:
+            if slowest:
+                entries = sorted(self._slow, key=lambda e: e["duration_ms"],
+                                 reverse=True)
+            else:
+                entries = list(reversed(self._recent))
+        if limit is not None:
+            entries = entries[:max(0, int(limit))]
+        return entries
+
+    def stats(self) -> dict:
+        """Recorder occupancy counters (for ``/v1/debug/traces`` meta)."""
+        with self._lock:
+            return {
+                "completed": self._completed,
+                "recent": len(self._recent),
+                "slowest": len(self._slow),
+                "open": len(self._open),
+                "dropped_open": self._dropped_open,
+                "capacity": self.capacity,
+            }
+
+    def clear(self) -> None:
+        """Drop every stored trace and all assembly state (tests use
+        this to isolate scenarios sharing one recorder)."""
+        with self._lock:
+            self._recent.clear()
+            self._slow.clear()
+            self._open.clear()

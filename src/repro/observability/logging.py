@@ -1,0 +1,120 @@
+"""Shared structured JSON logger for the serving/streaming/adaptation stack.
+
+PR 3's ``--access-log`` printed ad-hoc JSON lines from the HTTP handler;
+the scorer and controller had no logging story at all.  This module
+gives every component the same one: a :class:`StructuredLogger` that
+writes one JSON object per line, each carrying an ``event`` name, an
+ISO-8601 UTC ``time``, and whatever key/value evidence the call site
+attaches — machine-parseable (``jq``-able) and stable-keyed, never
+printf-formatted prose.
+
+Design points:
+
+* stdlib-only and dependency-free — it writes to any file-like stream
+  (default ``sys.stderr``) under a lock, no handlers/formatters
+  hierarchy to configure;
+* field order is deterministic (``event`` then ``time`` then sorted
+  extras) so log diffs are meaningful;
+* a disabled logger (``enabled=False``) costs one attribute check per
+  call, matching the tracing module's "near-zero when off" budget;
+* values must be JSON-serialisable; anything that is not is repr()'d
+  rather than raising — a log line must never take down a handler.
+
+The access log keeps its PR 3 contract: the same ``time`` / ``client``
+/ ``method`` / ``path`` / ``status`` / ``bytes`` / ``ms`` keys, now
+joined by ``event: "access"`` and emitted through this logger.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import sys
+import threading
+
+__all__ = ["StructuredLogger", "get_logger"]
+
+
+def _iso_now() -> str:
+    """Current UTC time, second resolution, ISO-8601 with ``Z`` suffix."""
+    return _dt.datetime.now(_dt.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def _jsonable(value):
+    """Pass JSON-native values through; repr() anything exotic so a log
+    call can never raise from inside a request handler."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+class StructuredLogger:
+    """One-JSON-object-per-line event logger shared across components.
+
+    Parameters
+    ----------
+    stream:
+        File-like target; defaults to ``sys.stderr`` (resolved at emit
+        time so pytest's capsys and CLI redirections both see lines).
+    component:
+        Optional fixed ``component`` field stamped on every event —
+        ``server`` / ``scorer`` / ``controller`` — so one merged stderr
+        stream stays attributable.
+    enabled:
+        When ``False`` every :meth:`event` call returns immediately.
+    """
+
+    def __init__(self, *, stream=None, component: str | None = None,
+                 enabled: bool = True):
+        self.enabled = bool(enabled)
+        self.component = component
+        self._stream = stream
+        self._lock = threading.Lock()
+
+    def child(self, component: str) -> "StructuredLogger":
+        """A logger sharing this one's stream/enabled state but stamping
+        a different ``component`` field."""
+        logger = StructuredLogger(stream=self._stream, component=component,
+                                  enabled=self.enabled)
+        logger._lock = self._lock
+        return logger
+
+    def event(self, name: str, **fields) -> None:
+        """Emit one structured event line: ``{"event": name, ...}``.
+
+        *fields* become top-level keys (sorted for deterministic
+        output); ``time`` defaults to now-UTC but an explicit
+        ``time=...`` field wins, which keeps the access log's
+        caller-computed timestamp authoritative.
+        """
+        if not self.enabled:
+            return
+        record = {"event": name,
+                  "time": fields.pop("time", None) or _iso_now()}
+        if self.component is not None:
+            record["component"] = self.component
+        for key in sorted(fields):
+            record[key] = _jsonable(fields[key])
+        line = json.dumps(record)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            print(line, file=stream, flush=True)
+
+
+#: process-wide default logger (stderr, no component stamp)
+_DEFAULT = StructuredLogger()
+
+
+def get_logger(component: str | None = None) -> StructuredLogger:
+    """The shared default logger, optionally stamped with *component*.
+
+    Components that are not handed an explicit logger log here, so a
+    process's structured events all land on one stderr stream.
+    """
+    if component is None:
+        return _DEFAULT
+    return _DEFAULT.child(component)

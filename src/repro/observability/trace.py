@@ -1,0 +1,390 @@
+"""End-to-end request tracing: trace context, spans, and a tracer.
+
+The serving stack's ``/metrics`` counters answer "how much, how often";
+they cannot answer "where did *this* request spend its time".  This
+module adds the missing per-request dimension with three stdlib-only
+pieces:
+
+* a **trace context** — ``(trace_id, span_id)`` carried in a
+  :class:`contextvars.ContextVar`, so a span opened in an HTTP handler
+  is the parent of the spans the prediction service and micro-batcher
+  record underneath it, without any API threading the ids by hand.
+  Cross-thread hops (handler thread → batcher worker) capture the
+  context explicitly at the queue boundary and re-parent with it;
+* **spans** — one named, timed unit of work each (``http.request``,
+  ``serve.predict``, ``batcher.queue``, ``batcher.predict``,
+  ``model.load``, ``stream.window``, ``adapt.retrain``), with free-form
+  attributes (model, version, batch size, shift flag);
+* a **tracer** — the on/off switch and the sink.  Completed spans go to
+  a :class:`~repro.observability.flightrecorder.FlightRecorder` (the
+  ``/v1/debug/traces`` ring buffer) and, optionally, to a JSONL export
+  file, one span object per line.
+
+The tracer is **disabled by default** and built to cost nearly nothing
+that way: every instrumentation site guards on the plain attribute read
+``tracer.enabled`` (no lock, no call) or receives the shared no-op span,
+so the serving hot path pays an attribute check per request, not an
+allocation.  ``benchmarks/bench_perf_tracing.py`` pins that budget.
+
+Components accept an explicit :class:`Tracer` for isolated tests; the
+process-wide default (``get_tracer()`` / ``configure_tracing()``) is
+what ``repro serve --trace`` switches on.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+from .flightrecorder import FlightRecorder
+
+__all__ = ["Span", "SpanContext", "SpanHandle", "Tracer", "configure_tracing",
+           "get_tracer"]
+
+#: the ambient span of the current logical context (thread / task);
+#: ``None`` outside any traced request
+_CURRENT: ContextVar["SpanContext | None"] = ContextVar(
+    "repro_trace_context", default=None)
+
+
+def _new_id() -> str:
+    """A fresh 64-bit hex id (trace and span ids share the format)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagated part of a span: which trace, which parent.
+
+    Frozen and tiny on purpose — this is what crosses thread boundaries
+    (captured at the batcher's queue, re-applied in its worker), so it
+    must be safe to share and cheap to copy.
+    """
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One completed, named, timed unit of work inside a trace.
+
+    ``start`` is wall-clock seconds (for display and log correlation);
+    ``duration`` comes from the monotonic clock (immune to NTP steps).
+    ``attributes`` carry the site-specific evidence: model and version,
+    batch size, whether a window was flagged as drifted, an error type.
+    """
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start: float
+    duration: float
+    attributes: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-ready form — the flight-recorder and export-file shape."""
+        out = {
+            "trace_id": self.trace_id, "span_id": self.span_id,
+            "name": self.name, "start": round(self.start, 6),
+            "duration_ms": round(self.duration * 1000.0, 3),
+        }
+        if self.parent_id is not None:
+            out["parent_id"] = self.parent_id
+        if self.attributes:
+            out["attributes"] = self.attributes
+        return out
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is disabled.
+
+    One module-level instance serves every call site: entering, exiting,
+    setting attributes and ending are all no-ops, and ``context`` is
+    ``None`` so downstream propagation guards stay off too.
+    """
+
+    __slots__ = ()
+
+    context = None
+
+    def __enter__(self) -> "_NoopSpan":
+        """No-op context manager entry (returns itself)."""
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        """No-op context manager exit."""
+        return None
+
+    def set(self, key: str, value) -> None:
+        """Discard the attribute (tracing is off)."""
+
+    def end(self, **attributes) -> None:
+        """Discard the end call (tracing is off)."""
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class SpanHandle:
+    """A live span: finish it by ``end()`` or by leaving its ``with`` block.
+
+    Used two ways, matching the two lifetimes the stack needs:
+
+    * **scoped** — ``with tracer.span("serve.predict", model=name):`` —
+      entering installs the span as the ambient context (children pick
+      it up automatically), exiting restores the previous context and
+      records the span;
+    * **explicit** — ``handle = tracer.begin("stream", ...)`` …
+      ``handle.end()`` — for spans that outlive any single call frame
+      (a stream's root span lives from scorer open to scorer close) and
+      therefore must not hijack the ambient context.
+
+    ``end`` is idempotent; attributes can be added any time before it.
+    """
+
+    __slots__ = ("_tracer", "_name", "_context", "_parent_id", "_start_mono",
+                 "_start_wall", "_attributes", "_token", "_done")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 parent: SpanContext | None, attributes: dict):
+        self._tracer = tracer
+        self._name = name
+        trace_id = parent.trace_id if parent is not None else _new_id()
+        self._context = SpanContext(trace_id, _new_id())
+        self._parent_id = parent.span_id if parent is not None else None
+        self._start_mono = time.monotonic()
+        self._start_wall = time.time()
+        self._attributes = attributes
+        self._token = None
+        self._done = False
+
+    @property
+    def context(self) -> SpanContext:
+        """This span's :class:`SpanContext` — pass it across threads to
+        parent work done elsewhere to this span."""
+        return self._context
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute (overwrites a same-named earlier one)."""
+        self._attributes[key] = value
+
+    def __enter__(self) -> "SpanHandle":
+        """Install this span as the ambient context for child spans."""
+        self._token = _CURRENT.set(self._context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Restore the previous ambient context and record the span."""
+        if self._token is not None:
+            _CURRENT.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self._attributes.setdefault("error", exc_type.__name__)
+        self.end()
+
+    def end(self, **attributes) -> None:
+        """Finish the span (idempotent) and hand it to the tracer's sinks."""
+        if self._done:
+            return
+        self._done = True
+        if attributes:
+            self._attributes.update(attributes)
+        self._tracer._finish(Span(
+            trace_id=self._context.trace_id, span_id=self._context.span_id,
+            parent_id=self._parent_id, name=self._name,
+            start=self._start_wall,
+            duration=time.monotonic() - self._start_mono,
+            attributes=self._attributes,
+        ))
+
+
+class Tracer:
+    """The tracing switchboard: on/off flag, span factory, and sinks.
+
+    Parameters
+    ----------
+    enabled:
+        Start recording immediately.  Instrumentation sites read the
+        public ``enabled`` attribute as their fast-path guard, so
+        flipping it at runtime takes effect on the next request.
+    recorder:
+        The :class:`~repro.observability.flightrecorder.FlightRecorder`
+        completed spans land in (``None`` = keep nothing in memory).
+    export_path:
+        Optional JSONL file: every completed span is appended as one
+        JSON object per line — the offline companion to the in-memory
+        recorder.  Opened lazily on the first span, closed by
+        :meth:`close`.
+    """
+
+    def __init__(self, *, enabled: bool = False,
+                 recorder: FlightRecorder | None = None,
+                 export_path=None):
+        self.enabled = bool(enabled)
+        self.recorder = recorder
+        self.export_path = export_path
+        self._export_file = None
+        self._export_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # span creation
+    # ------------------------------------------------------------------ #
+
+    def span(self, name: str, *, parent: SpanContext | None = None,
+             **attributes):
+        """A scoped span: ``with tracer.span("serve.predict", model=m):``.
+
+        While disabled this returns the shared no-op span — no
+        allocation, no contextvar write.  *parent* overrides the ambient
+        context (the usual case leaves it ``None`` and inherits
+        whatever span is current on this thread).
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is None:
+            parent = _CURRENT.get()
+        return SpanHandle(self, name, parent, attributes)
+
+    def begin(self, name: str, *, parent: SpanContext | None = None,
+              **attributes):
+        """An explicit-lifetime span: finish it with ``handle.end()``.
+
+        Unlike :meth:`span` used as a context manager, the handle never
+        installs itself as the ambient context — long-lived roots (a
+        stream's whole lifetime) must not leak their identity into
+        unrelated work on the same thread.  Returns the no-op span while
+        disabled.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        if parent is None:
+            parent = _CURRENT.get()
+        return SpanHandle(self, name, parent, attributes)
+
+    def record_span(self, name: str, *, start: float, end: float,
+                    parent: SpanContext | None, **attributes) -> None:
+        """Record an already-timed span from explicit monotonic stamps.
+
+        The batcher path: ``submit`` stamps the queue entry, the worker
+        stamps dequeue/predict — by the time anyone can *open* a span the
+        work already happened, so the span is reconstructed after the
+        fact.  *start*/*end* are ``time.monotonic()`` readings; the
+        wall-clock start is derived from the current clock offset.
+        ``parent=None`` starts a fresh trace.
+        """
+        if not self.enabled:
+            return
+        if parent is not None:
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        else:
+            trace_id, parent_id = _new_id(), None
+        now_mono = time.monotonic()
+        self._finish(Span(
+            trace_id=trace_id, span_id=_new_id(), parent_id=parent_id,
+            name=name, start=time.time() - (now_mono - start),
+            duration=max(0.0, end - start), attributes=attributes,
+        ))
+
+    # ------------------------------------------------------------------ #
+    # context propagation
+    # ------------------------------------------------------------------ #
+
+    def current(self) -> SpanContext | None:
+        """The ambient :class:`SpanContext` of this thread/task (or
+        ``None`` outside any traced request)."""
+        return _CURRENT.get()
+
+    @contextmanager
+    def use_context(self, context: SpanContext | None):
+        """Make *context* ambient for the duration of the ``with`` block.
+
+        The hand-carried side of propagation: a stream scorer holds its
+        root span's context and installs it around each submit, so the
+        batcher's captured parent is the stream, not whatever request
+        happens to share the thread.
+        """
+        token = _CURRENT.set(context)
+        try:
+            yield
+        finally:
+            _CURRENT.reset(token)
+
+    # ------------------------------------------------------------------ #
+    # sinks
+    # ------------------------------------------------------------------ #
+
+    def _finish(self, span: Span) -> None:
+        if self.recorder is not None:
+            self.recorder.record(span)
+        if self.export_path is not None:
+            line = json.dumps(span.as_dict())
+            with self._export_lock:
+                if self._export_file is None:
+                    self._export_file = open(self.export_path, "a",
+                                             encoding="utf-8")
+                self._export_file.write(line + "\n")
+                self._export_file.flush()
+
+    def close(self) -> None:
+        """Flush and close the JSONL export file, if one was opened."""
+        with self._export_lock:
+            if self._export_file is not None:
+                self._export_file.close()
+                self._export_file = None
+
+
+#: the process-wide default tracer — disabled until `configure_tracing`
+_DEFAULT = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default :class:`Tracer`.
+
+    Serving components fall back to this when no explicit tracer is
+    passed, so ``repro serve --trace`` (which configures the default)
+    lights up the whole stack without plumbing.
+    """
+    return _DEFAULT
+
+
+def configure_tracing(*, enabled: bool | None = None,
+                      capacity: int | None = None,
+                      slowest: int | None = None,
+                      export_path=None) -> Tracer:
+    """Reconfigure the process-wide default tracer in place.
+
+    Parameters
+    ----------
+    enabled:
+        Switch tracing on or off (``None`` = leave as is).  Switching on
+        attaches a fresh
+        :class:`~repro.observability.flightrecorder.FlightRecorder`
+        when none is attached yet.
+    capacity / slowest:
+        Flight-recorder sizing (recent-trace ring, slowest-N retention);
+        passing either rebuilds the recorder.
+    export_path:
+        JSONL span export file (``None`` = leave the current setting).
+
+    Returns the default tracer, for convenience.
+    """
+    tracer = _DEFAULT
+    if capacity is not None or slowest is not None \
+            or (enabled and tracer.recorder is None):
+        tracer.recorder = FlightRecorder(
+            capacity=capacity if capacity is not None else 128,
+            slowest=slowest if slowest is not None else 16,
+        )
+    if export_path is not None:
+        tracer.close()
+        tracer.export_path = export_path
+    if enabled is not None:
+        tracer.enabled = bool(enabled)
+    return tracer

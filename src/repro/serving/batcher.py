@@ -132,6 +132,21 @@ class MicroBatcher:
         Optional pre-existing :class:`BatcherStats` to accumulate into —
         the serving layer passes the same object across model reloads so
         ``/metrics`` counters survive LRU eviction.
+    stage_observer:
+        Optional callable ``(stage, seconds)`` invoked per batch with
+        the per-stage latency breakdown: ``queue_wait`` (submit to
+        dequeue, once per request), ``assemble`` (first dequeue to
+        predict start — the straggler wait, once per batch) and
+        ``predict`` (the model call, once per batch).  The serving
+        layer points this at its per-model stage histograms.
+    tracer:
+        Optional :class:`~repro.observability.trace.Tracer`.  Because
+        batches run on worker threads that cannot inherit the
+        submitter's contextvars, ``submit_many`` captures the caller's
+        trace context (only while tracing is enabled) and carries it on
+        the queue item; the worker then records ``batcher.queue`` /
+        ``batcher.assemble`` / ``batcher.predict`` spans re-parented to
+        the submitting request.
     proba_fn:
         Optional probability head: called with the same coalesced panel
         as ``predict_fn`` and must return a row-stochastic ``(n,
@@ -151,7 +166,8 @@ class MicroBatcher:
                  workers: int = 1, max_queue: int = 0,
                  admit_nan: bool = False,
                  stats: BatcherStats | None = None,
-                 proba_fn=None, classes=None):
+                 proba_fn=None, classes=None,
+                 stage_observer=None, tracer=None):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1; got {max_batch}")
         if max_latency < 0:
@@ -171,6 +187,8 @@ class MicroBatcher:
         self.max_queue = int(max_queue)
         self.admit_nan = bool(admit_nan)
         self.stats = stats if stats is not None else BatcherStats()
+        self._stage_observer = stage_observer
+        self._tracer = tracer
         self._queue: queue.Queue = queue.Queue()
         self._closed = False
         #: serialises submits against close(), so no request can be enqueued
@@ -236,6 +254,12 @@ class MicroBatcher:
             )
         prepared = [self._validate(series) for series in series_list]
         futures: list[Future] = [Future() for _ in prepared]
+        # Contextvars do not cross into the worker threads, so the trace
+        # context rides the queue item; captured only while tracing is on
+        # so the disabled path pays one attribute check.
+        tracer = self._tracer
+        ctx = tracer.current() if tracer is not None and tracer.enabled \
+            else None
         deadline = None if not timeout else time.monotonic() + timeout
         with self._submit_lock:
             while True:
@@ -257,7 +281,7 @@ class MicroBatcher:
                 self._space.wait(remaining)
             now = time.monotonic()
             for series, future in zip(prepared, futures):
-                self._queue.put((series, future, now, return_proba))
+                self._queue.put((series, future, now, return_proba, ctx))
         return futures
 
     def _validate(self, series) -> np.ndarray:
@@ -343,7 +367,7 @@ class MicroBatcher:
             if item is _SHUTDOWN:
                 self._queue.put(_SHUTDOWN)  # release the next worker
                 return
-            batch = [item]
+            batch = [item + (time.monotonic(),)]
             deadline = time.monotonic() + self.max_latency
             stop = False
             while len(batch) < self.max_batch:
@@ -358,7 +382,7 @@ class MicroBatcher:
                     self._queue.put(_SHUTDOWN)
                     stop = True
                     break
-                batch.append(item)
+                batch.append(item + (time.monotonic(),))
             # The batch is off the queue: wake any submit blocked on space.
             with self._space:
                 self._space.notify_all()
@@ -366,15 +390,25 @@ class MicroBatcher:
             if stop:
                 return
 
-    def _run_batch(self, batch: list[tuple[np.ndarray, Future, float, bool]]) -> None:
+    def _run_batch(self, batch) -> None:
+        """Predict one assembled *batch* (list of 6-tuples ``(series,
+        future, submitted, want_proba, ctx, dequeued)``) and fan out."""
         self.stats._record_batch(len(batch))
-        want_proba = any(proba for _, _, _, proba in batch)
+        predict_start = time.monotonic()
+        observer = self._stage_observer
+        if observer is not None:
+            observer("assemble", predict_start - batch[0][5])
+            for _, _, submitted, _, _, dequeued in batch:
+                observer("queue_wait", dequeued - submitted)
+        want_proba = any(item[3] for item in batch)
         probas = None
+        predictions = None
+        error = None
         try:
             # stack stays inside the try: without an input_shape the series
             # in one batch may disagree, and that must fail the requests,
             # not kill the worker thread.
-            panel = np.stack([series for series, _, _, _ in batch])
+            panel = np.stack([item[0] for item in batch])
             if want_proba:
                 # One pass serves the whole mixed batch: labels derive from
                 # the probability rows (classes[argmax] == predict is part
@@ -384,7 +418,13 @@ class MicroBatcher:
                 predictions = self.classes[probas.argmax(axis=1)]
             else:
                 predictions = self._predict_fn(panel)
-        except Exception as error:  # noqa: BLE001 - forwarded to every caller
+        except Exception as err:  # noqa: BLE001 - forwarded to every caller
+            error = err
+        predict_end = time.monotonic()
+        if observer is not None:
+            observer("predict", predict_end - predict_start)
+        self._trace_batch(batch, predict_start, predict_end, error)
+        if error is not None:
             self._finish(batch, error=error)
             return
         if len(predictions) != len(batch) or \
@@ -396,10 +436,37 @@ class MicroBatcher:
             return
         self._finish(batch, results=predictions, probas=probas)
 
+    def _trace_batch(self, batch, predict_start: float,
+                     predict_end: float, error) -> None:
+        """Record queue/assemble/predict spans for every traced request.
+
+        Runs on the worker thread after the fact, reconstructing spans
+        from the monotonic stamps the batch carried; requests submitted
+        outside any trace (``ctx is None``) record nothing.
+        """
+        tracer = self._tracer
+        if tracer is None or not tracer.enabled:
+            return
+        size = len(batch)
+        error_name = type(error).__name__ if error is not None else None
+        for _, _, submitted, _, ctx, dequeued in batch:
+            if ctx is None:
+                continue
+            tracer.record_span("batcher.queue", start=submitted,
+                               end=dequeued, parent=ctx)
+            tracer.record_span("batcher.assemble", start=dequeued,
+                               end=predict_start, parent=ctx,
+                               batch_size=size)
+            extra = {"batch_size": size}
+            if error_name is not None:
+                extra["error"] = error_name
+            tracer.record_span("batcher.predict", start=predict_start,
+                               end=predict_end, parent=ctx, **extra)
+
     def _finish(self, batch, results=None, error=None, probas=None) -> None:
         """Complete every future in *batch*, recording observed latency."""
         now = time.monotonic()
-        for index, (_, future, submitted, want_proba) in enumerate(batch):
+        for index, (_, future, submitted, want_proba, _, _) in enumerate(batch):
             self.stats.latency.observe(now - submitted)
             if error is not None:
                 future.set_exception(error)

@@ -26,6 +26,7 @@ __all__ = [
     "BATCH_SIZE_BUCKETS",
     "CONFIDENCE_BUCKETS",
     "LATENCY_BUCKETS",
+    "STAGE_LATENCY_BUCKETS",
     "Counter",
     "Gauge",
     "Histogram",
@@ -42,6 +43,12 @@ LATENCY_BUCKETS = (0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
 
 #: micro-batch panel sizes; powers of two up to the default max_batch
 BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+#: per-stage latency buckets in seconds: stages (queue wait, batch
+#: assembly, predict, serialize) are fractions of a request, so the
+#: range starts an order of magnitude below LATENCY_BUCKETS
+STAGE_LATENCY_BUCKETS = (0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+                         0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5)
 
 #: per-window top-1 confidence: dense near 1.0 where healthy models live,
 #: so a drift-induced slide out of the top buckets is visible at a glance

@@ -5,6 +5,7 @@ Routes (JSON in, JSON out unless noted)::
     GET  /healthz                        liveness + model count
     GET  /metrics                        Prometheus text format (0.0.4)
     GET  /v1/models                      latest record per published name
+    GET  /v1/debug/traces                flight-recorder dump (recent/slowest)
     POST /v1/models/<name>/predict       classify one series or a list
 
 A predict body carries either one series (``{"series": [[...], ...]}`` —
@@ -36,18 +37,22 @@ The runtime is load-safe by construction:
   batcher before returning; a model evicted mid-request is reloaded
   transparently;
 * **observability** — ``/metrics`` exports per-model request counts,
-  queue depths, batch-size and latency histograms; ``access_log=True``
-  writes one structured JSON line per request to stderr.
+  queue depths, batch-size, latency and per-stage latency histograms
+  plus a client-disconnect counter; ``access_log=True`` writes one
+  structured JSON line per request to stderr through the shared
+  :mod:`repro.observability.logging` logger; with tracing enabled every
+  request records per-stage spans into the flight recorder served at
+  ``GET /v1/debug/traces``.
 """
 
 from __future__ import annotations
 
 import json
-import sys
 import threading
 import time
 import urllib.parse
 from concurrent.futures import Future, TimeoutError as FutureTimeoutError
+from functools import partial
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
@@ -55,9 +60,11 @@ import numpy as np
 
 from ..data.dataset import TimeSeriesDataset
 from ..experiments.protocol import _prepare as _protocol_prepare
+from ..observability import get_logger, get_tracer
 from .batcher import BatcherStats, MicroBatcher, Prediction, QueueFullError
 from .metrics import (
     CONFIDENCE_BUCKETS,
+    STAGE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
@@ -174,13 +181,25 @@ class PredictionService:
     drain_timeout:
         How long :meth:`close` waits for in-flight predicts to finish
         before tearing the batchers down.
+    tracer:
+        The :class:`~repro.observability.Tracer` the whole serving stack
+        (batchers, scorers, controllers) records spans through; defaults
+        to the process-wide tracer (disabled until
+        ``configure_tracing``/``repro serve --trace`` switches it on).
+    logger:
+        The :class:`~repro.observability.StructuredLogger` used for the
+        access log and structured server events; defaults to the shared
+        stderr logger stamped ``component: "server"``.
     """
 
     def __init__(self, registry: ModelRegistry, *, max_batch: int = 64,
                  max_latency: float = 0.005, workers: int = 1,
                  predict_timeout: float = 30.0, max_queue: int = 0,
-                 max_loaded_models: int = 0, drain_timeout: float = 5.0):
+                 max_loaded_models: int = 0, drain_timeout: float = 5.0,
+                 tracer=None, logger=None):
         self.registry = registry
+        self.tracer = tracer if tracer is not None else get_tracer()
+        self.logger = logger if logger is not None else get_logger("server")
         self.max_batch = max_batch
         self.max_latency = max_latency
         self.workers = workers
@@ -207,6 +226,12 @@ class PredictionService:
         #: per-*name* adaptation stats (retraining is a lineage property)
         self._adaptation: dict[str, AdaptationStats] = {}
         self._http_responses: dict[int, int] = {}
+        #: per-version per-stage latency histograms (queue_wait, assemble,
+        #: predict, serialize) — always on; the cost is one observe per
+        #: stage, not a span allocation
+        self._stage: dict[tuple[str, int], dict[str, Histogram]] = {}
+        #: responses abandoned because the client hung up first
+        self._client_disconnects = 0
 
     # ------------------------------------------------------------------ #
 
@@ -247,30 +272,34 @@ class PredictionService:
                 raise ServingError(503, "service is shutting down")
             self._active += 1
         try:
-            record, futures = self._admit(name, instances, version, None,
-                                          return_proba)
-            try:
-                results = [future.result(timeout=self.predict_timeout)
-                           for future in futures]
-            except FutureTimeoutError as error:
-                # Fail fast instead of parking a handler thread forever on
-                # a stalled batcher.
-                raise ServingError(
-                    503, f"prediction timed out after {self.predict_timeout}s"
-                ) from error
-            if not return_proba:
-                return {"model": record.name, "version": record.version,
-                        "labels": [_jsonable(label) for label in results]}
-            classes = self._classes(record)
-            return {
-                "model": record.name, "version": record.version,
-                "labels": [_jsonable(result.label) for result in results],
-                "probas": [[float(p) for p in result.proba]
-                           for result in results],
-                "confidences": [float(result.proba.max())
-                                for result in results],
-                "classes": classes,
-            }
+            with self.tracer.span("serve.predict", model=name) as span:
+                record, futures = self._admit(name, instances, version, None,
+                                              return_proba)
+                span.set("version", record.version)
+                span.set("instances", len(futures))
+                try:
+                    results = [future.result(timeout=self.predict_timeout)
+                               for future in futures]
+                except FutureTimeoutError as error:
+                    # Fail fast instead of parking a handler thread forever
+                    # on a stalled batcher.
+                    raise ServingError(
+                        503,
+                        f"prediction timed out after {self.predict_timeout}s"
+                    ) from error
+                if not return_proba:
+                    return {"model": record.name, "version": record.version,
+                            "labels": [_jsonable(label) for label in results]}
+                classes = self._classes(record)
+                return {
+                    "model": record.name, "version": record.version,
+                    "labels": [_jsonable(result.label) for result in results],
+                    "probas": [[float(p) for p in result.proba]
+                               for result in results],
+                    "confidences": [float(result.proba.max())
+                                    for result in results],
+                    "classes": classes,
+                }
         finally:
             with self._idle:
                 self._active -= 1
@@ -429,6 +458,55 @@ class PredictionService:
         with self._lock:
             self._http_responses[status] = self._http_responses.get(status, 0) + 1
 
+    def record_client_disconnect(self, **info) -> None:
+        """Count one client disconnect (the peer hung up before reading
+        its response) and emit a structured ``client_disconnect`` event.
+
+        Called by the HTTP handler when a write hits
+        ``BrokenPipeError``/``ConnectionResetError`` — previously these
+        were swallowed invisibly; now they are first-class signal:
+        ``repro_serving_client_disconnects_total`` in ``/metrics`` plus
+        one structured log line carrying *info* (client, path, status).
+        """
+        with self._lock:
+            self._client_disconnects += 1
+        self.logger.event("client_disconnect", **info)
+
+    def observe_stage(self, key: tuple[str, int], stage: str,
+                      seconds: float) -> None:
+        """Record one per-stage latency observation for model *key*.
+
+        *stage* is one of ``queue_wait`` / ``assemble`` / ``predict``
+        (reported by the batcher) or ``serialize`` (reported by the HTTP
+        handler).  Histograms are created lazily per ``(name, version,
+        stage)`` and rendered in ``/metrics`` as
+        ``repro_serving_stage_latency_seconds{...,stage="..."}``.
+        """
+        stages = self._stage.get(key)
+        if stages is None:
+            with self._lock:
+                stages = self._stage.setdefault(key, {})
+        hist = stages.get(stage)
+        if hist is None:
+            with self._lock:
+                hist = stages.setdefault(stage,
+                                         Histogram(STAGE_LATENCY_BUCKETS))
+        hist.observe(seconds)
+
+    def debug_traces(self, *, limit: int = 20, slowest: bool = False) -> dict:
+        """The flight recorder's view, as served at ``/v1/debug/traces``.
+
+        Returns ``{"enabled", "stats", "traces"}``; ``traces`` is newest
+        first (or slowest first with *slowest*), empty whenever tracing
+        never ran or no recorder is attached.
+        """
+        recorder = self.tracer.recorder
+        out = {"enabled": self.tracer.enabled, "stats": {}, "traces": []}
+        if recorder is not None:
+            out["stats"] = recorder.stats()
+            out["traces"] = recorder.snapshot(limit=limit, slowest=slowest)
+        return out
+
     def metrics_text(self) -> str:
         """The Prometheus exposition-format dump for ``/metrics``."""
         with self._lock:
@@ -439,6 +517,9 @@ class PredictionService:
                       for key, (_, batcher) in self._loaded.items()}
             responses = sorted(self._http_responses.items())
             n_loaded = len(self._loaded)
+            stage_stats = [(key, dict(stages))
+                           for key, stages in sorted(self._stage.items())]
+            disconnects = self._client_disconnects
         lines: list[str] = []
 
         def family(name: str, kind: str, help_text: str, samples) -> None:
@@ -547,6 +628,19 @@ class PredictionService:
                "Coalesced panel sizes.", batch_lines)
         family("repro_serving_request_latency_seconds", "histogram",
                "Submit-to-completion seconds per series.", latency_lines)
+        stage_lines: list[str] = []
+        for key, stages in stage_stats:
+            for stage_name, hist in sorted(stages.items()):
+                stage_lines.extend(render_histogram(
+                    "repro_serving_stage_latency_seconds",
+                    {**labels(key), "stage": stage_name}, hist.snapshot()))
+        family("repro_serving_stage_latency_seconds", "histogram",
+               "Per-stage request latency: queue_wait, assemble, predict, "
+               "serialize.", stage_lines)
+        family("repro_serving_client_disconnects_total", "counter",
+               "Responses abandoned because the client hung up first.",
+               [format_sample("repro_serving_client_disconnects_total",
+                              None, disconnects)])
         family("repro_serving_http_responses_total", "counter",
                "HTTP responses by status code.",
                (format_sample("repro_serving_http_responses_total",
@@ -578,7 +672,9 @@ class PredictionService:
                 entry = self._loaded.get(key)
             if entry is not None:
                 return entry
-            model, record = self.registry.load(record.name, record.version)
+            with self.tracer.span("model.load", model=record.name,
+                                  version=record.version):
+                model, record = self.registry.load(record.name, record.version)
             predict_fn = model.predict
             preprocessed = record.metadata.get("preprocessing") \
                 == PROTOCOL_PREPROCESSING
@@ -608,6 +704,8 @@ class PredictionService:
                 # characteristic).
                 admit_nan=preprocessed, stats=stats,
                 proba_fn=proba_fn, classes=classes,
+                stage_observer=partial(self.observe_stage, key),
+                tracer=self.tracer,
             ))
             evicted = []
             with self._lock:
@@ -655,14 +753,29 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._started = time.monotonic()
+        self._span = span = self.service.tracer.span(
+            "http.request", method="GET", path=self.path)
+        with span:
+            self._handle_get()
+
+    def _handle_get(self) -> None:
+        """Route one GET request (inside the request's root span)."""
+        url = urllib.parse.urlsplit(self.path)
         try:
-            if self.path == "/healthz":
+            if url.path == "/healthz":
                 self._reply(200, self.service.healthz())
-            elif self.path == "/metrics":
+            elif url.path == "/metrics":
                 self._send(200, self.service.metrics_text().encode(),
                            "text/plain; version=0.0.4; charset=utf-8")
-            elif self.path == "/v1/models":
+            elif url.path == "/v1/models":
                 self._reply(200, {"models": self.service.models()})
+            elif url.path == "/v1/debug/traces":
+                query = urllib.parse.parse_qs(url.query)
+                limit = int(query.get("limit", ["20"])[0])
+                slowest = query.get("slowest", ["0"])[0].lower() \
+                    not in ("", "0", "false")
+                self._reply(200, self.service.debug_traces(
+                    limit=limit, slowest=slowest))
             else:
                 self._reply(404, {"error": f"no route for GET {self.path}"})
         except Exception as error:  # noqa: BLE001 - must answer the client
@@ -670,6 +783,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         self._started = time.monotonic()
+        self._span = span = self.service.tracer.span(
+            "http.request", method="POST", path=self.path)
+        with span:
+            self._handle_post()
+
+    def _handle_post(self) -> None:
+        """Route one POST request (inside the request's root span)."""
         url = urllib.parse.urlsplit(self.path)
         parts = url.path.strip("/").split("/")
         routed = len(parts) == 4 and parts[:2] == ["v1", "models"]
@@ -690,7 +810,12 @@ class _Handler(BaseHTTPRequestHandler):
         except Exception as error:  # noqa: BLE001 - must answer the client
             self._reply(500, {"error": f"{type(error).__name__}: {error}"})
         else:
-            self._reply(200, result)
+            started = time.monotonic()
+            with self.service.tracer.span("serialize", model=result["model"]):
+                self._reply(200, result)
+            self.service.observe_stage(
+                (result["model"], result["version"]), "serialize",
+                time.monotonic() - started)
 
     def _predict(self, name: str, body: dict) -> dict:
         if not isinstance(body, dict):
@@ -793,8 +918,12 @@ class _Handler(BaseHTTPRequestHandler):
             # unblocks, the active-streams gauge has already dropped.
             scorer.close()
             self.wfile.write(b"0\r\n\r\n")  # terminate the chunked body
-        except (BrokenPipeError, ConnectionResetError, TimeoutError):
-            pass  # client hung up mid-stream; nothing left to answer
+        except (BrokenPipeError, ConnectionResetError, TimeoutError) as error:
+            # Client hung up mid-stream; nothing left to answer, but the
+            # hangup itself is signal.
+            self.service.record_client_disconnect(
+                client=self.client_address[0], method=self.command,
+                path=self.path, status=200, error=type(error).__name__)
         finally:
             scorer.close()
         self.service.record_response(200)
@@ -921,26 +1050,38 @@ class _Handler(BaseHTTPRequestHandler):
                 self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
-        except (BrokenPipeError, ConnectionResetError, TimeoutError):
+        except (BrokenPipeError, ConnectionResetError, TimeoutError) as error:
             # The client hung up before reading its answer.  That is the
             # client's problem, not a server error: swallow it so the
-            # handler thread survives instead of dying with a traceback.
+            # handler thread survives instead of dying with a traceback —
+            # but count and log it, because a burst of disconnects is a
+            # latency or client-timeout story someone needs to see.
             self.close_connection = True
+            self.service.record_client_disconnect(
+                client=self.client_address[0], method=self.command,
+                path=self.path, status=status, error=type(error).__name__)
+        span = getattr(self, "_span", None)
+        if span is not None:
+            span.set("status", status)
         self.service.record_response(status)
         if self.access_log:
             self._log_access(status, len(body))
 
     def _log_access(self, status: int, n_bytes: int) -> None:
+        """One structured ``access`` event per request, via the shared
+        logger — same ``time``/``client``/``method``/``path``/``status``
+        /``bytes``/``ms`` keys the ad-hoc JSON lines always carried."""
         elapsed = time.monotonic() - getattr(self, "_started", time.monotonic())
-        print(json.dumps({
-            "time": round(time.time(), 3),
-            "client": self.client_address[0],
-            "method": self.command,
-            "path": self.path,
-            "status": status,
-            "bytes": n_bytes,
-            "ms": round(elapsed * 1000, 2),
-        }), file=sys.stderr, flush=True)
+        self.service.logger.event(
+            "access",
+            time=round(time.time(), 3),
+            client=self.client_address[0],
+            method=self.command,
+            path=self.path,
+            status=status,
+            bytes=n_bytes,
+            ms=round(elapsed * 1000, 2),
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         if not self.quiet:
@@ -974,7 +1115,7 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
                   batch_workers: int = 1, quiet: bool = True,
                   max_queue: int = 1024, max_loaded_models: int = 0,
                   max_body_bytes: int = 10_000_000,
-                  access_log: bool = False) -> PredictionServer:
+                  access_log: bool = False, tracer=None) -> PredictionServer:
     """Build a ready-to-run prediction server (``port=0`` picks a free one).
 
     Run it with ``server.serve_forever()`` (blocking) or from a thread;
@@ -988,7 +1129,8 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
     service = PredictionService(registry, max_batch=max_batch,
                                 max_latency=max_latency, workers=batch_workers,
                                 max_queue=max_queue,
-                                max_loaded_models=max_loaded_models)
+                                max_loaded_models=max_loaded_models,
+                                tracer=tracer)
     handler = type("Handler", (_Handler,), {
         "service": service, "quiet": quiet,
         "max_body_bytes": int(max_body_bytes), "access_log": bool(access_log),

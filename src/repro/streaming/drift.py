@@ -144,6 +144,20 @@ class DriftMonitor:
 
     # ------------------------------------------------------------------ #
 
+    def config(self) -> dict:
+        """The monitor's tuning knobs as a JSON-ready dict.
+
+        Audit-journal evidence: a ``drift_flag`` event that carries the
+        thresholds it fired against is reconstructable offline without
+        knowing how the monitor was configured at the time.
+        """
+        return {
+            "alpha_fast": self.alpha_fast, "alpha_slow": self.alpha_slow,
+            "threshold": self.threshold,
+            "confidence_threshold": self.confidence_threshold,
+            "warmup": self.warmup, "persistence": self.persistence,
+        }
+
     def update(self, predicted, truth=None, confidence=None) -> DriftState:
         """Record one window's prediction (plus truth and top-1
         confidence when known) and return the monitor's updated view.

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..observability import get_tracer
 from ..serving.server import ServingError
 from .drift import DriftMonitor, DriftState, _key
 
@@ -165,12 +166,21 @@ class StreamScorer:
     ``observe(panel, result)`` method) sees every resolved window along
     with the panel that produced it — the hook the drift-triggered
     canary retraining loop hangs off.
+
+    An optional *journal* (an
+    :class:`~repro.observability.AuditJournal`) receives one
+    ``drift_flag`` event per flagged window, carrying the monitor's full
+    evidence (EWMA fast/slow values, thresholds, window index) — the
+    stream-side half of the decision-audit trail.  With tracing enabled
+    on the service, the whole stream becomes one trace: a ``stream``
+    root span plus one ``stream.window`` span per resolved window, with
+    the batcher's queue/assemble/predict spans parented underneath.
     """
 
     def __init__(self, service, name: str, *, window: int, hop: int | None = None,
                  version=None, monitor: DriftMonitor | None = None,
                  max_inflight: int = 32, queue_timeout: float = 5.0,
-                 use_proba: bool | None = None, adapter=None):
+                 use_proba: bool | None = None, adapter=None, journal=None):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
         if window < 1:
@@ -185,7 +195,15 @@ class StreamScorer:
         self.max_inflight = int(max_inflight)
         self.queue_timeout = float(queue_timeout)
         self.adapter = adapter
+        self.journal = journal
+        self.tracer = getattr(service, "tracer", None) or get_tracer()
         self.record, self._stats = service.open_stream(name, version)
+        #: the stream's root span: opened here, ended by close().  When
+        #: tracing is off this is the shared no-op span and the context
+        #: stays None, which turns every per-window trace guard off.
+        self._span = self.tracer.begin(
+            "stream", model=self.record.name, version=self.record.version)
+        self._ctx = self._span.context
         try:
             if use_proba is None:
                 probe = getattr(service, "serves_proba", None)
@@ -271,10 +289,13 @@ class StreamScorer:
 
     def close(self) -> None:
         """Release the stream (idempotent): drops the active-streams
-        gauge and makes further ``feed`` calls fail."""
+        gauge, ends the stream's root span, and makes further ``feed``
+        calls fail."""
         if not self._closed:
             self._closed = True
             self.service.close_stream(self.record)
+            self._span.end(windows=self._submitted, shifts=self._shifts,
+                           samples=self._samples)
 
     def __enter__(self) -> "StreamScorer":
         return self
@@ -290,10 +311,20 @@ class StreamScorer:
             # window instead of piling further onto the shared queue.
             self._ready.append(self._resolve_head())
         index = self._submitted
-        _, futures = self.service.submit(
-            self.record.name, [panel], self.record.version,
-            queue_timeout=self.queue_timeout, return_proba=self.use_proba,
-        )
+        if self._ctx is not None:
+            # Parent the batcher's queue/assemble/predict spans to this
+            # stream rather than to whatever request shares the thread.
+            with self.tracer.use_context(self._ctx):
+                _, futures = self.service.submit(
+                    self.record.name, [panel], self.record.version,
+                    queue_timeout=self.queue_timeout,
+                    return_proba=self.use_proba,
+                )
+        else:
+            _, futures = self.service.submit(
+                self.record.name, [panel], self.record.version,
+                queue_timeout=self.queue_timeout, return_proba=self.use_proba,
+            )
         self._pending.append(_Pending(
             index=index, start=end - self.window + 1, end=end,
             truth=None if truth is None else int(truth), future=futures[0],
@@ -312,30 +343,46 @@ class StreamScorer:
     def _resolve_head(self) -> WindowResult:
         head = self._pending.popleft()
         timeout = getattr(self.service, "predict_timeout", 30.0)
-        try:
-            outcome = head.future.result(timeout=timeout)
-        except FutureTimeoutError as error:
-            # The same 503 the batch path answers; on 3.11+ the bare
-            # FutureTimeoutError aliases TimeoutError, which transports
-            # treat as a socket event — it must not escape looking like one.
-            raise ServingError(
-                503, f"window {head.index} prediction timed out after "
-                     f"{timeout}s"
-            ) from error
-        proba = confidence = None
-        if self.use_proba:
-            label = _key(outcome.label)
-            proba = np.asarray(outcome.proba)
-            confidence = float(proba.max())
-        else:
-            label = _key(outcome)
-        state = self.monitor.update(label, head.truth, confidence)
-        if state.shift:
-            self._shifts += 1
-        self._stats.record_window(shift=state.shift, confidence=confidence)
-        result = WindowResult(index=head.index, start=head.start, end=head.end,
-                              label=label, truth=head.truth, drift=state,
-                              confidence=confidence, proba=proba)
-        if self.adapter is not None:
-            self.adapter.observe(head.panel, result)
+        with self.tracer.span("stream.window", parent=self._ctx,
+                              index=head.index) as span:
+            try:
+                outcome = head.future.result(timeout=timeout)
+            except FutureTimeoutError as error:
+                # The same 503 the batch path answers; on 3.11+ the bare
+                # FutureTimeoutError aliases TimeoutError, which transports
+                # treat as a socket event — it must not escape looking like
+                # one.
+                raise ServingError(
+                    503, f"window {head.index} prediction timed out after "
+                         f"{timeout}s"
+                ) from error
+            proba = confidence = None
+            if self.use_proba:
+                label = _key(outcome.label)
+                proba = np.asarray(outcome.proba)
+                confidence = float(proba.max())
+            else:
+                label = _key(outcome)
+            state = self.monitor.update(label, head.truth, confidence)
+            if state.shift:
+                self._shifts += 1
+                span.set("shift", True)
+                span.set("signal", state.signal)
+                if self.journal is not None:
+                    self.journal.log(
+                        "drift_flag", model=self.record.name,
+                        version=self.record.version, window=head.index,
+                        signal=state.signal,
+                        evidence={"state": state.as_dict(),
+                                  "windows": state.windows,
+                                  "thresholds": self.monitor.config()},
+                    )
+            self._stats.record_window(shift=state.shift,
+                                      confidence=confidence)
+            result = WindowResult(index=head.index, start=head.start,
+                                  end=head.end, label=label, truth=head.truth,
+                                  drift=state, confidence=confidence,
+                                  proba=proba)
+            if self.adapter is not None:
+                self.adapter.observe(head.panel, result)
         return result

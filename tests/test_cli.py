@@ -256,10 +256,12 @@ def test_adapt_end_to_end_promotes(tmp_path, capsys):
     assert main(["train", "RacketSports", "--registry", str(registry),
                  "--kernels", "150", "--tag", "stable"]) == 0
     capsys.readouterr()
+    journal_path = tmp_path / "audit.jsonl"
     code = main(["adapt", "RacketSports-rocket", "--registry", str(registry),
                  "--synthetic-like", "RacketSports", "--series", "150",
                  "--shift-at", "2000", "--collect-windows", "30",
-                 "--shadow-windows", "16", "--quiet"])
+                 "--shadow-windows", "16", "--quiet",
+                 "--audit-journal", str(journal_path)])
     out = capsys.readouterr().out
     assert code == 0
     lines = [json.loads(line) for line in out.splitlines()]
@@ -276,6 +278,19 @@ def test_adapt_end_to_end_promotes(tmp_path, capsys):
 
     assert ModelRegistry(registry).record("RacketSports-rocket",
                                           "stable").version == 2
+
+    # The audit journal replays offline to the same decision the loop
+    # printed live, and `repro audit` accepts it as schema-valid.
+    from repro.observability import read_journal, replay_decisions
+
+    replay = replay_decisions(read_journal(journal_path))
+    assert replay["promotions"] == 1 and replay["retrainings"] == 1
+    assert replay["decisions"] == decisions
+    capsys.readouterr()
+    assert main(["audit", str(journal_path)]) == 0
+    audit_out = capsys.readouterr().out
+    assert "promotions=1" in audit_out
+    assert json.loads(audit_out.strip().splitlines()[-1]) == decisions[0]
 
 
 def test_adapt_unknown_model_is_user_error(tmp_path, capsys):
@@ -315,6 +330,45 @@ def test_serve_parser_hardening_flags():
     assert args.max_loaded_models == 2
     assert args.max_body_bytes == 4096
     assert args.access_log is True
+
+
+def test_trace_and_audit_parser_defaults():
+    args = build_parser().parse_args(["trace"])
+    assert args.url == "http://127.0.0.1:8080"
+    assert args.limit == 10
+    assert args.slowest is False and args.as_json is False
+    args = build_parser().parse_args(["audit", "journal.jsonl", "--json"])
+    assert args.path == "journal.jsonl"
+    assert args.as_json is True and args.kind is None
+
+
+def test_serve_parser_trace_flags():
+    args = build_parser().parse_args(["serve", "--registry", "r"])
+    assert args.trace is False and args.trace_export is None
+    args = build_parser().parse_args([
+        "serve", "--registry", "r", "--trace", "--trace-capacity", "32",
+        "--trace-export", "spans.jsonl"])
+    assert args.trace is True
+    assert args.trace_capacity == 32
+    assert args.trace_export == "spans.jsonl"
+
+
+def test_audit_missing_and_empty_journals_fail(tmp_path, capsys):
+    assert main(["audit", str(tmp_path / "missing.jsonl")]) == 2
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["audit", str(empty)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_trace_unreachable_server_fails_cleanly(capsys):
+    assert main(["trace", "--url", "http://127.0.0.1:9", "--limit", "1"]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_trace_bad_url_is_user_error(capsys):
+    assert main(["trace", "--url", "not-a-url"]) == 2
+    assert "error" in capsys.readouterr().err
 
 
 def test_unknown_command_rejected():

@@ -1,0 +1,193 @@
+"""Prometheus exposition edge cases: escaping, parsing, concurrent scrapes.
+
+The satellite contract: label values containing quotes, backslashes and
+newlines must round-trip through ``_escape`` into lines a Prometheus
+scraper parses back to the original value, and a ``/metrics`` scrape
+racing live traffic must stay internally consistent (every line
+parseable, histogram invariants intact).
+"""
+
+import re
+import threading
+
+import numpy as np
+import pytest
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    model_metadata,
+    prepare_panel,
+)
+from repro.serving.metrics import (
+    Histogram,
+    format_labels,
+    format_sample,
+    render_histogram,
+)
+from repro.serving.metrics import _escape
+
+PREDICT_KWARGS = dict(dataset="synthetic", preprocessing="znormalize+impute")
+
+
+def _unescape(value: str) -> str:
+    """Inverse of the exposition escaping — what a scraper effectively
+    does when it parses a label value back out of a sample line."""
+    out = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"\\": "\\", '"': '"', "n": "\n"}.get(nxt, char + nxt))
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+class TestEscaping:
+    @pytest.mark.parametrize("raw", [
+        'quote"inside',
+        "back\\slash",
+        "new\nline",
+        'all\\three\n"at once"',
+        "\\n is literal backslash-n",  # must not collapse into newline
+        'trailing backslash\\',
+        "",
+    ])
+    def test_escape_round_trips(self, raw):
+        assert _unescape(_escape(raw)) == raw
+
+    def test_escaped_line_stays_single_line(self):
+        line = format_sample("metric", {"path": 'a\nb"c\\d'}, 1)
+        assert "\n" not in line
+        assert line == 'metric{path="a\\nb\\"c\\\\d"} 1'
+
+    def test_format_labels_escapes_every_value(self):
+        rendered = format_labels({"a": 'x"y', "b": "p\nq"})
+        assert rendered == '{a="x\\"y",b="p\\nq"}'
+
+    def test_format_labels_empty_cases(self):
+        assert format_labels(None) == ""
+        assert format_labels({}) == ""
+
+    def test_non_string_values_stringify_before_escaping(self):
+        assert format_labels({"version": 3}) == '{version="3"}'
+
+
+SAMPLE_LINE = re.compile(
+    r'^[a-zA-Z_:][a-zA-Z0-9_:]*'          # metric name
+    r'(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*",?)*\})?'  # labels
+    r' -?[0-9].*$'                        # value
+)
+
+
+def _assert_scrape_well_formed(text: str) -> None:
+    """Every non-comment line must match the exposition sample grammar."""
+    for line in text.strip().splitlines():
+        if line.startswith("#"):
+            assert line.startswith(("# HELP ", "# TYPE "))
+            continue
+        assert SAMPLE_LINE.match(line), f"unparseable sample line: {line!r}"
+
+
+class TestHistogramRendering:
+    def test_cumulative_buckets_are_monotonic_and_capped_by_count(self):
+        histogram = Histogram(buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            histogram.observe(value)
+        lines = render_histogram("h", {"m": "x"}, histogram.snapshot())
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in lines if "_bucket" in line]
+        assert counts == sorted(counts)  # cumulative ⇒ monotonic
+        assert counts[-1] == 4  # +Inf bucket holds everything
+        assert lines[-1] == 'h_count{m="x"} 4'
+
+    def test_inf_bucket_always_rendered(self):
+        lines = render_histogram("h", None, Histogram().snapshot())
+        assert any('le="+Inf"' in line for line in lines)
+
+
+class TestConcurrentScrapes:
+    @pytest.fixture
+    def service(self, tmp_path):
+        X, y = make_classification_panel(
+            n_series=24, n_channels=2, length=32, n_classes=2, seed=0)
+        model = RocketClassifier(num_kernels=40, seed=0).fit(
+            prepare_panel(X), y)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(model, "demo",
+                         metadata=model_metadata(model, **PREDICT_KWARGS))
+        service = PredictionService(registry)
+        yield service, X
+        service.close()
+
+    def test_scrape_racing_traffic_stays_well_formed(self, service):
+        service, X = service
+        service.predict("demo", X[:1])  # warm the model + histograms
+        stop = threading.Event()
+        errors = []
+
+        def traffic():
+            while not stop.is_set():
+                try:
+                    service.predict("demo", X[:2])
+                except Exception as exc:  # pragma: no cover - fail loudly
+                    errors.append(exc)
+                    return
+
+        thread = threading.Thread(target=traffic)
+        thread.start()
+        try:
+            scrapes = [service.metrics_text() for _ in range(25)]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+        assert not errors
+        for text in scrapes:
+            _assert_scrape_well_formed(text)
+            self._assert_internally_consistent(text)
+        # Request counters are monotonic across successive scrapes.
+        totals = [self._requests_total(text) for text in scrapes]
+        assert totals == sorted(totals)
+
+    @staticmethod
+    def _requests_total(text: str) -> int:
+        total = 0
+        for line in text.splitlines():
+            if line.startswith("repro_serving_requests_total{"):
+                total += int(line.rsplit(" ", 1)[1])
+        return total
+
+    @staticmethod
+    def _assert_internally_consistent(text: str) -> None:
+        """Within one scrape, every histogram's +Inf bucket equals its
+        _count — the invariant a racing observe() could tear."""
+        inf_buckets: dict[str, int] = {}
+        counts: dict[str, int] = {}
+        for line in text.splitlines():
+            if 'le="+Inf"' in line:
+                name, value = line.rsplit(" ", 1)
+                key = (name.replace(',le="+Inf"', "")
+                       .replace('le="+Inf"', "").replace("{}", "")
+                       .replace("_bucket", ""))
+                inf_buckets[key] = int(value)
+            elif "_count{" in line or line.split(" ", 1)[0].endswith("_count"):
+                name, value = line.rsplit(" ", 1)
+                counts[name.replace("_count", "")] = int(value)
+        for key, value in inf_buckets.items():
+            assert counts.get(key) == value, \
+                f"+Inf bucket and _count disagree for {key}"
+
+    def test_stage_histograms_render_every_stage_per_scrape(self, service):
+        service, X = service
+        service.predict("demo", X[:1])
+        text = service.metrics_text()
+        _assert_scrape_well_formed(text)
+        assert "# TYPE repro_serving_stage_latency_seconds histogram" in text
+        for stage in ("queue_wait", "assemble", "predict"):
+            assert f'stage="{stage}"' in text

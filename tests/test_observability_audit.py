@@ -1,0 +1,183 @@
+"""Decision-audit journal: schema, persistence, and offline replay.
+
+The acceptance test of the tentpole's audit half lives here: a scenario
+world is replayed with a journal attached, the journal is read back from
+disk with no access to the live process, and the reconstructed
+promote/rollback decisions must be **bit-identical** to the decisions
+the live :class:`ScenarioReport` carries.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    AuditJournal,
+    EVENT_SCHEMA,
+    read_journal,
+    replay_decisions,
+    validate_event,
+)
+
+DRIFT_FLAG = dict(model="m", window=7, signal="confidence",
+                  evidence={"state": {"shift": True}, "thresholds": {}})
+DECISION = {"kind": "decision", "action": "promote", "canary_version": 2,
+            "stable_version": 1, "criterion": "accuracy", "agreement": 0.5,
+            "shadow_windows": 4}
+
+
+class TestSchema:
+    def test_every_kind_requires_model(self):
+        for kind, fields in EVENT_SCHEMA.items():
+            assert "model" in fields, kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown audit event kind"):
+            validate_event({"kind": "mystery"})
+
+    def test_missing_fields_named_in_error(self):
+        with pytest.raises(ValueError, match="signal"):
+            validate_event({"kind": "drift_flag", "model": "m", "window": 1,
+                            "evidence": {}})
+
+    def test_valid_event_passes_through_unchanged(self):
+        event = {"kind": "drift_flag", **DRIFT_FLAG}
+        assert validate_event(event) is event
+
+
+class TestAuditJournal:
+    def test_log_stamps_seq_and_time(self):
+        journal = AuditJournal()
+        first = journal.log("drift_flag", **DRIFT_FLAG)
+        second = journal.log("retrain_skipped", model="m", reason="one-class")
+        assert (first["seq"], second["seq"]) == (1, 2)
+        assert isinstance(first["time"], float)
+
+    def test_log_rejects_underspecified_events(self):
+        journal = AuditJournal()
+        with pytest.raises(ValueError):
+            journal.log("promotion", model="m")  # no versions, no decision
+        assert journal.events() == []
+
+    def test_events_filter_by_kind(self):
+        journal = AuditJournal()
+        journal.log("drift_flag", **DRIFT_FLAG)
+        journal.log("retrain_skipped", model="m", reason="r" * 3)
+        assert [e["kind"] for e in journal.events("drift_flag")] \
+            == ["drift_flag"]
+        assert len(journal.events()) == 2
+
+    def test_memory_cap_drops_oldest_but_seq_keeps_counting(self):
+        journal = AuditJournal(max_memory=3)
+        for _ in range(5):
+            journal.log("drift_flag", **DRIFT_FLAG)
+        events = journal.events()
+        assert len(events) == 3
+        assert [e["seq"] for e in events] == [3, 4, 5]
+
+    def test_jsonl_file_round_trips_through_read_journal(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        journal = AuditJournal(path)
+        journal.log("drift_flag", **DRIFT_FLAG)
+        journal.log("promotion", model="m", stable_version=1,
+                    canary_version=2, decision=dict(DECISION))
+        journal.close()
+        events = read_journal(path)
+        assert [e["kind"] for e in events] == ["drift_flag", "promotion"]
+        assert events[1]["decision"] == DECISION
+
+    def test_read_journal_reports_bad_lines_with_line_numbers(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        path.write_text('{"kind": "drift_flag", "model": "m", "window": 1,'
+                        ' "signal": "s", "evidence": {}}\nnot json\n')
+        with pytest.raises(ValueError, match=":2: not JSON"):
+            read_journal(path)
+        path.write_text('{"kind": "promotion", "model": "m"}\n')
+        with pytest.raises(ValueError, match=":1:"):
+            read_journal(path)
+
+    def test_concurrent_writers_keep_seq_total_order(self, tmp_path):
+        path = tmp_path / "audit.jsonl"
+        journal = AuditJournal(path)
+
+        def write(n):
+            for _ in range(n):
+                journal.log("drift_flag", **DRIFT_FLAG)
+
+        threads = [threading.Thread(target=write, args=(25,))
+                   for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        seqs = sorted(e["seq"] for e in read_journal(path))
+        assert seqs == list(range(1, 101))
+
+
+class TestReplayDecisions:
+    def test_counts_and_decisions_fold_back(self):
+        events = [
+            {"kind": "drift_flag", **DRIFT_FLAG},
+            {"kind": "retrain", "model": "m", "stable_version": 1,
+             "canary_version": 2, "canary_digest": "d", "trigger_signal": "s",
+             "trained_on_windows": [1, 2]},
+            {"kind": "shadow_verdict", "model": "m", "window": 3,
+             "stable_label": 0, "canary_label": 0, "agree": True},
+            {"kind": "promotion", "model": "m", "stable_version": 1,
+             "canary_version": 2, "decision": dict(DECISION)},
+        ]
+        replay = replay_decisions(events)
+        assert replay["events"] == 4
+        assert replay["models"] == ["m"]
+        assert replay["drift_flags"] == 1
+        assert replay["retrainings"] == 1
+        assert replay["shadow_windows"] == 1
+        assert replay["promotions"] == 1
+        assert replay["rollbacks"] == 0
+        assert replay["decisions"] == [DECISION]
+
+    def test_accepts_any_iterable(self):
+        replay = replay_decisions(iter([{"kind": "drift_flag",
+                                         **DRIFT_FLAG}]))
+        assert replay["events"] == 1
+
+
+@pytest.mark.scenario
+class TestScenarioReconstruction:
+    """The audit contract, end to end: journal ⊢ live decisions."""
+
+    def test_journal_reconstructs_scenario_decisions_bit_identically(
+            self, tmp_path):
+        from repro.experiments import run_scenario
+
+        path = tmp_path / "audit.jsonl"
+        report = run_scenario("abrupt-prototype-swap", seed=0,
+                              journal=str(path))
+        assert report.promotions >= 1  # the world demands an adaptation
+
+        # Offline: only the journal file, no live state.
+        replay = replay_decisions(read_journal(path))
+        assert replay["decisions"] == list(report.decisions)
+        assert replay["promotions"] == report.promotions
+        assert replay["rollbacks"] == report.rollbacks
+        assert replay["retrainings"] == report.retrainings
+        assert replay["drift_flags"] == len(report.flags)
+
+        # Every retrain is evidenced: which windows it trained on, which
+        # signal pulled the trigger, which digest it published.
+        for event in read_journal(path):
+            if event["kind"] == "retrain":
+                assert event["trained_on_windows"]
+                assert event["canary_digest"]
+            if event["kind"] == "drift_flag":
+                assert "thresholds" in event["evidence"]
+                assert "state" in event["evidence"]
+
+    def test_report_decisions_survive_json_round_trip(self):
+        from repro.experiments import run_scenario
+
+        report = run_scenario("abrupt-prototype-swap", seed=0)
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["decisions"] == list(report.decisions)

@@ -1,0 +1,111 @@
+"""Structured logging: line shape, access-log compat, disconnect events.
+
+The satellite contract: one shared JSON-per-line logger across the
+stack, the ``--access-log`` keys preserved from PR 3, and client
+disconnects both counted in ``/metrics`` and logged with context.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.classifiers import RocketClassifier
+from repro.data import make_classification_panel
+from repro.observability import StructuredLogger, get_logger
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    model_metadata,
+    prepare_panel,
+)
+
+PREDICT_KWARGS = dict(dataset="synthetic", preprocessing="znormalize+impute")
+
+
+class TestStructuredLogger:
+    def test_one_json_object_per_line_with_sorted_fields(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream, component="server")
+        logger.event("access", status=200, client="1.2.3.4", ms=1.25)
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "access"
+        assert record["component"] == "server"
+        # Deterministic key order: event, time, component, sorted extras.
+        assert list(record) == ["event", "time", "component",
+                                "client", "ms", "status"]
+
+    def test_explicit_time_field_wins(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.event("access", time=1723.5, status=200)
+        record = json.loads(stream.getvalue())
+        assert record["time"] == 1723.5  # access log's float epoch survives
+
+    def test_default_time_is_iso_utc(self):
+        stream = io.StringIO()
+        StructuredLogger(stream=stream).event("x" * 3)
+        record = json.loads(stream.getvalue())
+        assert record["time"].endswith("Z")
+        assert "T" in record["time"]
+
+    def test_exotic_values_are_reprd_not_raised(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream=stream)
+        logger.event("weird", payload={"array": np.arange(2), 3: object()},
+                     items=(1, {"nested": set()}))
+        record = json.loads(stream.getvalue())  # the line must parse
+        assert "array" in record["payload"]
+        assert record["items"][0] == 1
+
+    def test_disabled_logger_emits_nothing(self):
+        stream = io.StringIO()
+        StructuredLogger(stream=stream, enabled=False).event("anything")
+        assert stream.getvalue() == ""
+
+    def test_child_shares_stream_but_stamps_component(self):
+        stream = io.StringIO()
+        parent = StructuredLogger(stream=stream)
+        parent.child("scorer").event("drift")
+        record = json.loads(stream.getvalue())
+        assert record["component"] == "scorer"
+
+    def test_get_logger_returns_shared_default(self):
+        assert get_logger() is get_logger()
+        stamped = get_logger("controller")
+        assert stamped.component == "controller"
+
+
+class TestClientDisconnects:
+    @pytest.fixture
+    def service(self, tmp_path):
+        X, y = make_classification_panel(
+            n_series=24, n_channels=2, length=32, n_classes=2, seed=0)
+        model = RocketClassifier(num_kernels=40, seed=0).fit(
+            prepare_panel(X), y)
+        registry = ModelRegistry(tmp_path / "registry")
+        registry.publish(model, "demo",
+                         metadata=model_metadata(model, **PREDICT_KWARGS))
+        stream = io.StringIO()
+        service = PredictionService(
+            registry, logger=StructuredLogger(stream=stream,
+                                              component="server"))
+        service._log_stream = stream  # test-side handle
+        yield service
+        service.close()
+
+    def test_disconnect_increments_counter_and_logs(self, service):
+        service.record_client_disconnect(
+            client="1.2.3.4", method="POST", path="/v1/models/demo/predict",
+            status=200, error="BrokenPipeError")
+        text = service.metrics_text()
+        assert "repro_serving_client_disconnects_total 1" in text
+        record = json.loads(service._log_stream.getvalue())
+        assert record["event"] == "client_disconnect"
+        assert record["error"] == "BrokenPipeError"
+        assert record["client"] == "1.2.3.4"
+
+    def test_counter_renders_zero_before_any_disconnect(self, service):
+        text = service.metrics_text()
+        assert "repro_serving_client_disconnects_total 0" in text

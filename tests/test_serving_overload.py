@@ -380,9 +380,15 @@ class TestMetricsEndpoint:
 class TestHandlerDisconnects:
     def _fake_handler(self, broken_writer):
         class _Stub:
+            disconnects = []
+
             @staticmethod
             def record_response(status):
                 _Stub.last = status
+
+            @staticmethod
+            def record_client_disconnect(**info):
+                _Stub.disconnects.append(info)
 
         handler = _Handler.__new__(_Handler)
         handler.service = _Stub
@@ -404,6 +410,8 @@ class TestHandlerDisconnects:
         handler._reply(200, {"ok": True})  # must not raise
         assert handler.close_connection is True
         assert stub.last == 200  # the response still counts in /metrics
+        assert stub.disconnects[-1]["error"] == "BrokenPipeError"
+        assert stub.disconnects[-1]["status"] == 200
 
     def test_reply_swallows_connection_reset(self):
         class ResetWriter(io.RawIOBase):
