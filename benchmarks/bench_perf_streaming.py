@@ -12,8 +12,17 @@ Two questions the streaming subsystem must answer under load:
   windows, so 16 x the default cap stays under the default
   ``--max-queue`` and every window must be answered (no queue-full
   errors), which is asserted.
+* **backends** (``--compare-backends`` when run as a script, or the
+  ``test_backend_comparison`` bench under pytest) — how much does the
+  float32 fused one-GEMM backend buy over the float64 grouped loops on
+  the latency-critical single-window path, and what does an LRU-churned
+  model reload cost with memory-mapped banks versus eager reads?  The
+  acceptance bar is >= 3x single-window speedup for both ROCKET and
+  MiniRocket.
 """
 
+import copy
+import sys
 import threading
 import time
 
@@ -21,7 +30,8 @@ import numpy as np
 
 from _shared import publish
 
-from repro.classifiers import RocketClassifier
+from repro.backend import INFERENCE_POLICY
+from repro.classifiers import MiniRocketClassifier, RocketClassifier
 from repro.data import make_classification_panel
 from repro.serving import (
     ModelRegistry,
@@ -142,3 +152,138 @@ def test_streaming_throughput(tmp_path):
         f"single-stream scoring must reach >= 1000 windows/s on the tiny "
         f"config; got {best_rate:.0f}"
     )
+
+
+# --------------------------------------------------------------------- #
+# backend comparison: fused float32 vs grouped float64, mmap reloads
+# --------------------------------------------------------------------- #
+
+LATENCY_REPEATS = 80
+RELOAD_REPEATS = 12
+MIN_SPEEDUP = 3.0
+
+
+def _single_window_latency(model, window):
+    """Best-of-N wall clock for one single-window predict call."""
+    model.predict(window)  # warm caches and any lazy state
+    best = float("inf")
+    for _ in range(LATENCY_REPEATS):
+        start = time.perf_counter()
+        model.predict(window)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _compare_backends():
+    """fused-f32 vs grouped-f64 single-window latency + mmap reload cost.
+
+    Returns ``(report_lines, speedups, reload_ms)`` so the pytest bench
+    can assert on the numbers and the script entry point can print them.
+    """
+    X, y = make_classification_panel(
+        n_series=N_SERIES, n_channels=2, length=WINDOW, n_classes=2,
+        difficulty=0.15, seed=0,
+    )
+    window = X[:1]
+
+    lines = [
+        f"single-window latency (best of {LATENCY_REPEATS}), "
+        f"window {WINDOW} x 2 channels:",
+        f"{'family':>12s} {'grouped f64':>13s} {'fused f32':>11s} "
+        f"{'speedup':>9s}",
+    ]
+    speedups = {}
+    families = (
+        ("rocket", RocketClassifier(num_kernels=KERNELS * 2, seed=0)),
+        ("minirocket", MiniRocketClassifier(num_features=504, seed=0)),
+    )
+    models = {}
+    for name, model in families:
+        model.fit(X, y)
+        models[name] = model
+        grouped = _single_window_latency(copy.deepcopy(model), window)
+        fused_model = copy.deepcopy(model)
+        fused_model.set_inference_policy(INFERENCE_POLICY)
+        assert fused_model.transformer._bank is not None, (
+            f"{name}: fused bank refused to build at the bench config"
+        )
+        fused = _single_window_latency(fused_model, window)
+        speedups[name] = grouped / fused
+        lines.append(
+            f"{name:>12s} {grouped * 1e6:>11.0f}us {fused * 1e6:>9.0f}us "
+            f"{speedups[name]:>8.1f}x"
+        )
+
+    # -- LRU churn: what does an eviction-forced reload cost? ----------- #
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        model = models["rocket"]
+        registry.publish(model, "churn", metadata=model_metadata(model))
+        reload_ms = {}
+        for label, mmap in (("eager", False), ("mmap", True)):
+            best = float("inf")
+            for _ in range(RELOAD_REPEATS):
+                start = time.perf_counter()
+                registry.load("churn", mmap=mmap)
+                best = min(best, time.perf_counter() - start)
+            reload_ms[label] = best * 1e3
+        # ...and through the serving LRU itself: a 1-slot service made to
+        # thrash between two models pays one reload per alternation.
+        registry.publish(model, "other", metadata=model_metadata(model))
+        service = PredictionService(registry, max_loaded_models=1,
+                                    max_queue=64)
+        try:
+            samples = list(window)
+            service.predict("churn", samples)
+            start = time.perf_counter()
+            alternations = 10
+            for _ in range(alternations):
+                service.predict("other", samples)
+                service.predict("churn", samples)
+            churn_ms = (time.perf_counter() - start) * 1e3 \
+                / (2 * alternations)
+        finally:
+            service.close()
+
+    lines += [
+        "",
+        f"LRU-churn reload (ROCKET {KERNELS * 2} kernels, best of "
+        f"{RELOAD_REPEATS}):",
+        f"  registry.load eager: {reload_ms['eager']:7.2f} ms",
+        f"  registry.load mmap:  {reload_ms['mmap']:7.2f} ms",
+        f"  1-slot service alternation (reload + predict): "
+        f"{churn_ms:7.2f} ms/request",
+    ]
+    return lines, speedups, reload_ms
+
+
+def test_backend_comparison():
+    lines, speedups, _ = _compare_backends()
+    publish("perf_backends", "\n".join(lines))
+    for name, speedup in speedups.items():
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name}: fused float32 must be >= {MIN_SPEEDUP}x faster than "
+            f"grouped float64 on a single window; got {speedup:.1f}x"
+        )
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if "--compare-backends" not in argv:
+        print("usage: bench_perf_streaming.py --compare-backends\n"
+              "(the throughput benches run under pytest)", file=sys.stderr)
+        return 2
+    lines, speedups, _ = _compare_backends()
+    publish("perf_backends", "\n".join(lines))
+    slowest = min(speedups.values())
+    if slowest < MIN_SPEEDUP:
+        print(f"FAIL: slowest family speedup {slowest:.1f}x "
+              f"< required {MIN_SPEEDUP}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -421,7 +421,8 @@ class AdaptationController:
                     trained_on_windows=int(len(y)),
                     trigger_signal=self._trigger_signal,
                     **{key: self.stable.metadata[key]
-                       for key in ("dataset", "technique", "preprocessing")
+                       for key in ("dataset", "technique", "preprocessing",
+                                   "compute_policy")
                        if key in self.stable.metadata},
                 )
                 record = self.registry.publish(model, self.name,

@@ -1,0 +1,120 @@
+"""Zero-copy model banks: memory-mapped arrays out of ``.npz`` archives.
+
+``np.load(..., mmap_mode="r")`` silently ignores the mmap request for
+zipped archives, so registry objects were always decompressed and copied
+on every (re)load — the dominant cost of the serving LRU churn path.
+This module implements the mmap for real: model archives are written
+*uncompressed* (`np.savez`), each zip member is located by parsing its
+local file header, and the ``.npy`` payload is handed back as an ndarray
+view into **one** shared memory map of the archive file.  A reloaded
+kernel bank therefore costs a handful of page-table entries, not a copy;
+the actual bytes fault in lazily from the page cache, which still holds
+them from the previous residency.
+
+Compressed members (archives written by older ``save_model`` versions
+with ``np.savez_compressed``) fall back to an eager read, member by
+member, so every historical artifact keeps loading — just without the
+zero-copy fast path.
+"""
+
+from __future__ import annotations
+
+import mmap as _mmap
+import zipfile
+from io import BytesIO
+from pathlib import Path
+
+import numpy as np
+from numpy.lib import format as _npy_format
+
+__all__ = ["open_npz", "is_mmap_backed"]
+
+_LOCAL_HEADER_LEN = 30  # fixed part of a zip local file header
+_LOCAL_HEADER_MAGIC = b"PK\x03\x04"
+
+
+def is_mmap_backed(array: np.ndarray) -> bool:
+    """Whether *array* (or any ancestor in its ``base`` chain) is backed
+    by a memory map — i.e. the data still lives in the archive file
+    rather than in a private copy.  The eviction/reload tests assert
+    this."""
+    node = array
+    while node is not None:
+        if isinstance(node, (np.memmap, _mmap.mmap)):
+            return True
+        if isinstance(node, memoryview) and isinstance(node.obj, _mmap.mmap):
+            return True
+        node = getattr(node, "base", None)
+    return False
+
+
+def _member_payload_offset(buffer, info: zipfile.ZipInfo) -> int:
+    """Absolute offset of a stored zip member's payload within *buffer*.
+
+    ``ZipInfo.header_offset`` points at the member's local file header;
+    the payload starts after its fixed 30 bytes plus the (variable) name
+    and extra fields, whose lengths only the local header itself records
+    — the central directory's copies can legally differ.
+    """
+    header = buffer[info.header_offset:info.header_offset + _LOCAL_HEADER_LEN]
+    if len(header) != _LOCAL_HEADER_LEN or \
+            header[:4] != _LOCAL_HEADER_MAGIC:
+        raise ValueError("corrupt zip member header in model archive")
+    name_len = int.from_bytes(header[26:28], "little")
+    extra_len = int.from_bytes(header[28:30], "little")
+    return info.header_offset + _LOCAL_HEADER_LEN + name_len + extra_len
+
+
+def _read_npy_header(handle) -> tuple[tuple, bool, np.dtype, int]:
+    """Parse an ``.npy`` stream header: (shape, fortran_order, dtype,
+    header_length_in_bytes)."""
+    version = _npy_format.read_magic(handle)
+    if version == (1, 0):
+        shape, fortran, dtype = _npy_format.read_array_header_1_0(handle)
+    else:
+        shape, fortran, dtype = _npy_format.read_array_header_2_0(handle)
+    return shape, fortran, dtype, handle.tell()
+
+
+def open_npz(path, *, mmap: bool = True) -> dict[str, np.ndarray]:
+    """Load every array in a ``.npz`` archive, memory-mapping when possible.
+
+    With *mmap* (the default), arrays whose zip members are stored
+    uncompressed come back as read-only views into one shared memory map
+    of *path* — zero copy, lazily faulted, one ``mmap`` syscall per
+    archive rather than per member.  Compressed members, object dtypes
+    and ``mmap=False`` read eagerly.  The result is a plain dict; the
+    shared map lives exactly as long as arrays referencing it do (it is
+    their ``base``), so callers hold no file handles to manage.
+    """
+    path = Path(path)
+    out: dict[str, np.ndarray] = {}
+    shared = None  # the one mmap, created lazily on the first stored member
+    with zipfile.ZipFile(path) as archive:
+        for info in archive.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            if not mmap or info.compress_type != zipfile.ZIP_STORED:
+                with archive.open(info) as member:
+                    out[name] = _npy_format.read_array(member,
+                                                       allow_pickle=False)
+                continue
+            if shared is None:
+                with open(path, "rb") as handle:
+                    shared = _mmap.mmap(handle.fileno(), 0,
+                                        access=_mmap.ACCESS_READ)
+            payload = _member_payload_offset(shared, info)
+            shape, fortran, dtype, header_len = _read_npy_header(
+                BytesIO(shared[payload:payload + min(info.file_size, 4096)]))
+            if dtype.hasobject:  # pragma: no cover - save path refuses these
+                with archive.open(info) as member:
+                    out[name] = _npy_format.read_array(member,
+                                                       allow_pickle=False)
+                continue
+            count = int(np.prod(shape))
+            flat = np.frombuffer(shared, dtype=dtype, count=count,
+                                 offset=payload + header_len)
+            out[name] = flat.reshape(tuple(shape),
+                                     order="F" if fortran else "C")
+    return out

@@ -1,0 +1,240 @@
+"""Compute-core policy and the small op set the classifier families share.
+
+The backend layer makes the serving fast path explicit instead of ad-hoc
+per-classifier numpy: a :class:`ComputePolicy` names the dtype and
+execution engine a model should run under, and the ops here are the only
+places model math happens — batched grouped convolution
+(:func:`grouped_conv`), the fused conv+PPV banks (:mod:`repro.backend.fused`),
+ridge margin application (:func:`ridge_margins`, :func:`fold_ridge`) and
+:func:`softmax`.
+
+Two policies matter in practice:
+
+* ``FIT_POLICY`` — ``float64`` / ``numpy``.  Fitting stays in double
+  precision, bit-identical to the historical code path; every existing
+  test and cached artifact is unchanged.
+* ``INFERENCE_POLICY`` — ``float32`` / ``numpy``.  The serving default:
+  kernel banks and ridge heads are cast once at policy-application time,
+  the transform runs through the fused one-GEMM bank when the model is
+  small enough to unroll, and probabilities come out within a documented
+  tolerance of the float64 path (labels bit-identical in practice —
+  ridge margins are far wider than float32 noise; the parity suite pins
+  this).
+
+The ``numba`` engine is **optional**: when numba is not importable the
+policy silently resolves to ``numpy`` — engine selection may change
+speed, never answers, and a missing accelerator must never take serving
+down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ComputePolicy",
+    "FIT_POLICY",
+    "INFERENCE_POLICY",
+    "apply_folded_ridge",
+    "apply_inference_policy",
+    "fold_ridge",
+    "grouped_conv",
+    "numba_available",
+    "ridge_margins",
+    "softmax",
+]
+
+_DTYPES = {"float32": np.float32, "float64": np.float64}
+_ENGINES = ("numpy", "numba")
+
+
+def numba_available() -> bool:
+    """Whether the optional numba engine can actually run.
+
+    Imported lazily and memoised by :mod:`repro.backend.numba_engine`;
+    the answer gates engine resolution, never correctness.
+    """
+    from . import numba_engine
+
+    return numba_engine.NUMBA_AVAILABLE
+
+
+@dataclass(frozen=True)
+class ComputePolicy:
+    """Execution policy for model math: dtype and engine.
+
+    Parameters
+    ----------
+    dtype:
+        ``"float64"`` (the fit-time default) or ``"float32"`` (the
+        inference default).  Under float32 the classifier families cast
+        their kernel banks and ridge heads once, then run every predict
+        in single precision.
+    engine:
+        ``"numpy"`` or ``"numba"``.  The numba engine is best-effort:
+        :meth:`resolved_engine` falls back to numpy silently when numba
+        is not importable, so a policy recorded at publish time on a
+        numba-equipped box still loads everywhere.
+    """
+
+    dtype: str = "float64"
+    engine: str = "numpy"
+
+    def __post_init__(self):
+        if self.dtype not in _DTYPES:
+            raise ValueError(
+                f"unknown compute dtype {self.dtype!r}; "
+                f"expected one of {sorted(_DTYPES)}"
+            )
+        if self.engine not in _ENGINES:
+            raise ValueError(
+                f"unknown compute engine {self.engine!r}; "
+                f"expected one of {_ENGINES}"
+            )
+
+    @property
+    def np_dtype(self) -> np.dtype:
+        """The numpy dtype this policy computes in."""
+        return np.dtype(_DTYPES[self.dtype])
+
+    def resolved_engine(self) -> str:
+        """The engine that will actually run: ``numba`` only when it is
+        importable, ``numpy`` otherwise (the documented silent fallback)."""
+        if self.engine == "numba" and not numba_available():
+            return "numpy"
+        return self.engine
+
+    def as_dict(self) -> dict:
+        """JSON-ready form, as recorded in registry metadata at publish."""
+        return {"dtype": self.dtype, "engine": self.engine}
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "ComputePolicy | None":
+        """Rebuild a policy from :meth:`as_dict` output (``None`` passes
+        through, so metadata without a policy stays policy-less)."""
+        if not data:
+            return None
+        return cls(dtype=data.get("dtype", "float64"),
+                   engine=data.get("engine", "numpy"))
+
+
+#: fitting stays double precision — the historical, bit-pinned path
+FIT_POLICY = ComputePolicy("float64", "numpy")
+#: the serving default: float32 banks, fused path, numpy engine
+INFERENCE_POLICY = ComputePolicy("float32", "numpy")
+
+
+def apply_inference_policy(model, policy: ComputePolicy | None):
+    """Apply *policy* to *model* in place (returns the model).
+
+    Families that support policies implement ``set_inference_policy``;
+    everything else is left untouched — the policy then simply describes
+    the dtype its math already runs in (float64), so applying a policy
+    can never break a family that has not opted in.
+    """
+    if policy is not None:
+        setter = getattr(model, "set_inference_policy", None)
+        if setter is not None:
+            setter(policy)
+    return model
+
+
+# --------------------------------------------------------------------------- #
+# ops
+# --------------------------------------------------------------------------- #
+
+
+def softmax(scores: np.ndarray, dtype: np.dtype | None = None) -> np.ndarray:
+    """Row-wise softmax of a ``(n, n_classes)`` score matrix.
+
+    Numerically stable (row max subtracted) and strictly order-preserving
+    per row, so the argmax of the output equals the argmax of the input —
+    the property ``predict``/``predict_proba`` agreement rests on.  With
+    *dtype* ``None`` the historical float64 behaviour is kept exactly;
+    float32 computes in single precision end to end.
+    """
+    scores = np.asarray(scores, dtype=dtype if dtype is not None else np.float64)
+    if scores.ndim != 2:
+        raise ValueError(f"scores must be 2-D; got ndim={scores.ndim}")
+    shifted = scores - scores.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def ridge_margins(features: np.ndarray, mean: np.ndarray, std: np.ndarray,
+                  coef: np.ndarray, target_mean: np.ndarray) -> np.ndarray:
+    """Ridge margin scores: ``((features - mean) / std) @ coef + target_mean``.
+
+    The float64 reference application, operation-for-operation the
+    historical ``RidgeClassifierCV.decision_function`` — kept here so the
+    fit-time path and the folded float32 path (:func:`fold_ridge`) are
+    two views of one op with a pinned reference.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    features = (features - mean) / std
+    return features @ coef + target_mean
+
+
+def fold_ridge(mean: np.ndarray, std: np.ndarray, coef: np.ndarray,
+               target_mean: np.ndarray, dtype=np.float32
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Fold feature normalisation into the coefficient matrix.
+
+    ``((f - mean) / std) @ coef + tm  ==  f @ (coef / std) + (tm - (mean
+    / std) @ coef)``, so inference needs one GEMM and one add instead of
+    two broadcasts and a GEMM.  Returns ``(scale_coef, intercept)`` in
+    *dtype*; the fold changes floating-point association, which is why it
+    is reserved for the tolerance-documented float32 inference path.
+    """
+    scale_coef = (coef / std[:, None]).astype(dtype)
+    intercept = (target_mean - (mean / std) @ coef).astype(dtype)
+    return scale_coef, intercept
+
+
+def apply_folded_ridge(features: np.ndarray, scale_coef: np.ndarray,
+                       intercept: np.ndarray) -> np.ndarray:
+    """Margins from a :func:`fold_ridge` head: ``features @ scale_coef +
+    intercept`` in the head's dtype (one GEMM, one add)."""
+    features = np.asarray(features, dtype=scale_coef.dtype)
+    return features @ scale_coef + intercept
+
+
+def grouped_conv(X: np.ndarray, weights: np.ndarray, biases: np.ndarray,
+                 dilation: int, padding: int,
+                 dtype=np.float64) -> np.ndarray:
+    """Batched dilated convolution of one kernel group.
+
+    *X* is a panel ``(n, channels, length)``; *weights* ``(k, channels,
+    kernel_length)`` share one ``(dilation, padding)``; the result is
+    ``(n, k, out_len)`` responses with *biases* added.  One batched
+    matmul per call — ``(1, k, c*l) @ (n, c*l, out)`` over unfolded
+    windows — which beats einsum at these shapes (no contraction-path
+    search, better BLAS blocking).  ``dtype=float64`` reproduces the
+    historical ROCKET group convolution bit for bit; float32 casts the
+    operands once and halves the bandwidth.
+    """
+    X = np.asarray(X)
+    if X.dtype != dtype:
+        X = X.astype(dtype)
+    n, c, t = X.shape
+    length = weights.shape[2]
+    if padding:
+        X = np.pad(X, ((0, 0), (0, 0), (padding, padding)))
+        t = X.shape[2]
+    span = (length - 1) * dilation + 1
+    out_len = t - span + 1
+    s_n, s_c, s_t = X.strides
+    windows = np.lib.stride_tricks.as_strided(
+        X,
+        shape=(n, c, length, out_len),
+        strides=(s_n, s_c, s_t * dilation, s_t),
+        writeable=False,
+    )
+    if weights.dtype != dtype:
+        weights = weights.astype(dtype)
+    kernel_matrix = weights.reshape(len(weights), c * length)
+    window_matrix = np.ascontiguousarray(windows).reshape(n, c * length, out_len)
+    responses = np.matmul(kernel_matrix[None], window_matrix)
+    return responses + np.asarray(biases, dtype=dtype)[None, :, None]

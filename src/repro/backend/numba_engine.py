@@ -1,0 +1,120 @@
+"""Optional numba engine: JIT-compiled fused conv+PPV kernels.
+
+Numba is **not** a dependency of this package.  When it is importable,
+``ComputePolicy(engine="numba")`` resolves here and the transforms run
+through the JIT kernels below — true fused loops that never materialise
+the response matrix.  When it is missing, ``NUMBA_AVAILABLE`` is False
+and the policy resolves to the numpy engine silently: engine selection
+may change speed, never answers, and a model published on a
+numba-equipped box must keep serving on one without.
+
+The kernels mirror the numpy ops' arithmetic exactly (same accumulation
+dtype, same comparison direction), and the publish-time parity sweep
+(:mod:`repro.backend.parity`) plus the CI backend-parity job hold them
+to the numpy path's answers before an engine choice is ever recorded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NUMBA_AVAILABLE", "minirocket_entry_ppv", "rocket_group_ppv_max"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    numba = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @numba.njit(cache=True, fastmath=False)
+    def _rocket_group(Xp, weights, biases, dilation, out_len):
+        n, c, _ = Xp.shape
+        k = weights.shape[0]
+        length = weights.shape[2]
+        ppv = np.zeros((n, k), dtype=Xp.dtype)
+        maxima = np.empty((n, k), dtype=Xp.dtype)
+        for i in range(n):
+            for j in range(k):
+                best = -np.inf
+                positive = 0
+                for o in range(out_len):
+                    acc = biases[j]
+                    for ch in range(c):
+                        for tap in range(length):
+                            acc += weights[j, ch, tap] * Xp[i, ch, o + tap * dilation]
+                    if acc > 0:
+                        positive += 1
+                    if acc > best:
+                        best = acc
+                ppv[i, j] = positive / out_len
+                maxima[i, j] = best
+        return ppv, maxima
+
+    @numba.njit(cache=True, fastmath=False)
+    def _minirocket_entry(Xp, kernels, channel_choice, thresholds, dilation,
+                          out_len):
+        n = Xp.shape[0]
+        k, length = kernels.shape
+        f = thresholds.shape[1]
+        ppv = np.zeros((n, k, f), dtype=Xp.dtype)
+        for i in range(n):
+            for j in range(k):
+                ch = channel_choice[j]
+                for o in range(out_len):
+                    acc = 0.0
+                    for tap in range(length):
+                        acc += kernels[j, tap] * Xp[i, ch, o + tap * dilation]
+                    for q in range(f):
+                        if acc > thresholds[j, q]:
+                            ppv[i, j, q] += 1
+        return ppv / out_len
+
+
+def _pad(X: np.ndarray, padding: int, dtype) -> np.ndarray:
+    """Zero-pad a panel's time axis on both sides, casting to *dtype*."""
+    X = np.asarray(X, dtype=dtype)
+    if not padding:
+        return np.ascontiguousarray(X)
+    n, c, t = X.shape
+    padded = np.zeros((n, c, t + 2 * padding), dtype=dtype)
+    padded[:, :, padding:padding + t] = X
+    return padded
+
+
+def rocket_group_ppv_max(X: np.ndarray, weights: np.ndarray,
+                         biases: np.ndarray, dilation: int, padding: int,
+                         dtype=np.float32) -> tuple[np.ndarray, np.ndarray]:
+    """Fused PPV+max for one ROCKET kernel group via the JIT kernel.
+
+    Only callable when ``NUMBA_AVAILABLE``; the transforms guard on the
+    resolved engine, so a missing numba never reaches this point.
+    """
+    if not NUMBA_AVAILABLE:  # pragma: no cover - guarded by resolved_engine
+        raise RuntimeError("numba engine requested but numba is not installed")
+    Xp = _pad(X, padding, dtype)
+    t = Xp.shape[2]
+    out_len = t - ((weights.shape[2] - 1) * dilation + 1) + 1
+    return _rocket_group(Xp, np.ascontiguousarray(weights, dtype=dtype),
+                         np.asarray(biases, dtype=dtype), dilation, out_len)
+
+
+def minirocket_entry_ppv(X: np.ndarray, kernels: np.ndarray,
+                         channel_choice: np.ndarray, thresholds: np.ndarray,
+                         dilation: int, padding: int,
+                         dtype=np.float32) -> np.ndarray:
+    """Fused quantile-threshold PPV for one MiniRocket plan entry via the
+    JIT kernel; same guard as :func:`rocket_group_ppv_max`."""
+    if not NUMBA_AVAILABLE:  # pragma: no cover - guarded by resolved_engine
+        raise RuntimeError("numba engine requested but numba is not installed")
+    Xp = _pad(X, padding, dtype)
+    t = Xp.shape[2]
+    out_len = t - ((kernels.shape[1] - 1) * dilation + 1) + 1
+    return _minirocket_entry(Xp, np.ascontiguousarray(kernels, dtype=dtype),
+                             np.asarray(channel_choice, dtype=np.intp),
+                             np.ascontiguousarray(thresholds, dtype=dtype),
+                             dilation, out_len)

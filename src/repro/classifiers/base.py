@@ -30,6 +30,8 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from .._validation import check_panel, check_panel_labels
+from ..backend import ComputePolicy
+from ..backend import softmax as _backend_softmax
 
 __all__ = ["Classifier", "RidgeFeatureClassifier", "accuracy_score", "softmax"]
 
@@ -40,14 +42,11 @@ def softmax(scores: np.ndarray) -> np.ndarray:
     Numerically stable (the row maximum is subtracted before
     exponentiation), and strictly order-preserving per row — the argmax
     of the output equals the argmax of the input, which is what lets
-    ``predict`` and ``predict_proba`` agree bit-for-bit.
+    ``predict`` and ``predict_proba`` agree bit-for-bit.  Delegates to
+    the backend op (:func:`repro.backend.softmax`) at float64, the
+    historical behaviour.
     """
-    scores = np.asarray(scores, dtype=np.float64)
-    if scores.ndim != 2:
-        raise ValueError(f"scores must be 2-D; got ndim={scores.ndim}")
-    shifted = scores - scores.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    return _backend_softmax(scores)
 
 
 def accuracy_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
@@ -92,6 +91,23 @@ class Classifier(ABC):
                 f"clean the panel before fit/predict"
             )
         return X
+
+    def set_inference_policy(self, policy: "ComputePolicy | None") -> "Classifier":
+        """Record the compute policy this model should serve under.
+
+        The base implementation only records it — a family that has not
+        opted into policy-aware math keeps computing exactly as before,
+        so applying a policy can never change its answers.  Families with
+        a fast path (the ridge-backed ones) override this to actually
+        switch execution.
+        """
+        self._compute_policy = policy
+        return self
+
+    @property
+    def compute_policy(self) -> "ComputePolicy | None":
+        """The recorded inference policy (``None`` = fit-time default)."""
+        return getattr(self, "_compute_policy", None)
 
     @property
     def input_shape(self) -> tuple[int, int] | None:
@@ -143,6 +159,22 @@ class RidgeFeatureClassifier(Classifier):
 
     #: set by every subclass __init__; annotated for introspection
     ridge: "object"
+
+    def set_inference_policy(self, policy: "ComputePolicy | None") -> "RidgeFeatureClassifier":
+        """Switch the whole scoring pipeline to *policy*.
+
+        Propagates to the feature transformer (fused float32 banks where
+        supported) and to the ridge head (folded single-precision
+        coefficients), so transform and scoring run under one policy —
+        mixed-dtype pipelines would pay cast overhead for no accuracy.
+        """
+        self._compute_policy = policy
+        transformer = getattr(self, "transformer", None)
+        if transformer is not None and hasattr(transformer, "set_inference_policy"):
+            transformer.set_inference_policy(policy)
+        if hasattr(self.ridge, "set_inference_policy"):
+            self.ridge.set_inference_policy(policy)
+        return self
 
     def _features(self, X: np.ndarray) -> np.ndarray:
         """Validate *X* and return its ``(n_series, n_features)`` matrix.

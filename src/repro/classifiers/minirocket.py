@@ -18,6 +18,7 @@ import numpy as np
 
 from .._rng import ensure_rng
 from .._validation import check_panel
+from ..backend import ComputePolicy, MiniRocketBank
 from ..cache import caching_enabled, digest_array, digest_rng, feature_cache
 from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
@@ -51,11 +52,14 @@ class MiniRocketTransform:
             raise ValueError(f"num_features must be >= 84; got {num_features}")
         self.num_features = int(num_features)
         self.seed = seed
+        self._policy: ComputePolicy | None = None
+        self._bank: MiniRocketBank | None = None
 
     def fit(self, X: np.ndarray) -> "MiniRocketTransform":
         X = check_panel(X)
         X = np.nan_to_num(X, nan=0.0)
         _, n_channels, length = X.shape
+        self._bank = None  # refitting invalidates any policy-built bank
         rng = ensure_rng(self.seed)
         # Unlike ROCKET, the bias quantiles depend on the panel's values, so
         # the fit key must include the data digest.  A hit leaves the
@@ -97,6 +101,29 @@ class MiniRocketTransform:
             cache.put(fit_key, (self._plan, self._fit_shape))
         return self
 
+    def set_inference_policy(self, policy: ComputePolicy | None) -> "MiniRocketTransform":
+        """Switch the transform's execution to *policy* (``None`` restores
+        the historical float64 path).
+
+        Under a float32 policy the fused one-GEMM bank
+        (:class:`~repro.backend.MiniRocketBank`) is built eagerly;
+        ``None`` (model too large to unroll, or irregular plan) falls
+        back to the grouped op at the policy dtype.
+        """
+        self._policy = policy
+        self._bank = None
+        if (policy is not None and hasattr(self, "_plan")
+                and policy.np_dtype == np.float32):
+            self._bank = MiniRocketBank.build(self._plan, _canonical_kernels(),
+                                              self._fit_shape,
+                                              dtype=policy.np_dtype)
+        return self
+
+    @property
+    def compute_policy(self) -> ComputePolicy | None:
+        """The active inference policy (``None`` = historical float64)."""
+        return getattr(self, "_policy", None)
+
     def transform(self, X: np.ndarray) -> np.ndarray:
         if not hasattr(self, "_plan"):
             raise RuntimeError("MiniRocketTransform.transform called before fit")
@@ -105,21 +132,57 @@ class MiniRocketTransform:
             raise ValueError(f"panel shape {X.shape[1:]} differs from fit shape {self._fit_shape}")
         X = np.nan_to_num(X, nan=0.0)
 
-        def compute() -> np.ndarray:
-            kernels = _canonical_kernels()
-            parts = []
-            for dilation, padding, channel_choice, biases in self._plan:
-                responses = self._convolve(X, kernels, dilation, padding, channel_choice)
-                # PPV against each bias quantile: (n, k, features_per_combo)
-                ppv = (responses[:, :, None, :] > biases[None, :, :, None]).mean(axis=3)
-                parts.append(ppv.reshape(len(X), -1))
-            return np.concatenate(parts, axis=1)
+        policy = getattr(self, "_policy", None)
+        if policy is not None and (policy.np_dtype != np.float64
+                                   or policy.resolved_engine() != "numpy"):
+            compute = lambda: self._transform_under(X, policy)  # noqa: E731
+            cache_tag = ("minirocket-features", policy.dtype,
+                         policy.resolved_engine())
+        else:
+            def compute() -> np.ndarray:
+                kernels = _canonical_kernels()
+                parts = []
+                for dilation, padding, channel_choice, biases in self._plan:
+                    responses = self._convolve(X, kernels, dilation, padding, channel_choice)
+                    # PPV against each bias quantile: (n, k, features_per_combo)
+                    ppv = (responses[:, :, None, :] > biases[None, :, :, None]).mean(axis=3)
+                    parts.append(ppv.reshape(len(X), -1))
+                return np.concatenate(parts, axis=1)
+            cache_tag = ("minirocket-features",)
 
         fit_digest = getattr(self, "_fit_digest", None)
         if not caching_enabled() or fit_digest is None:
             return compute()
-        key = ("minirocket-features", fit_digest, digest_array(X))
+        key = (*cache_tag, fit_digest, digest_array(X))
         return feature_cache().get_or_create(key, compute)
+
+    def _transform_under(self, X: np.ndarray, policy: ComputePolicy) -> np.ndarray:
+        """Policy-dtype transform: numba engine, fused bank, or grouped
+        fallback — plan-order feature layout in every case."""
+        dtype = policy.np_dtype
+        if policy.resolved_engine() == "numba":
+            from ..backend.numba_engine import minirocket_entry_ppv
+
+            kernels = _canonical_kernels()
+            parts = []
+            for dilation, padding, channel_choice, biases in self._plan:
+                ppv = minirocket_entry_ppv(X, kernels, channel_choice, biases,
+                                           dilation, padding, dtype=dtype)
+                parts.append(ppv.reshape(len(X), -1))
+            return np.concatenate(parts, axis=1)
+        bank = getattr(self, "_bank", None)
+        if bank is not None and bank.dtype == dtype:
+            return bank.transform(np.asarray(X, dtype=dtype))
+        kernels = np.asarray(_canonical_kernels(), dtype=dtype)
+        X = np.asarray(X, dtype=dtype)
+        parts = []
+        for dilation, padding, channel_choice, biases in self._plan:
+            responses = self._convolve(X, kernels, dilation, padding, channel_choice)
+            thresholds = np.asarray(biases, dtype=dtype)
+            ppv = (responses[:, :, None, :]
+                   > thresholds[None, :, :, None]).mean(axis=3, dtype=dtype)
+            parts.append(ppv.reshape(len(X), -1))
+        return np.concatenate(parts, axis=1)
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)

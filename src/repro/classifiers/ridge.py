@@ -12,6 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import (
+    ComputePolicy,
+    apply_folded_ridge,
+    fold_ridge,
+    ridge_margins,
+)
 from .base import softmax
 
 __all__ = ["RidgeClassifierCV"]
@@ -101,13 +107,40 @@ class RidgeClassifierCV:
         else:
             shrink = s / (s2 + self.alpha_)
             self.coef_ = (Vt.T * shrink[None, :]) @ UtY  # (n_features, n_classes)
+        self._folded = None  # refitting invalidates any policy-folded head
+        return self
+
+    def set_inference_policy(self, policy: ComputePolicy | None) -> "RidgeClassifierCV":
+        """Switch scoring to *policy* (``None`` restores float64).
+
+        Under a float32 policy the normalisation is folded into the
+        coefficients once (:func:`repro.backend.fold_ridge`), so every
+        subsequent :meth:`decision_function` is one GEMM and one add in
+        single precision.  The fold changes floating-point association —
+        margins move within the backend's documented tolerance, labels
+        do not (the parity suite pins this).
+        """
+        self._policy = policy
+        self._folded = None
+        if (policy is not None and policy.np_dtype == np.float32
+                and hasattr(self, "coef_")):
+            self._folded = fold_ridge(self._mean, self._std, self.coef_,
+                                      self._target_mean, dtype=policy.np_dtype)
         return self
 
     def decision_function(self, features: np.ndarray) -> np.ndarray:
-        """Per-class scores ``(n_samples, n_classes)``."""
-        features = np.asarray(features, dtype=np.float64)
-        features = (features - self._mean) / self._std
-        return features @ self.coef_ + self._target_mean
+        """Per-class scores ``(n_samples, n_classes)``.
+
+        The float64 path applies normalisation then the coefficients,
+        operation-for-operation the historical order; under a float32
+        policy (:meth:`set_inference_policy`) the folded head runs
+        instead.
+        """
+        folded = getattr(self, "_folded", None)
+        if folded is not None:
+            return apply_folded_ridge(features, *folded)
+        return ridge_margins(features, self._mean, self._std, self.coef_,
+                             self._target_mean)
 
     def predict(self, features: np.ndarray) -> np.ndarray:
         """Most-confident class per sample."""

@@ -9,8 +9,12 @@ For multivariate input each kernel carries weights for every channel —
 the natural multivariate extension used when the channel count is modest.
 
 The transform groups kernels that share (length, dilation, padding) and
-convolves each group with a single einsum over unfolded windows, which is
-what makes 10k kernels tractable in pure numpy.
+convolves each group through the backend compute core
+(:func:`repro.backend.grouped_conv`), which is what makes 10k kernels
+tractable in pure numpy.  Under an inference :class:`~repro.backend.ComputePolicy`
+(float32 serving) the whole transform instead runs through the fused
+one-GEMM :class:`~repro.backend.RocketBank` when the model is small
+enough to unroll, falling back to the grouped op at the policy dtype.
 """
 
 from __future__ import annotations
@@ -22,6 +26,7 @@ import numpy as np
 
 from .._rng import ensure_rng
 from .._validation import check_panel
+from ..backend import ComputePolicy, RocketBank, grouped_conv
 from ..cache import caching_enabled, digest_array, digest_rng, feature_cache
 from .base import RidgeFeatureClassifier
 from .ridge import RidgeClassifierCV
@@ -66,6 +71,8 @@ class RocketTransform:
         self.num_kernels = int(num_kernels)
         self.seed = seed
         self._groups: list[_KernelGroup] | None = None
+        self._policy: ComputePolicy | None = None
+        self._bank: RocketBank | None = None
 
     @property
     def n_features(self) -> int:
@@ -84,6 +91,7 @@ class RocketTransform:
         """
         X = check_panel(X)
         _, n_channels, length = X.shape
+        self._bank = None  # refitting invalidates any policy-built bank
         rng = ensure_rng(self.seed)
         fit_key = ("rocket-fit", self.num_kernels, n_channels, length, digest_rng(rng))
         self._fit_digest = hashlib.blake2b(repr(fit_key).encode(), digest_size=16).hexdigest()
@@ -121,6 +129,29 @@ class RocketTransform:
             cache.put(fit_key, self._groups)
         return self
 
+    def set_inference_policy(self, policy: ComputePolicy | None) -> "RocketTransform":
+        """Switch the transform's execution to *policy* (``None`` restores
+        the historical float64 path).
+
+        Under a float32 policy the fused one-GEMM bank
+        (:class:`~repro.backend.RocketBank`) is built eagerly — once per
+        (model, policy), costing milliseconds at serving sizes; when the
+        model is too large to unroll profitably the bank is ``None`` and
+        transform falls back to the grouped op at the policy dtype.
+        """
+        self._policy = policy
+        self._bank = None
+        if (policy is not None and self._groups is not None
+                and policy.np_dtype == np.float32):
+            self._bank = RocketBank.build(self._groups, self._fit_shape,
+                                          dtype=policy.np_dtype)
+        return self
+
+    @property
+    def compute_policy(self) -> ComputePolicy | None:
+        """The active inference policy (``None`` = historical float64)."""
+        return getattr(self, "_policy", None)
+
     def transform(self, X: np.ndarray) -> np.ndarray:
         """Extract ``(n_series, 2 * num_kernels)`` features (PPV then max)."""
         if self._groups is None:
@@ -130,21 +161,55 @@ class RocketTransform:
             raise ValueError(f"panel shape {X.shape[1:]} differs from fit shape {self._fit_shape}")
         X = np.nan_to_num(X, nan=0.0)
 
-        def compute() -> np.ndarray:
-            ppv_parts, max_parts = [], []
-            for group in self._groups:
-                responses = self._convolve_group(X, group)  # (n, k, out_len)
-                ppv_parts.append((responses > 0).mean(axis=2))
-                max_parts.append(responses.max(axis=2))
-            return np.concatenate(ppv_parts + max_parts, axis=1)
+        policy = getattr(self, "_policy", None)
+        if policy is not None and (policy.np_dtype != np.float64
+                                   or policy.resolved_engine() != "numpy"):
+            compute = lambda: self._transform_under(X, policy)  # noqa: E731
+            cache_tag = ("rocket-features", policy.dtype, policy.resolved_engine())
+        else:
+            def compute() -> np.ndarray:
+                ppv_parts, max_parts = [], []
+                for group in self._groups:
+                    responses = self._convolve_group(X, group)  # (n, k, out_len)
+                    ppv_parts.append((responses > 0).mean(axis=2))
+                    max_parts.append(responses.max(axis=2))
+                return np.concatenate(ppv_parts + max_parts, axis=1)
+            cache_tag = ("rocket-features",)
 
         # Transforms restored by serialization predate the fit digest; they
         # simply bypass the cache.
         fit_digest = getattr(self, "_fit_digest", None)
         if not caching_enabled() or fit_digest is None:
             return compute()
-        key = ("rocket-features", fit_digest, digest_array(X))
+        key = (*cache_tag, fit_digest, digest_array(X))
         return feature_cache().get_or_create(key, compute)
+
+    def _transform_under(self, X: np.ndarray, policy: ComputePolicy) -> np.ndarray:
+        """Policy-dtype transform: numba engine, fused bank, or grouped
+        fallback — same feature layout (all PPV, then all max) as the
+        historical path in every case."""
+        dtype = policy.np_dtype
+        if policy.resolved_engine() == "numba":
+            from ..backend.numba_engine import rocket_group_ppv_max
+
+            ppv_parts, max_parts = [], []
+            for group in self._groups:
+                ppv, maxima = rocket_group_ppv_max(
+                    X, group.weights, group.biases, group.dilation,
+                    group.padding, dtype=dtype)
+                ppv_parts.append(ppv)
+                max_parts.append(maxima)
+            return np.concatenate(ppv_parts + max_parts, axis=1)
+        bank = getattr(self, "_bank", None)
+        if bank is not None and bank.dtype == dtype:
+            return bank.transform(np.asarray(X, dtype=dtype))
+        ppv_parts, max_parts = [], []
+        for group in self._groups:
+            responses = grouped_conv(X, group.weights, group.biases,
+                                     group.dilation, group.padding, dtype=dtype)
+            ppv_parts.append((responses > 0).mean(axis=2, dtype=dtype))
+            max_parts.append(responses.max(axis=2))
+        return np.concatenate(ppv_parts + max_parts, axis=1)
 
     def fit_transform(self, X: np.ndarray) -> np.ndarray:
         return self.fit(X).transform(X)
@@ -158,26 +223,10 @@ class RocketTransform:
 
     @staticmethod
     def _convolve_group(X: np.ndarray, group: _KernelGroup) -> np.ndarray:
-        n, c, t = X.shape
-        if group.padding:
-            X = np.pad(X, ((0, 0), (0, 0), (group.padding, group.padding)))
-            t = X.shape[2]
-        span = (group.length - 1) * group.dilation + 1
-        out_len = t - span + 1
-        s_n, s_c, s_t = X.strides
-        windows = np.lib.stride_tricks.as_strided(
-            X,
-            shape=(n, c, group.length, out_len),
-            strides=(s_n, s_c, s_t * group.dilation, s_t),
-            writeable=False,
-        )
-        # One batched matmul per group: (1, k, c*l) @ (n, c*l, out).  Faster
-        # than the equivalent einsum — no contraction-path search per call,
-        # and the BLAS kernel beats einsum's blocking at these shapes.
-        kernel_matrix = group.weights.reshape(len(group.weights), c * group.length)
-        window_matrix = np.ascontiguousarray(windows).reshape(n, c * group.length, out_len)
-        responses = np.matmul(kernel_matrix[None], window_matrix)
-        return responses + group.biases[None, :, None]
+        """Historical float64 group convolution — now a thin delegate to
+        the backend op, which reproduces it bit for bit."""
+        return grouped_conv(X, group.weights, group.biases, group.dilation,
+                            group.padding, dtype=np.float64)
 
 
 class RocketClassifier(RidgeFeatureClassifier):

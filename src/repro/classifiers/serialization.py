@@ -5,6 +5,16 @@ are portable and safe to load.  Supported models: ROCKET (kernel groups +
 ridge solution), MiniRocket (PPV plan + ridge solution), the ridge
 classifier alone, and InceptionTime (ensemble state dicts + architecture
 hyper-parameters).
+
+Archives are written **uncompressed** (``np.savez``) so that
+:func:`load_model` can hand the kernel banks back as memory-mapped views
+straight into the file (:func:`repro.backend.open_npz`) — an LRU-evicted
+model reloads in microseconds with zero copying, the bytes faulting in
+lazily from the page cache.  Older compressed archives still load, just
+eagerly.  Every archive records its kernel-bank dtype
+(``__repro_bank_dtype__``); loading a float32 bank into a path that
+demands float64 fails loudly rather than silently serving upcast
+arithmetic that matches neither precision.
 """
 
 from __future__ import annotations
@@ -14,6 +24,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..backend import open_npz
 from .inception_time import InceptionTimeClassifier
 from .minirocket import MiniRocketClassifier
 from .ridge import RidgeClassifierCV
@@ -22,6 +33,7 @@ from .rocket import RocketClassifier, _KernelGroup
 __all__ = ["save_model", "load_model"]
 
 _KIND_KEY = "__repro_kind__"
+_BANK_DTYPE_KEY = "__repro_bank_dtype__"
 
 
 def _npz_path(path) -> Path:
@@ -35,9 +47,29 @@ def _npz_path(path) -> Path:
     return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
 
 
-def save_model(model, path) -> Path:
+def _cast_payload(payload: dict[str, np.ndarray], dtype: np.dtype) -> dict[str, np.ndarray]:
+    """Cast every floating-point array in *payload* to *dtype*; integer,
+    boolean and string members (group metadata, class labels, the kind
+    marker) keep their types."""
+    out = {}
+    for key, value in payload.items():
+        value = np.asarray(value)
+        if np.issubdtype(value.dtype, np.floating) and value.dtype != dtype:
+            value = value.astype(dtype)
+        out[key] = value
+    return out
+
+
+def save_model(model, path, *, dtype: str | None = None) -> Path:
     """Serialise a supported classifier; returns the path actually written
-    (``.npz`` is appended when *path* lacks it, matching ``np.savez``)."""
+    (``.npz`` is appended when *path* lacks it, matching ``np.savez``).
+
+    *dtype* (``"float32"`` or ``"float64"``) casts the kernel banks and
+    ridge solution before writing — a float32 archive halves registry
+    bytes and loads straight into the float32 inference path.  The bank
+    dtype is always recorded in the archive, so :func:`load_model` can
+    refuse a precision mismatch loudly.
+    """
     # MiniRocket before ROCKET: both are transform+ridge pairs but are not
     # related by inheritance, so isinstance order is only cosmetic here.
     if isinstance(model, RocketClassifier):
@@ -54,31 +86,62 @@ def save_model(model, path) -> Path:
         payload[_KIND_KEY] = np.array("inceptiontime")
     else:
         raise TypeError(f"unsupported model type: {type(model).__name__}")
+    if dtype is not None:
+        bank_dtype = np.dtype(dtype)
+        if bank_dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"unsupported bank dtype {dtype!r}; "
+                             f"expected 'float32' or 'float64'")
+        payload = _cast_payload(payload, bank_dtype)
+    else:
+        bank_dtype = np.dtype(np.float64)
+    payload[_BANK_DTYPE_KEY] = np.array(bank_dtype.name)
     target = _npz_path(path)
-    np.savez_compressed(target, **payload)
+    # Uncompressed on purpose: stored (not deflated) zip members are what
+    # lets load_model hand back zero-copy memory-mapped views.
+    np.savez(target, **payload)
     return target
 
 
-def load_model(path):
+def load_model(path, *, mmap: bool = True, require_dtype: str | None = None):
     """Load a classifier previously stored with :func:`save_model`.
 
     Accepts the path with or without the ``.npz`` suffix; a file saved as
     ``save_model(model, "m")`` loads back as ``load_model("m")``.
+
+    With *mmap* (the default) array members come back as read-only
+    memory-mapped views into the archive — no copy at load time; pass
+    ``mmap=False`` to materialise private arrays (e.g. before deleting
+    the file).  *require_dtype* pins the precision the caller's compute
+    path expects: loading a ``float32`` bank while requiring ``float64``
+    raises ``ValueError`` instead of silently upcasting — upcast float32
+    arithmetic matches *neither* the float64 reference nor the float32
+    parity contract, so it must never serve unnoticed.
     """
     raw = Path(path)
     source = raw if raw.exists() else _npz_path(raw)
-    with np.load(source, allow_pickle=False) as archive:
-        data = {key: archive[key] for key in archive.files}
+    data = open_npz(source, mmap=mmap)
     kind = str(data.pop(_KIND_KEY))
+    bank_dtype = str(data.pop(_BANK_DTYPE_KEY, "float64"))
+    if require_dtype is not None and np.dtype(require_dtype) != np.dtype(bank_dtype):
+        raise ValueError(
+            f"model archive {source} stores a {bank_dtype} kernel bank but "
+            f"the caller requires {np.dtype(require_dtype).name}; re-save "
+            f"the model at the required dtype (save_model(..., "
+            f"dtype={np.dtype(require_dtype).name!r})) or run it under a "
+            f"matching ComputePolicy"
+        )
     if kind == "rocket":
-        return _rocket_restore(data)
-    if kind == "minirocket":
-        return _minirocket_restore(data)
-    if kind == "ridge":
-        return _ridge_restore(data, prefix="")
-    if kind == "inceptiontime":
-        return _inception_restore(data)
-    raise ValueError(f"unknown model kind in archive: {kind!r}")
+        model = _rocket_restore(data)
+    elif kind == "minirocket":
+        model = _minirocket_restore(data)
+    elif kind == "ridge":
+        model = _ridge_restore(data, prefix="")
+    elif kind == "inceptiontime":
+        model = _inception_restore(data)
+    else:
+        raise ValueError(f"unknown model kind in archive: {kind!r}")
+    model.bank_dtype_ = bank_dtype
+    return model
 
 
 # --------------------------------------------------------------------------- #

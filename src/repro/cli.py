@@ -99,6 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--scale", choices=("small", "full"), default="small")
     train.add_argument("--tag", action="append", default=None,
                        help="tag the published version (repeatable)")
+    train.add_argument("--infer-dtype", choices=("float32", "float64"),
+                       default="float32",
+                       help="compute policy recorded for serving; fitting "
+                            "always runs float64 (float32 serves the fused "
+                            "fast path within the documented tolerance)")
+    train.add_argument("--backend", choices=("numpy", "numba"),
+                       default="numpy",
+                       help="execution engine recorded for serving; numba "
+                            "is parity-gated at publish and silently falls "
+                            "back to numpy where unavailable")
 
     predict = commands.add_parser(
         "predict", help="classify series with a registry model"
@@ -151,6 +161,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--access-log", action="store_true",
                        help="write one structured JSON line per request "
                             "to stderr")
+    serve.add_argument("--infer-dtype", choices=("float32", "float64"),
+                       default=None,
+                       help="override every model's published compute "
+                            "policy (default: honour metadata, float32 "
+                            "when unrecorded)")
+    serve.add_argument("--backend", choices=("numpy", "numba"), default=None,
+                       help="override the execution engine (with "
+                            "--infer-dtype; numba silently falls back to "
+                            "numpy where unavailable)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
 
@@ -533,8 +552,17 @@ def _cmd_train(args) -> int:
         # fit shape, but the serving contract is the trained panel's shape.
         input_shape=list(train_ready.X.shape[1:]),
     )
+    from .backend import ComputePolicy
+
+    policy = ComputePolicy(dtype=args.infer_dtype, engine=args.backend)
     record = ModelRegistry(args.registry).publish(
-        model, name, metadata=metadata, tags=tuple(args.tag or ()))
+        model, name, metadata=metadata, tags=tuple(args.tag or ()),
+        compute_policy=policy,
+        # The publish-time parity sweep runs on the (preprocessed) test
+        # panel: the recorded policy is only written if labels match the
+        # float64 reference bit-for-bit and probabilities stay within
+        # tolerance on real data.
+        parity_panel=test_ready.X)
     tags = f" tags={','.join(record.tags)}" if record.tags else ""
     print(f"published {record.name}:{record.version}{tags} "
           f"(digest {record.digest}, test accuracy {100 * accuracy:.2f}%)")
@@ -848,12 +876,19 @@ def _cmd_serve(args) -> int:
 
         configure_tracing(enabled=True, capacity=args.trace_capacity,
                           export_path=args.trace_export)
+    policy = None
+    if args.infer_dtype is not None or args.backend is not None:
+        from .backend import ComputePolicy
+
+        policy = ComputePolicy(dtype=args.infer_dtype or "float32",
+                               engine=args.backend or "numpy")
     server = create_server(
         args.registry, host=args.host, port=args.port,
         max_batch=args.max_batch, max_latency=args.max_latency_ms / 1000.0,
         batch_workers=args.batch_workers, quiet=not args.verbose,
         max_queue=args.max_queue, max_loaded_models=args.max_loaded_models,
         max_body_bytes=args.max_body_bytes, access_log=args.access_log,
+        compute_policy=policy,
     )
     print(f"serving registry {args.registry} on http://{args.host}:{server.port}",
           flush=True)

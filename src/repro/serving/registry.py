@@ -40,6 +40,7 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 
 import numpy as np
 
+from ..backend import ComputePolicy, apply_inference_policy, check_parity
 from ..cache import digest_file
 from ..classifiers import load_model, save_model
 
@@ -129,14 +130,40 @@ class ModelRegistry:
     # ------------------------------------------------------------------ #
 
     def publish(self, model, name: str, *, metadata: dict | None = None,
-                tags: tuple[str, ...] | list[str] = ()) -> ModelRecord:
+                tags: tuple[str, ...] | list[str] = (),
+                dtype: str | None = None,
+                compute_policy: "ComputePolicy | None" = None,
+                parity_panel: np.ndarray | None = None) -> ModelRecord:
         """Serialise *model* as the next version of *name*.
 
         The artifact lands in ``objects/`` under its content digest
         (deduplicated), then a manifest line records version, metadata and
         initial tags.  Returns the new :class:`ModelRecord`.
+
+        *dtype* casts the archive's kernel bank (``"float32"`` halves the
+        object size); *compute_policy* is recorded in the metadata and
+        honoured by :meth:`load`, so the serving layer runs the model
+        under the policy it was published for.  Recording a policy with a
+        non-default engine (numba) **requires** *parity_panel* — a small
+        representative panel swept through :func:`repro.backend.check_parity`
+        first, so an engine that disagrees with the numpy reference never
+        reaches a manifest.  When a panel is supplied the sweep gates any
+        policy, engine or not.
         """
         validate_reference(name, tags)  # before the artifact write: no orphans
+        if compute_policy is not None:
+            if compute_policy.engine != "numpy" and parity_panel is None:
+                raise ValueError(
+                    f"publishing with engine {compute_policy.engine!r} "
+                    f"requires a parity_panel: non-default engines are "
+                    f"gated behind a correctness sweep"
+                )
+            if parity_panel is not None:
+                check_parity(model, parity_panel, compute_policy)
+        metadata = dict(metadata or {})
+        if compute_policy is not None:
+            metadata["compute_policy"] = compute_policy.as_dict()
+        metadata["bank_dtype"] = str(np.dtype(dtype).name) if dtype else "float64"
         self._objects.mkdir(parents=True, exist_ok=True)
         manifest = self._manifest(name)
         manifest.parent.mkdir(parents=True, exist_ok=True)
@@ -144,7 +171,7 @@ class ModelRegistry:
         fd, tmp_name = tempfile.mkstemp(suffix=".npz", dir=self._objects)
         os.close(fd)
         try:
-            save_model(model, tmp_name)
+            save_model(model, tmp_name, dtype=dtype)
             digest = digest_file(tmp_name)
             target = self._object_path(digest)
             if target.exists():
@@ -283,11 +310,20 @@ class ModelRegistry:
                 return record
         raise KeyError(f"model {name!r} has no version {wanted}")
 
-    def load(self, name: str, version: int | str | None = None):
+    def load(self, name: str, version: int | str | None = None, *,
+             mmap: bool = True, require_dtype: str | None = None):
         """Load the classifier for ``name[:version-or-tag]``.
 
         Returns ``(model, record)`` — the deserialised classifier plus the
         manifest record the serving layer reads labels and shapes from.
+
+        Arrays are memory-mapped out of the object file by default (zero
+        copy — an LRU-evicted model reloads in microseconds), and a
+        ``compute_policy`` recorded at publish is applied to the model
+        before it is returned, so a caller serves it exactly as
+        published.  *require_dtype* is forwarded to
+        :func:`repro.classifiers.load_model` and fails loudly on a
+        precision mismatch.
         """
         record = self.record(name, version)
         path = self._object_path(record.digest)
@@ -296,7 +332,10 @@ class ModelRegistry:
                 f"registry object {record.digest} for {name}:{record.version} "
                 f"is missing from {self._objects}"
             )
-        return load_model(path), record
+        model = load_model(path, mmap=mmap, require_dtype=require_dtype)
+        policy = ComputePolicy.from_dict(record.metadata.get("compute_policy"))
+        apply_inference_policy(model, policy)
+        return model, record
 
     # ------------------------------------------------------------------ #
 

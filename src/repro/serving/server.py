@@ -58,6 +58,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from ..backend import INFERENCE_POLICY, ComputePolicy, apply_inference_policy
 from ..data.dataset import TimeSeriesDataset
 from ..experiments.protocol import _prepare as _protocol_prepare
 from ..observability import get_logger, get_tracer
@@ -196,8 +197,13 @@ class PredictionService:
                  max_latency: float = 0.005, workers: int = 1,
                  predict_timeout: float = 30.0, max_queue: int = 0,
                  max_loaded_models: int = 0, drain_timeout: float = 5.0,
+                 compute_policy: ComputePolicy | None = None,
                  tracer=None, logger=None):
         self.registry = registry
+        #: service-wide policy override; ``None`` defers to each record's
+        #: published ``compute_policy`` metadata, falling back to the
+        #: float32 serving default (INFERENCE_POLICY)
+        self.compute_policy = compute_policy
         self.tracer = tracer if tracer is not None else get_tracer()
         self.logger = logger if logger is not None else get_logger("server")
         self.max_batch = max_batch
@@ -675,6 +681,15 @@ class PredictionService:
             with self.tracer.span("model.load", model=record.name,
                                   version=record.version):
                 model, record = self.registry.load(record.name, record.version)
+                # Policy resolution: service override > published metadata
+                # (already applied by registry.load) > the float32 serving
+                # default.  Batch, stream and shadow-canary traffic all
+                # come through this one load path, so they hit the same
+                # fused banks under the same policy.
+                policy = self.compute_policy
+                if policy is None and "compute_policy" not in record.metadata:
+                    policy = INFERENCE_POLICY
+                apply_inference_policy(model, policy)
             predict_fn = model.predict
             preprocessed = record.metadata.get("preprocessing") \
                 == PROTOCOL_PREPROCESSING
@@ -1115,7 +1130,9 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
                   batch_workers: int = 1, quiet: bool = True,
                   max_queue: int = 1024, max_loaded_models: int = 0,
                   max_body_bytes: int = 10_000_000,
-                  access_log: bool = False, tracer=None) -> PredictionServer:
+                  access_log: bool = False,
+                  compute_policy: ComputePolicy | None = None,
+                  tracer=None) -> PredictionServer:
     """Build a ready-to-run prediction server (``port=0`` picks a free one).
 
     Run it with ``server.serve_forever()`` (blocking) or from a thread;
@@ -1123,6 +1140,9 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
     per-model batchers.  The defaults are load-safe: a bounded per-model
     queue (429 on overflow) and a 10 MB body cap (413 above it);
     ``max_loaded_models`` bounds resident models with LRU eviction.
+    ``compute_policy`` overrides every model's published policy (e.g.
+    ``ComputePolicy("float64")`` to force the bit-pinned reference path);
+    ``None`` honours each record's metadata with a float32 default.
     """
     if not isinstance(registry, ModelRegistry):
         registry = ModelRegistry(registry)
@@ -1130,6 +1150,7 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
                                 max_latency=max_latency, workers=batch_workers,
                                 max_queue=max_queue,
                                 max_loaded_models=max_loaded_models,
+                                compute_policy=compute_policy,
                                 tracer=tracer)
     handler = type("Handler", (_Handler,), {
         "service": service, "quiet": quiet,

@@ -228,3 +228,42 @@ class TestRegistryContract:
         # ensemble) state is complete, not just enough for labels.
         np.testing.assert_allclose(restored.predict_proba(X_te),
                                    results["proba"], atol=1e-12)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestComputePolicySweep:
+    """Every family accepts the inference policy without changing answers.
+
+    The backend contract, swept across the whole registry: applying the
+    float32 serving default (``repro.backend.INFERENCE_POLICY``) keeps
+    argmax labels bit-identical to the float64 fit-time path and holds
+    probabilities within the documented tolerance.  Families without a
+    float32 execution path (deep, knn, ensembles over them) satisfy this
+    trivially — the base implementation records the policy and changes
+    nothing — which is exactly the safety property the sweep pins down.
+    """
+
+    def test_float32_policy_preserves_answers(self, name):
+        from repro.backend import INFERENCE_POLICY, PROBA_ATOL, parity_report
+
+        _, _, X_te, _ = _problem()
+        report = parity_report(_outputs(name)["model"], X_te,
+                               INFERENCE_POLICY)
+        assert report.labels_equal, report.summary()
+        assert report.max_proba_diff <= PROBA_ATOL, report.summary()
+
+    def test_numba_engine_request_never_changes_labels(self, name):
+        """Without numba installed the engine resolves to numpy; with it,
+        parity still holds.  Either way: same labels."""
+        from repro.backend import ComputePolicy, parity_report
+
+        _, _, X_te, _ = _problem()
+        report = parity_report(_outputs(name)["model"], X_te,
+                               ComputePolicy("float32", "numba"))
+        assert report.labels_equal, report.summary()
+
+    def test_policy_application_does_not_mutate_the_model(self, name):
+        """parity_report works on a deep copy: the shared cached model
+        stays policy-free for every other test in this module."""
+        model = _outputs(name)["model"]
+        assert getattr(model, "compute_policy", None) is None

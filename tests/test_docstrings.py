@@ -16,7 +16,8 @@ import pytest
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
 
 #: packages whose public surface the gate covers
-PACKAGES = ("serving", "streaming", "adaptation", "observability")
+PACKAGES = ("serving", "streaming", "adaptation", "observability",
+            "backend")
 
 #: a docstring shorter than this is a placeholder, not documentation
 MIN_LENGTH = 20

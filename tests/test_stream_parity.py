@@ -13,6 +13,7 @@ probability serving on/off.
 import numpy as np
 import pytest
 
+from repro.backend import PROBA_ATOL, ComputePolicy
 from repro.classifiers import RocketClassifier
 from repro.data import make_classification_panel
 from repro.serving import (
@@ -130,3 +131,67 @@ class TestBackfillStreamParity:
         protocol = service.predict("protocol", windows)
         raw = service.predict("raw", windows)
         assert protocol["model"] != raw["model"]
+
+
+@pytest.fixture
+def service_f64(registry):
+    """Reference service forced onto the bit-pinned float64 numpy path."""
+    service = PredictionService(registry, max_queue=256,
+                                compute_policy=ComputePolicy("float64"))
+    yield service
+    service.close()
+
+
+class TestFloat32BackfillStreamParity:
+    """The float32 serving default against the float64 reference.
+
+    The backend contract on the wire: argmax labels are bit-identical
+    across policies, probabilities agree within the documented tolerance
+    (``repro.backend.PROBA_ATOL``) — for batch calls and for the
+    stream path, which shares the policy-applied model via the service.
+    """
+
+    @pytest.mark.parametrize("name", ["protocol", "raw"])
+    @pytest.mark.parametrize("hop", [WINDOW, 8])
+    def test_float32_stream_labels_bit_identical_to_float64(
+            self, service, service_f64, problem, name, hop):
+        X, y = problem
+        f32 = _replay(service, name, X[:10], y[:10], hop=hop, use_proba=False)
+        f64 = _replay(service_f64, name, X[:10], y[:10], hop=hop,
+                      use_proba=False)
+        assert [r.label for r in f32] == [r.label for r in f64]
+
+    @pytest.mark.parametrize("name", ["protocol", "raw"])
+    def test_float32_batch_labels_bit_identical_to_float64(
+            self, service, service_f64, problem, name):
+        X, y = problem
+        windows = _stream_windows(X[:10], 8)
+        f32 = service.predict(name, windows)
+        f64 = service_f64.predict(name, windows)
+        assert list(f32["labels"]) == list(f64["labels"])
+
+    @pytest.mark.parametrize("name", ["protocol", "raw"])
+    def test_float32_probas_within_documented_tolerance(
+            self, service, service_f64, problem, name):
+        X, y = problem
+        windows = _stream_windows(X[:10], 8)
+        f32 = service.predict(name, windows, return_proba=True)
+        f64 = service_f64.predict(name, windows, return_proba=True)
+        diff = np.abs(np.asarray(f32["probas"]) - np.asarray(f64["probas"]))
+        assert diff.max() <= PROBA_ATOL
+        # ...and the tolerance is genuinely needed: the paths are distinct
+        # (folded float32 head vs two-step float64 normalisation), so an
+        # exactly-zero diff would mean the policy was silently ignored.
+        assert diff.max() > 0.0
+
+    def test_float32_stream_probas_match_float32_batch(
+            self, service, problem):
+        """Within one policy the stream/batch contract stays exact."""
+        X, y = problem
+        results = _replay(service, "protocol", X[:10], y[:10], hop=8,
+                          use_proba=True)
+        windows = _stream_windows(X[:10], 8)
+        batch = service.predict("protocol", windows, return_proba=True)
+        np.testing.assert_allclose(
+            np.stack([r.proba for r in results]),
+            np.asarray(batch["probas"]), rtol=1e-6, atol=1e-9)
