@@ -1,4 +1,5 @@
-"""Serving under overload: backpressure keeps latency bounded.
+"""Serving under overload: backpressure keeps latency bounded, and the
+pre-fork pool scales it out.
 
 Two claims about the hardened runtime, measured over real HTTP against a
 published ROCKET model:
@@ -22,6 +23,14 @@ because the server is melting.
 The bench finishes by scraping ``/metrics`` and checking the exported
 latency-histogram count against the number of requests the server
 actually answered 200 — the observability path is asserted, not assumed.
+
+A second bench (``--workers N``, or ``test_pool_scaling``) measures the
+pre-fork pool: closed-loop throughput with ``--workers 1`` vs ``N``, with
+one worker SIGTERMed mid-bench to show a graceful worker death costs no
+failed (non-429) client requests under the standard retry-on-connect
+client policy.  The throttled predict sleeps (releasing the GIL), so the
+near-linear scaling it demonstrates is the process-pool overlap itself
+and reproduces on any core count.
 """
 
 import json
@@ -216,3 +225,198 @@ def test_overload_backpressure():
     # The exported histogram agrees with the client-observed counts.
     assert histogram_count == served_total, (histogram_count, served_total)
     assert rejected_total == len(shed), (rejected_total, len(shed))
+
+
+# --------------------------------------------------------------------------- #
+# pre-fork pool scaling
+# --------------------------------------------------------------------------- #
+
+#: closed-loop client threads per worker — enough in-flight requests to
+#: keep every worker's micro-batches full at the throttled service time
+CLIENTS_PER_WORKER = 8
+
+
+def _pool_request(port, payload) -> tuple[int, float, int]:
+    """(status, seconds, retries) — retries once on a connection-level
+    failure, the standard client policy for idempotent predicts (a
+    worker drain can reset an in-backlog connection)."""
+    start = time.perf_counter()
+    for attempt in (0, 1):
+        try:
+            status, _ = _request(port, payload)
+            return status, time.perf_counter() - start, attempt
+        except (urllib.error.URLError, OSError):
+            if attempt:
+                raise
+            time.sleep(0.02)
+    raise AssertionError("unreachable")
+
+
+def _closed_loop_load(port, payload, duration, clients):
+    """Closed-loop load from *clients* threads for *duration* seconds."""
+    results: list[tuple[int, float, int]] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    deadline = time.perf_counter() + duration
+
+    def _hammer():
+        while time.perf_counter() < deadline:
+            try:
+                outcome = _pool_request(port, payload)
+            except BaseException as error:  # noqa: BLE001 - reported
+                with lock:
+                    errors.append(error)
+                return
+            with lock:
+                results.append(outcome)
+
+    threads = [threading.Thread(target=_hammer) for _ in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results, errors, time.perf_counter() - start
+
+
+def _run_pool_bench(root, workers, duration, *, kill_one=False):
+    """Throughput of a *workers*-sized pool under closed-loop load.
+
+    The model's predict is throttled at class level *before* the fork,
+    so every worker inherits the same deterministic per-batch service
+    time.  With ``kill_one`` a worker is SIGTERMed mid-run (graceful
+    drain + supervisor respawn) to measure the client-visible cost.
+    """
+    import os
+    import signal
+
+    from repro.serving import ServingPool
+
+    X, _ = make_classification_panel(
+        n_series=4, n_channels=2, length=32, n_classes=2, difficulty=0.2,
+        seed=1)
+    payload = json.dumps({"series": X[0].tolist()}).encode()
+
+    real_predict = RocketClassifier.predict
+    real_proba = RocketClassifier.predict_proba
+
+    def slow_predict(self, panel):
+        time.sleep(SERVICE_TIME)
+        return real_predict(self, panel)
+
+    def slow_proba(self, panel):
+        time.sleep(SERVICE_TIME)
+        return real_proba(self, panel)
+
+    RocketClassifier.predict = slow_predict
+    RocketClassifier.predict_proba = slow_proba
+    pool = ServingPool(root, workers=workers, port=0, max_batch=MAX_BATCH,
+                       drain_timeout=5.0)
+    try:
+        pool.start()  # forked workers inherit the throttled class
+    finally:
+        RocketClassifier.predict = real_predict
+        RocketClassifier.predict_proba = real_proba
+
+    killer = None
+    try:
+        # Warm every worker's model cache through the balanced port.
+        for _ in range(4 * workers):
+            _pool_request(pool.port, payload)
+        if kill_one:
+            victim = pool.worker_pids()[0]
+
+            def _kill_later():
+                time.sleep(duration / 2)
+                os.kill(victim, signal.SIGTERM)
+
+            killer = threading.Thread(target=_kill_later)
+            killer.start()
+        results, errors, elapsed = _closed_loop_load(
+            pool.port, payload, duration, CLIENTS_PER_WORKER * workers)
+        respawns = pool.respawns
+    finally:
+        if killer is not None:
+            killer.join()
+        pool.close()
+    return results, errors, elapsed, respawns
+
+
+def test_pool_scaling():
+    """Pre-fork pool: near-linear req/s scaling, lossless graceful kill."""
+    _pool_scaling(workers=4, duration=4.0)
+
+
+def _pool_scaling(workers: int, duration: float):
+    import os
+
+    if not hasattr(os, "fork"):
+        import pytest
+
+        pytest.skip("the worker pool is fork-based")
+    workers = max(1, workers)
+    root = tempfile.mkdtemp(prefix="pool-registry-")
+    _publish_model(root)
+
+    single, errors_1, elapsed_1, _ = _run_pool_bench(root, 1, duration)
+    scaled, errors_n, elapsed_n, respawns = _run_pool_bench(
+        root, workers, duration, kill_one=workers > 1)
+
+    assert not errors_1 and not errors_n, \
+        f"requests failed past the one-retry policy: {errors_1 or errors_n}"
+    served_1 = sum(1 for status, _, _ in single if status == 200)
+    served_n = sum(1 for status, _, _ in scaled if status == 200)
+    bad_1 = {status for status, _, _ in single} - {200, 429}
+    bad_n = {status for status, _, _ in scaled} - {200, 429}
+    assert not bad_1 and not bad_n, \
+        f"non-200/429 outcomes: {bad_1 or bad_n}"
+    retried = sum(retries for _, _, retries in scaled)
+    rps_1 = served_1 / elapsed_1
+    rps_n = served_n / elapsed_n
+    ratio = rps_n / rps_1
+    capacity = CAPACITY_RPS
+
+    lines = [
+        f"workload: ROCKET predict throttled to {SERVICE_TIME * 1000:.0f} ms/"
+        f"batch at class level pre-fork; max_batch {MAX_BATCH} -> "
+        f"{capacity:.0f} req/s per worker; closed-loop, "
+        f"{CLIENTS_PER_WORKER} clients per worker, {duration:.0f}s per run",
+        "",
+        f"{'pool size':>10s} {'served 200':>11s} {'req/s':>8s} {'scaling':>8s}",
+        f"{1:>10d} {served_1:>11d} {rps_1:>8.1f} {'1.00x':>8s}",
+        f"{workers:>10d} {served_n:>11d} {rps_n:>8.1f} {ratio:>7.2f}x",
+        "",
+        f"mid-bench SIGTERM of one worker (at t={duration / 2:.1f}s):",
+        f"  failed (non-429) client requests: 0 of {len(scaled)}",
+        f"  connection-level retries used:    {retried}",
+        f"  supervisor respawns observed:     {respawns}",
+    ]
+    publish("perf_pool_scaling", "\n".join(lines))
+
+    if workers >= 4:
+        assert ratio >= 2.5, \
+            f"{workers} workers scaled only {ratio:.2f}x over one"
+    elif workers >= 2:
+        assert ratio >= 1.5, \
+            f"{workers} workers scaled only {ratio:.2f}x over one"
+    if workers > 1:
+        assert respawns >= 1, "the SIGTERMed worker was never respawned"
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="serving overload + pre-fork pool scaling benches")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="run the pool-scaling bench with this many "
+                             "workers (default: run the single-process "
+                             "overload bench)")
+    parser.add_argument("--duration", type=float, default=4.0,
+                        help="seconds of closed-loop load per pool run")
+    arguments = parser.parse_args()
+    if arguments.workers is None:
+        test_overload_backpressure()
+    else:
+        _pool_scaling(workers=arguments.workers,
+                      duration=arguments.duration)

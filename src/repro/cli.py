@@ -172,6 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
                             "numpy where unavailable)")
     serve.add_argument("--verbose", action="store_true",
                        help="log one line per HTTP request")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="pre-fork this many worker processes behind one "
+                            "port (shared-nothing; SO_REUSEPORT where "
+                            "available); 1 = classic single-process server")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       help="seconds a stopping worker may spend finishing "
+                            "in-flight requests before it is killed")
 
     stream = commands.add_parser(
         "stream", help="replay a sample stream against a served model "
@@ -869,6 +876,55 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    policy = None
+    if args.infer_dtype is not None or args.backend is not None:
+        from .backend import ComputePolicy
+
+        policy = ComputePolicy(dtype=args.infer_dtype or "float32",
+                               engine=args.backend or "numpy")
+
+    if args.workers > 1:
+        # Pre-fork pool: the supervisor (this process) owns the port and
+        # the workers; SIGTERM/SIGINT forward to the workers, which drain
+        # in-flight requests before exiting.  Tracing is configured in
+        # each worker (per-worker export paths), never here.
+        from .serving import ServingPool
+
+        pool = ServingPool(
+            args.registry, workers=args.workers, host=args.host,
+            port=args.port, max_batch=args.max_batch,
+            max_latency=args.max_latency_ms / 1000.0,
+            batch_workers=args.batch_workers, quiet=not args.verbose,
+            max_queue=args.max_queue,
+            max_loaded_models=args.max_loaded_models,
+            max_body_bytes=args.max_body_bytes, access_log=args.access_log,
+            compute_policy=policy, drain_timeout=args.drain_timeout,
+            trace=args.trace, trace_capacity=args.trace_capacity,
+            trace_export=args.trace_export,
+        )
+        pool.start()
+
+        def _pool_stop(signum, frame):
+            pool.stop()
+
+        signal.signal(signal.SIGTERM, _pool_stop)
+        signal.signal(signal.SIGINT, _pool_stop)
+        print(f"serving registry {args.registry} on "
+              f"http://{args.host}:{pool.port} with {args.workers} workers",
+              flush=True)
+        try:
+            while not pool.wait(timeout=1.0):
+                pass
+        except KeyboardInterrupt:
+            pool.stop()
+            pool.wait(args.drain_timeout + 5.0)
+        finally:
+            pool.close()
+        return 0
+
     from .serving import create_server
 
     if args.trace or args.trace_export:
@@ -876,12 +932,6 @@ def _cmd_serve(args) -> int:
 
         configure_tracing(enabled=True, capacity=args.trace_capacity,
                           export_path=args.trace_export)
-    policy = None
-    if args.infer_dtype is not None or args.backend is not None:
-        from .backend import ComputePolicy
-
-        policy = ComputePolicy(dtype=args.infer_dtype or "float32",
-                               engine=args.backend or "numpy")
     server = create_server(
         args.registry, host=args.host, port=args.port,
         max_batch=args.max_batch, max_latency=args.max_latency_ms / 1000.0,
@@ -890,6 +940,15 @@ def _cmd_serve(args) -> int:
         max_body_bytes=args.max_body_bytes, access_log=args.access_log,
         compute_policy=policy,
     )
+
+    # Graceful stop on SIGTERM as well as Ctrl-C: shutdown() must run off
+    # the serving thread (calling it from the handler would deadlock —
+    # it waits for the serve_forever loop this very thread is running).
+    def _stop(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
     print(f"serving registry {args.registry} on http://{args.host}:{server.port}",
           flush=True)
     try:

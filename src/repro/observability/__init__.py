@@ -25,7 +25,7 @@ from .audit import (AuditJournal, EVENT_SCHEMA, read_journal,
 from .flightrecorder import FlightRecorder
 from .logging import StructuredLogger, get_logger
 from .trace import (Span, SpanContext, Tracer, configure_tracing,
-                    get_tracer)
+                    get_tracer, worker_export_path)
 
 __all__ = [
     "AuditJournal",
@@ -41,4 +41,5 @@ __all__ = [
     "read_journal",
     "replay_decisions",
     "validate_event",
+    "worker_export_path",
 ]

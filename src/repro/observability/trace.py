@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from .flightrecorder import FlightRecorder
 
 __all__ = ["Span", "SpanContext", "SpanHandle", "Tracer", "configure_tracing",
-           "get_tracer"]
+           "get_tracer", "worker_export_path"]
 
 #: the ambient span of the current logical context (thread / task);
 #: ``None`` outside any traced request
@@ -388,3 +388,17 @@ def configure_tracing(*, enabled: bool | None = None,
     if enabled is not None:
         tracer.enabled = bool(enabled)
     return tracer
+
+
+def worker_export_path(path, worker: int | str):
+    """Per-worker variant of a span-export *path*: ``spans.jsonl`` ->
+    ``spans.w0.jsonl`` for worker slot 0.
+
+    The pre-fork serving pool gives every worker its own JSONL file —
+    concurrent appends from multiple processes would interleave lines
+    through independent file offsets, so sharing one file is not safe.
+    """
+    import os.path
+
+    root, ext = os.path.splitext(os.fspath(path))
+    return f"{root}.w{worker}{ext or '.jsonl'}"

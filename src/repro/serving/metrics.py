@@ -31,8 +31,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "MetricFamily",
     "format_labels",
     "format_sample",
+    "merge_expositions",
+    "parse_exposition",
     "render_histogram",
 ]
 
@@ -230,3 +233,162 @@ def render_histogram(name: str, labels: dict[str, str] | None,
     lines.append(format_sample(f"{name}_sum", labels, snapshot.sum))
     lines.append(format_sample(f"{name}_count", labels, totals[-1]))
     return lines
+
+
+# --------------------------------------------------------------------------- #
+# exposition-format parsing and cross-worker merging
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class MetricFamily:
+    """One parsed metric family: ``# HELP``/``# TYPE`` plus its samples.
+
+    Each sample is ``(sample_name, labels, value)`` — the sample name can
+    differ from the family name (histogram ``_bucket``/``_sum``/``_count``
+    suffixes).  Produced by :func:`parse_exposition`, consumed by
+    :func:`merge_expositions`.
+    """
+
+    name: str
+    kind: str
+    help: str
+    samples: list  # of (sample_name, dict[str, str], float)
+
+
+def _parse_labels(text: str) -> dict[str, str]:
+    """Parse the ``key="value",...`` interior of a label set, undoing the
+    exposition escapes (``\\\\``, ``\\"``, ``\\n``)."""
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(text):
+        equals = text.index("=", index)
+        key = text[index:equals].strip().lstrip(",").strip()
+        assert text[equals + 1] == '"', f"unquoted label value in {text!r}"
+        value_chars = []
+        index = equals + 2
+        while True:
+            char = text[index]
+            if char == "\\":
+                escape = text[index + 1]
+                value_chars.append({"n": "\n"}.get(escape, escape))
+                index += 2
+                continue
+            if char == '"':
+                index += 1
+                break
+            value_chars.append(char)
+            index += 1
+        labels[key] = "".join(value_chars)
+    return labels
+
+
+def parse_exposition(text: str) -> list[MetricFamily]:
+    """Parse one Prometheus text-format (0.0.4) exposition.
+
+    Returns the families in document order.  Tolerates samples that
+    arrive before any ``# TYPE`` line by giving them an ``untyped``
+    family of their own.  This is the inverse of what ``metrics_text``
+    renders — the worker pool round-trips each worker's exposition
+    through it to build the pool-wide aggregate.
+    """
+    families: list[MetricFamily] = []
+    by_name: dict[str, MetricFamily] = {}
+
+    def family_for(sample_name: str) -> MetricFamily:
+        base = sample_name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in by_name:
+                base = base[: -len(suffix)]
+                break
+        if base not in by_name:
+            by_name[base] = MetricFamily(base, "untyped", "", [])
+            families.append(by_name[base])
+        return by_name[base]
+
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            if name not in by_name:
+                by_name[name] = MetricFamily(name, "untyped", "", [])
+                families.append(by_name[name])
+            by_name[name].help = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            if name not in by_name:
+                by_name[name] = MetricFamily(name, kind.strip(), "", [])
+                families.append(by_name[name])
+            else:
+                by_name[name].kind = kind.strip()
+            continue
+        if line.startswith("#"):
+            continue
+        brace = line.find("{")
+        space = line.find(" ")
+        if brace != -1 and (space == -1 or brace < space):
+            sample_name = line[:brace]
+            close = line.rindex("}")
+            labels = _parse_labels(line[brace + 1:close])
+            value = float(line[close + 1:].strip())
+        else:
+            sample_name, _, raw = line.partition(" ")
+            labels, value = {}, float(raw.strip())
+        family_for(sample_name).samples.append((sample_name, labels, value))
+    return families
+
+
+def merge_expositions(texts: dict[str, str], *,
+                      worker_label: str = "worker") -> str:
+    """Merge per-worker expositions into one pool-wide exposition.
+
+    *texts* maps a worker identity (the ``worker`` label value) to that
+    worker's ``/metrics`` text.  Counters and histograms are **summed**
+    across workers per label set — the pool total is what a dashboard
+    wants for monotone series, and sums of monotone series stay monotone
+    as long as worker identities are stable (a respawned worker restarts
+    its slot's contribution, which Prometheus ``rate()`` treats as the
+    familiar counter reset).  Gauges are **not** summed: each worker's
+    gauge samples are re-emitted with a ``worker=<identity>`` label, so
+    per-worker levels (queue depth, loaded models) stay inspectable and
+    a dashboard can still ``sum by`` on top.
+    """
+    merged: dict[str, MetricFamily] = {}
+    order: list[str] = []
+    summed: dict[tuple, list] = {}  # (family, sample, labels) -> mutable row
+    for identity in sorted(texts):
+        for family in parse_exposition(texts[identity]):
+            target = merged.get(family.name)
+            if target is None:
+                target = merged[family.name] = MetricFamily(
+                    family.name, family.kind, family.help, [])
+                order.append(family.name)
+            elif target.kind == "untyped" and family.kind != "untyped":
+                target.kind, target.help = family.kind, family.help
+            for sample_name, labels, value in family.samples:
+                if target.kind == "gauge":
+                    target.samples.append(
+                        (sample_name,
+                         {**labels, worker_label: identity}, value))
+                    continue
+                key = (family.name, sample_name,
+                       tuple(sorted(labels.items())))
+                row = summed.get(key)
+                if row is None:
+                    row = summed[key] = [sample_name, labels, 0.0]
+                    target.samples.append(row)
+                row[2] += value
+    lines: list[str] = []
+    for name in order:
+        family = merged[name]
+        if not family.samples and family.kind != "gauge":
+            continue
+        if family.help:
+            lines.append(f"# HELP {name} {family.help}")
+        lines.append(f"# TYPE {name} {family.kind}")
+        for sample_name, labels, value in family.samples:
+            lines.append(format_sample(sample_name, labels, value))
+    return "\n".join(lines) + "\n"

@@ -119,10 +119,10 @@ class ModelRegistry:
         #: hot path resolves a record per request, and reparsing the JSONL
         #: every time would dominate cache-hit predictions
         self._versions_cache: dict[str, tuple[tuple[int, int], list[ModelRecord]]] = {}
-        #: list_models() memo keyed by the models-root directory mtime —
-        #: /healthz hits this per request, and an os.scandir per health
-        #: probe is wasted I/O under load
-        self._names_cache: tuple[int, list[str]] | None = None
+        #: list_models() memo keyed by the models-root directory stat
+        #: (mtime_ns, size, nlink) — /healthz hits this per request, and
+        #: an os.scandir per health probe is wasted I/O under load
+        self._names_cache: tuple[tuple[int, int, int], list[str]] | None = None
         self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -224,10 +224,17 @@ class ModelRegistry:
     def list_models(self) -> list[str]:
         """Sorted names that have at least one published version.
 
-        Memoised on the models-root directory mtime: creating or removing
-        a model directory bumps it, so the cache invalidates on publish of
-        a new name while repeated health checks cost one ``stat``.  A scan
-        is only cached once the directory has been quiet for
+        Memoised on the models-root directory stat: creating or removing
+        a model directory bumps its mtime, so the cache invalidates on
+        publish of a new name while repeated health checks cost one
+        ``stat``.  The memo key is the full ``(mtime_ns, size, nlink)``
+        triple, not the mtime alone: a publish from *another process*
+        can land inside the same coarse-mtime tick (1 s granularity on
+        ext3/NFS), but it still adds a directory entry — which moves
+        ``st_nlink`` (one link per subdirectory on POSIX filesystems)
+        and usually ``st_size`` — so a cross-process publish invalidates
+        the memo even when the mtime does not move.  A scan is only
+        cached once the directory has been quiet for
         ``_MTIME_QUIESCENCE`` seconds, so mtime granularity can never pin
         a stale listing.
         """
@@ -235,7 +242,7 @@ class ModelRegistry:
             stat = self._models.stat()
         except OSError:
             return []
-        stamp = stat.st_mtime_ns
+        stamp = (stat.st_mtime_ns, stat.st_size, stat.st_nlink)
         with self._cache_lock:
             if self._names_cache is not None and self._names_cache[0] == stamp:
                 return list(self._names_cache[1])

@@ -75,8 +75,8 @@ from .metrics import (
 from .registry import ModelRecord, ModelRegistry
 
 __all__ = ["AdaptationStats", "PredictionService", "PredictionServer",
-           "ServingError", "StreamStats", "create_server", "prepare_panel",
-           "PROTOCOL_PREPROCESSING"]
+           "ServingError", "StreamStats", "build_service", "create_server",
+           "prepare_panel", "PROTOCOL_PREPROCESSING"]
 
 #: metadata value written by ``repro train`` — the training-protocol
 #: preprocessing (znormalize + impute) the server must mirror
@@ -1104,13 +1104,33 @@ class _Handler(BaseHTTPRequestHandler):
 
 
 class PredictionServer(ThreadingHTTPServer):
-    """A ``ThreadingHTTPServer`` owning a :class:`PredictionService`."""
+    """A ``ThreadingHTTPServer`` owning a :class:`PredictionService`.
+
+    With ``bind_and_activate=False`` the server is built around a socket
+    the caller supplies afterwards (``adopt_socket``) — the pre-fork
+    worker pool uses this to serve from a listener bound before the
+    fork, or from its own ``SO_REUSEPORT`` socket.
+    """
 
     daemon_threads = True
 
-    def __init__(self, address, handler, service: PredictionService):
-        super().__init__(address, handler)
+    def __init__(self, address, handler, service: PredictionService, *,
+                 bind_and_activate: bool = True):
+        super().__init__(address, handler, bind_and_activate)
         self.service = service
+
+    def adopt_socket(self, sock) -> None:
+        """Serve from *sock*, an already-bound listener, instead of the
+        placeholder socket ``bind_and_activate=False`` left us with.
+
+        The placeholder is closed, the adopted socket's address becomes
+        the server address, and the listener is (re-)activated —
+        ``listen`` on an already-listening socket is a no-op.
+        """
+        self.socket.close()
+        self.socket = sock
+        self.server_address = sock.getsockname()
+        self.server_activate()
 
     def server_close(self) -> None:
         """Graceful stop: drain in-flight predicts and every batcher
@@ -1123,6 +1143,28 @@ class PredictionServer(ThreadingHTTPServer):
     def port(self) -> int:
         """The bound TCP port (useful with ``port=0`` ephemeral binds)."""
         return self.server_address[1]
+
+
+def build_service(registry: ModelRegistry | str, *, max_batch: int = 64,
+                  max_latency: float = 0.005, batch_workers: int = 1,
+                  max_queue: int = 1024, max_loaded_models: int = 0,
+                  compute_policy: ComputePolicy | None = None,
+                  tracer=None) -> PredictionService:
+    """Build the :class:`PredictionService` ``create_server`` wires up.
+
+    Shared by the single-process server and the pre-fork worker pool
+    (each pool worker builds its own service after the fork — shared
+    nothing), so the two tiers can never drift in how a service is
+    configured.
+    """
+    if not isinstance(registry, ModelRegistry):
+        registry = ModelRegistry(registry)
+    return PredictionService(registry, max_batch=max_batch,
+                             max_latency=max_latency, workers=batch_workers,
+                             max_queue=max_queue,
+                             max_loaded_models=max_loaded_models,
+                             compute_policy=compute_policy,
+                             tracer=tracer)
 
 
 def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
@@ -1144,14 +1186,11 @@ def create_server(registry: ModelRegistry | str, *, host: str = "127.0.0.1",
     ``ComputePolicy("float64")`` to force the bit-pinned reference path);
     ``None`` honours each record's metadata with a float32 default.
     """
-    if not isinstance(registry, ModelRegistry):
-        registry = ModelRegistry(registry)
-    service = PredictionService(registry, max_batch=max_batch,
-                                max_latency=max_latency, workers=batch_workers,
-                                max_queue=max_queue,
-                                max_loaded_models=max_loaded_models,
-                                compute_policy=compute_policy,
-                                tracer=tracer)
+    service = build_service(registry, max_batch=max_batch,
+                            max_latency=max_latency,
+                            batch_workers=batch_workers, max_queue=max_queue,
+                            max_loaded_models=max_loaded_models,
+                            compute_policy=compute_policy, tracer=tracer)
     handler = type("Handler", (_Handler,), {
         "service": service, "quiet": quiet,
         "max_body_bytes": int(max_body_bytes), "access_log": bool(access_log),

@@ -40,6 +40,13 @@ class StreamRequestError(RuntimeError):
         self.status = status
 
 
+#: how long to wait for the sender thread after it has been told to stop
+#: — it only needs to notice the stop event between two samples, so this
+#: bounds teardown at a fraction of the request timeout instead of the
+#: whole thing
+_SENDER_LINGER = 1.0
+
+
 def _encode_sample(sample) -> bytes:
     """One NDJSON line, framed as one HTTP chunk."""
     if isinstance(sample, dict):
@@ -88,10 +95,16 @@ def stream_windows(host: str, port: int, name: str, samples: Iterable, *,
         connection.endheaders()
 
         send_error: list[BaseException] = []
+        stop = threading.Event()
 
         def _send() -> None:
             try:
                 for sample in samples:
+                    if stop.is_set():
+                        # The consumer is gone (early close) or done
+                        # reading; pushing the rest of the stream would
+                        # only fill socket buffers nobody drains.
+                        return
                     connection.send(_encode_sample(sample))
                 connection.send(b"0\r\n\r\n")
             except BaseException as error:  # noqa: BLE001 - reported below
@@ -115,7 +128,15 @@ def stream_windows(host: str, port: int, name: str, samples: Iterable, *,
                 if line:
                     yield json.loads(line)
         finally:
-            sender.join(timeout=timeout)
+            # Signal the sender first, then join with a short bound: a
+            # consumer that breaks out of the generator after one window
+            # must not hang here for the full request timeout while the
+            # sender pushes the rest of a long stream (the daemon sender
+            # exits at its next between-samples check; if it is blocked
+            # inside send() on a full socket buffer, the connection.close
+            # below unblocks it).
+            stop.set()
+            sender.join(timeout=_SENDER_LINGER)
         if send_error and not isinstance(send_error[0],
                                          (BrokenPipeError, ConnectionError)):
             raise send_error[0]
