@@ -61,6 +61,7 @@ from ..serving.server import (
     _jsonable,
     prepare_panel,
 )
+from ..streaming.session import decode_array, encode_array
 from .buffer import ReplayBuffer
 
 __all__ = ["AdaptationController", "AdaptationDecision", "family_trainer"]
@@ -360,6 +361,73 @@ class AdaptationController:
             return True
         thread.join(timeout)
         return not thread.is_alive()
+
+    # ------------------------------------------------------------------ #
+    # durable sessions: codec snapshot / restore, live rebase
+    # ------------------------------------------------------------------ #
+
+    def snapshot(self) -> dict:
+        """JSON-able adaptation state for the session codec.
+
+        Serialises the replay buffer (panels as codec arrays, labels,
+        stream indices) and the loop phase.  The two phases that hold
+        host-local state — a ``retraining`` thread mid-fit, a
+        ``shadowing`` canary with futures in flight — cannot move
+        hosts; they are downgraded to ``idle`` with a full cooldown, so
+        a resumed stream abandons the interrupted canary and waits for
+        the next confirmed flag instead of double-publishing.
+        ``collecting`` survives verbatim: it is nothing but a counter.
+        """
+        with self._lock:
+            state = self._state
+            collected = self._collected
+            cooldown = self._cooldown
+            trigger = self._trigger_signal
+        if state not in ("idle", "collecting"):
+            state, collected, trigger = "idle", 0, None
+            cooldown = self.cooldown_windows
+        return {
+            "state": state, "collected": int(collected),
+            "cooldown": int(cooldown), "trigger_signal": trigger,
+            "stable_version": self.stable.version,
+            "buffer": [
+                {"panel": encode_array(panel), "label": int(label),
+                 "index": None if index is None else int(index)}
+                for panel, label, index in self.buffer.entries()
+            ],
+        }
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` — buffer contents and loop phase.
+
+        Meant for a freshly built controller resuming a durable
+        session; any in-progress local phase is discarded.
+        """
+        self.buffer.restore([
+            (decode_array(entry["panel"]), entry["label"], entry["index"])
+            for entry in state.get("buffer", ())
+        ])
+        with self._lock:
+            phase = str(state.get("state", "idle"))
+            self._state = phase if phase in ("idle", "collecting") else "idle"
+            self._collected = int(state.get("collected", 0))
+            self._cooldown = int(state.get("cooldown", 0))
+            trigger = state.get("trigger_signal")
+            self._trigger_signal = None if trigger is None else str(trigger)
+
+    def rebase(self, version=None) -> None:
+        """Re-point the stable baseline at *version* without rebuilding.
+
+        The in-place counterpart of constructing a fresh controller
+        after a promotion: the scorer swaps to the promoted version via
+        ``swap_version`` and the controller rebases onto the same
+        record, so future canaries are judged against (and inherit
+        metadata from) the model actually serving the stream.  The
+        replay buffer and cooldown are left as the decision set them —
+        ``_decide`` already cleared the buffer on promote.
+        """
+        with self._lock:
+            self.stable = self.registry.record(self.name, version)
 
     # ------------------------------------------------------------------ #
     # collect -> retrain -> publish canary

@@ -217,6 +217,15 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--no-labels", action="store_true",
                         help="withhold ground-truth labels (drift detection "
                              "falls back to the prediction distribution)")
+    stream.add_argument("--session", default=None, metavar="ID",
+                        help="stream through a durable session: the client "
+                             "resumes across disconnects and worker deaths "
+                             "with no window lost or repeated (default id: "
+                             "a fresh random one)")
+    stream.add_argument("--resume", action="store_true",
+                        help="with --session: re-attach the named session "
+                             "where it stopped instead of requiring a fresh "
+                             "one")
     stream.add_argument("--quiet", action="store_true",
                         help="print only the summary line")
 
@@ -653,12 +662,15 @@ def _cmd_stream(args) -> int:
     import json
     import urllib.parse
 
-    from .streaming import StreamRequestError, stream_windows
+    from .streaming import StreamRequestError, stream_session, stream_windows
 
     url = urllib.parse.urlsplit(args.url)
     if url.hostname is None or url.port is None:
         print(f"error: --url needs the form http://host:port; got {args.url}",
               file=sys.stderr)
+        return 2
+    if args.resume and args.session is None:
+        print("error: --resume requires --session", file=sys.stderr)
         return 2
     try:
         source, default_window = _stream_source(args)
@@ -676,9 +688,21 @@ def _cmd_stream(args) -> int:
 
     failed = False
     try:
-        for event in stream_windows(url.hostname, url.port, args.name,
+        if args.session is not None:
+            # Durable: the client buffers unacknowledged samples and
+            # resumes across disconnects/worker deaths with no window
+            # lost or repeated; --resume re-attaches a session an
+            # earlier process left behind, replaying its cached lines.
+            events = stream_session(
+                url.hostname, url.port, args.name, samples(),
+                window=window, hop=args.hop, version=args.version,
+                session=args.session,
+                resume_from=0 if args.resume else None)
+        else:
+            events = stream_windows(url.hostname, url.port, args.name,
                                     samples(), window=window, hop=args.hop,
-                                    version=args.version):
+                                    version=args.version)
+        for event in events:
             if event.get("kind") == "error":
                 failed = True
                 print(f"error: {event.get('error')}", file=sys.stderr)
@@ -698,8 +722,11 @@ def _cmd_adapt(args) -> int:
     scorer: confirmed drift triggers a retrain, the canary is published
     and shadow-scored, and the promote/rollback decision is printed as a
     ``{"kind": "decision", ...}`` line.  After a promotion the scorer
-    reopens pinned to the promoted version — the rest of the stream is
-    scored by the adapted model (the self-healing path, end to end).
+    swaps to the promoted version *in place* (``swap_version``) and the
+    controller rebases its baseline onto it — no window is double-scored
+    or skipped across the switch, and the rest of the stream is scored
+    by the adapted model (the self-healing path, end to end).  Each
+    swap is printed as a ``{"kind": "swap", ...}`` line.
     """
     import json
 
@@ -731,57 +758,67 @@ def _cmd_adapt(args) -> int:
     windows = shifts = 0
     errors: list[str] = []
     try:
-        feed = samples()
-        while True:
-            controller = AdaptationController(
-                service, args.name, version=version,
-                collect_windows=args.collect_windows,
-                shadow_windows=args.shadow_windows,
-                cooldown_windows=args.cooldown,
-                background=args.background, journal=journal,
-            )
-            decisions_seen = 0  # per controller: each starts a fresh list
+        controller = AdaptationController(
+            service, args.name, version=version,
+            collect_windows=args.collect_windows,
+            shadow_windows=args.shadow_windows,
+            cooldown_windows=args.cooldown,
+            background=args.background, journal=journal,
+        )
+        decisions_seen = 0
+        monitor = DriftMonitor(
+            threshold=args.drift_threshold,
+            confidence_threshold=args.confidence_threshold,
+            warmup=args.warmup, persistence=args.persistence,
+        )
+        with StreamScorer(service, args.name, window=window,
+                          hop=args.hop, version=version,
+                          monitor=monitor, adapter=controller,
+                          journal=journal) as scorer:
+
+            def handle(result) -> int | None:
+                nonlocal windows, shifts, decisions_seen
+                windows += 1
+                shifts += int(result.drift.shift if result.drift else 0)
+                if not args.quiet:
+                    emit(result.as_dict())
+                switch = None
+                while decisions_seen < len(controller.decisions):
+                    decision = controller.decisions[decisions_seen]
+                    decisions_seen += 1
+                    emit(decision.as_dict())
+                    if decision.action == "promote":
+                        switch = decision.canary_version
+                return switch
+
+            def promote(target) -> None:
+                # In-place switch: the open scorer moves onto the
+                # promoted version (windows already submitted resolve
+                # on the old one; nothing is double-scored or skipped)
+                # and the controller rebases its baseline onto the same
+                # record, so the monitor's EWMAs and the stream's
+                # counters carry straight through.
+                nonlocal version
+                record = scorer.swap_version(target)
+                controller.rebase(record.version)
+                version = record.version
+                emit({"kind": "swap", "version": record.version,
+                      "window": scorer.windows})
+
+            for sample in samples():
+                label = None if args.no_labels else sample.label
+                promoted = None
+                for result in scorer.feed(sample.values, label):
+                    promoted = handle(result) or promoted
+                if promoted is not None:
+                    promote(promoted)
             promoted = None
-            monitor = DriftMonitor(
-                threshold=args.drift_threshold,
-                confidence_threshold=args.confidence_threshold,
-                warmup=args.warmup, persistence=args.persistence,
-            )
-            with StreamScorer(service, args.name, window=window,
-                              hop=args.hop, version=version,
-                              monitor=monitor, adapter=controller,
-                              journal=journal) as scorer:
-
-                def handle(result) -> int | None:
-                    nonlocal windows, shifts, decisions_seen
-                    windows += 1
-                    shifts += int(result.drift.shift if result.drift else 0)
-                    if not args.quiet:
-                        emit(result.as_dict())
-                    switch = None
-                    while decisions_seen < len(controller.decisions):
-                        decision = controller.decisions[decisions_seen]
-                        decisions_seen += 1
-                        emit(decision.as_dict())
-                        if decision.action == "promote":
-                            switch = decision.canary_version
-                    return switch
-
-                for sample in feed:
-                    label = None if args.no_labels else sample.label
-                    for result in scorer.feed(sample.values, label):
-                        promoted = handle(result) or promoted
-                    if promoted is not None:
-                        break
-                if promoted is None:
-                    for result in scorer.finish():
-                        promoted = handle(result) or promoted
-            errors.extend(controller.errors)
-            if promoted is None:
-                break
-            # Reopen against the promoted version with a fresh baseline:
-            # from here the stream is scored by the adapted model.
-            version = promoted
+            for result in scorer.finish():
+                promoted = handle(result) or promoted
+            if promoted is not None:
+                # The decision landed on the final flush; no windows
+                # follow, but the summary must name the adapted model.
+                promote(promoted)
         controller.wait(timeout=60.0)
         errors.extend(error for error in controller.errors
                       if error not in errors)

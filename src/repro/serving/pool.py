@@ -170,6 +170,23 @@ class _SideChannel:
             except KeyError as error:
                 payload = {"error": str(error), "worker": self.slot}
             return json.dumps(payload).encode()
+        if verb == "session_put":
+            # A peer replicating a session blob to us for durability.
+            try:
+                ok = self.service.sessions.adopt(command.get("blob") or {})
+            except Exception:  # noqa: BLE001 - a bad blob must not kill us
+                ok = False
+            return json.dumps({"ok": bool(ok)}).encode()
+        if verb == "session_take":
+            # A peer resuming a stream whose session lives here: hand the
+            # blob over (removed locally, so exactly one worker owns it).
+            try:
+                blob = self.service.sessions.take(
+                    str(command.get("id") or ""),
+                    int(command.get("token") or 0))
+            except Exception:  # noqa: BLE001 - answer, never wedge a resume
+                blob = None
+            return json.dumps({"blob": blob}).encode()
         return json.dumps({"error": f"unknown command {verb!r}"}).encode()
 
     def close(self) -> None:
@@ -182,6 +199,60 @@ class _SideChannel:
                 os.unlink(self.path)
             except FileNotFoundError:
                 pass
+
+
+def _build_pool_session_store(pool_dir: str, slot: int, workers: int):
+    """A worker's :class:`~repro.streaming.session.SessionStore` whose
+    durability hooks ride the pool's unix-socket side channel.
+
+    Every session save replicates the blob to one deterministic peer —
+    the rendezvous hash of the stream id over the *other* worker slots —
+    so when this worker dies mid-stream, exactly one survivor holds the
+    state.  A resume landing on any worker that lacks the session asks
+    the rendezvous peer first (then the rest), adopting and removing the
+    blob from whoever answers, so exactly one worker serves the resumed
+    stream.  Both directions are best-effort: a dead peer fails the
+    scrape, and the client's retry loop covers the respawn window.
+    """
+    from ..streaming.session import SessionStore, rendezvous_slot
+
+    peers = [s for s in range(int(workers)) if s != int(slot)]
+
+    class _PoolSessionStore(SessionStore):
+        """Session store with side-channel replication (one per worker)."""
+
+        def _peer_sock(self, peer: int) -> str:
+            return os.path.join(pool_dir, f"worker-{peer}.sock")
+
+        def _replicate(self, session) -> None:
+            if not peers:
+                return
+            peer = rendezvous_slot(session.id, peers)
+            try:
+                _scrape(self._peer_sock(peer),
+                        {"cmd": "session_put", "blob": session.to_blob()})
+            except (OSError, ValueError):
+                pass  # peer down or respawning; replication is best-effort
+
+        def _fetch(self, session_id: str, token: int):
+            preferred = rendezvous_slot(session_id, peers)
+            order = ([] if preferred is None else [preferred]) \
+                + [p for p in peers if p != preferred]
+            for peer in order:
+                try:
+                    raw = _scrape(self._peer_sock(peer),
+                                  {"cmd": "session_take", "id": session_id,
+                                   "token": int(token)})
+                    payload = json.loads(raw.decode() or "null")
+                except (OSError, ValueError):
+                    continue
+                blob = payload.get("blob") \
+                    if isinstance(payload, dict) else None
+                if blob:
+                    return blob
+            return None
+
+    return _PoolSessionStore()
 
 
 class _WorkerServer(PredictionServer):
@@ -734,6 +805,11 @@ class ServingPool:
 
         service = build_service(self.registry, tracer=tracer,
                                 **self._service_options)
+        # Durable stream sessions survive this worker's death: the pool
+        # store replicates blobs to a rendezvous peer over the side
+        # channel and pulls them back when a resume lands here.
+        service.sessions = _build_pool_session_store(
+            self.pool_dir, slot, self.workers)
         handler = type("PoolHandler", (_PoolHandler,), {
             "service": service,
             "worker_slot": slot,

@@ -48,6 +48,7 @@ The runtime is load-safe by construction:
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 import urllib.parse
@@ -238,6 +239,13 @@ class PredictionService:
         self._stage: dict[tuple[str, int], dict[str, Histogram]] = {}
         #: responses abandoned because the client hung up first
         self._client_disconnects = 0
+        # Deferred import: repro.streaming imports this module at load
+        # time, so the session layer must resolve lazily.
+        from ..streaming.session import SessionStore
+
+        #: durable stream sessions (resume tokens + snapshots); the
+        #: worker pool swaps in a replicating subclass before serving
+        self.sessions = SessionStore()
 
     # ------------------------------------------------------------------ #
 
@@ -647,6 +655,44 @@ class PredictionService:
                "Responses abandoned because the client hung up first.",
                [format_sample("repro_serving_client_disconnects_total",
                               None, disconnects)])
+        sessions = self.sessions
+        family("repro_session_opened_total", "counter",
+               "Durable stream sessions opened.",
+               [format_sample("repro_session_opened_total", None,
+                              sessions.opened.value)])
+        family("repro_session_resumed_total", "counter",
+               "Session re-attachments after a disconnect.",
+               [format_sample("repro_session_resumed_total", None,
+                              sessions.resumed.value)])
+        family("repro_session_active", "gauge",
+               "Sessions currently attached to a live stream.",
+               [format_sample("repro_session_active", None,
+                              sessions.active.value)])
+        family("repro_session_snapshots_total", "counter",
+               "Per-window session snapshots saved.",
+               [format_sample("repro_session_snapshots_total", None,
+                              sessions.snapshots.value)])
+        family("repro_session_replayed_windows_total", "counter",
+               "Cached window lines replayed to resuming clients.",
+               [format_sample("repro_session_replayed_windows_total", None,
+                              sessions.replayed.value)])
+        family("repro_session_handoffs_total", "counter",
+               "Sessions adopted from a peer worker on resume.",
+               [format_sample("repro_session_handoffs_total", None,
+                              sessions.handoffs.value)])
+        family("repro_session_takeovers_total", "counter",
+               "Resumes that fenced out a still-attached handler "
+               "(half-open or zombie connections).",
+               [format_sample("repro_session_takeovers_total", None,
+                              sessions.takeovers.value)])
+        family("repro_session_expired_total", "counter",
+               "Suspended sessions dropped by TTL or eviction.",
+               [format_sample("repro_session_expired_total", None,
+                              sessions.expired.value)])
+        family("repro_session_swaps_total", "counter",
+               "In-place model version swaps on session streams.",
+               [format_sample("repro_session_swaps_total", None,
+                              sessions.swaps.value)])
         family("repro_serving_http_responses_total", "counter",
                "HTTP responses by status code.",
                (format_sample("repro_serving_http_responses_total",
@@ -860,6 +906,10 @@ class _Handler(BaseHTTPRequestHandler):
     #: megabyte of sample means a broken or hostile sender
     _MAX_STREAM_LINE = 1_048_576
 
+    #: session ids live in URLs, metrics and unix-socket JSON — keep them
+    #: to a filename-safe alphabet
+    _SESSION_ID = re.compile(r"[A-Za-z0-9._-]{1,64}")
+
     def _stream(self, name: str, query: dict[str, list[str]]) -> None:
         """Score an NDJSON sample stream window by window.
 
@@ -873,25 +923,70 @@ class _Handler(BaseHTTPRequestHandler):
         window's full probability vector.  Failures after the 200 status
         has been committed are reported in-band as a
         ``{"kind": "error", ...}`` line.
+
+        ``?session=<id>`` makes the stream durable: the response leads
+        with a ``{"kind": "session", ...}`` ack, every window line gains
+        a monotonic ``token`` plus the server's consumed-``samples``
+        count, and on disconnect the scorer state survives in the
+        service's session store.  ``?resume=<token>`` re-attaches: the
+        cached window lines past the token are replayed verbatim and
+        scoring continues from the snapshot — nothing re-scored, nothing
+        lost.  Session streams opened against a tag (or the floating
+        latest) also follow model promotions in place, announced by a
+        ``{"kind": "swap", ...}`` line (``?follow=0`` pins); and when
+        the worker starts draining, the stream is handed back with
+        ``{"kind": "detach"}`` so the client resumes on a peer.
         """
         from ..streaming.scorer import StreamScorer  # deferred: avoids a cycle
+        from ..streaming.session import SessionError
 
+        store = self.service.sessions
         scorer = None
+        session = None
+        epoch = 0
+        resume = None
         try:
             window = int(query.get("window", ["32"])[0])
             hop = int(query.get("hop", [str(window)])[0])
             version = query.get("version", [None])[0]
             with_proba = query.get("proba", ["0"])[0].lower() \
                 not in ("", "0", "false")
+            follow = query.get("follow", ["1"])[0].lower() \
+                not in ("", "0", "false")
+            session_id = query.get("session", [None])[0]
+            resume_arg = query.get("resume", [None])[0]
+            resume = None if resume_arg is None else int(resume_arg)
+            replay: list[dict] = []
+            if resume is not None and session_id is None:
+                raise ServingError(400, "resume= requires session=")
+            if session_id is not None:
+                if not self._SESSION_ID.fullmatch(session_id):
+                    raise ServingError(
+                        400, "session ids are 1-64 characters of "
+                             "[A-Za-z0-9._-]")
+                if resume is not None:
+                    session, replay = store.resume(session_id, resume)
+                else:
+                    session = store.open(session_id)
+                epoch = session.epoch
             body_lines = self._open_body_lines()
             scorer = StreamScorer(self.service, name, window=window, hop=hop,
-                                  version=version)
+                                  version=version, session=session)
+        except SessionError as error:
+            self._settle_session(session, epoch,
+                                 resumable=resume is not None)
+            self._reply(error.status, {"error": str(error)})
+            return
         except ServingError as error:
             if scorer is not None:
                 scorer.close()
+            self._settle_session(session, epoch,
+                                 resumable=resume is not None)
             self._reply(error.status, {"error": str(error)})
             return
         except ValueError as error:
+            self._settle_session(session, epoch,
+                                 resumable=resume is not None)
             self._reply(400, {"error": f"bad stream parameters: {error}"})
             return
 
@@ -902,8 +997,21 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.close_connection = True
         sent = 0
+        self._body_truncated = False
+        resumable = True  # how to settle the session if the wire dies
         try:
             try:
+                if session is not None:
+                    ack = {"kind": "session", "session": session.id,
+                           "token": session.token,
+                           "samples": session.samples}
+                    slot = getattr(self, "worker_slot", None)
+                    if slot is not None:
+                        ack["worker"] = slot
+                    sent += self._write_stream_line(ack)
+                    for line in replay:
+                        sent += self._write_stream_line(line)
+                detach = False
                 for line in body_lines:
                     if not line.strip():
                         continue
@@ -913,19 +1021,81 @@ class _Handler(BaseHTTPRequestHandler):
                             'each stream line is {"values": [...]} with an '
                             'optional "label"'
                         )
-                    for result in scorer.feed(sample["values"],
-                                              sample.get("label")):
-                        sent += self._write_stream_line(
-                            result.as_dict(with_proba=with_proba))
-                for result in scorer.finish():
+                    swap_line = None
+                    if session is None:
+                        results = scorer.feed(sample["values"],
+                                              sample.get("label"))
+                        payloads = self._prepare_windows(
+                            results, session, store, with_proba)
+                    else:
+                        # One owner batch: scorer advance, line caching
+                        # and the store save land atomically with
+                        # respect to a resume takeover — the socket
+                        # writes stay outside so a zombie connection
+                        # can never stall a takeover.
+                        with session.guard(epoch):
+                            results = scorer.feed(sample["values"],
+                                                  sample.get("label"))
+                            payloads = self._prepare_windows(
+                                results, session, store, with_proba)
+                            if follow and results:
+                                swapped = scorer.follow()
+                                if swapped is not None:
+                                    store.swaps.inc()
+                                    swap_line = {
+                                        "kind": "swap",
+                                        "version": swapped.version,
+                                        "window": scorer.windows}
+                    for payload in payloads:
+                        sent += self._write_stream_line(payload)
+                    if swap_line is not None:
+                        sent += self._write_stream_line(swap_line)
+                    if session is not None \
+                            and getattr(self.server, "draining", False):
+                        # Hand the stream back mid-drain: the client
+                        # resumes on a peer worker instead of losing
+                        # the session with the process.
+                        detach = True
+                        break
+                truncated = session is not None and self._body_truncated
+                if session is None:
+                    payloads = self._prepare_windows(
+                        scorer.finish(), session, store, with_proba)
+                else:
+                    with session.guard(epoch):
+                        payloads = self._prepare_windows(
+                            scorer.finish(), session, store, with_proba)
+                for payload in payloads:
+                    sent += self._write_stream_line(payload)
+                if detach:
                     sent += self._write_stream_line(
-                        result.as_dict(with_proba=with_proba))
-                sent += self._write_stream_line({
-                    "kind": "summary", "model": scorer.record.name,
-                    "version": scorer.record.version,
-                    "samples": scorer.samples, "windows": scorer.windows,
-                    "shifts": scorer.shifts,
-                })
+                        {"kind": "detach", "reason": "draining",
+                         "token": session.token})
+                elif truncated:
+                    # The connection died mid-body; the client never saw
+                    # an end-of-stream, so keep the session resumable
+                    # rather than retiring it under a summary it will
+                    # never read.
+                    pass
+                else:
+                    sent += self._write_stream_line({
+                        "kind": "summary", "model": scorer.record.name,
+                        "version": scorer.record.version,
+                        "samples": scorer.samples, "windows": scorer.windows,
+                        "shifts": scorer.shifts,
+                    })
+                    # Only now is the session genuinely over: had the
+                    # summary write died on the wire, the client would
+                    # still need to resume to learn the stream's fate.
+                    resumable = False
+            except SessionError as error:
+                # Post-commit session conflict — most likely this
+                # attachment was fenced out by a resume takeover.  The
+                # session itself is fine (owned by someone newer); this
+                # connection just ends.  The in-band line is best-effort:
+                # a taken-over connection is usually already dead.
+                sent += self._write_stream_line(
+                    {"kind": "error", "error": str(error)})
             except (json.JSONDecodeError, ValueError, ServingError) as error:
                 sent += self._write_stream_line(
                     {"kind": "error", "error": str(error)})
@@ -941,9 +1111,49 @@ class _Handler(BaseHTTPRequestHandler):
                 path=self.path, status=200, error=type(error).__name__)
         finally:
             scorer.close()
+            self._settle_session(session, epoch, resumable=resumable)
         self.service.record_response(200)
         if self.access_log:
             self._log_access(200, sent)
+
+    def _settle_session(self, session, epoch: int = 0, *,
+                        resumable: bool) -> None:
+        """Detach or retire *session* when its stream ends (None is fine).
+
+        *epoch* is the attachment this handler holds; the store ignores
+        the call if a takeover moved the session to a newer owner.
+        """
+        if session is None:
+            return
+        store = self.service.sessions
+        if resumable:
+            store.suspend(session, epoch or None)
+        else:
+            store.finish(session, epoch or None)
+
+    def _prepare_windows(self, results, session, store,
+                         with_proba: bool) -> list[dict]:
+        """Build a batch's wire payloads; session lines gain token/ack.
+
+        In session mode every line is cached (and the snapshot saved —
+        the pool's replication point) *before* the first byte is
+        written: the scorer has already advanced the resume token for
+        the whole batch, so a wire failure halfway through must leave
+        the replay cache covering everything the token claims.  The
+        caller writes the returned payloads outside the session guard.
+        """
+        payloads = []
+        for result in results:
+            payload = result.as_dict(with_proba=with_proba)
+            if session is not None:
+                payload["token"] = result.index + 1
+                if result.samples is not None:
+                    payload["samples"] = result.samples
+                session.remember(payload)
+            payloads.append(payload)
+        if session is not None and payloads:
+            store.save(session)
+        return payloads
 
     def _write_stream_line(self, payload: dict) -> int:
         """Write one NDJSON line as its own chunk; returns the byte count."""
@@ -988,7 +1198,10 @@ class _Handler(BaseHTTPRequestHandler):
             data = self.rfile.read(size)
             self.rfile.read(2)  # the chunk's trailing CRLF
             if len(data) < size:
-                return  # connection died mid-chunk
+                # Connection died mid-chunk: not a clean end-of-body —
+                # session streams must stay resumable, not summarise.
+                self._body_truncated = True
+                return
             yield data
 
     def _iter_sized_body(self, length: int):
@@ -996,6 +1209,7 @@ class _Handler(BaseHTTPRequestHandler):
         while remaining > 0:
             data = self.rfile.read(min(65536, remaining))
             if not data:
+                self._body_truncated = True  # died short of Content-Length
                 return
             remaining -= len(data)
             yield data

@@ -16,8 +16,13 @@ arrives in — a continuous multivariate stream scored as data flows:
   from the model's top-1 confidence (when the serving path carries
   probabilities — every registry family does), or from the
   predicted-label distribution as a last resort;
+* :mod:`repro.streaming.session` — durable stream sessions: resume
+  tokens, the versioned snapshot/restore codec, and the bounded
+  server-side :class:`SessionStore` (the worker pool replicates its
+  blobs across processes);
 * :mod:`repro.streaming.client` — the stdlib chunked-NDJSON client for
-  the server's ``POST /v1/models/<name>/stream`` endpoint.
+  the server's ``POST /v1/models/<name>/stream`` endpoint, plus the
+  auto-resuming :func:`stream_session` wrapper.
 
 :mod:`repro.adaptation` closes the loop on the drift flags this package
 raises (retrain → canary → promote).  The CLI front-end is ``repro
@@ -26,6 +31,13 @@ stream``; wire format: ``docs/http-api.md``.
 
 from .drift import DriftMonitor, DriftState
 from .scorer import SlidingWindower, StreamScorer, WindowResult, expected_windows
+from .session import (
+    CODEC_VERSION,
+    SessionError,
+    SessionStore,
+    StreamSession,
+    rendezvous_slot,
+)
 from .sources import (
     GapSource,
     LabelNoiseSource,
@@ -35,22 +47,28 @@ from .sources import (
     StreamSource,
     SyntheticSource,
 )
-from .client import StreamRequestError, stream_windows
+from .client import StreamRequestError, stream_session, stream_windows
 
 __all__ = [
+    "CODEC_VERSION",
     "DriftMonitor",
     "DriftState",
     "GapSource",
     "LabelNoiseSource",
     "RaggedSource",
     "ReplaySource",
+    "SessionError",
+    "SessionStore",
     "SlidingWindower",
     "StreamRequestError",
     "StreamSample",
     "StreamScorer",
+    "StreamSession",
     "StreamSource",
     "SyntheticSource",
     "WindowResult",
     "expected_windows",
+    "rendezvous_slot",
+    "stream_session",
     "stream_windows",
 ]

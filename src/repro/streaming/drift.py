@@ -158,6 +158,58 @@ class DriftMonitor:
             "warmup": self.warmup, "persistence": self.persistence,
         }
 
+    def snapshot(self) -> dict:
+        """The monitor's full mutable state as a JSON-ready dict.
+
+        Part of the stream-session codec
+        (:mod:`repro.streaming.session`): scalars stay Python floats
+        (``json`` round-trips them bit-exactly via ``repr``) and the
+        per-label frequency EWMAs become ``[label, value]`` pairs so
+        integer labels survive JSON, which stringifies dict keys.  The
+        tuning knobs ride along: a restored monitor must compare
+        fast-vs-slow exactly as the one that wrote the snapshot did.
+        """
+        with self._lock:
+            return {
+                "config": self.config(),
+                "windows": self._windows,
+                "diverging": self._diverging,
+                "conf_diverging": self._conf_diverging,
+                "freq_fast": [[label, value]
+                              for label, value in self._freq_fast.items()],
+                "freq_slow": [[label, value]
+                              for label, value in self._freq_slow.items()],
+                "acc_fast": self._acc_fast, "acc_slow": self._acc_slow,
+                "conf_fast": self._conf_fast, "conf_slow": self._conf_slow,
+            }
+
+    def restore(self, state: dict) -> None:
+        """Overwrite this monitor with a :meth:`snapshot`'s state.
+
+        Restores the knobs as well as the EWMAs — resuming a stream
+        must continue the *same* detector, so the snapshot's config
+        wins over whatever this instance was constructed with.
+        """
+        config = state["config"]
+        with self._lock:
+            self.alpha_fast = float(config["alpha_fast"])
+            self.alpha_slow = float(config["alpha_slow"])
+            self.threshold = float(config["threshold"])
+            self.confidence_threshold = float(config["confidence_threshold"])
+            self.warmup = int(config["warmup"])
+            self.persistence = int(config["persistence"])
+            self._windows = int(state["windows"])
+            self._diverging = int(state["diverging"])
+            self._conf_diverging = int(state["conf_diverging"])
+            self._freq_fast = {label: float(value)
+                               for label, value in state["freq_fast"]}
+            self._freq_slow = {label: float(value)
+                               for label, value in state["freq_slow"]}
+            self._acc_fast = state["acc_fast"]
+            self._acc_slow = state["acc_slow"]
+            self._conf_fast = state["conf_fast"]
+            self._conf_slow = state["conf_slow"]
+
     def update(self, predicted, truth=None, confidence=None) -> DriftState:
         """Record one window's prediction (plus truth and top-1
         confidence when known) and return the monitor's updated view.

@@ -31,6 +31,8 @@ import numpy as np
 from ..observability import get_tracer
 from ..serving.server import ServingError
 from .drift import DriftMonitor, DriftState, _key
+from .session import (CODEC_VERSION, SessionError, StreamSession,
+                      check_codec, decode_array, encode_array)
 
 __all__ = ["SlidingWindower", "StreamScorer", "WindowResult", "expected_windows"]
 
@@ -80,6 +82,28 @@ class SlidingWindower:
         """
         self._seen = 0
 
+    def snapshot(self) -> dict:
+        """The ring's exact state as a JSON-ready codec fragment.
+
+        The buffer is captured raw (unordered ring plus ``seen``) so a
+        :meth:`restore` continues the *same* ring — every future window
+        is bit-identical to the one the uninterrupted stream would have
+        produced.
+        """
+        return {
+            "n_channels": self.n_channels, "window": self.window,
+            "hop": self.hop, "seen": self._seen,
+            "buffer": encode_array(self._buffer),
+        }
+
+    @classmethod
+    def restore(cls, state: dict) -> "SlidingWindower":
+        """Rebuild a windower from a :meth:`snapshot` fragment."""
+        windower = cls(state["n_channels"], state["window"], state["hop"])
+        windower._buffer[:] = decode_array(state["buffer"])
+        windower._seen = int(state["seen"])
+        return windower
+
     def push(self, values) -> np.ndarray | None:
         """Add one sample; returns the completed window when one is due."""
         values = np.asarray(values, dtype=np.float64)
@@ -109,6 +133,7 @@ class WindowResult:
     drift: DriftState | None
     confidence: float | None = None  # top-1 probability, when served
     proba: np.ndarray | None = None  # full probability vector, when served
+    samples: int | None = None  # samples consumed at this window (sessions)
 
     def as_dict(self, *, with_proba: bool = False) -> dict:
         """JSON-ready form — the NDJSON wire format's ``window`` line.
@@ -138,6 +163,7 @@ class _Pending:
     truth: int | None
     future: object
     panel: np.ndarray  # kept until resolution for adapter replay buffers
+    ctx: dict | None = None  # feed-time session state (sessions only)
 
 
 class StreamScorer:
@@ -167,6 +193,17 @@ class StreamScorer:
     with the panel that produced it — the hook the drift-triggered
     canary retraining loop hangs off.
 
+    An optional *session* (a
+    :class:`~repro.streaming.session.StreamSession`) makes the stream
+    durable: every resolved window deposits a codec snapshot and bumps
+    the session's resume token, and a scorer constructed with a session
+    that already carries state *resumes* it — ring buffer, drift EWMAs
+    and counters restored bit-identically, so the resumed stream scores
+    exactly the windows the uninterrupted one would have.  Relatedly,
+    :meth:`swap_version` moves a live stream onto another model version
+    in place (the canary-promotion follow path) and :meth:`follow`
+    triggers it automatically when a tag reference has moved.
+
     An optional *journal* (an
     :class:`~repro.observability.AuditJournal`) receives one
     ``drift_flag`` event per flagged window, carrying the monitor's full
@@ -180,7 +217,8 @@ class StreamScorer:
     def __init__(self, service, name: str, *, window: int, hop: int | None = None,
                  version=None, monitor: DriftMonitor | None = None,
                  max_inflight: int = 32, queue_timeout: float = 5.0,
-                 use_proba: bool | None = None, adapter=None, journal=None):
+                 use_proba: bool | None = None, adapter=None, journal=None,
+                 session: StreamSession | None = None):
         if max_inflight < 1:
             raise ValueError(f"max_inflight must be >= 1; got {max_inflight}")
         if window < 1:
@@ -196,6 +234,8 @@ class StreamScorer:
         self.queue_timeout = float(queue_timeout)
         self.adapter = adapter
         self.journal = journal
+        self.session = session
+        self._use_proba_arg = use_proba  # explicit caller choice, if any
         self.tracer = getattr(service, "tracer", None) or get_tracer()
         self.record, self._stats = service.open_stream(name, version)
         #: the stream's root span: opened here, ended by close().  When
@@ -204,15 +244,6 @@ class StreamScorer:
         self._span = self.tracer.begin(
             "stream", model=self.record.name, version=self.record.version)
         self._ctx = self._span.context
-        try:
-            if use_proba is None:
-                probe = getattr(service, "serves_proba", None)
-                use_proba = bool(probe(name, version)) if probe else False
-            self.use_proba = bool(use_proba)
-        except BaseException:
-            # The stream was counted as open above; don't leak the gauge.
-            service.close_stream(self.record)
-            raise
         self._windower: SlidingWindower | None = None  # lazy: first sample
         self._last_t: int | None = None  # stream clock of the latest sample
         self._gaps = 0
@@ -224,6 +255,17 @@ class StreamScorer:
         self._samples = 0
         self._shifts = 0
         self._closed = False
+        try:
+            if use_proba is None:
+                probe = getattr(service, "serves_proba", None)
+                use_proba = bool(probe(name, version)) if probe else False
+            self.use_proba = bool(use_proba)
+            if session is not None and session.state is not None:
+                self._restore(session.state)
+        except BaseException:
+            # The stream was counted as open above; don't leak the gauge.
+            service.close_stream(self.record)
+            raise
 
     # ------------------------------------------------------------------ #
 
@@ -297,6 +339,72 @@ class StreamScorer:
             self._span.end(windows=self._submitted, shifts=self._shifts,
                            samples=self._samples)
 
+    def swap_version(self, version=None):
+        """Swap the live stream onto another model version, in place.
+
+        The promotion follow-path for long-lived streams: every window
+        still in flight is drained against the old version (order
+        preserved — the results land in the ready list ahead of
+        anything submitted later), the stream is reopened against
+        *version*, and everything else — windower ring, drift-monitor
+        EWMAs, window/sample counters, the session — carries over
+        untouched.  No window is ever scored twice or skipped: windows
+        submitted before the swap resolve on the old version, windows
+        after it on the new one, and the index sequence is continuous
+        across the boundary.
+
+        Returns the newly resolved
+        :class:`~repro.serving.registry.ModelRecord`.
+        """
+        if self._closed:
+            raise RuntimeError("cannot swap a closed StreamScorer")
+        while self._pending:
+            self._ready.append(self._resolve_head())
+        old = self.record
+        record, stats = self.service.open_stream(old.name, version)
+        try:
+            if self._use_proba_arg is None:
+                probe = getattr(self.service, "serves_proba", None)
+                use_proba = bool(probe(old.name, version)) if probe \
+                    else self.use_proba
+            else:
+                use_proba = bool(self._use_proba_arg)
+        except BaseException:
+            self.service.close_stream(record)
+            raise
+        self.service.close_stream(old)
+        self.record, self._stats = record, stats
+        self.use_proba = use_proba
+        self.version = version
+        self._span.set("swapped_to", record.version)
+        return record
+
+    def follow(self):
+        """Swap when this stream's version *reference* points elsewhere.
+
+        Streams pinned to a concrete version number never move.  A
+        stream opened against a tag (``"stable"``, ``"canary"``) or
+        against the floating latest re-resolves its reference here;
+        when a canary promotion (or any publish) has moved it, the
+        scorer swaps in place via :meth:`swap_version` and returns the
+        new record — otherwise ``None``.  Cheap enough to call once per
+        resolved window: resolution rides the registry's memoised
+        manifest scan (one ``stat`` per call).
+        """
+        ref = self.version
+        if ref is not None and (not isinstance(ref, str) or ref.isdigit()):
+            return None
+        registry = getattr(self.service, "registry", None)
+        if registry is None:
+            return None
+        try:
+            target = registry.record(self.record.name, ref)
+        except KeyError:
+            return None
+        if target.version == self.record.version:
+            return None
+        return self.swap_version(ref)
+
     def __enter__(self) -> "StreamScorer":
         return self
 
@@ -311,6 +419,15 @@ class StreamScorer:
             # window instead of piling further onto the shared queue.
             self._ready.append(self._resolve_head())
         index = self._submitted
+        ctx = None
+        if self.session is not None:
+            # Feed-time state: the ring, the sample clock and the gap
+            # count as of *this* window's completion.  The monitor half
+            # of the snapshot is taken at resolve time, when the
+            # window's outcome has actually updated it.
+            ctx = {"windower": self._windower.snapshot(),
+                   "samples": self._samples, "submitted": index + 1,
+                   "last_t": self._last_t, "gaps": self._gaps}
         if self._ctx is not None:
             # Parent the batcher's queue/assemble/predict spans to this
             # stream rather than to whatever request shares the thread.
@@ -328,7 +445,7 @@ class StreamScorer:
         self._pending.append(_Pending(
             index=index, start=end - self.window + 1, end=end,
             truth=None if truth is None else int(truth), future=futures[0],
-            panel=panel,
+            panel=panel, ctx=ctx,
         ))
         self._submitted += 1
 
@@ -382,7 +499,64 @@ class StreamScorer:
             result = WindowResult(index=head.index, start=head.start,
                                   end=head.end, label=label, truth=head.truth,
                                   drift=state, confidence=confidence,
-                                  proba=proba)
+                                  proba=proba,
+                                  samples=None if head.ctx is None
+                                  else head.ctx["samples"])
+            # Observe *before* the snapshot lands in the session, so a
+            # resume at this window's token restores an adapter that
+            # has already seen it — replayed windows are served from
+            # the line cache and never re-observed.
             if self.adapter is not None:
                 self.adapter.observe(head.panel, result)
+            if self.session is not None and head.ctx is not None:
+                self.session.advance(self._snapshot(head))
         return result
+
+    def _snapshot(self, head: _Pending) -> dict:
+        """One window's full codec snapshot: feed-time ring state from
+        the pending entry plus the monitor state as of this resolution."""
+        ctx = head.ctx
+        state = {
+            "codec": CODEC_VERSION,
+            "token": head.index + 1,
+            "model": {"name": self.record.name,
+                      "version": self.record.version},
+            "window": self.window, "hop": self.hop,
+            "windower": ctx["windower"],
+            "monitor": self.monitor.snapshot(),
+            "counters": {"samples": ctx["samples"],
+                         "submitted": ctx["submitted"],
+                         "last_t": ctx["last_t"], "gaps": ctx["gaps"],
+                         "shifts": self._shifts},
+        }
+        if self.adapter is not None and hasattr(self.adapter, "snapshot"):
+            state["adapter"] = self.adapter.snapshot()
+        return state
+
+    def _restore(self, state: dict) -> None:
+        """Adopt a codec snapshot: ring, monitor, counters — the stream
+        continues exactly where the snapshotted one stopped."""
+        check_codec(state)
+        if state["model"]["name"] != self.record.name:
+            raise SessionError(
+                409, f"session belongs to model "
+                     f"{state['model']['name']!r}, not {self.record.name!r}")
+        if state["window"] != self.window or state["hop"] != self.hop:
+            raise SessionError(
+                409, f"session was windowed {state['window']}/{state['hop']} "
+                     f"(window/hop); cannot resume as "
+                     f"{self.window}/{self.hop}")
+        if state.get("windower") is not None:
+            self._windower = SlidingWindower.restore(state["windower"])
+        self.monitor.restore(state["monitor"])
+        counters = state["counters"]
+        self._samples = int(counters["samples"])
+        self._submitted = int(counters["submitted"])
+        self._last_t = None if counters["last_t"] is None \
+            else int(counters["last_t"])
+        self._gaps = int(counters["gaps"])
+        self._shifts = int(counters["shifts"])
+        adapter_state = state.get("adapter")
+        if adapter_state is not None and self.adapter is not None \
+                and hasattr(self.adapter, "restore"):
+            self.adapter.restore(adapter_state)

@@ -273,6 +273,15 @@ def test_adapt_end_to_end_promotes(tmp_path, capsys):
     assert summary["kind"] == "summary"
     assert summary["retrainings"] == 1 and summary["promotions"] == 1
     assert summary["serving_version"] == 2  # the stream switched models
+    # The promotion reached the stream as an in-place swap (one swap
+    # line, after the decision), and no window was double-scored or
+    # skipped across it: the summary counts exactly one tumbling window
+    # per streamed series.
+    swaps = [line for line in lines if line["kind"] == "swap"]
+    assert len(swaps) == 1 and swaps[0]["version"] == 2
+    assert lines.index(swaps[0]) > lines.index(decisions[0])
+    assert 0 < swaps[0]["window"] <= summary["windows"]
+    assert summary["windows"] == 150  # one per series, none lost or repeated
 
     from repro.serving import ModelRegistry
 

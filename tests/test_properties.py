@@ -155,3 +155,172 @@ def test_smote_convex_combination_property(seed, gap):
             if on_some_segment:
                 break
         assert on_some_segment
+
+
+# --------------------------------------------------------------------- #
+# durable stream sessions: codec and resume-token invariants
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 3), st.integers(1, 12)),
+    seed=st.integers(0, 10_000),
+    scale=st.sampled_from([1e-300, 1e-8, 1.0, 1e8, 1e300]),
+)
+def test_codec_array_round_trip_is_bit_exact(shape, seed, scale):
+    """encode_array -> JSON -> decode_array reproduces the exact bytes,
+    across the whole float64 range including subnormals and specials."""
+    import json
+
+    from repro.streaming.session import decode_array, encode_array
+
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal(shape) * scale
+    flat = values.reshape(-1)
+    if flat.size >= 3:
+        flat[0], flat[1], flat[2] = np.nan, np.inf, -0.0
+    encoded = json.loads(json.dumps(encode_array(values)))
+    decoded = decode_array(encoded)
+    assert decoded.dtype == np.float64
+    assert decoded.shape == values.shape
+    assert decoded.tobytes() == values.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_channels=st.integers(1, 3),
+    window=st.integers(2, 12),
+    hop_frac=st.floats(0.1, 1.0),
+    warm=st.integers(0, 40),
+    tail=st.integers(1, 40),
+    seed=st.integers(0, 10_000),
+)
+def test_windower_snapshot_round_trip_identity(n_channels, window, hop_frac,
+                                               warm, tail, seed):
+    """A restored ring emits exactly the windows the original would
+    have: same count, same bytes — after any number of warmup pushes."""
+    import json
+
+    from repro.streaming import SlidingWindower
+
+    hop = max(1, int(window * hop_frac))
+    rng = np.random.default_rng(seed)
+    original = SlidingWindower(n_channels, window, hop)
+    for _ in range(warm):
+        original.push(rng.standard_normal(n_channels))
+    state = json.loads(json.dumps(original.snapshot()))
+    restored = SlidingWindower.restore(state)
+    assert restored.seen == original.seen
+    future = rng.standard_normal((tail, n_channels))
+    for values in future:
+        a, b = original.push(values), restored.push(values)
+        assert (a is None) == (b is None)
+        if a is not None:
+            assert a.tobytes() == b.tobytes()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n_updates=st.integers(1, 60),
+    split=st.floats(0.0, 1.0),
+    labelled=st.booleans(),
+    seed=st.integers(0, 10_000),
+)
+def test_drift_monitor_snapshot_round_trip_identity(n_updates, split,
+                                                    labelled, seed):
+    """A restored monitor produces identical DriftState outputs for any
+    continuation — EWMAs, counters and knobs all survive the codec."""
+    import json
+
+    from repro.streaming import DriftMonitor
+
+    rng = np.random.default_rng(seed)
+    updates = [
+        (int(rng.integers(0, 3)),
+         int(rng.integers(0, 3)) if labelled else None,
+         float(rng.uniform(0.34, 1.0)))
+        for _ in range(n_updates)
+    ]
+    cut = int(len(updates) * split)
+    original = DriftMonitor(warmup=5, persistence=2)
+    for predicted, truth, confidence in updates[:cut]:
+        original.update(predicted, truth=truth, confidence=confidence)
+    state = json.loads(json.dumps(original.snapshot()))
+    restored = DriftMonitor()  # knobs come from the snapshot, not __init__
+    restored.restore(state)
+    for predicted, truth, confidence in updates[cut:]:
+        a = original.update(predicted, truth=truth, confidence=confidence)
+        b = restored.update(predicted, truth=truth, confidence=confidence)
+        assert a == b
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    advances=st.integers(1, 40),
+    cache=st.integers(1, 16),
+    behind=st.integers(0, 60),
+    ahead=st.integers(1, 10),
+)
+def test_resume_token_monotonicity_and_replay(advances, cache, behind, ahead):
+    """Tokens only ever move forward by one; replay covers exactly the
+    cached gap; tokens ahead of the session or behind its cache are
+    rejected, never silently papered over."""
+    import pytest as _pytest
+
+    from repro.streaming.session import (
+        CODEC_VERSION,
+        SessionError,
+        StreamSession,
+    )
+
+    session = StreamSession("s", cache_lines=cache)
+    for token in range(1, advances + 1):
+        snapshot = {"codec": CODEC_VERSION, "token": token,
+                    "counters": {"samples": token * 4}}
+        # Skipping or repeating a token must raise, whatever the offset.
+        for bad in (token - 1, token + 1):
+            if bad != token:
+                with _pytest.raises(SessionError):
+                    session.advance(dict(snapshot, token=bad))
+        session.advance(snapshot)
+        session.remember({"kind": "window", "token": token})
+    assert session.token == advances
+    assert session.samples == advances * 4
+
+    token = max(0, advances - min(behind, advances))
+    if advances - token <= min(cache, advances):
+        replay = session.replay_from(token)
+        assert [line["token"] for line in replay] == \
+            list(range(token + 1, advances + 1))
+    else:
+        with _pytest.raises(SessionError) as excinfo:
+            session.replay_from(token)
+        assert excinfo.value.status == 410  # cache no longer covers it
+    with _pytest.raises(SessionError) as excinfo:
+        session.replay_from(advances + ahead)
+    assert excinfo.value.status == 409  # a token from another life
+
+
+@settings(max_examples=50, deadline=None)
+@given(version=st.integers(-5, 1000))
+def test_codec_version_mismatch_rejected(version):
+    """Any codec version other than this build's is refused up front."""
+    import pytest as _pytest
+
+    from repro.streaming.session import (
+        CODEC_VERSION,
+        SessionError,
+        StreamSession,
+        check_codec,
+    )
+
+    if version == CODEC_VERSION:
+        check_codec({"codec": version})  # the one accepted version
+        return
+    with _pytest.raises(SessionError) as excinfo:
+        check_codec({"codec": version})
+    assert excinfo.value.status == 409
+    with _pytest.raises(SessionError):
+        StreamSession.from_blob({"id": "s", "token": 1,
+                                 "state": {"codec": version}, "lines": []})
